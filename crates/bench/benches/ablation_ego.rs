@@ -1,0 +1,111 @@
+//! Ablations of the SuperEGO machinery:
+//!
+//! * dimension reordering on/off (Super-EGO's key optimisation),
+//! * the leaf threshold `t`,
+//! * the per-dimension predicate versus the literal aggregate-L1 reading
+//!   (which the paper's wording suggests but which over-counts),
+//! * the hybrid MinMax–SuperEGO versus plain SuperEGO and Ex-MinMax
+//!   (the Section 6.2 "combined algorithm" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use csj_core::algorithms::{ex_hybrid, ex_minmax, ex_superego};
+use csj_core::CsjOptions;
+use csj_data::pairs::{build_couple, BuildOptions, CouplePair, Dataset};
+
+fn vk_pair() -> CouplePair {
+    build_couple(
+        csj_data::spec::couple(6),
+        Dataset::VkLike,
+        BuildOptions {
+            scale: 64,
+            seed: 21,
+        },
+    )
+}
+
+fn base_opts(pair: &CouplePair) -> CsjOptions {
+    let mut opts = CsjOptions::new(pair.eps);
+    opts.superego.max_value = Some(pair.superego_max_value);
+    opts
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let pair = vk_pair();
+    let mut group = c.benchmark_group("ego_reorder");
+    group.sample_size(15);
+    for reorder in [true, false] {
+        let mut opts = base_opts(&pair);
+        opts.superego.reorder = reorder;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if reorder { "on" } else { "off" }),
+            &opts,
+            |bench, opts| {
+                bench.iter(|| ex_superego(&pair.b, &pair.a, opts).pairs.len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_leaf_threshold(c: &mut Criterion) {
+    let pair = vk_pair();
+    let mut group = c.benchmark_group("ego_leaf_threshold");
+    group.sample_size(15);
+    for t in [8usize, 32, 128, 512] {
+        let mut opts = base_opts(&pair);
+        opts.superego.t = t;
+        group.bench_with_input(BenchmarkId::from_parameter(t), &opts, |bench, opts| {
+            bench.iter(|| ex_superego(&pair.b, &pair.a, opts).pairs.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_predicate(c: &mut Criterion) {
+    let pair = vk_pair();
+    let per_dim = base_opts(&pair);
+    let mut l1 = per_dim;
+    l1.superego.l1_predicate = true;
+    let per_dim_pairs = ex_superego(&pair.b, &pair.a, &per_dim).pairs.len();
+    let l1_pairs = ex_superego(&pair.b, &pair.a, &l1).pairs.len();
+    eprintln!(
+        "[ablation_ego] per-dim predicate matches {per_dim_pairs}, aggregate-L1 matches {l1_pairs} \
+         (L1 over-counts; the per-dimension reading is the faithful CSJ adaptation)"
+    );
+    let mut group = c.benchmark_group("ego_predicate");
+    group.sample_size(15);
+    group.bench_function("per_dim", |bench| {
+        bench.iter(|| ex_superego(&pair.b, &pair.a, &per_dim).pairs.len());
+    });
+    group.bench_function("l1_aggregate", |bench| {
+        bench.iter(|| ex_superego(&pair.b, &pair.a, &l1).pairs.len());
+    });
+    group.finish();
+}
+
+fn bench_hybrid(c: &mut Criterion) {
+    let pair = vk_pair();
+    let opts = base_opts(&pair);
+    let mut group = c.benchmark_group("hybrid_vs_superego");
+    group.sample_size(15);
+    group.bench_function("ex_superego", |bench| {
+        bench.iter(|| ex_superego(&pair.b, &pair.a, &opts).pairs.len());
+    });
+    group.bench_function("ex_hybrid", |bench| {
+        bench.iter(|| ex_hybrid(&pair.b, &pair.a, &opts).pairs.len());
+    });
+    group.bench_function("ex_minmax", |bench| {
+        bench.iter(|| ex_minmax(&pair.b, &pair.a, &opts).pairs.len());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reorder,
+    bench_leaf_threshold,
+    bench_predicate,
+    bench_hybrid
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: the `skip`/`offset` prefix pruning of the Baseline and
+//! MinMax loops (Section 4.1's MAX PRUNE machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use csj_core::algorithms::{ap_baseline, ap_minmax, ex_minmax};
+use csj_core::CsjOptions;
+use csj_data::pairs::{build_couple, BuildOptions, Dataset};
+
+fn bench_skip(c: &mut Criterion) {
+    let pair = build_couple(
+        csj_data::spec::couple(8),
+        Dataset::VkLike,
+        BuildOptions {
+            scale: 64,
+            seed: 17,
+        },
+    );
+    let on = CsjOptions::new(pair.eps);
+    let mut off = on;
+    off.offset_pruning = false;
+
+    let mut group = c.benchmark_group("offset_pruning");
+    group.sample_size(15);
+    for (label, opts) in [("on", on), ("off", off)] {
+        group.bench_with_input(
+            BenchmarkId::new("ap_minmax", label),
+            &opts,
+            |bench, opts| bench.iter(|| ap_minmax(&pair.b, &pair.a, opts).pairs.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ex_minmax", label),
+            &opts,
+            |bench, opts| bench.iter(|| ex_minmax(&pair.b, &pair.a, opts).pairs.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ap_baseline", label),
+            &opts,
+            |bench, opts| bench.iter(|| ap_baseline(&pair.b, &pair.a, opts).pairs.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skip);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Full-join benchmarks: all eight CSJ methods on one VK-shaped and one
+//! Synthetic couple (the per-method timing columns of Tables 3–10, as a
+//! Criterion suite).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use csj_core::{run, CsjMethod, CsjOptions};
+use csj_data::pairs::{build_couple, BuildOptions, CouplePair, Dataset};
+
+fn couple(dataset: Dataset) -> CouplePair {
+    // cID 1 (Restaurants | Food_recipes) at 1/64 of paper scale.
+    build_couple(
+        csj_data::spec::couple(1),
+        dataset,
+        BuildOptions { scale: 64, seed: 7 },
+    )
+}
+
+fn options_for(pair: &CouplePair) -> CsjOptions {
+    let mut opts = CsjOptions::new(pair.eps);
+    opts.superego.max_value = Some(pair.superego_max_value);
+    opts
+}
+
+fn bench_joins(c: &mut Criterion) {
+    for dataset in [Dataset::VkLike, Dataset::Uniform] {
+        let pair = couple(dataset);
+        let opts = options_for(&pair);
+        let mut group = c.benchmark_group(format!("join_{dataset}"));
+        group.sample_size(10);
+        for method in CsjMethod::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(method.name()),
+                &method,
+                |bench, &m| {
+                    bench.iter(|| {
+                        run(m, &pair.b, &pair.a, &opts)
+                            .expect("valid instance")
+                            .similarity
+                            .matched
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

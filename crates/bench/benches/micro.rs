@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the CSJ building blocks: encoding construction,
+//! EGO sorting/normalisation and the candidate filters.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use csj_core::{encode_a, encode_b, vectors_match, EncodingParams};
+use csj_data::vklike::{VkLikeConfig, VkLikeGenerator};
+use csj_ego::{normalize_counters, PointSet};
+
+fn vk_community(n: usize) -> csj_core::Community {
+    let generator = VkLikeGenerator::new(VkLikeConfig::default());
+    let (b, _) = generator.generate_pair(
+        "B",
+        "A",
+        csj_data::Category::Sport,
+        csj_data::Category::Sport,
+        n,
+        n + 1,
+        42,
+    );
+    b
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    for n in [1_000usize, 10_000] {
+        let community = vk_community(n);
+        group.bench_with_input(BenchmarkId::new("encode_b", n), &community, |bench, com| {
+            bench.iter(|| encode_b(black_box(com), EncodingParams::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("encode_a", n), &community, |bench, com| {
+            bench.iter(|| encode_a(black_box(com), 1, EncodingParams::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ego_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ego_setup");
+    for n in [1_000usize, 10_000] {
+        let community = vk_community(n);
+        let max = community.max_counter().max(1);
+        group.bench_with_input(
+            BenchmarkId::new("normalize", n),
+            &community,
+            |bench, com| {
+                bench.iter(|| normalize_counters(black_box(com.raw_data()), max));
+            },
+        );
+        let data = normalize_counters(community.raw_data(), max);
+        let width = 1.0f32 / max as f32;
+        group.bench_with_input(BenchmarkId::new("ego_sort", n), &data, |bench, data| {
+            bench.iter(|| PointSet::build(27, width, black_box(data.clone()), None));
+        });
+    }
+    group.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let community = vk_community(4_000);
+    let eb = encode_b(&community, EncodingParams::default());
+    let ea = encode_a(&community, 1, EncodingParams::default());
+    let mut group = c.benchmark_group("filters");
+    group.bench_function("parts_overlap_4k_sweep", |bench| {
+        bench.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..eb.len().min(200) {
+                let parts = eb.parts_of(i);
+                for j in 0..ea.len().min(200) {
+                    if ea.parts_overlap(j, black_box(parts)) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+    });
+    group.bench_function("vectors_match_sweep", |bench| {
+        bench.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..community.len().min(200) {
+                let v = community.vector(i);
+                for j in 0..community.len().min(200) {
+                    if vectors_match(black_box(v), community.vector(j), 1) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encoding, bench_ego_setup, bench_filters
+}
+criterion_main!(benches);

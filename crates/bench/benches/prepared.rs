@@ -1,0 +1,42 @@
+//! Bench: prepared (pre-encoded) MinMax joins vs plain entry points —
+//! quantifies what the engine's encoding cache saves per screening join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use csj_core::algorithms::{ap_minmax, ex_minmax};
+use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity};
+use csj_core::CsjOptions;
+use csj_data::pairs::{build_couple, BuildOptions, Dataset};
+
+fn bench_prepared(c: &mut Criterion) {
+    let pair = build_couple(
+        csj_data::spec::couple(1),
+        Dataset::VkLike,
+        BuildOptions {
+            scale: 64,
+            seed: 23,
+        },
+    );
+    let opts = CsjOptions::new(pair.eps);
+    let pb = PreparedCommunity::new(pair.b.clone(), &opts);
+    let pa = PreparedCommunity::new(pair.a.clone(), &opts);
+
+    let mut group = c.benchmark_group("prepared_vs_plain");
+    group.sample_size(20);
+    group.bench_function("ap_minmax_plain", |bench| {
+        bench.iter(|| ap_minmax(&pair.b, &pair.a, &opts).pairs.len());
+    });
+    group.bench_function("ap_minmax_prepared", |bench| {
+        bench.iter(|| ap_minmax_between(&pb, &pa, &opts).pairs.len());
+    });
+    group.bench_function("ex_minmax_plain", |bench| {
+        bench.iter(|| ex_minmax(&pair.b, &pair.a, &opts).pairs.len());
+    });
+    group.bench_function("ex_minmax_prepared", |bench| {
+        bench.iter(|| ex_minmax_between(&pb, &pa, &opts).pairs.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepared);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! `soak` — randomized differential testing harness.
+//!
+//! Generates random CSJ instances (both skewed and uniform regimes, a
+//! sweep of dimensionalities and epsilons) and cross-checks every method
+//! against brute-force ground truth and against each other, round after
+//! round. Violations abort with a reproduction seed.
+//!
+//! ```text
+//! cargo run -p csj-bench --release --bin soak -- [rounds] [base-seed]
+//! ```
+
+use csj_core::verify::ground_truth;
+use csj_core::{run, Community, CsjMethod, CsjOptions, MatcherKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_community(rng: &mut StdRng, name: &str, n: usize, d: usize, range: u32) -> Community {
+    Community::from_rows(
+        name,
+        d,
+        (0..n).map(|i| {
+            let v: Vec<u32> = (0..d).map(|_| rng.gen_range(0..=range)).collect();
+            (i as u64, v)
+        }),
+    )
+    .expect("well-formed rows")
+}
+
+fn check_round(seed: u64) -> Result<RoundStats, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = rng.gen_range(1..=8);
+    let eps = rng.gen_range(0..=4u32);
+    let range = rng.gen_range(1..=40u32);
+    let nb = rng.gen_range(1..=60usize);
+    let na = rng.gen_range(nb..=2 * nb);
+    let b = random_community(&mut rng, "B", nb, d, range);
+    let a = random_community(&mut rng, "A", na, d, range);
+
+    let gt = ground_truth(&b, &a, eps);
+    let maximum = gt.similarity.matched;
+    let mut stats = RoundStats { joins: 0, maximum };
+
+    for matcher in [MatcherKind::Csf, MatcherKind::HopcroftKarp] {
+        let opts = CsjOptions::new(eps)
+            .with_parts(rng.gen_range(1..=d))
+            .with_matcher(matcher);
+        for method in CsjMethod::ALL {
+            let out = run(method, &b, &a, &opts)
+                .map_err(|e| format!("seed {seed}: {method} rejected valid instance: {e}"))?;
+            stats.joins += 1;
+            let matched = out.similarity.matched;
+            if matched > maximum {
+                return Err(format!(
+                    "seed {seed}: {method}/{matcher} found {matched} > maximum {maximum}"
+                ));
+            }
+            // Integer-domain exactness guarantees.
+            let integer_exact = matches!(
+                method,
+                CsjMethod::ExBaseline | CsjMethod::ExMinMax | CsjMethod::ExHybrid
+            );
+            if integer_exact && matcher == MatcherKind::HopcroftKarp && matched != maximum {
+                return Err(format!(
+                    "seed {seed}: {method} with Hopcroft-Karp found {matched}, maximum is {maximum}"
+                ));
+            }
+            // Every integer-domain matching must be one-to-one over true
+            // pairs.
+            if !matches!(method, CsjMethod::ApSuperEgo | CsjMethod::ExSuperEgo) {
+                let mut seen_b = vec![false; b.len()];
+                let mut seen_a = vec![false; a.len()];
+                for &(x, y) in &out.pairs {
+                    if !csj_core::vectors_match(b.vector(x as usize), a.vector(y as usize), eps) {
+                        return Err(format!("seed {seed}: {method} reported a false pair"));
+                    }
+                    if std::mem::replace(&mut seen_b[x as usize], true)
+                        || std::mem::replace(&mut seen_a[y as usize], true)
+                    {
+                        return Err(format!("seed {seed}: {method} reused a user"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+struct RoundStats {
+    joins: u64,
+    maximum: usize,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rounds: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let base_seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0x50AC);
+
+    let started = std::time::Instant::now();
+    let mut joins = 0u64;
+    let mut nonzero = 0u64;
+    for round in 0..rounds {
+        match check_round(base_seed.wrapping_add(round)) {
+            Ok(stats) => {
+                joins += stats.joins;
+                nonzero += (stats.maximum > 0) as u64;
+            }
+            Err(msg) => {
+                eprintln!("SOAK FAILURE: {msg}");
+                std::process::exit(1);
+            }
+        }
+        if (round + 1) % 50 == 0 {
+            eprintln!(
+                "[soak] {} rounds, {} joins, no violations",
+                round + 1,
+                joins
+            );
+        }
+    }
+    println!(
+        "soak passed: {rounds} rounds, {joins} joins, {nonzero} rounds with non-empty matchings, {:.1} s",
+        started.elapsed().as_secs_f64()
+    );
+}

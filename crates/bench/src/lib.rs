@@ -1,0 +1,20 @@
+//! # csj-bench — the experiment harness
+//!
+//! Reproduces every table of the paper's evaluation section (Tables 1–11)
+//! at a configurable scale, printing **paper vs measured** for each cell,
+//! and hosts the Criterion micro/ablation benches.
+//!
+//! Entry point: the `tables` binary —
+//!
+//! ```text
+//! cargo run -p csj-bench --release --bin tables -- all --scale 32
+//! ```
+//!
+//! writes Markdown + JSON reports under `EXPERIMENTS-data/`.
+
+pub mod report;
+pub mod runner;
+pub mod tables;
+
+pub use report::{MeasuredCell, TableReport};
+pub use runner::{measure, RunConfig};

@@ -1,0 +1,831 @@
+//! # csj-cli — command-line interface for CSJ
+//!
+//! ```text
+//! csj couples                                   list the paper's 20 couples
+//! csj generate --dataset vk --cid 1 --scale 64 \
+//!              --out-b b.csjb --out-a a.csjb    materialise a couple to files
+//! csj info b.csjb                               community statistics
+//! csj join --b b.csjb --a a.csjb --eps 1 \
+//!          --method ex-minmax [--json]          run one CSJ method
+//! csj truth --b b.csjb --a a.csjb --eps 1       brute-force ground truth
+//! ```
+//!
+//! Files ending in `.csv` use the text format, anything else the compact
+//! binary format (`csj_data::io`). The argument parser and the command
+//! executor are library functions so the whole surface is unit-testable;
+//! `main.rs` is a thin wrapper.
+
+use std::path::{Path, PathBuf};
+
+use csj_core::prepared::{ap_minmax_between, ex_minmax_between};
+use csj_core::{run, Community, CsjMethod, CsjOptions, MatcherKind, PreparedCommunity};
+use csj_data::io::{read_binary, read_csv, read_prepared, write_binary, write_csv, write_prepared};
+use csj_data::pairs::{build_couple, BuildOptions, Dataset};
+use csj_data::spec::COUPLES;
+use csj_data::stats::summarize;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the paper's couple specifications.
+    Couples,
+    /// Generate one couple to a pair of files.
+    Generate {
+        dataset: Dataset,
+        cid: u8,
+        scale: u32,
+        seed: u64,
+        out_b: PathBuf,
+        out_a: PathBuf,
+    },
+    /// Print statistics of one community file.
+    Info { path: PathBuf },
+    /// Precompute and persist the MinMax encodings of a community
+    /// (writes a `.csjp` index file that `join` loads without
+    /// re-encoding).
+    Prepare {
+        input: PathBuf,
+        eps: u32,
+        parts: usize,
+        out: PathBuf,
+    },
+    /// Join two community files with one method.
+    Join {
+        b: PathBuf,
+        a: PathBuf,
+        eps: u32,
+        method: CsjMethod,
+        matcher: MatcherKind,
+        parts: usize,
+        json: bool,
+        /// Print the closest N matched user pairs.
+        pairs: usize,
+    },
+    /// Rank candidate community files against an anchor (two-phase
+    /// screen-then-refine pipeline).
+    TopK {
+        anchor: PathBuf,
+        candidates: Vec<PathBuf>,
+        eps: u32,
+        k: usize,
+    },
+    /// Brute-force ground truth of a pair.
+    Truth { b: PathBuf, a: PathBuf, eps: u32 },
+}
+
+/// CLI errors (bad arguments, I/O, join rejections).
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing failed; the message is user-facing usage help.
+    Usage(String),
+    /// File I/O or format failure.
+    Io(String),
+    /// The join itself was rejected.
+    Csj(csj_core::CsjError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CliError::Csj(e) => write!(f, "join rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage banner.
+pub const USAGE: &str = "\
+usage:
+  csj couples
+  csj generate --dataset <vk|synthetic> --cid <1..20> [--scale N] [--seed S] --out-b FILE --out-a FILE
+  csj info <FILE>
+  csj prepare --input FILE --eps E [--parts P] --out FILE.csjp
+  csj join --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P] [--json] [--pairs N]
+  csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K]
+  csj truth --b FILE --a FILE --eps E
+formats: *.csv is text, *.csjp is a prepared index, anything else the CSJB binary format";
+
+/// Parse raw arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+    let rest: Vec<&str> = it.collect();
+    let get = |flag: &str| -> Option<&str> {
+        rest.iter()
+            .position(|&a| a == flag)
+            .and_then(|i| rest.get(i + 1).copied())
+    };
+    let has = |flag: &str| rest.contains(&flag);
+    let require = |flag: &str| -> Result<&str, CliError> {
+        get(flag).ok_or_else(|| CliError::Usage(format!("missing {flag}")))
+    };
+    let parse_num = |flag: &str, v: &str| -> Result<u64, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("{flag} expects a number, got {v:?}")))
+    };
+
+    match sub {
+        "couples" => Ok(Command::Couples),
+        "generate" => {
+            let dataset = match require("--dataset")? {
+                "vk" => Dataset::VkLike,
+                "synthetic" => Dataset::Uniform,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--dataset expects vk|synthetic, got {other:?}"
+                    )))
+                }
+            };
+            let cid = parse_num("--cid", require("--cid")?)? as u8;
+            if !(1..=20).contains(&cid) {
+                return Err(CliError::Usage("--cid must be 1..=20".into()));
+            }
+            let scale = get("--scale").map_or(Ok(64), |v| parse_num("--scale", v))? as u32;
+            if scale == 0 {
+                return Err(CliError::Usage("--scale must be >= 1".into()));
+            }
+            let seed = get("--seed").map_or(Ok(0xC5A0_2024), |v| parse_num("--seed", v))?;
+            Ok(Command::Generate {
+                dataset,
+                cid,
+                scale,
+                seed,
+                out_b: PathBuf::from(require("--out-b")?),
+                out_a: PathBuf::from(require("--out-a")?),
+            })
+        }
+        "prepare" => Ok(Command::Prepare {
+            input: PathBuf::from(require("--input")?),
+            eps: parse_num("--eps", require("--eps")?)? as u32,
+            parts: get("--parts").map_or(Ok(4), |v| parse_num("--parts", v))? as usize,
+            out: PathBuf::from(require("--out")?),
+        }),
+        "info" => {
+            let path = rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("info expects a file path".into()))?;
+            Ok(Command::Info {
+                path: PathBuf::from(path),
+            })
+        }
+        "join" => Ok(Command::Join {
+            b: PathBuf::from(require("--b")?),
+            a: PathBuf::from(require("--a")?),
+            eps: parse_num("--eps", require("--eps")?)? as u32,
+            method: get("--method")
+                .unwrap_or("ex-minmax")
+                .parse()
+                .map_err(CliError::Usage)?,
+            matcher: get("--matcher")
+                .unwrap_or("csf")
+                .parse()
+                .map_err(CliError::Usage)?,
+            parts: get("--parts").map_or(Ok(4), |v| parse_num("--parts", v))? as usize,
+            json: has("--json"),
+            pairs: get("--pairs").map_or(Ok(0), |v| parse_num("--pairs", v))? as usize,
+        }),
+        "topk" => {
+            let anchor = PathBuf::from(require("--anchor")?);
+            let candidates: Vec<PathBuf> = require("--candidates")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from)
+                .collect();
+            if candidates.is_empty() {
+                return Err(CliError::Usage(
+                    "--candidates expects a comma-separated list".into(),
+                ));
+            }
+            Ok(Command::TopK {
+                anchor,
+                candidates,
+                eps: parse_num("--eps", require("--eps")?)? as u32,
+                k: get("--k").map_or(Ok(3), |v| parse_num("--k", v))? as usize,
+            })
+        }
+        "truth" => Ok(Command::Truth {
+            b: PathBuf::from(require("--b")?),
+            a: PathBuf::from(require("--a")?),
+            eps: parse_num("--eps", require("--eps")?)? as u32,
+        }),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// A community file, possibly carrying a persisted prepared index.
+enum Loaded {
+    Plain(Community),
+    Prepared(Box<PreparedCommunity>),
+}
+
+impl Loaded {
+    fn community(&self) -> &Community {
+        match self {
+            Loaded::Plain(c) => c,
+            Loaded::Prepared(p) => p.community(),
+        }
+    }
+}
+
+fn load_any(path: &Path) -> Result<Loaded, CliError> {
+    if path.extension().is_some_and(|e| e == "csjp") {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        let prepared =
+            read_prepared(file).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        Ok(Loaded::Prepared(Box::new(prepared)))
+    } else {
+        load(path).map(Loaded::Plain)
+    }
+}
+
+fn load(path: &Path) -> Result<Community, CliError> {
+    let file =
+        std::fs::File::open(path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    let is_csv = path.extension().is_some_and(|e| e == "csv");
+    let parsed = if is_csv {
+        read_csv(file)
+    } else {
+        read_binary(file)
+    };
+    parsed.map_err(|e| CliError::Io(format!("{}: {e}", path.display())))
+}
+
+fn store(community: &Community, path: &Path) -> Result<(), CliError> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    let is_csv = path.extension().is_some_and(|e| e == "csv");
+    let written = if is_csv {
+        write_csv(community, file)
+    } else {
+        write_binary(community, file)
+    };
+    written.map_err(|e| CliError::Io(format!("{}: {e}", path.display())))
+}
+
+/// Execute a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    match cmd {
+        Command::Couples => {
+            let mut out =
+                String::from("cID  categories (B | A)                          size_B   size_A\n");
+            for c in &COUPLES {
+                let _ = writeln!(
+                    out,
+                    "{:>3}  {:<43} {:>7}  {:>7}",
+                    c.cid,
+                    format!("{} | {}", c.cat_b, c.cat_a),
+                    c.size_b,
+                    c.size_a
+                );
+            }
+            Ok(out)
+        }
+        Command::Generate {
+            dataset,
+            cid,
+            scale,
+            seed,
+            out_b,
+            out_a,
+        } => {
+            let spec = csj_data::spec::couple(cid);
+            let pair = build_couple(spec, dataset, BuildOptions { scale, seed });
+            store(&pair.b, &out_b)?;
+            store(&pair.a, &out_a)?;
+            Ok(format!(
+                "wrote {} ({} users) and {} ({} users); join with --eps {}\n",
+                out_b.display(),
+                pair.b.len(),
+                out_a.display(),
+                pair.a.len(),
+                pair.eps
+            ))
+        }
+        Command::Info { path } => {
+            let c = load(&path)?;
+            let s = summarize(&c);
+            Ok(format!(
+                "community: {}\nusers: {}\ndimensions: {}\nmean counter: {:.2}\n\
+                 median: {}\np99: {}\nmax: {}\nzero fraction: {:.1}%\n",
+                c.name(),
+                c.len(),
+                c.d(),
+                s.mean,
+                s.p50,
+                s.p99,
+                s.max,
+                s.zero_fraction * 100.0
+            ))
+        }
+        Command::Prepare {
+            input,
+            eps,
+            parts,
+            out,
+        } => {
+            let community = load(&input)?;
+            let opts = CsjOptions::new(eps).with_parts(parts);
+            let prepared = PreparedCommunity::new(community, &opts);
+            let file = std::fs::File::create(&out)
+                .map_err(|e| CliError::Io(format!("{}: {e}", out.display())))?;
+            write_prepared(&prepared, file)
+                .map_err(|e| CliError::Io(format!("{}: {e}", out.display())))?;
+            Ok(format!(
+                "wrote {} ({} users, eps = {eps}, {} parts, {} KiB of encodings)\n",
+                out.display(),
+                prepared.len(),
+                prepared.encoded_b().parts(),
+                (prepared.encoded_b().memory_bytes() + prepared.encoded_a().memory_bytes()) / 1024
+            ))
+        }
+        Command::Join {
+            b,
+            a,
+            eps,
+            method,
+            matcher,
+            parts,
+            json,
+            pairs,
+        } => {
+            let lb = load_any(&b)?;
+            let la = load_any(&a)?;
+            let (lb, la) = if lb.community().len() <= la.community().len() {
+                (lb, la)
+            } else {
+                (la, lb)
+            };
+            let opts = CsjOptions::new(eps).with_matcher(matcher).with_parts(parts);
+            // Use the persisted encodings when both sides carry a
+            // compatible index and the method has a prepared fast path.
+            let prepared_path = match (&lb, &la) {
+                (Loaded::Prepared(pb), Loaded::Prepared(pa))
+                    if pb.eps() == eps
+                        && pa.eps() == eps
+                        && pb.params() == opts.encoding
+                        && pa.params() == opts.encoding =>
+                {
+                    match method {
+                        CsjMethod::ApMinMax => Some(ap_minmax_between(pb, pa, &opts)),
+                        CsjMethod::ExMinMax => Some(ex_minmax_between(pb, pa, &opts)),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            let (cb, ca) = (lb.community(), la.community());
+            let outcome = match prepared_path {
+                Some(raw) => {
+                    let start = std::time::Instant::now();
+                    let _ = &raw; // join already ran; timing below reports packaging only
+                    csj_core::JoinOutcome {
+                        method,
+                        similarity: csj_core::Similarity::new(raw.pairs.len(), cb.len()),
+                        pairs: raw.pairs,
+                        events: raw.events,
+                        ego_stats: raw.ego,
+                        elapsed: start.elapsed() + raw.timings.total(),
+                        timings: raw.timings,
+                    }
+                }
+                None => run(method, cb, ca, &opts).map_err(CliError::Csj)?,
+            };
+            let closest_pairs = if pairs > 0 {
+                let mut scored: Vec<(u64, u64, u64)> = outcome
+                    .pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        let gap: u64 = cb
+                            .vector(i as usize)
+                            .iter()
+                            .zip(ca.vector(j as usize))
+                            .map(|(&x, &y)| x.abs_diff(y) as u64)
+                            .sum();
+                        (cb.user_id(i as usize), ca.user_id(j as usize), gap)
+                    })
+                    .collect();
+                scored.sort_by_key(|&(b_id, a_id, gap)| (gap, b_id, a_id));
+                scored.truncate(pairs);
+                scored
+            } else {
+                Vec::new()
+            };
+            if json {
+                let value = serde_json::json!({
+                    "method": method.name(),
+                    "eps": eps,
+                    "matcher": matcher.name(),
+                    "b": {"name": cb.name(), "size": cb.len()},
+                    "a": {"name": ca.name(), "size": ca.len()},
+                    "matched": outcome.similarity.matched,
+                    "similarity_pct": outcome.similarity.percent(),
+                    "seconds": outcome.elapsed.as_secs_f64(),
+                    "events": outcome.events.to_string(),
+                });
+                Ok(format!(
+                    "{}\n",
+                    serde_json::to_string_pretty(&value).expect("serialises")
+                ))
+            } else {
+                use std::fmt::Write as _;
+                let mut out = format!(
+                    "{} | {} vs {} | eps = {eps}\nsimilarity: {} ({} of {} B-users matched)\n\
+                     time: {:.3} s\nevents: {}\n",
+                    method.name(),
+                    cb.name(),
+                    ca.name(),
+                    outcome.similarity,
+                    outcome.similarity.matched,
+                    cb.len(),
+                    outcome.elapsed.as_secs_f64(),
+                    outcome.events
+                );
+                if !closest_pairs.is_empty() {
+                    let _ = writeln!(out, "closest matched pairs (B-user, A-user, L1 gap):");
+                    for (bu, au, gap) in &closest_pairs {
+                        let _ = writeln!(out, "  {bu} ~ {au} (gap {gap})");
+                    }
+                }
+                Ok(out)
+            }
+        }
+        Command::TopK {
+            anchor,
+            candidates,
+            eps,
+            k,
+        } => {
+            use csj_engine::{CsjEngine, EngineConfig};
+            let anchor_c = match load_any(&anchor)? {
+                Loaded::Plain(c) => c,
+                Loaded::Prepared(p) => p.into_community(),
+            };
+            let d = anchor_c.d();
+            let mut engine = CsjEngine::new(d, EngineConfig::new(eps));
+            let anchor_h = engine
+                .register(anchor_c)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            let mut handles = Vec::new();
+            for path in &candidates {
+                let c = match load_any(path)? {
+                    Loaded::Plain(c) => c,
+                    Loaded::Prepared(p) => p.into_community(),
+                };
+                handles.push(
+                    engine
+                        .register(c)
+                        .map_err(|e| CliError::Io(e.to_string()))?,
+                );
+            }
+            let mut ranked = engine
+                .screen_and_refine(anchor_h, &handles)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            ranked.truncate(k);
+            use std::fmt::Write as _;
+            let mut out = format!(
+                "top-{} of {} candidates vs {}:\n",
+                k,
+                candidates.len(),
+                engine.community(anchor_h).expect("registered").name()
+            );
+            if ranked.is_empty() {
+                let _ = writeln!(out, "  (no candidate cleared the screening threshold)");
+            }
+            for (rank, p) in ranked.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  #{} {} {}",
+                    rank + 1,
+                    engine.community(p.y).expect("registered").name(),
+                    p.similarity
+                );
+            }
+            Ok(out)
+        }
+        Command::Truth { b, a, eps } => {
+            let cb = load(&b)?;
+            let ca = load(&a)?;
+            let (cb, ca) = if cb.len() <= ca.len() {
+                (cb, ca)
+            } else {
+                (ca, cb)
+            };
+            let gt = csj_core::verify::ground_truth(&cb, &ca, eps);
+            Ok(format!(
+                "candidate pairs: {}\nmaximum matching: {}\nsimilarity: {}\n",
+                gt.candidate_pairs.len(),
+                gt.maximum_matching.len(),
+                gt.similarity
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_couples() {
+        assert_eq!(parse(&argv("couples")).unwrap(), Command::Couples);
+    }
+
+    #[test]
+    fn parse_generate_with_defaults() {
+        let cmd = parse(&argv(
+            "generate --dataset vk --cid 3 --out-b /tmp/b.csjb --out-a /tmp/a.csjb",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Generate {
+                dataset,
+                cid,
+                scale,
+                out_b,
+                ..
+            } => {
+                assert_eq!(dataset, Dataset::VkLike);
+                assert_eq!(cid, 3);
+                assert_eq!(scale, 64);
+                assert_eq!(out_b, PathBuf::from("/tmp/b.csjb"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_join_flags() {
+        let cmd = parse(&argv(
+            "join --b b.csv --a a.csv --eps 2 --method ap-minmax --matcher hk --parts 2 --json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Join {
+                eps,
+                method,
+                matcher,
+                parts,
+                json,
+                pairs,
+                ..
+            } => {
+                assert_eq!(eps, 2);
+                assert_eq!(method, CsjMethod::ApMinMax);
+                assert_eq!(matcher, MatcherKind::HopcroftKarp);
+                assert_eq!(parts, 2);
+                assert!(json);
+                assert_eq!(pairs, 0);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(parse(&argv("")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("frobnicate")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("generate --dataset mars --cid 1 --out-b x --out-a y")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("generate --dataset vk --cid 99 --out-b x --out-a y")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("join --b x --a y --eps lots")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("join --b x --a y --eps 1 --method warp")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn couples_lists_20_rows() {
+        let out = execute(Command::Couples).unwrap();
+        assert_eq!(out.lines().count(), 21); // header + 20
+        assert!(out.contains("Restaurants | Food_recipes"));
+    }
+
+    #[test]
+    fn generate_info_join_truth_end_to_end() {
+        let dir = std::env::temp_dir().join("csj_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = dir.join("b.csjb");
+        let a = dir.join("a.csv"); // mixed formats on purpose
+        let msg = execute(Command::Generate {
+            dataset: Dataset::VkLike,
+            cid: 1,
+            scale: 1024,
+            seed: 9,
+            out_b: b.clone(),
+            out_a: a.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("--eps 1"));
+
+        let info = execute(Command::Info { path: b.clone() }).unwrap();
+        assert!(info.contains("dimensions: 27"));
+
+        let join = execute(Command::Join {
+            b: b.clone(),
+            a: a.clone(),
+            eps: 1,
+            method: CsjMethod::ExMinMax,
+            matcher: MatcherKind::HopcroftKarp,
+            parts: 4,
+            json: false,
+            pairs: 2,
+        })
+        .unwrap();
+        assert!(join.contains("similarity:"));
+
+        let json_out = execute(Command::Join {
+            b: b.clone(),
+            a: a.clone(),
+            eps: 1,
+            method: CsjMethod::ExMinMax,
+            matcher: MatcherKind::HopcroftKarp,
+            parts: 4,
+            json: true,
+            pairs: 0,
+        })
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json_out).unwrap();
+        let matched = parsed["matched"].as_u64().unwrap();
+
+        let truth = execute(Command::Truth {
+            b: b.clone(),
+            a: a.clone(),
+            eps: 1,
+        })
+        .unwrap();
+        assert!(truth.contains(&format!("maximum matching: {matched}")));
+        assert!(join.contains("closest matched pairs"));
+
+        let topk = execute(Command::TopK {
+            anchor: b,
+            candidates: vec![a],
+            eps: 1,
+            k: 2,
+        })
+        .unwrap();
+        assert!(topk.contains("#1"), "topk output was: {topk}");
+    }
+
+    #[test]
+    fn prepare_then_join_uses_the_index() {
+        let dir = std::env::temp_dir().join("csj_cli_prepare_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = dir.join("b.csjb");
+        let a = dir.join("a.csjb");
+        execute(Command::Generate {
+            dataset: Dataset::VkLike,
+            cid: 2,
+            scale: 1024,
+            seed: 3,
+            out_b: b.clone(),
+            out_a: a.clone(),
+        })
+        .unwrap();
+        let bp = dir.join("b.csjp");
+        let ap = dir.join("a.csjp");
+        let msg = execute(Command::Prepare {
+            input: b.clone(),
+            eps: 1,
+            parts: 4,
+            out: bp.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("KiB of encodings"));
+        execute(Command::Prepare {
+            input: a.clone(),
+            eps: 1,
+            parts: 4,
+            out: ap.clone(),
+        })
+        .unwrap();
+
+        let join = |x: PathBuf, y: PathBuf| {
+            execute(Command::Join {
+                b: x,
+                a: y,
+                eps: 1,
+                method: CsjMethod::ExMinMax,
+                matcher: MatcherKind::Csf,
+                parts: 4,
+                json: true,
+                pairs: 0,
+            })
+            .unwrap()
+        };
+        let via_index = join(bp, ap);
+        let via_plain = join(b, a);
+        let parse_matched = |out: &str| {
+            serde_json::from_str::<serde_json::Value>(out).unwrap()["matched"]
+                .as_u64()
+                .unwrap()
+        };
+        assert_eq!(parse_matched(&via_index), parse_matched(&via_plain));
+    }
+
+    #[test]
+    fn topk_accepts_prepared_files() {
+        let dir = std::env::temp_dir().join("csj_cli_topk_csjp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = dir.join("b.csjb");
+        let a = dir.join("a.csjb");
+        execute(Command::Generate {
+            dataset: Dataset::VkLike,
+            cid: 4,
+            scale: 1024,
+            seed: 5,
+            out_b: b.clone(),
+            out_a: a.clone(),
+        })
+        .unwrap();
+        let ap = dir.join("a.csjp");
+        execute(Command::Prepare {
+            input: a,
+            eps: 1,
+            parts: 4,
+            out: ap.clone(),
+        })
+        .unwrap();
+        let out = execute(Command::TopK {
+            anchor: ap,
+            candidates: vec![b],
+            eps: 1,
+            k: 1,
+        })
+        .unwrap();
+        assert!(out.contains("#1"), "topk must accept .csjp inputs: {out}");
+    }
+
+    #[test]
+    fn parse_prepare() {
+        let cmd = parse(&argv(
+            "prepare --input x.csjb --eps 2 --parts 3 --out x.csjp",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Prepare { eps, parts, .. } => {
+                assert_eq!(eps, 2);
+                assert_eq!(parts, 3);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("prepare --input x.csjb --out y")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_topk() {
+        let cmd = parse(&argv(
+            "topk --anchor x.csjb --candidates a.csjb,b.csjb --eps 1 --k 5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::TopK {
+                candidates, k, eps, ..
+            } => {
+                assert_eq!(candidates.len(), 2);
+                assert_eq!(k, 5);
+                assert_eq!(eps, 1);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("topk --anchor x --candidates , --eps 1")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let err = execute(Command::Info {
+            path: PathBuf::from("/nonexistent/x.csjb"),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

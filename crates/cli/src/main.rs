@@ -1,0 +1,12 @@
+//! Thin binary wrapper over `csj_cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match csj_cli::parse(&args).and_then(csj_cli::execute) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The Baseline methods (Section 5.1): plain nested-loop joins.
+//!
+//! * **Ap-Baseline** scans `A` for each `b ∈ B` and takes the first match,
+//!   consuming both users. Like Ap-MinMax it maintains a `skip`/`offset`
+//!   pair so that a contiguous prefix of already-consumed `A` users is
+//!   never rescanned.
+//! * **Ex-Baseline** first finds *all* matches between `B` and `A` with a
+//!   full nested loop, then builds the four matching structures and calls
+//!   the one-to-one matcher (the paper's CSF) **once**.
+
+use csj_matching::{run_matcher, GraphBuilder};
+
+use crate::algorithms::{CsjOptions, RawJoin};
+use crate::community::Community;
+use crate::events::Event;
+use crate::vectors_match;
+
+/// Approximate Baseline: greedy first-match nested loop.
+pub fn ap_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
+    let nb = b.len();
+    let na = a.len();
+    let mut out = RawJoin::default();
+    let pairing = std::time::Instant::now();
+    let mut consumed = vec![false; na];
+    // `offset` skips the contiguous prefix of consumed A users; `skip`
+    // stays true while the scan has only seen that prefix, exactly like
+    // the MinMax flag (Section 5.1: "skip and offset are used similarly
+    // to Ap-MinMax for the faster processing of the nested loop join").
+    let mut offset = 0usize;
+    for i in 0..nb {
+        let bv = b.vector(i);
+        let mut skip = true;
+        let mut j = offset;
+        while j < na {
+            if consumed[j] {
+                if opts.offset_pruning && skip && j == offset {
+                    offset += 1;
+                }
+                j += 1;
+                continue;
+            }
+            skip = false;
+            if vectors_match(bv, a.vector(j), opts.eps) {
+                out.events.record(Event::Match);
+                out.pairs.push((i as u32, j as u32));
+                consumed[j] = true;
+                break;
+            }
+            out.events.record(Event::NoMatch);
+            j += 1;
+        }
+    }
+    out.timings.pairing = pairing.elapsed();
+    out
+}
+
+/// Exact Baseline: enumerate all matches, then one matcher call.
+///
+/// With `opts.threads > 1` the enumeration partitions `B` into row
+/// ranges processed by scoped workers (edges and event counts merge in
+/// range order, so the result is identical to the serial run).
+pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
+    let nb = b.len();
+    let na = a.len();
+    let threads = opts.threads.max(1).min(nb.max(1));
+    let mut out = RawJoin::default();
+    let pairing = std::time::Instant::now();
+
+    let chunks: Vec<ScanChunk> = if threads <= 1 {
+        vec![scan_rows(b, a, 0..nb, opts.eps)]
+    } else {
+        let chunk = nb.div_ceil(threads);
+        let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+            .map(|t| (t * chunk).min(nb)..((t + 1) * chunk).min(nb))
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| scope.spawn(move || scan_rows(b, a, r, opts.eps)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut builder = GraphBuilder::with_capacity(
+        nb as u32,
+        na as u32,
+        chunks.iter().map(|(e, _, _)| e.len()).sum(),
+    );
+    for (edges, matches, no_matches) in chunks {
+        for (i, j) in edges {
+            builder.add_edge(i, j);
+        }
+        out.events.matches += matches;
+        out.events.no_match += no_matches;
+    }
+    out.timings.pairing = pairing.elapsed();
+    let matching_t = std::time::Instant::now();
+    let graph = builder.build();
+    let matching = run_matcher(&graph, opts.matcher);
+    out.timings.matching = matching_t.elapsed();
+    out.pairs = matching.into_pairs();
+    out
+}
+
+/// Edges plus (match, no-match) counts from one scanned row range.
+type ScanChunk = (Vec<(u32, u32)>, u64, u64);
+
+/// Scan one range of `B` rows against all of `A`.
+fn scan_rows(b: &Community, a: &Community, rows: std::ops::Range<usize>, eps: u32) -> ScanChunk {
+    let mut edges = Vec::new();
+    let mut matches = 0u64;
+    let mut no_matches = 0u64;
+    for i in rows {
+        let bv = b.vector(i);
+        for j in 0..a.len() {
+            if vectors_match(bv, a.vector(j), eps) {
+                matches += 1;
+                edges.push((i as u32, j as u32));
+            } else {
+                no_matches += 1;
+            }
+        }
+    }
+    (edges, matches, no_matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::CsjOptions;
+
+    fn community(name: &str, rows: &[&[u32]]) -> Community {
+        let mut c = Community::new(name, rows[0].len());
+        for (i, r) in rows.iter().enumerate() {
+            c.push(i as u64 + 1, r).unwrap();
+        }
+        c
+    }
+
+    /// The Section 3 worked example: approximate may get 50%, exact 100%.
+    #[test]
+    fn section3_example() {
+        let b = community("B", &[&[3, 4, 2], &[2, 2, 3]]);
+        let a = community("A", &[&[2, 3, 5], &[2, 3, 1], &[3, 3, 3]]);
+        let opts = CsjOptions::new(1);
+        let ap = ap_baseline(&b, &a, &opts);
+        // b1 greedily takes its first match in scan order (a2 at index 1);
+        // b2 can still take a3 -> here greedy happens to find both.
+        assert_eq!(ap.pairs.len(), 2);
+        let ex = ex_baseline(&b, &a, &opts);
+        assert_eq!(ex.pairs.len(), 2);
+    }
+
+    #[test]
+    fn greedy_can_lose_to_exact() {
+        // b0 matches a0 and a1; b1 matches only a0. Scan order makes
+        // Ap-Baseline give a0 to b0, stranding b1. Ex-Baseline recovers.
+        let b = community("B", &[&[5], &[5]]);
+        let a = community("A", &[&[5], &[9]]);
+        // b0={5} matches a0={5} (eps 0); b1={5} matches a0 only.
+        let opts = CsjOptions::new(0);
+        let ap = ap_baseline(&b, &a, &opts);
+        assert_eq!(ap.pairs, vec![(0, 0)]);
+        let ex = ex_baseline(&b, &a, &opts);
+        assert_eq!(ex.pairs.len(), 1); // maximum is still 1 here
+    }
+
+    #[test]
+    fn approximate_offset_skips_consumed_prefix() {
+        // Every b matches a0..a2 in order; after 3 matches the offset
+        // should have advanced past all consumed entries.
+        let b = community("B", &[&[1], &[1], &[1]]);
+        let a = community("A", &[&[1], &[1], &[1]]);
+        let opts = CsjOptions::new(0);
+        let out = ap_baseline(&b, &a, &opts);
+        assert_eq!(out.pairs, vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(out.events.matches, 3);
+        // b1 must not re-compare a0 (consumed): only match events + zero
+        // no-match events proves the prefix skipping worked.
+        assert_eq!(out.events.no_match, 0);
+    }
+
+    #[test]
+    fn exact_counts_all_comparisons() {
+        let b = community("B", &[&[0], &[10]]);
+        let a = community("A", &[&[0], &[10], &[20]]);
+        let opts = CsjOptions::new(1);
+        let out = ex_baseline(&b, &a, &opts);
+        assert_eq!(out.events.full_comparisons(), 6);
+        assert_eq!(out.events.matches, 2);
+        assert_eq!(out.pairs.len(), 2);
+    }
+
+    #[test]
+    fn empty_b_side() {
+        let b = Community::new("B", 2);
+        let a = community("A", &[&[1, 1]]);
+        let opts = CsjOptions::new(1);
+        assert!(ap_baseline(&b, &a, &opts).pairs.is_empty());
+        assert!(ex_baseline(&b, &a, &opts).pairs.is_empty());
+    }
+
+    #[test]
+    fn parallel_ex_baseline_matches_serial() {
+        let mut state = 0x7777_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let d = 4;
+        let rows_b: Vec<Vec<u32>> = (0..90)
+            .map(|_| (0..d).map(|_| next() % 10).collect())
+            .collect();
+        let rows_a: Vec<Vec<u32>> = (0..110)
+            .map(|_| (0..d).map(|_| next() % 10).collect())
+            .collect();
+        let b = Community::from_rows(
+            "B",
+            d,
+            rows_b.into_iter().enumerate().map(|(i, v)| (i as u64, v)),
+        )
+        .unwrap();
+        let a = Community::from_rows(
+            "A",
+            d,
+            rows_a.into_iter().enumerate().map(|(i, v)| (i as u64, v)),
+        )
+        .unwrap();
+        let serial = CsjOptions::new(1);
+        let mut parallel = serial;
+        parallel.threads = 4;
+        let s = ex_baseline(&b, &a, &serial);
+        let p = ex_baseline(&b, &a, &parallel);
+        assert_eq!(s.pairs, p.pairs);
+        assert_eq!(s.events, p.events);
+    }
+
+    #[test]
+    fn eps_zero_requires_equality() {
+        let b = community("B", &[&[1, 2]]);
+        let a = community("A", &[&[1, 2], &[1, 3]]);
+        let opts = CsjOptions::new(0);
+        let out = ap_baseline(&b, &a, &opts);
+        assert_eq!(out.pairs, vec![(0, 0)]);
+    }
+}

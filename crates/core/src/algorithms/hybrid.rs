@@ -1,0 +1,323 @@
+//! The MinMax–SuperEGO hybrid (the paper's Section 6.2 discussion).
+//!
+//! The paper observes that both SuperEGO methods "essentially replace the
+//! NestedLoopJoin part of the original SuperEGO framework with that used
+//! in Baseline", and that the MinMax encoded nested loop is emphatically
+//! faster than the Baseline one — so "a combined algorithm MinMax-SuperEGO
+//! would be faster than SuperEGO itself ... even in that theoretic case of
+//! non-normalized data". This module builds that combination:
+//!
+//! * the SuperEGO recursion runs **directly on the raw integer counters**
+//!   (no normalisation, hence no accuracy loss — the paper's "theoretic
+//!   case" made real, since our grid is generic over the scalar type);
+//! * the grid cell width is the integer `eps`, so EGO-strategy pruning is
+//!   exact for the strict per-dimension condition;
+//! * the leaf nested loop first consults the **MinMax encoding filters**
+//!   (encoded-ID window, then part/range overlap) before paying for a
+//!   d-dimensional comparison.
+//!
+//! Filter rejections inside the leaf are reported as NO OVERLAP events
+//! (both the ID-window and the part/range filter are encoding-level
+//! rejections); full comparisons report NO MATCH / MATCH as usual.
+
+use csj_ego::{EgoStats, PointSet, SuperEgoParams};
+use csj_matching::{run_matcher, GraphBuilder};
+
+use crate::algorithms::{CsjOptions, RawJoin};
+use crate::community::Community;
+use crate::encoding::{encode_vector_a, encode_vector_b, part_bounds};
+use crate::events::{Event, EventCounters};
+use crate::vectors_match;
+
+/// Per-user encodings addressable by community index (unsorted — the EGO
+/// order provides the traversal; the encodings only filter).
+struct HybridIndex {
+    parts: usize,
+    b_ids: Vec<u64>,
+    b_parts: Vec<u64>,
+    a_mins: Vec<u64>,
+    a_maxs: Vec<u64>,
+    a_lo: Vec<u64>,
+    a_hi: Vec<u64>,
+}
+
+impl HybridIndex {
+    fn build(b: &Community, a: &Community, eps: u32, parts: usize) -> Self {
+        let bounds = part_bounds(b.d(), parts);
+        let mut b_ids = Vec::with_capacity(b.len());
+        let mut b_parts = Vec::with_capacity(b.len() * parts);
+        for i in 0..b.len() {
+            b_ids.push(encode_vector_b(b.vector(i), &bounds, &mut b_parts));
+        }
+        let mut a_mins = Vec::with_capacity(a.len());
+        let mut a_maxs = Vec::with_capacity(a.len());
+        let mut a_lo = Vec::with_capacity(a.len() * parts);
+        let mut a_hi = Vec::with_capacity(a.len() * parts);
+        for j in 0..a.len() {
+            let (min, max) = encode_vector_a(a.vector(j), eps, &bounds, &mut a_lo, &mut a_hi);
+            a_mins.push(min);
+            a_maxs.push(max);
+        }
+        Self {
+            parts,
+            b_ids,
+            b_parts,
+            a_mins,
+            a_maxs,
+            a_lo,
+            a_hi,
+        }
+    }
+
+    /// Both encoding filters for `(b_user, a_user)` community indices.
+    #[inline]
+    fn passes_filters(&self, bi: usize, aj: usize) -> bool {
+        let id = self.b_ids[bi];
+        if id < self.a_mins[aj] || id > self.a_maxs[aj] {
+            return false;
+        }
+        let p = self.parts;
+        let bp = &self.b_parts[bi * p..(bi + 1) * p];
+        let lo = &self.a_lo[aj * p..(aj + 1) * p];
+        let hi = &self.a_hi[aj * p..(aj + 1) * p];
+        bp.iter()
+            .zip(lo.iter().zip(hi.iter()))
+            .all(|(&s, (&l, &h))| s >= l && s <= h)
+    }
+}
+
+/// Build the integer-domain EGO point sets (cell width = eps).
+fn prepare(b: &Community, a: &Community, eps: u32) -> (PointSet<u32>, PointSet<u32>) {
+    let width = eps.max(1);
+    let ps_b = PointSet::build(b.d(), width, b.raw_data().to_vec(), None);
+    let ps_a = PointSet::build(a.d(), width, a.raw_data().to_vec(), None);
+    (ps_b, ps_a)
+}
+
+/// Approximate hybrid: EGO recursion, greedy consuming leaf with the
+/// encoding filters in front of each comparison.
+pub fn ap_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
+    let setup = std::time::Instant::now();
+    let (ps_b, ps_a) = prepare(b, a, opts.eps);
+    let index = HybridIndex::build(b, a, opts.eps, opts.encoding.effective_parts(b.d()));
+    let setup = setup.elapsed();
+    let pairing_t = std::time::Instant::now();
+    let params = SuperEgoParams { t: opts.superego.t };
+    let mut stats = EgoStats::default();
+    let mut events = EventCounters::default();
+    let mut matched_b = vec![false; b.len()];
+    let mut matched_a = vec![false; a.len()];
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let eps = opts.eps;
+
+    csj_ego::super_ego_join(
+        &ps_b,
+        &ps_a,
+        params,
+        &mut stats,
+        &mut |bs, br, as_, ar, stats| {
+            for i in br {
+                let bi = bs.id(i) as usize;
+                if matched_b[bi] {
+                    continue;
+                }
+                for j in ar.clone() {
+                    let aj = as_.id(j) as usize;
+                    if matched_a[aj] {
+                        continue;
+                    }
+                    stats.pairs_checked += 1;
+                    if !index.passes_filters(bi, aj) {
+                        events.record(Event::NoOverlap);
+                        continue;
+                    }
+                    if vectors_match(b.vector(bi), a.vector(aj), eps) {
+                        events.record(Event::Match);
+                        matched_b[bi] = true;
+                        matched_a[aj] = true;
+                        pairs.push((bi as u32, aj as u32));
+                        break;
+                    }
+                    events.record(Event::NoMatch);
+                }
+            }
+        },
+    );
+
+    RawJoin {
+        pairs,
+        events,
+        ego: Some(stats),
+        timings: crate::algorithms::PhaseTimings {
+            setup,
+            pairing: pairing_t.elapsed(),
+            matching: std::time::Duration::ZERO,
+        },
+    }
+}
+
+/// Exact hybrid: EGO recursion, filtered all-pairs leaf, one matcher call.
+pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
+    let setup = std::time::Instant::now();
+    let (ps_b, ps_a) = prepare(b, a, opts.eps);
+    let index = HybridIndex::build(b, a, opts.eps, opts.encoding.effective_parts(b.d()));
+    let setup = setup.elapsed();
+    let pairing_t = std::time::Instant::now();
+    let params = SuperEgoParams { t: opts.superego.t };
+    let mut stats = EgoStats::default();
+    let mut events = EventCounters::default();
+    let mut builder = GraphBuilder::new(b.len() as u32, a.len() as u32);
+    let eps = opts.eps;
+
+    csj_ego::super_ego_join(
+        &ps_b,
+        &ps_a,
+        params,
+        &mut stats,
+        &mut |bs, br, as_, ar, stats| {
+            for i in br {
+                let bi = bs.id(i) as usize;
+                for j in ar.clone() {
+                    let aj = as_.id(j) as usize;
+                    stats.pairs_checked += 1;
+                    if !index.passes_filters(bi, aj) {
+                        events.record(Event::NoOverlap);
+                        continue;
+                    }
+                    if vectors_match(b.vector(bi), a.vector(aj), eps) {
+                        events.record(Event::Match);
+                        builder.add_edge(bi as u32, aj as u32);
+                    } else {
+                        events.record(Event::NoMatch);
+                    }
+                }
+            }
+        },
+    );
+
+    let pairing = pairing_t.elapsed();
+    let matching_t = std::time::Instant::now();
+    let graph = builder.build();
+    let pairs = run_matcher(&graph, opts.matcher).into_pairs();
+    RawJoin {
+        pairs,
+        events,
+        ego: Some(stats),
+        timings: crate::algorithms::PhaseTimings {
+            setup,
+            pairing,
+            matching: matching_t.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::baseline::ex_baseline;
+    use crate::algorithms::minmax::ex_minmax;
+    use crate::algorithms::CsjOptions;
+
+    fn community(name: &str, rows: &[Vec<u32>]) -> Community {
+        let mut c = Community::new(name, rows[0].len());
+        for (i, r) in rows.iter().enumerate() {
+            c.push(i as u64 + 1, r).unwrap();
+        }
+        c
+    }
+
+    fn lcg(seed: u64) -> impl FnMut() -> u32 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        }
+    }
+
+    #[test]
+    fn section3_example() {
+        let b = community("B", &[vec![3, 4, 2], vec![2, 2, 3]]);
+        let a = community("A", &[vec![2, 3, 5], vec![2, 3, 1], vec![3, 3, 3]]);
+        let opts = CsjOptions::new(1).with_parts(3);
+        assert_eq!(ex_hybrid(&b, &a, &opts).pairs.len(), 2);
+        assert!(!ap_hybrid(&b, &a, &opts).pairs.is_empty());
+    }
+
+    #[test]
+    fn exact_hybrid_is_lossless_even_on_huge_counters() {
+        // Counters beyond f32's 24-bit mantissa — the regime where the
+        // normalised SuperEGO loses accuracy. The integer-domain hybrid
+        // must agree with Ex-Baseline exactly.
+        let big = 1u32 << 25;
+        let rows_b: Vec<Vec<u32>> = (0..10).map(|i| vec![big + i, big - i]).collect();
+        let rows_a: Vec<Vec<u32>> = (0..12).map(|i| vec![big + i + 1, big - i]).collect();
+        let b = community("B", &rows_b);
+        let a = community("A", &rows_a);
+        let opts = CsjOptions::new(1).with_parts(2);
+        assert_eq!(
+            ex_hybrid(&b, &a, &opts).pairs.len(),
+            ex_baseline(&b, &a, &opts).pairs.len()
+        );
+    }
+
+    #[test]
+    fn agrees_with_exact_minmax_on_random_data() {
+        let mut rng = lcg(2024);
+        for (d, eps) in [(4usize, 1u32), (6, 2), (5, 0)] {
+            let rows_b: Vec<Vec<u32>> = (0..80)
+                .map(|_| (0..d).map(|_| rng() % 15).collect())
+                .collect();
+            let rows_a: Vec<Vec<u32>> = (0..100)
+                .map(|_| (0..d).map(|_| rng() % 15).collect())
+                .collect();
+            let b = community("B", &rows_b);
+            let a = community("A", &rows_a);
+            let mut opts = CsjOptions::new(eps).with_parts(2);
+            opts.superego.t = 8;
+            assert_eq!(
+                ex_hybrid(&b, &a, &opts).pairs.len(),
+                ex_minmax(&b, &a, &opts).pairs.len(),
+                "d={d} eps={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn filters_reject_before_comparing() {
+        // Two clusters whose encoded IDs are far apart: all leaf checks
+        // must be settled by the filters or pruned outright.
+        let rows_b: Vec<Vec<u32>> = (0..8).map(|i| vec![i, i]).collect();
+        let rows_a: Vec<Vec<u32>> = (0..8).map(|i| vec![1000 + i, 1000 + i]).collect();
+        let b = community("B", &rows_b);
+        let a = community("A", &rows_a);
+        let opts = CsjOptions::new(1).with_parts(2);
+        let out = ex_hybrid(&b, &a, &opts);
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.events.full_comparisons(), 0);
+        let stats = out.ego.unwrap();
+        assert!(stats.prunes >= 1, "EGO should prune the separated clusters");
+    }
+
+    #[test]
+    fn approximate_is_subset_of_exact() {
+        let mut rng = lcg(321);
+        let d = 4;
+        let rows_b: Vec<Vec<u32>> = (0..70)
+            .map(|_| (0..d).map(|_| rng() % 10).collect())
+            .collect();
+        let rows_a: Vec<Vec<u32>> = (0..90)
+            .map(|_| (0..d).map(|_| rng() % 10).collect())
+            .collect();
+        let b = community("B", &rows_b);
+        let a = community("A", &rows_a);
+        let opts = CsjOptions::new(1).with_parts(2);
+        let ap = ap_hybrid(&b, &a, &opts);
+        let ex = ex_hybrid(&b, &a, &opts);
+        assert!(ap.pairs.len() <= ex.pairs.len());
+        for &(x, y) in &ap.pairs {
+            assert!(vectors_match(b.vector(x as usize), a.vector(y as usize), 1));
+        }
+    }
+}

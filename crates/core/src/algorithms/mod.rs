@@ -1,0 +1,494 @@
+//! The CSJ join methods and their shared driver.
+//!
+//! Six paper methods (approximate/exact × Baseline/MinMax/SuperEGO) plus
+//! the hybrid MinMax–SuperEGO pair sketched in the paper's Section 6.2
+//! discussion. All are invoked through [`run`], which validates the
+//! problem instance, dispatches, times the execution and assembles a
+//! [`JoinOutcome`].
+
+mod baseline;
+mod hybrid;
+pub(crate) mod minmax;
+mod superego;
+
+pub use baseline::{ap_baseline, ex_baseline};
+pub use hybrid::{ap_hybrid, ex_hybrid};
+pub use minmax::{ap_minmax, ex_minmax};
+pub use superego::{ap_superego, ex_superego};
+
+use std::time::{Duration, Instant};
+
+use csj_ego::EgoStats;
+use csj_matching::MatcherKind;
+
+use crate::community::Community;
+use crate::encoding::EncodingParams;
+use crate::error::CsjError;
+use crate::events::EventCounters;
+use crate::similarity::Similarity;
+use crate::validate_sizes;
+
+/// The CSJ method to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsjMethod {
+    /// Approximate nested-loop join (Section 5.1).
+    ApBaseline,
+    /// Exact nested-loop join + one CSF call (Section 5.1).
+    ExBaseline,
+    /// Approximate MinMax (Algorithm Ap-MinMax, Section 4.1).
+    ApMinMax,
+    /// Exact MinMax (Algorithm Ex-MinMax, Section 4.2).
+    ExMinMax,
+    /// Approximate SuperEGO adaptation (Section 5.2).
+    ApSuperEgo,
+    /// Exact SuperEGO adaptation (Section 5.2).
+    ExSuperEgo,
+    /// Approximate MinMax–SuperEGO hybrid (Section 6.2 discussion):
+    /// SuperEGO recursion on raw integers with the encoded greedy leaf.
+    ApHybrid,
+    /// Exact MinMax–SuperEGO hybrid: integer recursion, encoded all-pairs
+    /// leaf, one matcher call.
+    ExHybrid,
+}
+
+impl CsjMethod {
+    /// The six methods evaluated in the paper, in table column order.
+    pub const PAPER: [CsjMethod; 6] = [
+        CsjMethod::ApBaseline,
+        CsjMethod::ApMinMax,
+        CsjMethod::ApSuperEgo,
+        CsjMethod::ExBaseline,
+        CsjMethod::ExMinMax,
+        CsjMethod::ExSuperEgo,
+    ];
+
+    /// All methods, including the hybrid extensions.
+    pub const ALL: [CsjMethod; 8] = [
+        CsjMethod::ApBaseline,
+        CsjMethod::ApMinMax,
+        CsjMethod::ApSuperEgo,
+        CsjMethod::ApHybrid,
+        CsjMethod::ExBaseline,
+        CsjMethod::ExMinMax,
+        CsjMethod::ExSuperEgo,
+        CsjMethod::ExHybrid,
+    ];
+
+    /// Whether the method is exact (gathers all candidates and matches
+    /// one-to-one optimally w.r.t. its matcher).
+    pub fn is_exact(self) -> bool {
+        matches!(
+            self,
+            CsjMethod::ExBaseline
+                | CsjMethod::ExMinMax
+                | CsjMethod::ExSuperEgo
+                | CsjMethod::ExHybrid
+        )
+    }
+
+    /// Stable name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            CsjMethod::ApBaseline => "ap-baseline",
+            CsjMethod::ExBaseline => "ex-baseline",
+            CsjMethod::ApMinMax => "ap-minmax",
+            CsjMethod::ExMinMax => "ex-minmax",
+            CsjMethod::ApSuperEgo => "ap-superego",
+            CsjMethod::ExSuperEgo => "ex-superego",
+            CsjMethod::ApHybrid => "ap-hybrid",
+            CsjMethod::ExHybrid => "ex-hybrid",
+        }
+    }
+}
+
+impl std::str::FromStr for CsjMethod {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CsjMethod::ALL
+            .into_iter()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| format!("unknown CSJ method: {s:?}"))
+    }
+}
+
+impl std::fmt::Display for CsjMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tuning of the SuperEGO-based methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuperEgoConfig {
+    /// Leaf threshold `t` of the recursion (paper's parameter `t`).
+    pub t: usize,
+    /// Apply Super-EGO dimension reordering before sorting.
+    pub reorder: bool,
+    /// Worker threads for the exact pair enumeration (1 = serial; the
+    /// paper runs SuperEGO single-threaded for fair comparison).
+    pub threads: usize,
+    /// Normalisation divisor. `None` uses the larger of the two
+    /// communities' maxima; the paper uses the dataset-wide maximum
+    /// (152 532 for VK, 500 000 for Synthetic).
+    pub max_value: Option<u32>,
+    /// Use the aggregate-L1 predicate instead of the per-dimension one
+    /// (ablation only; overestimates CSJ similarity — see `csj_ego`).
+    pub l1_predicate: bool,
+}
+
+impl Default for SuperEgoConfig {
+    fn default() -> Self {
+        Self {
+            t: 32,
+            reorder: true,
+            threads: 1,
+            max_value: None,
+            l1_predicate: false,
+        }
+    }
+}
+
+/// Options shared by all CSJ methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsjOptions {
+    /// The per-dimension absolute-difference threshold.
+    pub eps: u32,
+    /// MinMax encoding parameters (part count).
+    pub encoding: EncodingParams,
+    /// One-to-one matcher used by the exact methods (paper: CSF).
+    pub matcher: MatcherKind,
+    /// SuperEGO tuning.
+    pub superego: SuperEgoConfig,
+    /// Enforce `ceil(|A|/2) <= |B| <= |A|`. The paper always enforces it;
+    /// disabling is useful for diagnostics on arbitrary community pairs.
+    pub enforce_sizes: bool,
+    /// Enable the `skip`/`offset` prefix pruning of the Baseline and
+    /// MinMax loops (Section 4.1). On by default; disabling exists for
+    /// the `ablation_skip` bench that quantifies its contribution.
+    pub offset_pruning: bool,
+    /// Worker threads for the exact methods' candidate enumeration
+    /// (Ex-Baseline partitions `B`; Ex-SuperEGO uses its own
+    /// `superego.threads`). 1 = serial, the paper's setting.
+    pub threads: usize,
+}
+
+impl CsjOptions {
+    /// Defaults from the paper: 4 encoding parts, CSF matcher, size
+    /// constraint enforced.
+    pub fn new(eps: u32) -> Self {
+        Self {
+            eps,
+            encoding: EncodingParams::default(),
+            matcher: MatcherKind::Csf,
+            superego: SuperEgoConfig::default(),
+            enforce_sizes: true,
+            offset_pruning: true,
+            threads: 1,
+        }
+    }
+
+    /// Builder-style: set the matcher.
+    pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
+        self.matcher = matcher;
+        self
+    }
+
+    /// Builder-style: set the encoding part count.
+    pub fn with_parts(mut self, parts: usize) -> Self {
+        self.encoding = EncodingParams { parts };
+        self
+    }
+}
+
+/// Wall-clock breakdown of one join's phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Input preparation: encoding (MinMax), normalisation + dimension
+    /// reordering + EGO sort (SuperEGO/hybrid). Zero for Baseline.
+    pub setup: Duration,
+    /// The pairing loop / recursion, including filter checks and full
+    /// comparisons.
+    pub pairing: Duration,
+    /// One-to-one matcher time (CSF flushes in Ex-MinMax, the single
+    /// final matcher call elsewhere). Zero for approximate methods.
+    pub matching: Duration,
+}
+
+impl PhaseTimings {
+    /// Total across the three phases.
+    pub fn total(&self) -> Duration {
+        self.setup + self.pairing + self.matching
+    }
+}
+
+/// Intermediate result of one algorithm before [`run`] packages it into a
+/// [`JoinOutcome`]. Exposed because the individual algorithm functions
+/// (`ap_minmax`, `ex_baseline`, ...) are part of the public API for
+/// benchmarking without the driver's validation overhead.
+#[derive(Debug, Clone, Default)]
+pub struct RawJoin {
+    /// Matched pairs as `(b_index, a_index)` into the two communities.
+    pub pairs: Vec<(u32, u32)>,
+    /// Pairing-process event counters.
+    pub events: EventCounters,
+    /// Recursion statistics for the EGO-based methods.
+    pub ego: Option<EgoStats>,
+    /// Per-phase wall-clock breakdown.
+    pub timings: PhaseTimings,
+}
+
+/// The full result of a CSJ join.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// The method that produced this outcome.
+    pub method: CsjMethod,
+    /// The similarity score (Equation 1).
+    pub similarity: Similarity,
+    /// Matched pairs as `(b_index, a_index)` into the two communities.
+    pub pairs: Vec<(u32, u32)>,
+    /// Pairing-process event counters.
+    pub events: EventCounters,
+    /// Recursion statistics (EGO-based methods only).
+    pub ego_stats: Option<EgoStats>,
+    /// Wall-clock execution time (excludes input validation).
+    pub elapsed: Duration,
+    /// Per-phase breakdown (setup / pairing / matching).
+    pub timings: PhaseTimings,
+}
+
+impl JoinOutcome {
+    /// Resolve the matched pairs into external [`crate::UserId`]s.
+    pub fn pairs_as_user_ids(&self, b: &Community, a: &Community) -> Vec<(u64, u64)> {
+        self.pairs
+            .iter()
+            .map(|&(i, j)| (b.user_id(i as usize), a.user_id(j as usize)))
+            .collect()
+    }
+}
+
+/// Orient two communities for CSJ: returns `(smaller, larger)` — the paper
+/// depicts "the less-followed community by B and the more-followed
+/// community by A". Ties keep the argument order.
+pub fn orient<'c>(x: &'c Community, y: &'c Community) -> (&'c Community, &'c Community) {
+    if x.len() <= y.len() {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+/// Validate inputs and execute `method` on communities `b` (smaller) and
+/// `a` (larger).
+///
+/// Returns [`CsjError::DimensionMismatch`] when the communities disagree
+/// on `d`, [`CsjError::SizeConstraint`] when
+/// `ceil(|A|/2) <= |B| <= |A|` fails (unless
+/// [`CsjOptions::enforce_sizes`] is off) and [`CsjError::InvalidOptions`]
+/// for bad tuning values.
+pub fn run(
+    method: CsjMethod,
+    b: &Community,
+    a: &Community,
+    opts: &CsjOptions,
+) -> Result<JoinOutcome, CsjError> {
+    if b.d() != a.d() {
+        return Err(CsjError::DimensionMismatch {
+            b_d: b.d(),
+            a_d: a.d(),
+        });
+    }
+    if opts.enforce_sizes {
+        validate_sizes(b.len(), a.len())?;
+    }
+    opts.encoding.validate(b.d())?;
+    if opts.superego.t < 2 {
+        return Err(CsjError::InvalidOptions(format!(
+            "SuperEGO leaf threshold t must be >= 2, got {}",
+            opts.superego.t
+        )));
+    }
+    if opts.superego.threads == 0 || opts.threads == 0 {
+        return Err(CsjError::InvalidOptions(
+            "thread counts must be >= 1".into(),
+        ));
+    }
+
+    let start = Instant::now();
+    let raw = match method {
+        CsjMethod::ApBaseline => ap_baseline(b, a, opts),
+        CsjMethod::ExBaseline => ex_baseline(b, a, opts),
+        CsjMethod::ApMinMax => ap_minmax(b, a, opts),
+        CsjMethod::ExMinMax => ex_minmax(b, a, opts),
+        CsjMethod::ApSuperEgo => ap_superego(b, a, opts),
+        CsjMethod::ExSuperEgo => ex_superego(b, a, opts),
+        CsjMethod::ApHybrid => ap_hybrid(b, a, opts),
+        CsjMethod::ExHybrid => ex_hybrid(b, a, opts),
+    };
+    let elapsed = start.elapsed();
+
+    debug_assert!(raw.pairs.len() <= b.len());
+    Ok(JoinOutcome {
+        method,
+        similarity: Similarity::new(raw.pairs.len(), b.len()),
+        pairs: raw.pairs,
+        events: raw.events,
+        ego_stats: raw.ego,
+        elapsed,
+        timings: raw.timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str, rows: &[&[u32]]) -> Community {
+        let mut c = Community::new(name, rows[0].len());
+        for (i, r) in rows.iter().enumerate() {
+            c.push(i as u64, r).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn method_name_roundtrip() {
+        for m in CsjMethod::ALL {
+            let parsed: CsjMethod = m.name().parse().unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert!("bogus".parse::<CsjMethod>().is_err());
+    }
+
+    #[test]
+    fn exactness_flags() {
+        assert!(!CsjMethod::ApBaseline.is_exact());
+        assert!(CsjMethod::ExBaseline.is_exact());
+        assert!(CsjMethod::ExHybrid.is_exact());
+        assert!(!CsjMethod::ApHybrid.is_exact());
+    }
+
+    #[test]
+    fn orient_puts_smaller_first() {
+        let small = tiny("s", &[&[1, 1]]);
+        let large = tiny("l", &[&[1, 1], &[2, 2]]);
+        let (b, a) = orient(&large, &small);
+        assert_eq!(b.name(), "s");
+        assert_eq!(a.name(), "l");
+        let (b, a) = orient(&small, &large);
+        assert_eq!((b.name(), a.name()), ("s", "l"));
+    }
+
+    #[test]
+    fn run_rejects_dimension_mismatch() {
+        let b = tiny("b", &[&[1, 2]]);
+        let a = tiny("a", &[&[1, 2, 3]]);
+        let err = run(CsjMethod::ApBaseline, &b, &a, &CsjOptions::new(1)).unwrap_err();
+        assert!(matches!(err, CsjError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn run_enforces_size_constraint() {
+        let b = tiny("b", &[&[1, 2]]);
+        let a = tiny("a", &[&[1, 2], &[3, 4], &[5, 6]]);
+        let err = run(
+            CsjMethod::ApBaseline,
+            &b,
+            &a,
+            &CsjOptions::new(1).with_parts(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsjError::SizeConstraint { nb: 1, na: 3 }));
+        let mut opts = CsjOptions::new(1).with_parts(2);
+        opts.enforce_sizes = false;
+        assert!(run(CsjMethod::ApBaseline, &b, &a, &opts).is_ok());
+    }
+
+    #[test]
+    fn run_rejects_bad_options() {
+        let b = tiny("b", &[&[1, 2]]);
+        let a = tiny("a", &[&[1, 2]]);
+        let opts = CsjOptions::new(1).with_parts(0); // zero parts
+        assert!(matches!(
+            run(CsjMethod::ApMinMax, &b, &a, &opts).unwrap_err(),
+            CsjError::InvalidOptions(_)
+        ));
+        let mut opts = CsjOptions::new(1);
+        opts.superego.t = 1;
+        assert!(run(CsjMethod::ApSuperEgo, &b, &a, &opts).is_err());
+        let mut opts = CsjOptions::new(1);
+        opts.superego.threads = 0;
+        assert!(run(CsjMethod::ExSuperEgo, &b, &a, &opts).is_err());
+    }
+
+    #[test]
+    fn phase_timings_are_populated() {
+        let rows: Vec<Vec<u32>> = (0..60u32).map(|i| vec![i % 9, i % 7, i % 5]).collect();
+        let refs: Vec<(u64, Vec<u32>)> = rows
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        let b = Community::from_rows("B", 3, refs.clone()).unwrap();
+        let a = Community::from_rows("A", 3, refs).unwrap();
+        let opts = CsjOptions::new(1).with_parts(3);
+        for m in CsjMethod::ALL {
+            let out = run(m, &b, &a, &opts).unwrap();
+            let t = out.timings;
+            assert!(
+                t.total() <= out.elapsed + std::time::Duration::from_millis(5),
+                "{m}: phases exceed elapsed"
+            );
+            assert!(
+                t.pairing > std::time::Duration::ZERO,
+                "{m}: pairing phase untimed"
+            );
+            if matches!(
+                m,
+                CsjMethod::ExBaseline | CsjMethod::ExSuperEgo | CsjMethod::ExHybrid
+            ) {
+                // These run exactly one matcher call over a non-empty graph.
+                assert!(
+                    t.matching > std::time::Duration::ZERO,
+                    "{m}: matching untimed"
+                );
+            }
+            if matches!(
+                m,
+                CsjMethod::ApMinMax
+                    | CsjMethod::ExMinMax
+                    | CsjMethod::ApSuperEgo
+                    | CsjMethod::ExSuperEgo
+            ) {
+                assert!(t.setup > std::time::Duration::ZERO, "{m}: setup untimed");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_section3_example_all_methods() {
+        // b1={3,4,2}, b2={2,2,3}; a1={2,3,5}, a2={2,3,1}, a3={3,3,3}.
+        // Integer-domain exact methods: similarity 100%. Approximate:
+        // >= 50%. The SuperEGO pair works on normalised f32 data where
+        // every candidate here is a boundary pair, so it may under-count
+        // (the accuracy loss the paper reports) but never over-count.
+        let b = tiny("B", &[&[3, 4, 2], &[2, 2, 3]]);
+        let a = tiny("A", &[&[2, 3, 5], &[2, 3, 1], &[3, 3, 3]]);
+        let opts = CsjOptions::new(1).with_parts(3);
+        for m in CsjMethod::ALL {
+            let out = run(m, &b, &a, &opts).unwrap();
+            let float_domain = matches!(m, CsjMethod::ApSuperEgo | CsjMethod::ExSuperEgo);
+            if float_domain {
+                assert!(out.similarity.matched <= 2, "{m} over-counted");
+            } else if m.is_exact() {
+                assert_eq!(out.similarity.matched, 2, "{m} must find both pairs");
+            } else {
+                assert!(
+                    out.similarity.matched >= 1,
+                    "{m} must find at least one pair"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Communities and user vectors.
+//!
+//! A community (a *brand page* in the paper's terminology) is a set of
+//! subscribers, each represented by a d-dimensional vector of aggregate
+//! preference counters — dimension `i` counts the user's interactions
+//! (likes, views, purchases, ...) with content of category `i`.
+//!
+//! Storage is a single flat `Vec<u32>` with stride `d` (structure of
+//! arrays): joins stream over millions of vectors and per-user allocation
+//! or pointer chasing would dominate otherwise.
+
+use crate::error::CsjError;
+
+/// Opaque external identifier of a user (e.g. a social-network account id).
+pub type UserId = u64;
+
+/// A community of d-dimensional user profile vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Community {
+    name: String,
+    d: usize,
+    ids: Vec<UserId>,
+    data: Vec<u32>,
+}
+
+impl Community {
+    /// Create an empty community named `name` with dimensionality `d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`; a zero-dimensional profile is meaningless and
+    /// would make every user match every other.
+    pub fn new(name: impl Into<String>, d: usize) -> Self {
+        assert!(d > 0, "community dimensionality must be positive");
+        Self {
+            name: name.into(),
+            d,
+            ids: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Create an empty community with room for `capacity` users.
+    pub fn with_capacity(name: impl Into<String>, d: usize, capacity: usize) -> Self {
+        assert!(d > 0, "community dimensionality must be positive");
+        Self {
+            name: name.into(),
+            d,
+            ids: Vec::with_capacity(capacity),
+            data: Vec::with_capacity(capacity * d),
+        }
+    }
+
+    /// Add a user with its profile vector.
+    ///
+    /// Duplicate user ids are *not* checked here (the check is `O(n)`);
+    /// use [`Community::push_unique`] when the input is untrusted.
+    pub fn push(&mut self, id: UserId, vector: &[u32]) -> Result<(), CsjError> {
+        if vector.len() != self.d {
+            return Err(CsjError::VectorLength {
+                expected: self.d,
+                got: vector.len(),
+            });
+        }
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        Ok(())
+    }
+
+    /// Add a user, rejecting duplicate ids (`O(n)` scan — intended for
+    /// small, untrusted inputs).
+    pub fn push_unique(&mut self, id: UserId, vector: &[u32]) -> Result<(), CsjError> {
+        if self.ids.contains(&id) {
+            return Err(CsjError::DuplicateUser(id));
+        }
+        self.push(id, vector)
+    }
+
+    /// Build a community from `(id, vector)` rows.
+    pub fn from_rows<I, V>(name: impl Into<String>, d: usize, rows: I) -> Result<Self, CsjError>
+    where
+        I: IntoIterator<Item = (UserId, V)>,
+        V: AsRef<[u32]>,
+    {
+        let mut c = Community::new(name, d);
+        for (id, v) in rows {
+            c.push(id, v.as_ref())?;
+        }
+        Ok(c)
+    }
+
+    /// Community name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimensionality of the profiles.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of subscribers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the community has no subscribers.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Profile vector of the user at index `i`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &[u32] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// External id of the user at index `i`.
+    #[inline]
+    pub fn user_id(&self, i: usize) -> UserId {
+        self.ids[i]
+    }
+
+    /// All user ids, in insertion order.
+    pub fn user_ids(&self) -> &[UserId] {
+        &self.ids
+    }
+
+    /// The flat counter storage (row-major, stride [`Community::d`]).
+    pub fn raw_data(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Iterate `(user_id, vector)` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &[u32])> + '_ {
+        self.ids.iter().copied().zip(self.data.chunks_exact(self.d))
+    }
+
+    /// Find the index of a user by external id (`O(n)` scan).
+    pub fn find_user(&self, id: UserId) -> Option<usize> {
+        self.ids.iter().position(|&u| u == id)
+    }
+
+    /// Overwrite the profile vector of the user at index `i` (counters
+    /// grow continuously in a live system; see `csj-engine`).
+    pub fn set_vector(&mut self, i: usize, vector: &[u32]) -> Result<(), CsjError> {
+        if vector.len() != self.d {
+            return Err(CsjError::VectorLength {
+                expected: self.d,
+                got: vector.len(),
+            });
+        }
+        self.data[i * self.d..(i + 1) * self.d].copy_from_slice(vector);
+        Ok(())
+    }
+
+    /// Remove the user at index `i` in O(d) by swapping in the last user
+    /// (order is not meaningful; the join algorithms sort internally).
+    pub fn swap_remove_user(&mut self, i: usize) -> UserId {
+        let id = self.ids.swap_remove(i);
+        let n = self.ids.len(); // length after removal == index of last row
+        if i < n {
+            let (head, tail) = self.data.split_at_mut(n * self.d);
+            head[i * self.d..(i + 1) * self.d].copy_from_slice(&tail[..self.d]);
+        }
+        self.data.truncate(n * self.d);
+        id
+    }
+
+    /// Largest counter value in the community (0 if empty).
+    pub fn max_counter(&self) -> u32 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of counters per dimension (the community's aggregate footprint,
+    /// used by dataset statistics and Table 1 of the paper).
+    pub fn dimension_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.d];
+        for row in self.data.chunks_exact(self.d) {
+            for (t, &v) in totals.iter_mut().zip(row) {
+                *t += v as u64;
+            }
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut c = Community::new("Nike", 3);
+        c.push(7, &[1, 2, 3]).unwrap();
+        c.push(9, &[4, 5, 6]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.d(), 3);
+        assert_eq!(c.vector(0), &[1, 2, 3]);
+        assert_eq!(c.vector(1), &[4, 5, 6]);
+        assert_eq!(c.user_id(1), 9);
+        assert_eq!(c.name(), "Nike");
+    }
+
+    #[test]
+    fn rejects_wrong_vector_length() {
+        let mut c = Community::new("X", 3);
+        assert_eq!(
+            c.push(1, &[1, 2]),
+            Err(CsjError::VectorLength {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn push_unique_detects_duplicates() {
+        let mut c = Community::new("X", 1);
+        c.push_unique(1, &[0]).unwrap();
+        assert_eq!(c.push_unique(1, &[5]), Err(CsjError::DuplicateUser(1)));
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let c = Community::from_rows("Y", 2, vec![(1u64, [1u32, 2]), (2, [3, 4])]).unwrap();
+        assert_eq!(c.len(), 2);
+        let rows: Vec<_> = c.iter().collect();
+        assert_eq!(rows[0], (1, &[1u32, 2][..]));
+        assert_eq!(rows[1], (2, &[3u32, 4][..]));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let c = Community::from_rows("Z", 2, vec![(1u64, [1u32, 10]), (2, [3, 20])]).unwrap();
+        assert_eq!(c.max_counter(), 20);
+        assert_eq!(c.dimension_totals(), vec![4, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimensions_rejected() {
+        let _ = Community::new("bad", 0);
+    }
+
+    #[test]
+    fn empty_community_stats() {
+        let c = Community::new("E", 4);
+        assert_eq!(c.max_counter(), 0);
+        assert_eq!(c.dimension_totals(), vec![0, 0, 0, 0]);
+    }
+}
+
+#[cfg(test)]
+mod mutation_tests {
+    use super::*;
+
+    fn sample() -> Community {
+        let mut c = Community::new("M", 2);
+        c.push(1, &[1, 1]).unwrap();
+        c.push(2, &[2, 2]).unwrap();
+        c.push(3, &[3, 3]).unwrap();
+        c
+    }
+
+    #[test]
+    fn find_and_set_vector() {
+        let mut c = sample();
+        assert_eq!(c.find_user(2), Some(1));
+        assert_eq!(c.find_user(9), None);
+        c.set_vector(1, &[7, 8]).unwrap();
+        assert_eq!(c.vector(1), &[7, 8]);
+        assert!(c.set_vector(1, &[7]).is_err());
+    }
+
+    #[test]
+    fn swap_remove_middle() {
+        let mut c = sample();
+        assert_eq!(c.swap_remove_user(0), 1);
+        assert_eq!(c.len(), 2);
+        // Last user (id 3) swapped into slot 0.
+        assert_eq!(c.user_id(0), 3);
+        assert_eq!(c.vector(0), &[3, 3]);
+        assert_eq!(c.user_id(1), 2);
+    }
+
+    #[test]
+    fn swap_remove_last() {
+        let mut c = sample();
+        assert_eq!(c.swap_remove_user(2), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.user_id(1), 2);
+        assert_eq!(c.raw_data().len(), 4);
+    }
+
+    #[test]
+    fn swap_remove_down_to_empty() {
+        let mut c = sample();
+        c.swap_remove_user(0);
+        c.swap_remove_user(0);
+        c.swap_remove_user(0);
+        assert!(c.is_empty());
+        assert!(c.raw_data().is_empty());
+    }
+}

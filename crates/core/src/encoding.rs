@@ -1,0 +1,577 @@
+//! The MinMax **encoding scheme** (Section 4, Figure 1).
+//!
+//! A user vector of `d` counters is segmented into `P` contiguous parts
+//! (the paper uses `P = 4`: fewer parts prune less, more parts cost more
+//! memory). For a `B`-user, each part contributes its counter sum and the
+//! sums add up to the user's `encoded_ID`. For an `A`-user, every counter
+//! `v` is first widened to the range `[max(0, v - eps), v + eps]` of
+//! values a matching counter may take; summing range endpoints per part
+//! gives the part *ranges*, and summing those gives `encoded_Min` /
+//! `encoded_Max`.
+//!
+//! **No-false-miss invariant** (property-tested): if `|b_i - a_i| <= eps`
+//! for every dimension, then for every part `p` the part sum of `b` lies
+//! inside the part range of `a`, and consequently
+//! `a.encoded_Min <= b.encoded_ID <= a.encoded_Max`. The filters can
+//! therefore never discard a true match — they only admit false
+//! candidates, which the final d-dimensional comparison rejects.
+//!
+//! Both buffers are stored as sorted structure-of-arrays, matching the
+//! paper's `Encd_B` (ascending `encoded_ID`) and `Encd_A` (ascending
+//! `encoded_Min`).
+
+use std::ops::Range;
+
+use crate::community::Community;
+use crate::error::CsjError;
+
+/// Tuning of the encoding scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingParams {
+    /// Number of contiguous parts the dimension axis is segmented into.
+    /// The paper selects 4 as the best time/space trade-off.
+    pub parts: usize,
+}
+
+impl Default for EncodingParams {
+    fn default() -> Self {
+        Self { parts: 4 }
+    }
+}
+
+impl EncodingParams {
+    /// Validate: `parts` must be positive. (A part count larger than the
+    /// dimensionality is clamped to `d` by [`EncodingParams::effective_parts`],
+    /// so the paper's default of 4 works for any `d >= 1`.)
+    pub fn validate(&self, _d: usize) -> Result<(), CsjError> {
+        if self.parts == 0 {
+            return Err(CsjError::InvalidOptions(
+                "encoding parts must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The part count actually used for dimensionality `d`.
+    pub fn effective_parts(&self, d: usize) -> usize {
+        self.parts.min(d).max(1)
+    }
+}
+
+/// Split `d` dimensions into `parts` contiguous chunks.
+///
+/// The remainder goes to the *later* parts, matching Figure 1 where
+/// `d = 27, P = 4` yields part sizes `6, 7, 7, 7`.
+pub fn part_bounds(d: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts >= 1 && parts <= d, "need 1 <= parts <= d");
+    let base = d / parts;
+    let rem = d % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        // The first (parts - rem) parts take `base`, the rest `base + 1`.
+        let len = if p < parts - rem { base } else { base + 1 };
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, d);
+    out
+}
+
+/// The encoded buffer for community `B`: per user, the `encoded_ID`, its
+/// `P` part sums and the user's index, sorted ascending by `encoded_ID`.
+#[derive(Debug, Clone)]
+pub struct EncodedB {
+    parts: usize,
+    /// Sorted encoded IDs.
+    pub encd_ids: Vec<u64>,
+    /// Part sums, stride `parts`, parallel to `encd_ids`.
+    pub part_sums: Vec<u64>,
+    /// Original user index within the community ("real ID" access path).
+    pub user_idx: Vec<u32>,
+}
+
+impl EncodedB {
+    /// Number of encoded users.
+    pub fn len(&self) -> usize {
+        self.encd_ids.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.encd_ids.is_empty()
+    }
+
+    /// Number of parts per entry.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Part sums of entry `i`.
+    #[inline]
+    pub fn parts_of(&self, i: usize) -> &[u64] {
+        &self.part_sums[i * self.parts..(i + 1) * self.parts]
+    }
+
+    /// Heap bytes held by this buffer — the "more parts is more
+    /// space-consuming" half of the paper's Section 4 trade-off.
+    pub fn memory_bytes(&self) -> usize {
+        self.encd_ids.capacity() * 8 + self.part_sums.capacity() * 8 + self.user_idx.capacity() * 4
+    }
+
+    /// Reassemble a buffer from raw arrays (the persistence path of
+    /// `csj_data::io`). Validates the structural invariants the join
+    /// loops rely on: parallel lengths, stride, ascending sort order.
+    pub fn from_raw(
+        parts: usize,
+        encd_ids: Vec<u64>,
+        part_sums: Vec<u64>,
+        user_idx: Vec<u32>,
+    ) -> Result<Self, CsjError> {
+        if parts == 0 {
+            return Err(CsjError::InvalidOptions("parts must be >= 1".into()));
+        }
+        let n = encd_ids.len();
+        if user_idx.len() != n || part_sums.len() != n * parts {
+            return Err(CsjError::InvalidOptions(
+                "encoded buffer arrays have inconsistent lengths".into(),
+            ));
+        }
+        if encd_ids.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CsjError::InvalidOptions(
+                "encoded IDs must be ascending".into(),
+            ));
+        }
+        Ok(Self {
+            parts,
+            encd_ids,
+            part_sums,
+            user_idx,
+        })
+    }
+}
+
+/// The encoded buffer for community `A`: per user, `encoded_Min`,
+/// `encoded_Max`, the `P` part ranges and the user's index, sorted
+/// ascending by `encoded_Min`.
+#[derive(Debug, Clone)]
+pub struct EncodedA {
+    parts: usize,
+    /// Sorted encoded minima.
+    pub encd_mins: Vec<u64>,
+    /// Encoded maxima, parallel to `encd_mins`.
+    pub encd_maxs: Vec<u64>,
+    /// Range lower endpoints, stride `parts`.
+    pub range_lo: Vec<u64>,
+    /// Range upper endpoints, stride `parts`.
+    pub range_hi: Vec<u64>,
+    /// Original user index within the community.
+    pub user_idx: Vec<u32>,
+}
+
+impl EncodedA {
+    /// Number of encoded users.
+    pub fn len(&self) -> usize {
+        self.encd_mins.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.encd_mins.is_empty()
+    }
+
+    /// Number of parts per entry.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Range lower endpoints of entry `j`.
+    #[inline]
+    pub fn range_lo_of(&self, j: usize) -> &[u64] {
+        &self.range_lo[j * self.parts..(j + 1) * self.parts]
+    }
+
+    /// Range upper endpoints of entry `j`.
+    #[inline]
+    pub fn range_hi_of(&self, j: usize) -> &[u64] {
+        &self.range_hi[j * self.parts..(j + 1) * self.parts]
+    }
+
+    /// Heap bytes held by this buffer (two range arrays of stride
+    /// `parts`, so the cost grows twice as fast in `P` as `Encd_B`'s).
+    pub fn memory_bytes(&self) -> usize {
+        self.encd_mins.capacity() * 8
+            + self.encd_maxs.capacity() * 8
+            + self.range_lo.capacity() * 8
+            + self.range_hi.capacity() * 8
+            + self.user_idx.capacity() * 4
+    }
+
+    /// Reassemble a buffer from raw arrays (the persistence path of
+    /// `csj_data::io`), validating structural invariants.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        parts: usize,
+        encd_mins: Vec<u64>,
+        encd_maxs: Vec<u64>,
+        range_lo: Vec<u64>,
+        range_hi: Vec<u64>,
+        user_idx: Vec<u32>,
+    ) -> Result<Self, CsjError> {
+        if parts == 0 {
+            return Err(CsjError::InvalidOptions("parts must be >= 1".into()));
+        }
+        let n = encd_mins.len();
+        if encd_maxs.len() != n
+            || user_idx.len() != n
+            || range_lo.len() != n * parts
+            || range_hi.len() != n * parts
+        {
+            return Err(CsjError::InvalidOptions(
+                "encoded buffer arrays have inconsistent lengths".into(),
+            ));
+        }
+        if encd_mins.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CsjError::InvalidOptions(
+                "encoded minima must be ascending".into(),
+            ));
+        }
+        if encd_mins.iter().zip(&encd_maxs).any(|(lo, hi)| lo > hi) {
+            return Err(CsjError::InvalidOptions("min above max".into()));
+        }
+        Ok(Self {
+            parts,
+            encd_mins,
+            encd_maxs,
+            range_lo,
+            range_hi,
+            user_idx,
+        })
+    }
+
+    /// The *complete overlap* filter: does every part sum of a `B` entry
+    /// fall inside the corresponding range of entry `j`? A failure is the
+    /// NO OVERLAP event of Section 4.
+    #[inline]
+    pub fn parts_overlap(&self, j: usize, b_parts: &[u64]) -> bool {
+        debug_assert_eq!(b_parts.len(), self.parts);
+        let lo = self.range_lo_of(j);
+        let hi = self.range_hi_of(j);
+        b_parts
+            .iter()
+            .zip(lo.iter().zip(hi.iter()))
+            .all(|(&s, (&l, &h))| s >= l && s <= h)
+    }
+}
+
+/// Encode a single `B`-side vector: appends its part sums to `out_parts`
+/// and returns the `encoded_ID`.
+#[inline]
+pub fn encode_vector_b(v: &[u32], bounds: &[Range<usize>], out_parts: &mut Vec<u64>) -> u64 {
+    let mut id = 0u64;
+    for b in bounds {
+        let s: u64 = v[b.clone()].iter().map(|&x| x as u64).sum();
+        out_parts.push(s);
+        id += s;
+    }
+    id
+}
+
+/// Encode a single `A`-side vector: appends its part range endpoints to
+/// `out_lo` / `out_hi` and returns `(encoded_Min, encoded_Max)`.
+#[inline]
+pub fn encode_vector_a(
+    v: &[u32],
+    eps: u32,
+    bounds: &[Range<usize>],
+    out_lo: &mut Vec<u64>,
+    out_hi: &mut Vec<u64>,
+) -> (u64, u64) {
+    let eps = eps as u64;
+    let mut min = 0u64;
+    let mut max = 0u64;
+    for b in bounds {
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for &x in &v[b.clone()] {
+            let x = x as u64;
+            lo += x.saturating_sub(eps);
+            hi += x + eps;
+        }
+        out_lo.push(lo);
+        out_hi.push(hi);
+        min += lo;
+        max += hi;
+    }
+    (min, max)
+}
+
+/// Encode community `B`: compute `encoded_ID` and part sums for each user
+/// and sort ascending by `encoded_ID` (Lines 1–2 of Ap-MinMax).
+///
+/// ```
+/// use csj_core::{encode_b, Community, EncodingParams};
+///
+/// let mut c = Community::new("B", 4);
+/// c.push(1, &[1, 2, 3, 4]).unwrap();
+/// let encoded = encode_b(&c, EncodingParams { parts: 2 });
+/// assert_eq!(encoded.encd_ids, vec![10]); // 1+2+3+4
+/// assert_eq!(encoded.parts_of(0), &[3, 7]); // (1+2) and (3+4)
+/// ```
+pub fn encode_b(community: &Community, params: EncodingParams) -> EncodedB {
+    let d = community.d();
+    params
+        .validate(d)
+        .expect("encoding params pre-validated by caller");
+    let parts = params.effective_parts(d);
+    let bounds = part_bounds(d, parts);
+    let n = community.len();
+
+    let mut entries: Vec<(u64, u32)> = Vec::with_capacity(n);
+    let mut raw_parts: Vec<u64> = Vec::with_capacity(n * parts);
+    for i in 0..n {
+        let id = encode_vector_b(community.vector(i), &bounds, &mut raw_parts);
+        entries.push((id, i as u32));
+    }
+    // Stable sort by encoded ID keeps ties in user order (deterministic).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| (entries[i as usize].0, i));
+
+    let mut encd_ids = Vec::with_capacity(n);
+    let mut part_sums = Vec::with_capacity(n * parts);
+    let mut user_idx = Vec::with_capacity(n);
+    for &o in &order {
+        let (id, ui) = entries[o as usize];
+        encd_ids.push(id);
+        user_idx.push(ui);
+        let lo = o as usize * parts;
+        part_sums.extend_from_slice(&raw_parts[lo..lo + parts]);
+    }
+    EncodedB {
+        parts,
+        encd_ids,
+        part_sums,
+        user_idx,
+    }
+}
+
+/// Encode community `A`: compute `encoded_Min`, `encoded_Max` and the part
+/// ranges for each user and sort ascending by `encoded_Min` (Lines 3–4 of
+/// Ap-MinMax).
+///
+/// ```
+/// use csj_core::{encode_a, Community, EncodingParams};
+///
+/// let mut c = Community::new("A", 2);
+/// c.push(1, &[3, 0]).unwrap();
+/// let encoded = encode_a(&c, 1, EncodingParams { parts: 1 });
+/// // min = max(0, 3-1) + max(0, 0-1) = 2; max = 4 + 1 = 5.
+/// assert_eq!(encoded.encd_mins, vec![2]);
+/// assert_eq!(encoded.encd_maxs, vec![5]);
+/// ```
+pub fn encode_a(community: &Community, eps: u32, params: EncodingParams) -> EncodedA {
+    let d = community.d();
+    params
+        .validate(d)
+        .expect("encoding params pre-validated by caller");
+    let parts = params.effective_parts(d);
+    let bounds = part_bounds(d, parts);
+    let n = community.len();
+
+    let mut entries: Vec<(u64, u64, u32)> = Vec::with_capacity(n);
+    let mut raw_lo: Vec<u64> = Vec::with_capacity(n * parts);
+    let mut raw_hi: Vec<u64> = Vec::with_capacity(n * parts);
+    for i in 0..n {
+        let (min, max) =
+            encode_vector_a(community.vector(i), eps, &bounds, &mut raw_lo, &mut raw_hi);
+        entries.push((min, max, i as u32));
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| (entries[i as usize].0, i));
+
+    let mut encd_mins = Vec::with_capacity(n);
+    let mut encd_maxs = Vec::with_capacity(n);
+    let mut range_lo = Vec::with_capacity(n * parts);
+    let mut range_hi = Vec::with_capacity(n * parts);
+    let mut user_idx = Vec::with_capacity(n);
+    for &o in &order {
+        let (min, max, ui) = entries[o as usize];
+        encd_mins.push(min);
+        encd_maxs.push(max);
+        user_idx.push(ui);
+        let lo = o as usize * parts;
+        range_lo.extend_from_slice(&raw_lo[lo..lo + parts]);
+        range_hi.extend_from_slice(&raw_hi[lo..lo + parts]);
+    }
+    EncodedA {
+        parts,
+        encd_mins,
+        encd_maxs,
+        range_lo,
+        range_hi,
+        user_idx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors_match;
+
+    /// The exact worked example of Figure 1.
+    #[test]
+    fn figure1_example() {
+        let vector: [u32; 27] = [
+            1, 0, 0, 0, 2, 2, // 1st part (6 dims)
+            0, 0, 2, 1, 1, 5, 4, // 2nd part (7 dims)
+            0, 3, 0, 0, 1, 4, 1, // 3rd part
+            0, 3, 5, 4, 1, 2, 4, // 4th part
+        ];
+        let mut c = Community::new("fig1", 27);
+        c.push(1, &vector).unwrap();
+
+        let params = EncodingParams { parts: 4 };
+        let eb = encode_b(&c, params);
+        assert_eq!(eb.encd_ids, vec![46]);
+        assert_eq!(eb.parts_of(0), &[5, 13, 9, 19]);
+
+        let ea = encode_a(&c, 1, params);
+        assert_eq!(ea.encd_mins, vec![28]);
+        assert_eq!(ea.encd_maxs, vec![73]);
+        assert_eq!(ea.range_lo_of(0), &[2, 8, 5, 13]);
+        assert_eq!(ea.range_hi_of(0), &[11, 20, 16, 26]);
+    }
+
+    #[test]
+    fn part_bounds_figure1_shape() {
+        let b = part_bounds(27, 4);
+        let sizes: Vec<usize> = b.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![6, 7, 7, 7]);
+        assert_eq!(b[0], 0..6);
+        assert_eq!(b[3], 20..27);
+    }
+
+    #[test]
+    fn part_bounds_exact_division_and_edges() {
+        assert_eq!(
+            part_bounds(8, 4)
+                .iter()
+                .map(|r| r.len())
+                .collect::<Vec<_>>(),
+            vec![2; 4]
+        );
+        assert_eq!(part_bounds(5, 1), vec![0..5]);
+        assert_eq!(
+            part_bounds(5, 5)
+                .iter()
+                .map(|r| r.len())
+                .collect::<Vec<_>>(),
+            vec![1; 5]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= parts <= d")]
+    fn part_bounds_rejects_too_many_parts() {
+        let _ = part_bounds(3, 4);
+    }
+
+    #[test]
+    fn buffers_are_sorted() {
+        let mut c = Community::new("s", 4);
+        c.push(1, &[9, 9, 9, 9]).unwrap();
+        c.push(2, &[0, 0, 0, 0]).unwrap();
+        c.push(3, &[5, 5, 0, 0]).unwrap();
+        let params = EncodingParams { parts: 2 };
+        let eb = encode_b(&c, params);
+        assert!(eb.encd_ids.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(eb.user_idx, vec![1, 2, 0]);
+        let ea = encode_a(&c, 2, params);
+        assert!(ea.encd_mins.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn saturating_minimum_at_zero() {
+        let mut c = Community::new("z", 2);
+        c.push(1, &[0, 1]).unwrap();
+        let ea = encode_a(&c, 5, EncodingParams { parts: 1 });
+        // min = max(0, 0-5) + max(0, 1-5) = 0; max = 5 + 6 = 11.
+        assert_eq!(ea.encd_mins, vec![0]);
+        assert_eq!(ea.encd_maxs, vec![11]);
+    }
+
+    #[test]
+    fn no_false_miss_on_true_matches() {
+        // Deterministic sweep: every per-dim matching pair must pass both
+        // encoded filters (the invariant the algorithms rely on).
+        let d = 6;
+        let eps = 2u32;
+        let params = EncodingParams { parts: 3 };
+        let mut cb = Community::new("B", d);
+        let mut ca = Community::new("A", d);
+        for i in 0..40u32 {
+            let vb: Vec<u32> = (0..d as u32).map(|j| (i * 7 + j * 3) % 20).collect();
+            let va: Vec<u32> = (0..d as u32).map(|j| (i * 5 + j * 11 + i) % 20).collect();
+            cb.push(i as u64, &vb).unwrap();
+            ca.push(i as u64, &va).unwrap();
+        }
+        let eb = encode_b(&cb, params);
+        let ea = encode_a(&ca, eps, params);
+        for i in 0..eb.len() {
+            let bv = cb.vector(eb.user_idx[i] as usize);
+            for j in 0..ea.len() {
+                let av = ca.vector(ea.user_idx[j] as usize);
+                if vectors_match(bv, av, eps) {
+                    assert!(
+                        eb.encd_ids[i] >= ea.encd_mins[j] && eb.encd_ids[i] <= ea.encd_maxs[j],
+                        "ID filter dropped a true match"
+                    );
+                    assert!(
+                        ea.parts_overlap(j, eb.parts_of(i)),
+                        "part filter dropped a true match"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_safety_at_extreme_counters() {
+        // d * (u32::MAX + eps) must not overflow u64.
+        let d = 64;
+        let mut c = Community::new("big", d);
+        c.push(1, &vec![u32::MAX; d]).unwrap();
+        let ea = encode_a(&c, u32::MAX, EncodingParams { parts: 4 });
+        let expected_max = d as u64 * (u32::MAX as u64 * 2);
+        assert_eq!(ea.encd_maxs, vec![expected_max]);
+        let eb = encode_b(&c, EncodingParams { parts: 4 });
+        assert_eq!(eb.encd_ids, vec![d as u64 * u32::MAX as u64]);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_parts() {
+        let mut c = Community::new("m", 16);
+        for i in 0..50u64 {
+            c.push(i, &[i as u32; 16]).unwrap();
+        }
+        let m1 = encode_a(&c, 1, EncodingParams { parts: 1 }).memory_bytes();
+        let m4 = encode_a(&c, 1, EncodingParams { parts: 4 }).memory_bytes();
+        let m8 = encode_a(&c, 1, EncodingParams { parts: 8 }).memory_bytes();
+        assert!(m1 < m4 && m4 < m8, "{m1} {m4} {m8}");
+        let b4 = encode_b(&c, EncodingParams { parts: 4 }).memory_bytes();
+        assert!(b4 < m4, "Encd_B carries one part array, Encd_A two ranges");
+    }
+
+    #[test]
+    fn parts_overlap_detects_mismatch() {
+        let mut ca = Community::new("A", 4);
+        ca.push(1, &[10, 10, 0, 0]).unwrap();
+        let ea = encode_a(&ca, 1, EncodingParams { parts: 2 });
+        // B parts [20, 0]: first part 20 > hi = 22? lo = 18, hi = 22 -> inside.
+        assert!(ea.parts_overlap(0, &[20, 0]));
+        // B parts [17, 0]: 17 < lo = 18 -> no overlap.
+        assert!(!ea.parts_overlap(0, &[17, 0]));
+        // Second part range is [0, 2].
+        assert!(!ea.parts_overlap(0, &[20, 3]));
+    }
+}

@@ -1,0 +1,126 @@
+//! Pairing-process events.
+//!
+//! During the pairing of a `b ∈ B` with an `a ∈ A`, the MinMax algorithms
+//! (and, where applicable, the other methods) yield five kinds of events
+//! (Section 4 of the paper). Counting them is how the test suite asserts
+//! pruning behaviour and how the benches explain *why* a method is fast.
+
+/// One pairing event, as defined in Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Current `b` cannot match this or any later `a`
+    /// (`eB.encd_ID < eA.encd_Min`): move to the next `b`.
+    MinPrune,
+    /// Current `a` cannot match this or any later `b`
+    /// (`eB.encd_ID > eA.encd_Max` while the skip flag is active): the
+    /// offset advances past `a` permanently.
+    MaxPrune,
+    /// The encoded ID is in range but some part sum of `b` falls outside
+    /// the corresponding range of `a`: skip the d-dimensional comparison.
+    NoOverlap,
+    /// Full d-dimensional comparison executed and failed.
+    NoMatch,
+    /// Full d-dimensional comparison executed and succeeded.
+    Match,
+}
+
+/// Counters for every event kind plus the comparison workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// MIN PRUNE events.
+    pub min_prune: u64,
+    /// MAX PRUNE events (offset advances).
+    pub max_prune: u64,
+    /// NO OVERLAP events (part/range filter rejections).
+    pub no_overlap: u64,
+    /// NO MATCH events (full comparisons that failed).
+    pub no_match: u64,
+    /// MATCH events (full comparisons that succeeded).
+    pub matches: u64,
+}
+
+impl EventCounters {
+    /// Record one event.
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        match event {
+            Event::MinPrune => self.min_prune += 1,
+            Event::MaxPrune => self.max_prune += 1,
+            Event::NoOverlap => self.no_overlap += 1,
+            Event::NoMatch => self.no_match += 1,
+            Event::Match => self.matches += 1,
+        }
+    }
+
+    /// Number of full d-dimensional comparisons executed.
+    pub fn full_comparisons(&self) -> u64 {
+        self.no_match + self.matches
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.min_prune + self.max_prune + self.no_overlap + self.no_match + self.matches
+    }
+
+    /// Merge another counter block into this one.
+    pub fn merge(&mut self, other: &EventCounters) {
+        self.min_prune += other.min_prune;
+        self.max_prune += other.max_prune;
+        self.no_overlap += other.no_overlap;
+        self.no_match += other.no_match;
+        self.matches += other.matches;
+    }
+}
+
+impl std::fmt::Display for EventCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min_prune={} max_prune={} no_overlap={} no_match={} match={}",
+            self.min_prune, self.max_prune, self.no_overlap, self.no_match, self.matches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut c = EventCounters::default();
+        c.record(Event::MinPrune);
+        c.record(Event::Match);
+        c.record(Event::Match);
+        c.record(Event::NoMatch);
+        c.record(Event::NoOverlap);
+        c.record(Event::MaxPrune);
+        assert_eq!(c.min_prune, 1);
+        assert_eq!(c.matches, 2);
+        assert_eq!(c.full_comparisons(), 3);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = EventCounters {
+            min_prune: 1,
+            max_prune: 2,
+            no_overlap: 3,
+            no_match: 4,
+            matches: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), 2 * b.total());
+    }
+
+    #[test]
+    fn display_mentions_all_kinds() {
+        let c = EventCounters::default();
+        let s = c.to_string();
+        for key in ["min_prune", "max_prune", "no_overlap", "no_match", "match"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

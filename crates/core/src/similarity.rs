@@ -1,0 +1,70 @@
+//! The CSJ similarity score (Equation 1 of the paper).
+
+/// `similarity(B, A) = |matched_user_pairs(B, A)| / |B|`.
+///
+/// The paper writes this with an extra factor `p` (`p = 1` for exact
+/// methods, `p ∈ (0, 1]` for approximate ones) to express that approximate
+/// methods may under-report; operationally both kinds compute
+/// `matched / |B|` and the approximate deficit is observable by comparing
+/// against an exact method, which is how the evaluation tables present it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Similarity {
+    /// Number of one-to-one matched user pairs found.
+    pub matched: usize,
+    /// `|B|`, the size of the smaller community.
+    pub b_size: usize,
+}
+
+impl Similarity {
+    /// Construct from a matched-pair count and `|B|`.
+    pub fn new(matched: usize, b_size: usize) -> Self {
+        debug_assert!(matched <= b_size, "cannot match more pairs than |B|");
+        Self { matched, b_size }
+    }
+
+    /// The similarity as a ratio in `[0, 1]` (0 for an empty `B`).
+    pub fn ratio(&self) -> f64 {
+        if self.b_size == 0 {
+            0.0
+        } else {
+            self.matched as f64 / self.b_size as f64
+        }
+    }
+
+    /// The similarity as a percentage in `[0, 100]`.
+    pub fn percent(&self) -> f64 {
+        self.ratio() * 100.0
+    }
+}
+
+impl std::fmt::Display for Similarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}%", self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_percent() {
+        let s = Similarity::new(2, 5);
+        assert!((s.ratio() - 0.4).abs() < 1e-12);
+        assert!((s.percent() - 40.0).abs() < 1e-12);
+        assert_eq!(s.to_string(), "40.00%");
+    }
+
+    #[test]
+    fn empty_b_is_zero() {
+        let s = Similarity::new(0, 0);
+        assert_eq!(s.ratio(), 0.0);
+        assert_eq!(s.percent(), 0.0);
+    }
+
+    #[test]
+    fn full_similarity() {
+        let s = Similarity::new(3, 3);
+        assert_eq!(s.percent(), 100.0);
+    }
+}

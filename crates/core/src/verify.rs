@@ -1,0 +1,125 @@
+//! Ground-truth oracle for tests and audits.
+//!
+//! Computes the CSJ answer the slow-but-sure way: enumerate every
+//! admissible pair with the strict integer per-dimension condition, then
+//! run a *true maximum* bipartite matching (Hopcroft–Karp). Every exact
+//! method's matched-pair count can be compared against this; the gap, if
+//! any, is attributable to the CSF heuristic (quantified by the
+//! `ablation_matcher` bench).
+
+use csj_matching::{hopcroft_karp, MatchGraph};
+
+use crate::community::Community;
+use crate::similarity::Similarity;
+use crate::vectors_match;
+
+/// The ground-truth result.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Every admissible `(b_index, a_index)` pair.
+    pub candidate_pairs: Vec<(u32, u32)>,
+    /// A maximum one-to-one matching over those pairs.
+    pub maximum_matching: Vec<(u32, u32)>,
+    /// The true CSJ similarity.
+    pub similarity: Similarity,
+}
+
+/// Compute the exact CSJ ground truth by brute force (O(|B|·|A|·d) plus
+/// matching). Intended for tests and audits, not production joins.
+///
+/// ```
+/// use csj_core::{verify::ground_truth, Community};
+///
+/// let b = Community::from_rows("B", 1, vec![(1u64, vec![5u32])]).unwrap();
+/// let a = Community::from_rows("A", 1, vec![(9u64, vec![6u32])]).unwrap();
+/// assert_eq!(ground_truth(&b, &a, 1).similarity.percent(), 100.0);
+/// assert_eq!(ground_truth(&b, &a, 0).similarity.percent(), 0.0);
+/// ```
+pub fn ground_truth(b: &Community, a: &Community, eps: u32) -> GroundTruth {
+    assert_eq!(b.d(), a.d(), "communities must share dimensionality");
+    let mut edges = Vec::new();
+    for i in 0..b.len() {
+        let bv = b.vector(i);
+        for j in 0..a.len() {
+            if vectors_match(bv, a.vector(j), eps) {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    let graph = MatchGraph::from_edges(b.len() as u32, a.len() as u32, edges.clone());
+    let matching = hopcroft_karp(&graph).into_pairs();
+    let similarity = Similarity::new(matching.len(), b.len());
+    GroundTruth {
+        candidate_pairs: edges,
+        maximum_matching: matching,
+        similarity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{run, CsjMethod, CsjOptions};
+
+    fn community(name: &str, rows: &[Vec<u32>]) -> Community {
+        let mut c = Community::new(name, rows[0].len());
+        for (i, r) in rows.iter().enumerate() {
+            c.push(i as u64 + 1, r).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn section3_ground_truth() {
+        let b = community("B", &[vec![3, 4, 2], vec![2, 2, 3]]);
+        let a = community("A", &[vec![2, 3, 5], vec![2, 3, 1], vec![3, 3, 3]]);
+        let gt = ground_truth(&b, &a, 1);
+        assert_eq!(gt.candidate_pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(gt.maximum_matching.len(), 2);
+        assert_eq!(gt.similarity.percent(), 100.0);
+    }
+
+    #[test]
+    fn every_method_is_bounded_by_ground_truth() {
+        let mut state = 0xABCD_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let d = 4;
+        let rows_b: Vec<Vec<u32>> = (0..50)
+            .map(|_| (0..d).map(|_| next() % 10).collect())
+            .collect();
+        let rows_a: Vec<Vec<u32>> = (0..60)
+            .map(|_| (0..d).map(|_| next() % 10).collect())
+            .collect();
+        let b = community("B", &rows_b);
+        let a = community("A", &rows_a);
+        let gt = ground_truth(&b, &a, 1);
+        let opts = CsjOptions::new(1).with_parts(2);
+        for m in CsjMethod::ALL {
+            let out = run(m, &b, &a, &opts).unwrap();
+            assert!(
+                out.similarity.matched <= gt.similarity.matched,
+                "{m} exceeded the maximum matching"
+            );
+            if m.is_exact() && m != CsjMethod::ApSuperEgo {
+                // Exact methods with the CSF matcher may fall short of the
+                // true maximum only through CSF's heuristic nature; with
+                // Hopcroft-Karp they must equal it.
+                let hk = CsjOptions::new(1)
+                    .with_parts(2)
+                    .with_matcher(csj_matching::MatcherKind::HopcroftKarp);
+                let out_hk = run(m, &b, &a, &hk).unwrap();
+                if m != CsjMethod::ExSuperEgo {
+                    assert_eq!(
+                        out_hk.similarity.matched, gt.similarity.matched,
+                        "{m} with Hopcroft-Karp must reach the maximum"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the encoding scheme and the event machinery.
+
+use csj_core::{encode_a, encode_b, validate_sizes, vectors_match, Community, EncodingParams};
+use proptest::prelude::*;
+
+fn communities() -> impl Strategy<Value = (Community, Community, u32, usize)> {
+    (1usize..=8, 0u32..=4, 1usize..=8).prop_flat_map(|(d, eps, parts)| {
+        let rows = |n| proptest::collection::vec(proptest::collection::vec(0u32..50, d), 1..n);
+        (rows(30), rows(30), Just(d), Just(eps), Just(parts)).prop_map(|(rb, ra, d, eps, parts)| {
+            let b = Community::from_rows(
+                "B",
+                d,
+                rb.into_iter().enumerate().map(|(i, v)| (i as u64, v)),
+            )
+            .expect("well-formed");
+            let a = Community::from_rows(
+                "A",
+                d,
+                ra.into_iter().enumerate().map(|(i, v)| (i as u64, v)),
+            )
+            .expect("well-formed");
+            (b, a, eps, parts)
+        })
+    })
+}
+
+proptest! {
+    /// The no-false-miss invariant of the encoding (Section 4 / Fig. 1):
+    /// every per-dimension matching pair passes the encoded-ID window and
+    /// the part/range overlap filter.
+    #[test]
+    fn encoding_never_causes_false_misses((b, a, eps, parts) in communities()) {
+        let params = EncodingParams { parts };
+        let eb = encode_b(&b, params);
+        let ea = encode_a(&a, eps, params);
+        for i in 0..eb.len() {
+            let bv = b.vector(eb.user_idx[i] as usize);
+            for j in 0..ea.len() {
+                let av = a.vector(ea.user_idx[j] as usize);
+                if vectors_match(bv, av, eps) {
+                    prop_assert!(eb.encd_ids[i] >= ea.encd_mins[j]);
+                    prop_assert!(eb.encd_ids[i] <= ea.encd_maxs[j]);
+                    prop_assert!(ea.parts_overlap(j, eb.parts_of(i)));
+                }
+            }
+        }
+    }
+
+    /// Buffers are sorted as the paper requires and are permutations of
+    /// the input users.
+    #[test]
+    fn encoded_buffers_are_sorted_permutations((b, a, eps, parts) in communities()) {
+        let params = EncodingParams { parts };
+        let eb = encode_b(&b, params);
+        prop_assert!(eb.encd_ids.windows(2).all(|w| w[0] <= w[1]));
+        let mut idx = eb.user_idx.clone();
+        idx.sort_unstable();
+        prop_assert_eq!(idx, (0..b.len() as u32).collect::<Vec<_>>());
+
+        let ea = encode_a(&a, eps, params);
+        prop_assert!(ea.encd_mins.windows(2).all(|w| w[0] <= w[1]));
+        // Min <= Max always; width is exactly 2 * d * eps.
+        for j in 0..ea.len() {
+            prop_assert!(ea.encd_mins[j] <= ea.encd_maxs[j]);
+            let v = a.vector(ea.user_idx[j] as usize);
+            let clipped: u64 = v
+                .iter()
+                .map(|&x| (x as u64).min(eps as u64))
+                .sum();
+            let width = ea.encd_maxs[j] - ea.encd_mins[j];
+            // Width = sum over dims of (eps + min(v, eps)).
+            prop_assert_eq!(width, a.d() as u64 * eps as u64 + clipped);
+        }
+    }
+
+    /// The encoded ID equals the plain counter sum regardless of the part
+    /// segmentation.
+    #[test]
+    fn encoded_id_is_partition_invariant((b, _a, _eps, parts) in communities()) {
+        let one = encode_b(&b, EncodingParams { parts: 1 });
+        let many = encode_b(&b, EncodingParams { parts });
+        prop_assert_eq!(one.encd_ids, many.encd_ids);
+        prop_assert_eq!(one.user_idx, many.user_idx);
+    }
+
+    /// Size validation accepts exactly the paper's admissible range.
+    #[test]
+    fn size_validation_matches_definition(nb in 0usize..2000, na in 0usize..2000) {
+        let admissible = nb >= na.div_ceil(2) && nb <= na;
+        prop_assert_eq!(validate_sizes(nb, na).is_ok(), admissible);
+    }
+}

@@ -1,0 +1,162 @@
+//! The 27 VK content categories (the dimensions of every user vector).
+
+/// One of the 27 VK categories; `Category as usize` is the vector
+/// dimension it occupies (`d = 27`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Category {
+    Entertainment,
+    Hobbies,
+    RelationshipFamily,
+    BeautyHealth,
+    Media,
+    SocialPublic,
+    Sport,
+    Internet,
+    Education,
+    Celebrity,
+    Animals,
+    Music,
+    CultureArt,
+    FoodRecipes,
+    TourismLeisure,
+    AutoMotor,
+    ProductsStores,
+    HomeRenovation,
+    CitiesCountries,
+    ProfessionalServices,
+    Medicine,
+    FinanceInsurance,
+    Restaurants,
+    JobSearch,
+    TransportationServices,
+    ConsumerServices,
+    CommunicationServices,
+}
+
+/// Number of categories / vector dimensions.
+pub const NUM_CATEGORIES: usize = 27;
+
+impl Category {
+    /// All categories, in dimension order.
+    pub const ALL: [Category; NUM_CATEGORIES] = [
+        Category::Entertainment,
+        Category::Hobbies,
+        Category::RelationshipFamily,
+        Category::BeautyHealth,
+        Category::Media,
+        Category::SocialPublic,
+        Category::Sport,
+        Category::Internet,
+        Category::Education,
+        Category::Celebrity,
+        Category::Animals,
+        Category::Music,
+        Category::CultureArt,
+        Category::FoodRecipes,
+        Category::TourismLeisure,
+        Category::AutoMotor,
+        Category::ProductsStores,
+        Category::HomeRenovation,
+        Category::CitiesCountries,
+        Category::ProfessionalServices,
+        Category::Medicine,
+        Category::FinanceInsurance,
+        Category::Restaurants,
+        Category::JobSearch,
+        Category::TransportationServices,
+        Category::ConsumerServices,
+        Category::CommunicationServices,
+    ];
+
+    /// The vector dimension this category occupies.
+    pub fn dim(self) -> usize {
+        self as usize
+    }
+
+    /// The category occupying dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= 27`.
+    pub fn from_dim(dim: usize) -> Category {
+        Category::ALL[dim]
+    }
+
+    /// The paper's name for the category (Table 1 spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Entertainment => "Entertainment",
+            Category::Hobbies => "Hobbies",
+            Category::RelationshipFamily => "Relationship_family",
+            Category::BeautyHealth => "Beauty_health",
+            Category::Media => "Media",
+            Category::SocialPublic => "Social_public",
+            Category::Sport => "Sport",
+            Category::Internet => "Internet",
+            Category::Education => "Education",
+            Category::Celebrity => "Celebrity",
+            Category::Animals => "Animals",
+            Category::Music => "Music",
+            Category::CultureArt => "Culture_art",
+            Category::FoodRecipes => "Food_recipes",
+            Category::TourismLeisure => "Tourism_leisure",
+            Category::AutoMotor => "Auto_motor",
+            Category::ProductsStores => "Products_stores",
+            Category::HomeRenovation => "Home_renovation",
+            Category::CitiesCountries => "Cities_countries",
+            Category::ProfessionalServices => "Professional_Services",
+            Category::Medicine => "Medicine",
+            Category::FinanceInsurance => "Finance_insurance",
+            Category::Restaurants => "Restaurants",
+            Category::JobSearch => "Job_search",
+            Category::TransportationServices => "Transportation_Services",
+            Category::ConsumerServices => "Consumer_Services",
+            Category::CommunicationServices => "Communication_Services",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Category {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Category::ALL
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| format!("unknown category: {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_are_dense_and_stable() {
+        for (i, c) in Category::ALL.into_iter().enumerate() {
+            assert_eq!(c.dim(), i);
+            assert_eq!(Category::from_dim(i), c);
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for c in Category::ALL {
+            let parsed: Category = c.name().parse().unwrap();
+            assert_eq!(parsed, c);
+        }
+        assert!("Yoga".parse::<Category>().is_err());
+    }
+
+    #[test]
+    fn there_are_27() {
+        assert_eq!(Category::ALL.len(), 27);
+        assert_eq!(NUM_CATEGORIES, 27);
+    }
+}

@@ -1,0 +1,341 @@
+//! A coherent corpus: one user population, many brand pages.
+//!
+//! The paper's setup is a single social network — 7.8 M users, 540 pages
+//! (20 per category) — where a *community* is the subscriber set of one
+//! page and two communities naturally **share subscribers** ("a pair can
+//! have the same user"; CSJ "interprets the matched users as being the
+//! same person belonging to a different kind of audience"). The planted
+//! pair generators of [`crate::vklike`] / [`crate::uniform`] target one
+//! couple at a time; a [`Corpus`] instead generates the whole population
+//! once and derives every community from it, so similarities between
+//! pages emerge from genuine subscriber overlap and genuinely similar
+//! taste profiles rather than from planting.
+//!
+//! Mechanics mirror the paper's description of the data: each user has a
+//! few interest categories (drawn with the real Table 1 popularity
+//! weights), a sparse counter profile concentrated on those interests,
+//! and subscriptions to popularity-ranked (Zipf) pages within them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use csj_core::Community;
+
+use crate::categories::Category;
+use crate::spec::VK_TOTAL_LIKES;
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Population size (the paper samples 7.8 M; scale to taste).
+    pub users: usize,
+    /// Pages per category (the paper uses the 20 most popular).
+    pub pages_per_category: usize,
+    /// Mean number of interest categories per user.
+    pub interests_mean: f64,
+    /// Mean subscriptions per interest category.
+    pub subscriptions_mean: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            users: 20_000,
+            pages_per_category: 20,
+            interests_mean: 2.0,
+            subscriptions_mean: 2.0,
+            seed: 0xC0_2024,
+        }
+    }
+}
+
+/// One brand page of the corpus.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// The page's category.
+    pub category: Category,
+    /// Page name (`"{category}/page-{k}"`).
+    pub name: String,
+    /// Indices into the population of this page's subscribers.
+    pub subscribers: Vec<u32>,
+}
+
+/// A generated population plus its pages.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    population: Community,
+    pages: Vec<Page>,
+}
+
+impl Corpus {
+    /// Generate a corpus. Deterministic in `cfg.seed`.
+    ///
+    /// # Panics
+    /// Panics if `users == 0` or `pages_per_category == 0`.
+    pub fn generate(cfg: CorpusConfig) -> Corpus {
+        assert!(cfg.users > 0, "population must be non-empty");
+        assert!(
+            cfg.pages_per_category > 0,
+            "need at least one page per category"
+        );
+        let d = 27usize;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Category popularity from Table 1.
+        let mut weights = vec![0.0f64; d];
+        for &(cat, likes) in &VK_TOTAL_LIKES {
+            weights[cat.dim()] = likes as f64;
+        }
+        let total: f64 = weights.iter().sum();
+        let cumulative: Vec<f64> = {
+            let mut acc = 0.0;
+            weights
+                .iter()
+                .map(|w| {
+                    acc += w / total;
+                    acc
+                })
+                .collect()
+        };
+        let sample_category = |rng: &mut StdRng| -> usize {
+            let x: f64 = rng.gen();
+            cumulative.iter().position(|&c| x <= c).unwrap_or(d - 1)
+        };
+        // Geometric-ish count with a given mean, at least 1.
+        let sample_count = |rng: &mut StdRng, mean: f64| -> u32 {
+            let p = 1.0 / mean.max(1.0);
+            let mut v = 1u32;
+            while v < 40 && !rng.gen_bool(p) {
+                v += 1;
+            }
+            v
+        };
+
+        let mut pages: Vec<Page> = Category::ALL
+            .iter()
+            .flat_map(|&cat| {
+                (0..cfg.pages_per_category).map(move |k| Page {
+                    category: cat,
+                    name: format!("{cat}/page-{k}"),
+                    subscribers: Vec::new(),
+                })
+            })
+            .collect();
+        // Zipf weights over the pages of one category: page k gets 1/(k+1).
+        let zipf_total: f64 = (0..cfg.pages_per_category)
+            .map(|k| 1.0 / (k + 1) as f64)
+            .sum();
+        let sample_page = |rng: &mut StdRng| -> usize {
+            let x: f64 = rng.gen::<f64>() * zipf_total;
+            let mut acc = 0.0;
+            for k in 0..cfg.pages_per_category {
+                acc += 1.0 / (k + 1) as f64;
+                if x <= acc {
+                    return k;
+                }
+            }
+            cfg.pages_per_category - 1
+        };
+
+        let mut population = Community::with_capacity("population", d, cfg.users);
+        let mut profile = vec![0u32; d];
+        for user in 0..cfg.users as u32 {
+            profile.iter_mut().for_each(|v| *v = 0);
+            // Interest categories (with popularity weighting).
+            let interest_count = sample_count(&mut rng, cfg.interests_mean).min(5);
+            let mut interests = Vec::with_capacity(interest_count as usize);
+            for _ in 0..interest_count {
+                let cat = sample_category(&mut rng);
+                if !interests.contains(&cat) {
+                    interests.push(cat);
+                }
+            }
+            // Sparse profile: a few likes in each interest category, an
+            // occasional stray like elsewhere.
+            for &cat in &interests {
+                profile[cat] += sample_count(&mut rng, 3.0);
+            }
+            if rng.gen_bool(0.3) {
+                let cat = sample_category(&mut rng);
+                profile[cat] += 1;
+            }
+            population
+                .push(user as u64, &profile)
+                .expect("profile has the right dimensionality");
+
+            // Subscriptions: Zipf-ranked pages within each interest.
+            for &cat in &interests {
+                let subs = sample_count(&mut rng, cfg.subscriptions_mean).min(6);
+                for _ in 0..subs {
+                    let k = sample_page(&mut rng);
+                    let page_idx = cat * cfg.pages_per_category + k;
+                    let page = &mut pages[page_idx];
+                    if page.subscribers.last() != Some(&user) {
+                        page.subscribers.push(user);
+                    }
+                }
+            }
+        }
+
+        Corpus { population, pages }
+    }
+
+    /// The full user population.
+    pub fn population(&self) -> &Community {
+        &self.population
+    }
+
+    /// All pages, grouped by category (pages of category `c` occupy
+    /// indices `c.dim() * pages_per_category ..`).
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Pages of one category, most popular first.
+    pub fn pages_of(&self, category: Category) -> Vec<(usize, &Page)> {
+        let mut out: Vec<(usize, &Page)> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.category == category)
+            .collect();
+        out.sort_by(|x, y| y.1.subscribers.len().cmp(&x.1.subscribers.len()));
+        out
+    }
+
+    /// Materialise the community (subscriber set) of page `index`.
+    pub fn community(&self, index: usize) -> Community {
+        let page = &self.pages[index];
+        let mut c =
+            Community::with_capacity(&page.name, self.population.d(), page.subscribers.len());
+        for &u in &page.subscribers {
+            c.push(
+                self.population.user_id(u as usize),
+                self.population.vector(u as usize),
+            )
+            .expect("same dimensionality");
+        }
+        c
+    }
+
+    /// Number of subscribers two pages share.
+    pub fn shared_subscribers(&self, x: usize, y: usize) -> usize {
+        let mut sx: Vec<u32> = self.pages[x].subscribers.clone();
+        sx.sort_unstable();
+        self.pages[y]
+            .subscribers
+            .iter()
+            .filter(|u| sx.binary_search(u).is_ok())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csj_core::verify::ground_truth;
+
+    fn small() -> Corpus {
+        Corpus::generate(CorpusConfig {
+            users: 4_000,
+            pages_per_category: 4,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_and_complete() {
+        let c1 = small();
+        let c2 = small();
+        assert_eq!(c1.population(), c2.population());
+        assert_eq!(c1.pages().len(), 27 * 4);
+        assert_eq!(c1.population().len(), 4_000);
+        assert_eq!(
+            c1.pages()[3].subscribers,
+            c2.pages()[3].subscribers,
+            "page membership must be reproducible"
+        );
+    }
+
+    #[test]
+    fn popular_categories_attract_more_subscribers() {
+        let corpus = small();
+        let total_of = |cat: Category| -> usize {
+            corpus
+                .pages_of(cat)
+                .iter()
+                .map(|(_, p)| p.subscribers.len())
+                .sum()
+        };
+        assert!(
+            total_of(Category::Entertainment) > total_of(Category::CommunicationServices),
+            "Table 1 popularity should shape subscriptions"
+        );
+    }
+
+    #[test]
+    fn zipf_within_category() {
+        let corpus = small();
+        let ranked = corpus.pages_of(Category::Entertainment);
+        // Most popular page should clearly beat the least popular one.
+        let first = ranked.first().expect("pages exist").1.subscribers.len();
+        let last = ranked.last().expect("pages exist").1.subscribers.len();
+        assert!(first > last, "expected Zipf skew, got {first} vs {last}");
+    }
+
+    #[test]
+    fn same_category_pages_are_naturally_similar() {
+        let corpus = small();
+        let ranked = corpus.pages_of(Category::Entertainment);
+        let (i, _) = ranked[0];
+        let (j, _) = ranked[1];
+        let shared = corpus.shared_subscribers(i, j);
+        assert!(shared > 0, "popular sibling pages should share subscribers");
+
+        let x = corpus.community(i);
+        let y = corpus.community(j);
+        let (b, a) = if x.len() <= y.len() {
+            (&x, &y)
+        } else {
+            (&y, &x)
+        };
+        let gt = ground_truth(b, a, 1);
+        // Every shared subscriber matches itself, so similarity is at
+        // least shared / |B| — no planting involved.
+        assert!(
+            gt.similarity.matched >= shared,
+            "shared subscribers must be matchable: {} < {shared}",
+            gt.similarity.matched
+        );
+        assert!(
+            gt.similarity.ratio() > 0.05,
+            "sibling pages should be similar"
+        );
+    }
+
+    #[test]
+    fn communities_materialise_correctly() {
+        let corpus = small();
+        let c = corpus.community(0);
+        assert_eq!(c.len(), corpus.pages()[0].subscribers.len());
+        assert_eq!(c.d(), 27);
+        // Members carry their population profiles verbatim.
+        let u = corpus.pages()[0].subscribers[0] as usize;
+        assert_eq!(c.vector(0), corpus.population().vector(u));
+    }
+
+    #[test]
+    fn shared_subscribers_is_symmetric() {
+        let corpus = small();
+        assert_eq!(
+            corpus.shared_subscribers(0, 1),
+            corpus.shared_subscribers(1, 0)
+        );
+        assert_eq!(
+            corpus.shared_subscribers(0, 0),
+            corpus.pages()[0].subscribers.len()
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Compact binary community format (little-endian, version-tagged).
+//!
+//! Layout:
+//!
+//! ```text
+//! magic    "CSJB"            4 bytes
+//! version  u16               currently 1
+//! name_len u16, name bytes   UTF-8
+//! d        u32
+//! n        u64
+//! ids      n * u64
+//! data     n * d * u32
+//! ```
+//!
+//! At the paper's full scale (7.8M users x 27 dims) this is ~0.9 GB —
+//! ~4x smaller than CSV and loadable with two bulk reads.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+use csj_core::Community;
+
+use super::IoError;
+
+const MAGIC: &[u8; 4] = b"CSJB";
+const VERSION: u16 = 1;
+
+/// Write a community in binary form.
+pub fn write_binary<W: Write>(community: &Community, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    let mut header = BytesMut::with_capacity(64);
+    header.put_slice(MAGIC);
+    header.put_u16_le(VERSION);
+    let name = community.name().as_bytes();
+    if name.len() > u16::MAX as usize {
+        return Err(IoError::Format("community name too long".into()));
+    }
+    header.put_u16_le(name.len() as u16);
+    header.put_slice(name);
+    header.put_u32_le(community.d() as u32);
+    header.put_u64_le(community.len() as u64);
+    w.write_all(&header)?;
+
+    let mut buf = BytesMut::with_capacity(community.len() * 8);
+    for &id in community.user_ids() {
+        buf.put_u64_le(id);
+    }
+    w.write_all(&buf)?;
+    buf.clear();
+    buf.reserve(community.raw_data().len() * 4);
+    for &v in community.raw_data() {
+        buf.put_u32_le(v);
+    }
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a community from binary form.
+pub fn read_binary<R: Read>(reader: R) -> Result<Community, IoError> {
+    let mut r = BufReader::new(reader);
+    let community = read_binary_embedded(&mut r)?;
+    // Trailing garbage is a format violation for a standalone file.
+    let mut trailing = [0u8; 1];
+    match r.read(&mut trailing)? {
+        0 => Ok(community),
+        _ => Err(IoError::Format(
+            "trailing bytes after community data".into(),
+        )),
+    }
+}
+
+/// Read one embedded community record, leaving the reader positioned
+/// right after it (used by composite formats such as `.csjp`).
+pub(crate) fn read_binary_embedded<R: Read>(mut r: &mut R) -> Result<Community, IoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("bad magic (not a CSJB file)".into()));
+    }
+    let version = read_u16(&mut r)?;
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    let name_len = read_u16(&mut r)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes)
+        .map_err(|e| IoError::Format(format!("community name not UTF-8: {e}")))?;
+    let d = read_u32(&mut r)? as usize;
+    if d == 0 {
+        return Err(IoError::Format("d must be positive".into()));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let data_len = n
+        .checked_mul(d)
+        .ok_or_else(|| IoError::Format("n * d overflows".into()))?;
+    data_len
+        .checked_mul(4)
+        .and_then(|v| v.checked_add(n.checked_mul(8)?))
+        .ok_or_else(|| IoError::Format("payload size overflows".into()))?;
+
+    // A corrupted header can claim an absurd n; read in bounded chunks so
+    // a short file errors out instead of attempting a giant allocation.
+    let id_bytes = read_exact_chunked(&mut r, n * 8)?;
+    let mut ids = Vec::with_capacity(n);
+    {
+        let mut cursor = &id_bytes[..];
+        for _ in 0..n {
+            ids.push(cursor.get_u64_le());
+        }
+    }
+    let data_bytes = read_exact_chunked(&mut r, data_len * 4)?;
+    let mut community = Community::with_capacity(name, d, n);
+    {
+        let mut cursor = &data_bytes[..];
+        let mut row = vec![0u32; d];
+        for &id in &ids {
+            for v in row.iter_mut() {
+                *v = cursor.get_u32_le();
+            }
+            community
+                .push(id, &row)
+                .map_err(|e| IoError::Format(e.to_string()))?;
+        }
+    }
+    Ok(community)
+}
+
+/// Read exactly `len` bytes, growing the buffer in bounded chunks so a
+/// lying header cannot trigger a huge upfront allocation.
+pub(crate) fn read_exact_chunked<R: Read>(r: &mut R, len: usize) -> Result<Vec<u8>, IoError> {
+    const CHUNK: usize = 1 << 20; // 1 MiB
+    let mut out = Vec::with_capacity(len.min(CHUNK));
+    let mut remaining = len;
+    let mut buf = vec![0u8; CHUNK.min(len.max(1))];
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        r.read_exact(&mut buf[..take])?;
+        out.extend_from_slice(&buf[..take]);
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_u16<R: Read>(r: &mut R) -> Result<u16, IoError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Community {
+        let mut c = Community::new("Adidas", 4);
+        c.push(u64::MAX, &[u32::MAX, 0, 1, 2]).unwrap();
+        c.push(0, &[9, 9, 9, 9]).unwrap();
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        write_binary(&c, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = Community::new("Empty", 7);
+        let mut buf = Vec::new();
+        write_binary(&c, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), c);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_binary(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, IoError::Format(msg) if msg.contains("magic")));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.push(0);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, IoError::Format(msg) if msg.contains("trailing")));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_csv() {
+        let mut c = Community::new("big", 27);
+        let row: Vec<u32> = (0..27).map(|i| i * 1000).collect();
+        for i in 0..500u64 {
+            c.push(i, &row).unwrap();
+        }
+        let mut bin = Vec::new();
+        write_binary(&c, &mut bin).unwrap();
+        let mut csv = Vec::new();
+        super::super::write_csv(&c, &mut csv).unwrap();
+        assert!(bin.len() < csv.len());
+    }
+}

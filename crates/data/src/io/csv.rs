@@ -1,0 +1,158 @@
+//! CSV community format.
+//!
+//! ```text
+//! # community: <name>
+//! # d: <dimensions>
+//! user_id,c0,c1,...,c{d-1}
+//! 17,0,3,0,...
+//! ```
+//!
+//! Human-inspectable; intended for small exports and interoperability.
+//! Use the binary format for large corpora.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use csj_core::Community;
+
+use super::IoError;
+
+/// Write a community in CSV form.
+pub fn write_csv<W: Write>(community: &Community, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# community: {}", community.name())?;
+    writeln!(w, "# d: {}", community.d())?;
+    write!(w, "user_id")?;
+    for i in 0..community.d() {
+        write!(w, ",c{i}")?;
+    }
+    writeln!(w)?;
+    for (id, row) in community.iter() {
+        write!(w, "{id}")?;
+        for &v in row {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a community from CSV form.
+pub fn read_csv<R: Read>(reader: R) -> Result<Community, IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let name_line = lines
+        .next()
+        .ok_or_else(|| IoError::Format("missing community header".into()))??;
+    let name = name_line
+        .strip_prefix("# community: ")
+        .ok_or_else(|| IoError::Format("first line must be '# community: <name>'".into()))?
+        .to_string();
+    let d_line = lines
+        .next()
+        .ok_or_else(|| IoError::Format("missing d header".into()))??;
+    let d: usize = d_line
+        .strip_prefix("# d: ")
+        .ok_or_else(|| IoError::Format("second line must be '# d: <n>'".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| IoError::Format(format!("bad d value: {e}")))?;
+    if d == 0 {
+        return Err(IoError::Format("d must be positive".into()));
+    }
+    // Column header line.
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Format("missing column header".into()))??;
+    if !header.starts_with("user_id") {
+        return Err(IoError::Format(
+            "third line must be the column header".into(),
+        ));
+    }
+
+    let mut community = Community::new(name, d);
+    let mut row = Vec::with_capacity(d);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let id: u64 = fields
+            .next()
+            .ok_or_else(|| IoError::Format(format!("line {}: empty", lineno + 4)))?
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Format(format!("line {}: bad user id: {e}", lineno + 4)))?;
+        row.clear();
+        for f in fields {
+            let v: u32 = f
+                .trim()
+                .parse()
+                .map_err(|e| IoError::Format(format!("line {}: bad counter: {e}", lineno + 4)))?;
+            row.push(v);
+        }
+        if row.len() != d {
+            return Err(IoError::Format(format!(
+                "line {}: expected {d} counters, got {}",
+                lineno + 4,
+                row.len()
+            )));
+        }
+        community
+            .push(id, &row)
+            .map_err(|e| IoError::Format(e.to_string()))?;
+    }
+    Ok(community)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Community {
+        let mut c = Community::new("Nike", 3);
+        c.push(10, &[1, 0, 5]).unwrap();
+        c.push(20, &[0, 2, 0]).unwrap();
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        write_csv(&c, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn format_is_readable() {
+        let mut buf = Vec::new();
+        write_csv(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# community: Nike"));
+        assert!(text.contains("user_id,c0,c1,c2"));
+        assert!(text.contains("10,1,0,5"));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let text = "# community: X\n# d: 3\nuser_id,c0,c1,c2\n1,2,3\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_missing_headers() {
+        assert!(read_csv("nope".as_bytes()).is_err());
+        assert!(read_csv("# community: X\n# dee: 3\n".as_bytes()).is_err());
+        assert!(read_csv("# community: X\n# d: 0\nuser_id\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "# community: X\n# d: 1\nuser_id,c0\n1,5\n\n2,6\n";
+        let c = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

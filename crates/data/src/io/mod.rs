@@ -1,0 +1,43 @@
+//! Community (de)serialisation: a human-readable CSV format and a compact
+//! little-endian binary format for large corpora.
+
+mod binary;
+mod csv;
+mod prepared;
+
+pub use binary::{read_binary, write_binary};
+pub use csv::{read_csv, write_csv};
+pub use prepared::{prepare_with, read_prepared, write_prepared};
+
+/// Errors raised by the dataset I/O layer.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input violates the format (message describes the problem).
+    Format(String),
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Format(_) => None,
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Build concrete community pairs from the paper's couple specifications.
+
+use csj_core::Community;
+
+use crate::spec::{self, CoupleSpec, SYNTHETIC_EPS, VK_EPS, VK_MAX_LIKES};
+use crate::uniform::{UniformConfig, UniformGenerator};
+use crate::vklike::{VkLikeConfig, VkLikeGenerator};
+
+/// Which substituted dataset to draw a couple from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Skewed VK-shaped data (eps = 1).
+    VkLike,
+    /// Uniform "Synthetic" data (eps = 15000).
+    Uniform,
+}
+
+impl Dataset {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::VkLike => "vk",
+            Dataset::Uniform => "synthetic",
+        }
+    }
+
+    /// The paper's epsilon for this dataset.
+    pub fn eps(self) -> u32 {
+        match self {
+            Dataset::VkLike => VK_EPS,
+            Dataset::Uniform => SYNTHETIC_EPS,
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Options for materialising a couple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Divisor applied to the paper's community sizes (1 = full scale;
+    /// the default of 32 makes every table runnable on a laptop while
+    /// preserving all |B|/|A| ratios).
+    pub scale: u32,
+    /// Base RNG seed; the couple id is mixed in so couples differ.
+    pub seed: u64,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            scale: 32,
+            seed: 0xC5A0_2024,
+        }
+    }
+}
+
+/// A materialised community pair, ready to join.
+#[derive(Debug, Clone)]
+pub struct CouplePair {
+    /// The couple's specification (paper metadata).
+    pub spec: CoupleSpec,
+    /// Which dataset the pair was drawn from.
+    pub dataset: Dataset,
+    /// The smaller community.
+    pub b: Community,
+    /// The larger community.
+    pub a: Community,
+    /// The epsilon to join with.
+    pub eps: u32,
+    /// The normalisation divisor SuperEGO should use (the dataset-wide
+    /// maximum, as in the paper).
+    pub superego_max_value: u32,
+}
+
+/// Materialise couple `spec` from `dataset` at the given scale.
+///
+/// The generator is calibrated so the pair's exact similarity lands near
+/// the paper's published Ex-MinMax value for that couple and dataset.
+pub fn build_couple(spec: &CoupleSpec, dataset: Dataset, opts: BuildOptions) -> CouplePair {
+    assert!(opts.scale >= 1, "scale must be >= 1");
+    let nb = scaled(spec.size_b, opts.scale);
+    let na = scaled(spec.size_a, opts.scale).max(nb);
+    let seed = opts.seed ^ (spec.cid as u64) << 32 ^ dataset.eps() as u64;
+
+    match dataset {
+        Dataset::VkLike => {
+            let target = spec::vk_row(spec.cid).ex_minmax.similarity_pct / 100.0;
+            let cfg = VkLikeConfig {
+                target_similarity: target,
+                ..VkLikeConfig::default()
+            };
+            let generator = VkLikeGenerator::new(cfg);
+            let (b, a) = generator.generate_pair(
+                spec.name_b,
+                spec.name_a,
+                spec.cat_b,
+                spec.cat_a,
+                nb,
+                na,
+                seed,
+            );
+            CouplePair {
+                spec: *spec,
+                dataset,
+                b,
+                a,
+                eps: VK_EPS,
+                // The paper normalises by the dataset-wide maximum; ours
+                // matches it, so SuperEGO sees the same (lossy,
+                // non-power-of-two) divisor.
+                superego_max_value: VK_MAX_LIKES,
+            }
+        }
+        Dataset::Uniform => {
+            let target = spec::synthetic_row(spec.cid).ex_minmax.similarity_pct / 100.0;
+            let generator = UniformGenerator::new(UniformConfig {
+                d: spec::D,
+                max_value: spec::SYNTHETIC_MAX_LIKES,
+                eps: SYNTHETIC_EPS,
+                target_similarity: target,
+                conflict_rate: 0.04,
+            });
+            let (b, a) = generator.generate_pair(spec.name_b, spec.name_a, nb, na, seed);
+            CouplePair {
+                spec: *spec,
+                dataset,
+                b,
+                a,
+                eps: SYNTHETIC_EPS,
+                // A power-of-two divisor (2^19 = 524288 >= 500000) makes
+                // the f32 normalisation exact — reproducing the paper's
+                // "no accuracy loss on Synthetic" (Tables 8/10).
+                superego_max_value: spec::SYNTHETIC_MAX_LIKES.next_power_of_two(),
+            }
+        }
+    }
+}
+
+/// Scale a paper size down, keeping at least a workable minimum.
+fn scaled(size: u32, scale: u32) -> usize {
+    ((size / scale).max(40)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::COUPLES;
+    use csj_core::validate_sizes;
+
+    #[test]
+    fn builds_all_couples_on_both_datasets_tiny() {
+        let opts = BuildOptions {
+            scale: 2048,
+            seed: 1,
+        };
+        for spec in &COUPLES {
+            for dataset in [Dataset::VkLike, Dataset::Uniform] {
+                let pair = build_couple(spec, dataset, opts);
+                assert_eq!(pair.b.d(), 27);
+                assert_eq!(pair.a.d(), 27);
+                assert!(pair.b.len() <= pair.a.len());
+                assert!(
+                    validate_sizes(pair.b.len(), pair.a.len()).is_ok(),
+                    "cid {} violates size constraint at scale",
+                    spec.cid
+                );
+                assert_eq!(pair.eps, dataset.eps());
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_divisor_is_power_of_two() {
+        let pair = build_couple(
+            &COUPLES[0],
+            Dataset::Uniform,
+            BuildOptions {
+                scale: 1024,
+                seed: 3,
+            },
+        );
+        assert!(pair.superego_max_value.is_power_of_two());
+        assert!(pair.superego_max_value as u64 >= pair.b.max_counter() as u64);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_couple() {
+        let o = BuildOptions {
+            scale: 1024,
+            seed: 5,
+        };
+        let p1 = build_couple(&COUPLES[3], Dataset::VkLike, o);
+        let p2 = build_couple(&COUPLES[3], Dataset::VkLike, o);
+        assert_eq!(p1.b, p2.b);
+        let p3 = build_couple(&COUPLES[4], Dataset::VkLike, o);
+        assert_ne!(p1.b, p3.b);
+    }
+
+    #[test]
+    fn scaling_preserves_ratio_roughly() {
+        let spec = &COUPLES[1]; // 156213 | 230017
+        let pair = build_couple(spec, Dataset::Uniform, BuildOptions { scale: 64, seed: 2 });
+        let paper_ratio = spec.size_b as f64 / spec.size_a as f64;
+        let our_ratio = pair.b.len() as f64 / pair.a.len() as f64;
+        assert!((paper_ratio - our_ratio).abs() < 0.02);
+    }
+}

@@ -1,0 +1,151 @@
+//! Community sub-sampling utilities.
+//!
+//! Calibration pilots, scaled experiments and engine smoke tests all need
+//! "a smaller community that looks like this one". [`sample_community`]
+//! draws a uniform random subset of users (without replacement,
+//! seeded); [`split_community`] deals a community into disjoint parts
+//! (e.g. to fabricate sibling brand pages that share no subscribers).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use csj_core::Community;
+
+/// Draw `n` users uniformly at random (without replacement) from
+/// `community`. If `n >= community.len()`, a full copy is returned.
+/// Deterministic in `seed`.
+///
+/// ```
+/// use csj_core::Community;
+/// use csj_data::sampling::sample_community;
+///
+/// let c = Community::from_rows("all", 1, (0..10u64).map(|i| (i, vec![i as u32]))).unwrap();
+/// let s = sample_community(&c, 4, 7, "pilot");
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.name(), "pilot");
+/// ```
+pub fn sample_community(community: &Community, n: usize, seed: u64, name: &str) -> Community {
+    let total = community.len();
+    let n = n.min(total);
+    let mut indices: Vec<usize> = (0..total).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher-Yates: fix the first n slots.
+    for i in 0..n {
+        let j = rng.gen_range(i..total);
+        indices.swap(i, j);
+    }
+    let mut out = Community::with_capacity(name, community.d(), n);
+    let mut picked = indices[..n].to_vec();
+    picked.sort_unstable(); // keep deterministic, cache-friendly order
+    for i in picked {
+        out.push(community.user_id(i), community.vector(i))
+            .expect("same dimensionality");
+    }
+    out
+}
+
+/// Deal `community` into `parts` disjoint communities of (near-)equal
+/// size, shuffling users first. Deterministic in `seed`. Part `k` is
+/// named `"{base_name}-{k}"`.
+///
+/// # Panics
+/// Panics if `parts == 0`.
+pub fn split_community(
+    community: &Community,
+    parts: usize,
+    seed: u64,
+    base_name: &str,
+) -> Vec<Community> {
+    assert!(parts > 0, "parts must be positive");
+    let total = community.len();
+    let mut indices: Vec<usize> = (0..total).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+    let mut out: Vec<Community> = (0..parts)
+        .map(|k| Community::new(format!("{base_name}-{k}"), community.d()))
+        .collect();
+    for (pos, &i) in indices.iter().enumerate() {
+        out[pos % parts]
+            .push(community.user_id(i), community.vector(i))
+            .expect("same dimensionality");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Community {
+        Community::from_rows(
+            "base",
+            2,
+            (0..100u64).map(|i| (i, vec![i as u32, 2 * i as u32])),
+        )
+        .expect("well-formed")
+    }
+
+    #[test]
+    fn sample_is_subset_without_replacement() {
+        let c = base();
+        let s = sample_community(&c, 30, 7, "s");
+        assert_eq!(s.len(), 30);
+        assert_eq!(s.name(), "s");
+        let mut ids: Vec<u64> = s.user_ids().to_vec();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "sampled a user twice");
+        for (id, v) in s.iter() {
+            let orig = c.find_user(id).expect("subset of base");
+            assert_eq!(c.vector(orig), v, "vector must be copied verbatim");
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_seed_sensitive() {
+        let c = base();
+        assert_eq!(
+            sample_community(&c, 10, 1, "x"),
+            sample_community(&c, 10, 1, "x")
+        );
+        assert_ne!(
+            sample_community(&c, 10, 1, "x").user_ids(),
+            sample_community(&c, 10, 2, "x").user_ids()
+        );
+    }
+
+    #[test]
+    fn oversampling_copies_everything() {
+        let c = base();
+        let s = sample_community(&c, 500, 3, "all");
+        assert_eq!(s.len(), c.len());
+    }
+
+    #[test]
+    fn split_is_a_disjoint_partition() {
+        let c = base();
+        let parts = split_community(&c, 3, 11, "part");
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(Community::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), c.len());
+        assert!(sizes.iter().all(|&s| s == 33 || s == 34));
+        let mut all_ids: Vec<u64> = parts
+            .iter()
+            .flat_map(|p| p.user_ids().iter().copied())
+            .collect();
+        all_ids.sort_unstable();
+        let expected: Vec<u64> = (0..100).collect();
+        assert_eq!(all_ids, expected);
+        assert_eq!(parts[1].name(), "part-1");
+    }
+
+    #[test]
+    #[should_panic(expected = "parts must be positive")]
+    fn split_rejects_zero_parts() {
+        let _ = split_community(&base(), 0, 1, "p");
+    }
+}

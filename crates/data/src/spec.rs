@@ -1,0 +1,729 @@
+//! The paper's published experimental constants, embedded verbatim.
+//!
+//! Everything the evaluation section publishes is transcribed here so the
+//! bench harness can (a) generate data matching the published corpus
+//! shape and (b) print **paper vs measured** for every cell of every
+//! table:
+//!
+//! * Table 1 — per-category `total_likes` for VK and Synthetic.
+//! * Table 2 — the 20 community couples (names, VK page ids) with their
+//!   categories and sizes (sizes appear in Tables 3/5).
+//! * Tables 3–10 — similarity % and runtime seconds per method per couple.
+//! * Table 11 — the Ex-MinMax scalability grid (20 categories × 4 sizes).
+
+use crate::categories::Category;
+
+/// Dimensionality of every user vector (27 VK categories).
+pub const D: usize = 27;
+/// The paper's epsilon for the VK dataset.
+pub const VK_EPS: u32 = 1;
+/// The paper's epsilon for the Synthetic dataset.
+pub const SYNTHETIC_EPS: u32 = 15_000;
+/// Maximum per-dimension counter over all VK users (paper §6.1).
+pub const VK_MAX_LIKES: u32 = 152_532;
+/// Maximum per-dimension counter over all Synthetic users (paper §6.1).
+pub const SYNTHETIC_MAX_LIKES: u32 = 500_000;
+/// Users sampled from VK (both corpora use the same population size).
+pub const TOTAL_USERS: u64 = 7_800_000;
+
+/// Table 1, VK column: `(category, total_likes)` in rank order.
+pub const VK_TOTAL_LIKES: [(Category, u64); 27] = [
+    (Category::Entertainment, 2_111_519_450),
+    (Category::Hobbies, 602_445_614),
+    (Category::RelationshipFamily, 384_993_747),
+    (Category::BeautyHealth, 318_695_199),
+    (Category::Media, 296_466_970),
+    (Category::SocialPublic, 255_007_945),
+    (Category::Sport, 245_830_867),
+    (Category::Internet, 206_085_821),
+    (Category::Education, 197_289_902),
+    (Category::Celebrity, 167_468_242),
+    (Category::Animals, 159_569_729),
+    (Category::Music, 153_686_427),
+    (Category::CultureArt, 141_107_189),
+    (Category::FoodRecipes, 140_212_548),
+    (Category::TourismLeisure, 140_054_637),
+    (Category::AutoMotor, 136_991_765),
+    (Category::ProductsStores, 131_752_523),
+    (Category::HomeRenovation, 120_091_854),
+    (Category::CitiesCountries, 74_006_530),
+    (Category::ProfessionalServices, 33_024_545),
+    (Category::Medicine, 32_135_820),
+    (Category::FinanceInsurance, 30_961_892),
+    (Category::Restaurants, 6_473_240),
+    (Category::JobSearch, 1_853_720),
+    (Category::TransportationServices, 1_385_538),
+    (Category::ConsumerServices, 810_889),
+    (Category::CommunicationServices, 474_492),
+];
+
+/// Table 1, Synthetic column, in rank order.
+///
+/// The Social_public cell is illegible in the published PDF extraction;
+/// its value is interpolated between its rank neighbours (documented in
+/// EXPERIMENTS.md).
+pub const SYNTHETIC_TOTAL_LIKES: [(Category, u64); 27] = [
+    (Category::Hobbies, 4_030_521_210),
+    (Category::SocialPublic, 3_962_645_847), // interpolated, see above
+    (Category::JobSearch, 3_894_770_484),
+    (Category::Medicine, 3_879_329_978),
+    (Category::HomeRenovation, 3_840_633_803),
+    (Category::Celebrity, 3_784_173_891),
+    (Category::Education, 3_783_409_580),
+    (Category::Entertainment, 3_763_167_129),
+    (Category::Sport, 3_718_424_135),
+    (Category::TourismLeisure, 3_702_498_557),
+    (Category::TransportationServices, 3_685_969_155),
+    (Category::FinanceInsurance, 3_680_184_922),
+    (Category::CultureArt, 3_680_041_975),
+    (Category::ConsumerServices, 3_668_738_029),
+    (Category::ProfessionalServices, 3_623_780_227),
+    (Category::ProductsStores, 3_565_053_769),
+    (Category::RelationshipFamily, 3_560_196_074),
+    (Category::CitiesCountries, 3_552_381_297),
+    (Category::FoodRecipes, 3_550_668_794),
+    (Category::Internet, 3_521_866_267),
+    (Category::Animals, 3_517_540_727),
+    (Category::Media, 3_514_872_848),
+    (Category::AutoMotor, 3_469_592_249),
+    (Category::CommunicationServices, 3_446_086_841),
+    (Category::Restaurants, 3_415_910_481),
+    (Category::Music, 3_297_277_125),
+    (Category::BeautyHealth, 3_292_929_613),
+];
+
+/// One community couple of Table 2 (with sizes from Tables 3/5 and the
+/// category pairing from Tables 3–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoupleSpec {
+    /// The paper's couple id (1–20).
+    pub cid: u8,
+    /// Name of community `B` (the smaller one).
+    pub name_b: &'static str,
+    /// VK page id of `B` (`https://vk.com/public<id>`).
+    pub id_b: u64,
+    /// Name of community `A`.
+    pub name_a: &'static str,
+    /// VK page id of `A`.
+    pub id_a: u64,
+    /// Category of `B`.
+    pub cat_b: Category,
+    /// Category of `A`.
+    pub cat_a: Category,
+    /// `|B|` as reported in Tables 3/5.
+    pub size_b: u32,
+    /// `|A|` as reported in Tables 3/5.
+    pub size_a: u32,
+}
+
+impl CoupleSpec {
+    /// Couples 11–20 pair communities of the same category
+    /// (similarity >= 30%); couples 1–10 pair different categories
+    /// (similarity >= 15%).
+    pub fn same_category(&self) -> bool {
+        self.cat_b == self.cat_a
+    }
+}
+
+/// Table 2: the 20 couples compared in every experiment.
+pub const COUPLES: [CoupleSpec; 20] = [
+    CoupleSpec {
+        cid: 1,
+        name_b: "Quick Recipes",
+        id_b: 165062392,
+        name_a: "Salads | Best Recipes",
+        id_a: 94216909,
+        cat_b: Category::Restaurants,
+        cat_a: Category::FoodRecipes,
+        size_b: 109_176,
+        size_a: 116_016,
+    },
+    CoupleSpec {
+        cid: 2,
+        name_b: "Happiness",
+        id_b: 23337480,
+        name_a: "Sportshacker",
+        id_a: 128350290,
+        cat_b: Category::Hobbies,
+        cat_a: Category::Sport,
+        size_b: 156_213,
+        size_a: 230_017,
+    },
+    CoupleSpec {
+        cid: 3,
+        name_b: "Moment of history",
+        id_b: 143826157,
+        name_a: "This is a fact | Science and Facts",
+        id_a: 45688121,
+        cat_b: Category::CultureArt,
+        cat_a: Category::Education,
+        size_b: 134_961,
+        size_a: 138_199,
+    },
+    CoupleSpec {
+        cid: 4,
+        name_b: "Health secrets. What is said by doctors?",
+        id_b: 55122354,
+        name_a: "Fashionable girl",
+        id_a: 36085261,
+        cat_b: Category::Medicine,
+        cat_a: Category::BeautyHealth,
+        size_b: 120_783,
+        size_a: 185_393,
+    },
+    CoupleSpec {
+        cid: 5,
+        name_b: "First channel",
+        id_b: 25380626,
+        name_a: "Nice line",
+        id_a: 26669118,
+        cat_b: Category::Media,
+        cat_a: Category::Entertainment,
+        size_b: 197_415,
+        size_a: 330_944,
+    },
+    CoupleSpec {
+        cid: 6,
+        name_b: "About women's",
+        id_b: 33382046,
+        name_a: "Successful girl",
+        id_a: 24036559,
+        cat_b: Category::SocialPublic,
+        cat_a: Category::RelationshipFamily,
+        size_b: 118_993,
+        size_a: 131_297,
+    },
+    CoupleSpec {
+        cid: 7,
+        name_b: "The best of Saint Petersburg",
+        id_b: 31516466,
+        name_a: "Vandrouki | Travel almost free",
+        id_a: 63731512,
+        cat_b: Category::CitiesCountries,
+        cat_a: Category::TourismLeisure,
+        size_b: 140_114,
+        size_a: 257_419,
+    },
+    CoupleSpec {
+        cid: 8,
+        name_b: "Housing problem",
+        id_b: 42541008,
+        name_a: "Business quote book",
+        id_a: 28556858,
+        cat_b: Category::HomeRenovation,
+        cat_a: Category::ProductsStores,
+        size_b: 167_585,
+        size_a: 182_815,
+    },
+    CoupleSpec {
+        cid: 9,
+        name_b: "Jah Khalib",
+        id_b: 26211015,
+        name_a: "My audios",
+        id_a: 105999460,
+        cat_b: Category::Celebrity,
+        cat_a: Category::Music,
+        size_b: 125_248,
+        size_a: 189_937,
+    },
+    CoupleSpec {
+        cid: 10,
+        name_b: "Job in Moscow",
+        id_b: 31154183,
+        name_a: "VK Pay",
+        id_a: 166850908,
+        cat_b: Category::JobSearch,
+        cat_a: Category::FinanceInsurance,
+        size_b: 55_918,
+        size_a: 109_622,
+    },
+    CoupleSpec {
+        cid: 11,
+        name_b: "Cooking: delicious recipes",
+        id_b: 42092461,
+        name_a: "Cooking at home: delicious and easy",
+        id_a: 40020627,
+        cat_b: Category::FoodRecipes,
+        cat_a: Category::FoodRecipes,
+        size_b: 180_158,
+        size_a: 196_135,
+    },
+    CoupleSpec {
+        cid: 12,
+        name_b: "Simple recipes",
+        id_b: 83935640,
+        name_a: "Best Chef's Recipes",
+        id_a: 18464856,
+        cat_b: Category::FoodRecipes,
+        cat_a: Category::FoodRecipes,
+        size_b: 180_351,
+        size_a: 272_320,
+    },
+    CoupleSpec {
+        cid: 13,
+        name_b: "FC Barcelona",
+        id_b: 22746750,
+        name_a: "Football Europe",
+        id_a: 23693281,
+        cat_b: Category::Sport,
+        cat_a: Category::Sport,
+        size_b: 179_412,
+        size_a: 234_508,
+    },
+    CoupleSpec {
+        cid: 14,
+        name_b: "World Russian Premier League",
+        id_b: 51812607,
+        name_a: "Football Europe",
+        id_a: 23693281,
+        cat_b: Category::Sport,
+        cat_a: Category::Sport,
+        size_b: 184_663,
+        size_a: 234_508,
+    },
+    CoupleSpec {
+        cid: 15,
+        name_b: "World of beauty",
+        id_b: 34981365,
+        name_a: "Fashionable girl",
+        id_a: 36085261,
+        cat_b: Category::BeautyHealth,
+        cat_a: Category::BeautyHealth,
+        size_b: 163_176,
+        size_a: 185_393,
+    },
+    CoupleSpec {
+        cid: 16,
+        name_b: "Beauty | Fashion | Show Business",
+        id_b: 32922940,
+        name_a: "Fashionable girl",
+        id_a: 36085261,
+        cat_b: Category::BeautyHealth,
+        cat_a: Category::BeautyHealth,
+        size_b: 178_138,
+        size_a: 185_393,
+    },
+    CoupleSpec {
+        cid: 17,
+        name_b: "More than just lines",
+        id_b: 32651025,
+        name_a: "Just love",
+        id_a: 28293246,
+        cat_b: Category::RelationshipFamily,
+        cat_a: Category::RelationshipFamily,
+        size_b: 165_509,
+        size_a: 190_027,
+    },
+    CoupleSpec {
+        cid: 18,
+        name_b: "Modern mom",
+        id_b: 55074079,
+        name_a: "MAMA",
+        id_a: 20249656,
+        cat_b: Category::RelationshipFamily,
+        cat_a: Category::RelationshipFamily,
+        size_b: 147_140,
+        size_a: 175_929,
+    },
+    CoupleSpec {
+        cid: 19,
+        name_b: "Business quote book",
+        id_b: 28556858,
+        name_a: "Business Strategy | Success in life",
+        id_a: 30559917,
+        cat_b: Category::ProductsStores,
+        cat_a: Category::ProductsStores,
+        size_b: 182_815,
+        size_a: 201_038,
+    },
+    CoupleSpec {
+        cid: 20,
+        name_b: "Smart Money | Business Magazine",
+        id_b: 34483558,
+        name_a: "Business Strategy | Success in life",
+        id_a: 30559917,
+        cat_b: Category::ProductsStores,
+        cat_a: Category::ProductsStores,
+        size_b: 161_991,
+        size_a: 201_038,
+    },
+];
+
+/// One published table cell: similarity % and runtime in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodCell {
+    /// Similarity percentage as printed.
+    pub similarity_pct: f64,
+    /// Execution time in seconds as printed.
+    pub seconds: f64,
+}
+
+/// The six method cells of one couple row across a (approximate, exact)
+/// table pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoupleRow {
+    pub cid: u8,
+    pub ap_baseline: MethodCell,
+    pub ap_minmax: MethodCell,
+    pub ap_superego: MethodCell,
+    pub ex_baseline: MethodCell,
+    pub ex_minmax: MethodCell,
+    pub ex_superego: MethodCell,
+}
+
+macro_rules! cell {
+    ($s:expr, $t:expr) => {
+        MethodCell {
+            similarity_pct: $s,
+            seconds: $t,
+        }
+    };
+}
+
+macro_rules! row {
+    ($cid:expr; $abs:expr,$abt:expr; $ams:expr,$amt:expr; $aes:expr,$aet:expr;
+     $ebs:expr,$ebt:expr; $ems:expr,$emt:expr; $ees:expr,$eet:expr) => {
+        CoupleRow {
+            cid: $cid,
+            ap_baseline: cell!($abs, $abt),
+            ap_minmax: cell!($ams, $amt),
+            ap_superego: cell!($aes, $aet),
+            ex_baseline: cell!($ebs, $ebt),
+            ex_minmax: cell!($ems, $emt),
+            ex_superego: cell!($ees, $eet),
+        }
+    };
+}
+
+/// Tables 3 + 4: VK dataset, couples 1–10 (different categories).
+pub const VK_DIFFERENT: [CoupleRow; 10] = [
+    row!(1;  20.56,442.0; 20.58,116.0; 19.68,18.0;  20.81,1198.0; 20.81,133.0;  20.15,27.0),
+    row!(2;  15.40,1826.0; 15.42,590.0; 15.16,19.0; 15.46,4254.0; 15.46,597.0;  15.22,30.0),
+    row!(3;  24.82,761.0; 24.82,177.0; 24.26,19.0;  24.95,1985.0; 24.95,226.0;  24.58,51.0),
+    row!(4;  16.30,1011.0; 16.26,232.0; 16.06,15.0; 16.42,2466.0; 16.42,239.0;  16.20,21.0),
+    row!(5;  17.32,3640.0; 17.34,1501.0; 16.70,60.0; 17.52,8220.0; 17.52,1552.0; 16.92,75.0),
+    row!(6;  24.31,600.0; 24.31,154.0; 24.10,8.0;   24.38,1603.0; 24.38,186.0;  24.20,37.0),
+    row!(7;  22.18,1733.0; 22.19,838.0; 21.83,35.0; 22.22,4192.0; 22.22,863.0;  21.91,57.0),
+    row!(8;  15.45,1457.0; 15.46,359.0; 15.15,33.0; 15.53,3539.0; 15.53,392.0;  15.29,41.0),
+    row!(9;  17.36,1183.0; 17.36,272.0; 16.86,16.0; 17.52,2790.0; 17.52,288.0;  17.06,32.0),
+    row!(10; 20.95,219.0; 20.72,51.0;  19.40,12.0;  21.57,679.0;  21.56,147.0;  20.09,114.0),
+];
+
+/// Tables 5 + 6: VK dataset, couples 11–20 (same categories).
+pub const VK_SAME: [CoupleRow; 10] = [
+    row!(11; 31.42,1610.0; 31.44,472.0; 30.94,29.0; 31.52,4168.0; 31.52,600.0;  31.20,143.0),
+    row!(12; 32.01,2329.0; 32.05,1049.0; 31.30,45.0; 32.10,5945.0; 32.10,1194.0; 31.63,150.0),
+    row!(13; 39.24,2070.0; 39.33,763.0; 37.53,45.0; 39.54,5314.0; 39.54,997.0;  38.62,227.0),
+    row!(14; 36.66,2234.0; 36.48,745.0; 34.85,54.0; 37.10,5527.0; 37.10,1037.0; 35.81,419.0),
+    row!(15; 36.83,1330.0; 36.85,393.0; 36.47,14.0; 36.93,3765.0; 36.93,508.0;  36.67,159.0),
+    row!(16; 30.46,1534.0; 30.45,404.0; 30.11,15.0; 30.57,3952.0; 30.58,515.0;  30.28,133.0),
+    row!(17; 35.25,1427.0; 35.26,369.0; 34.97,14.0; 35.35,3835.0; 35.35,520.0;  35.11,154.0),
+    row!(18; 32.21,1125.0; 32.23,326.0; 31.76,20.0; 32.26,3063.0; 32.26,413.0;  31.93,103.0),
+    row!(19; 31.79,1700.0; 31.82,479.0; 31.36,37.0; 31.88,4389.0; 31.88,600.0;  31.59,159.0),
+    row!(20; 33.40,1475.0; 33.42,466.0; 33.07,30.0; 33.50,3932.0; 33.50,545.0;  33.23,135.0),
+];
+
+/// Tables 7 + 8: Synthetic dataset, couples 1–10 (different categories).
+pub const SYNTHETIC_DIFFERENT: [CoupleRow; 10] = [
+    row!(1;  17.57,389.0;  17.56,307.0;  17.53,285.0;  17.74,1151.0; 17.74,252.0;  17.74,206.0),
+    row!(2;  15.87,1494.0; 15.86,1610.0; 15.79,766.0;  16.00,3880.0; 16.00,1382.0; 16.00,549.0),
+    row!(3;  24.00,603.0;  23.96,516.0;  23.88,390.0;  24.15,1806.0; 24.15,460.0;  24.15,314.0),
+    row!(4;  16.46,872.0;  16.46,816.0;  16.40,459.0;  16.57,2396.0; 16.57,713.0;  16.57,337.0),
+    row!(5;  15.37,3035.0; 15.36,3240.0; 15.29,1384.0; 15.49,7308.0; 15.49,3093.0; 15.49,974.0),
+    row!(6;  24.42,499.0;  24.39,417.0;  24.30,330.0;  24.56,1556.0; 24.56,364.0;  24.56,264.0),
+    row!(7;  22.04,1501.0; 22.02,1602.0; 21.97,734.0;  22.13,3950.0; 22.13,1516.0; 22.13,554.0),
+    row!(8;  15.38,1203.0; 15.36,1090.0; 15.31,632.0;  15.57,3279.0; 15.57,982.0;  15.57,457.0),
+    row!(9;  15.79,931.0;  15.77,883.0;  15.73,500.0;  15.90,2550.0; 15.90,783.0;  15.90,359.0),
+    row!(10; 7.76,171.0;   7.76,134.0;   7.73,130.0;   7.85,544.0;   7.85,113.0;   7.85,91.0),
+];
+
+/// Tables 9 + 10: Synthetic dataset, couples 11–20 (same categories).
+pub const SYNTHETIC_SAME: [CoupleRow; 10] = [
+    row!(11; 30.46,1339.0; 30.42,1311.0; 30.30,717.0; 30.63,3914.0; 30.63,1301.0; 30.63,636.0),
+    row!(12; 30.44,2017.0; 30.43,2211.0; 30.34,952.0; 30.57,5471.0; 30.57,2207.0; 30.57,827.0),
+    row!(13; 33.58,1642.0; 33.56,1763.0; 33.43,829.0; 33.73,4701.0; 33.73,1780.0; 33.73,757.0),
+    row!(14; 30.70,1722.0; 30.68,1812.0; 30.56,860.0; 30.85,4827.0; 30.85,1806.0; 30.85,756.0),
+    row!(15; 36.48,1094.0; 36.46,1066.0; 36.30,586.0; 36.64,3372.0; 36.64,1107.0; 36.64,577.0),
+    row!(16; 30.21,1244.0; 30.19,1180.0; 30.09,650.0; 30.41,3636.0; 30.41,1167.0; 30.41,583.0),
+    row!(17; 35.16,1157.0; 35.14,1133.0; 34.97,610.0; 35.31,3562.0; 35.31,1157.0; 35.31,591.0),
+    row!(18; 31.58,940.0;  31.55,869.0;  31.42,509.0; 31.72,2823.0; 31.72,861.0;  31.72,453.0),
+    row!(19; 31.31,1404.0; 31.28,1385.0; 31.14,737.0; 31.48,4052.0; 31.48,1384.0; 31.48,667.0),
+    row!(20; 33.11,1226.0; 33.10,1225.0; 32.97,638.0; 33.27,3594.0; 33.27,1226.0; 33.27,589.0),
+];
+
+/// One row of Table 11: a category with four `(average couple size,
+/// Ex-MinMax seconds)` scalability points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityRow {
+    pub category: Category,
+    pub points: [(u32, f64); 4],
+}
+
+/// Table 11: Ex-MinMax scalability on VK, 20 categories x 4 sizes.
+pub const SCALABILITY: [ScalabilityRow; 20] = [
+    ScalabilityRow {
+        category: Category::FoodRecipes,
+        points: [
+            (124_453, 165.0),
+            (200_966, 670.0),
+            (332_977, 3_676.0),
+            (417_492, 7_020.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Restaurants,
+        points: [
+            (27_733, 5.0),
+            (50_802, 26.0),
+            (71_114, 34.0),
+            (111_713, 93.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Hobbies,
+        points: [
+            (212_071, 807.0),
+            (326_951, 3_387.0),
+            (432_853, 7_900.0),
+            (538_492, 12_979.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Sport,
+        points: [
+            (107_770, 140.0),
+            (156_762, 278.0),
+            (199_233, 590.0),
+            (248_901, 1_381.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Education,
+        points: [
+            (128_905, 173.0),
+            (200_466, 517.0),
+            (317_041, 2_663.0),
+            (414_692, 6_891.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::CultureArt,
+        points: [
+            (54_381, 25.0),
+            (106_885, 125.0),
+            (157_236, 360.0),
+            (228_763, 997.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::BeautyHealth,
+        points: [
+            (149_171, 204.0),
+            (211_701, 710.0),
+            (256_387, 1_660.0),
+            (318_470, 3_218.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Medicine,
+        points: [
+            (21_290, 4.0),
+            (41_438, 16.0),
+            (62_333, 38.0),
+            (84_311, 66.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Entertainment,
+        points: [
+            (445_364, 8_371.0),
+            (651_230, 22_328.0),
+            (841_407, 35_648.0),
+            (1_110_846, 63_873.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Media,
+        points: [
+            (117_231, 130.0),
+            (220_804, 1_057.0),
+            (335_845, 2_920.0),
+            (406_973, 7_444.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::RelationshipFamily,
+        points: [
+            (121_910, 167.0),
+            (169_862, 324.0),
+            (212_582, 840.0),
+            (283_532, 2_304.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::SocialPublic,
+        points: [
+            (80_552, 65.0),
+            (135_060, 194.0),
+            (182_865, 426.0),
+            (269_604, 1_797.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::TourismLeisure,
+        points: [
+            (104_403, 105.0),
+            (147_984, 245.0),
+            (204_376, 605.0),
+            (248_205, 1_510.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::CitiesCountries,
+        points: [
+            (53_271, 30.0),
+            (94_130, 86.0),
+            (133_765, 214.0),
+            (163_201, 292.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::ProductsStores,
+        points: [
+            (112_425, 127.0),
+            (157_593, 335.0),
+            (219_171, 735.0),
+            (265_760, 2_181.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::HomeRenovation,
+        points: [
+            (101_381, 107.0),
+            (149_484, 275.0),
+            (188_986, 527.0),
+            (274_326, 1_889.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Celebrity,
+        points: [
+            (105_339, 112.0),
+            (160_277, 340.0),
+            (206_374, 907.0),
+            (255_239, 1_096.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::Music,
+        points: [
+            (110_695, 119.0),
+            (158_516, 264.0),
+            (201_757, 714.0),
+            (251_919, 1_118.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::FinanceInsurance,
+        points: [
+            (24_620, 5.0),
+            (49_505, 10.0),
+            (70_196, 48.0),
+            (108_028, 162.0),
+        ],
+    },
+    ScalabilityRow {
+        category: Category::JobSearch,
+        points: [(16_728, 1.0), (30_787, 6.0), (45_597, 14.0), (62_418, 28.0)],
+    },
+];
+
+/// Look up a couple by cID.
+pub fn couple(cid: u8) -> &'static CoupleSpec {
+    COUPLES
+        .iter()
+        .find(|c| c.cid == cid)
+        .unwrap_or_else(|| panic!("unknown couple id {cid}"))
+}
+
+/// Look up the published VK-dataset row for a couple.
+pub fn vk_row(cid: u8) -> &'static CoupleRow {
+    VK_DIFFERENT
+        .iter()
+        .chain(VK_SAME.iter())
+        .find(|r| r.cid == cid)
+        .unwrap_or_else(|| panic!("unknown couple id {cid}"))
+}
+
+/// Look up the published Synthetic-dataset row for a couple.
+pub fn synthetic_row(cid: u8) -> &'static CoupleRow {
+    SYNTHETIC_DIFFERENT
+        .iter()
+        .chain(SYNTHETIC_SAME.iter())
+        .find(|r| r.cid == cid)
+        .unwrap_or_else(|| panic!("unknown couple id {cid}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_couples_with_valid_sizes() {
+        assert_eq!(COUPLES.len(), 20);
+        for c in &COUPLES {
+            // Every published couple satisfies ceil(|A|/2) <= |B| <= |A|.
+            let lower = (c.size_a as usize).div_ceil(2);
+            assert!(
+                (c.size_b as usize) >= lower && c.size_b <= c.size_a,
+                "cid {} violates the size constraint",
+                c.cid
+            );
+            assert_eq!(c.same_category(), c.cid > 10);
+        }
+    }
+
+    #[test]
+    fn table1_is_rank_sorted_and_complete() {
+        for table in [&VK_TOTAL_LIKES, &SYNTHETIC_TOTAL_LIKES] {
+            assert!(
+                table.windows(2).all(|w| w[0].1 >= w[1].1),
+                "not rank-sorted"
+            );
+            let mut cats: Vec<_> = table.iter().map(|&(c, _)| c).collect();
+            cats.sort();
+            cats.dedup();
+            assert_eq!(cats.len(), 27, "a category is missing or duplicated");
+        }
+    }
+
+    #[test]
+    fn result_rows_cover_all_couples() {
+        for cid in 1..=20u8 {
+            let vk = vk_row(cid);
+            let syn = synthetic_row(cid);
+            assert_eq!(vk.cid, cid);
+            assert_eq!(syn.cid, cid);
+            // Exact similarity never below approximate in the paper's
+            // published numbers (per method family, baseline/minmax).
+            assert!(vk.ex_baseline.similarity_pct >= vk.ap_baseline.similarity_pct - 1e-9);
+            assert!(syn.ex_minmax.similarity_pct >= syn.ap_minmax.similarity_pct - 1e-9);
+        }
+        assert_eq!(couple(7).cid, 7);
+    }
+
+    #[test]
+    fn scalability_rows_are_increasing() {
+        assert_eq!(SCALABILITY.len(), 20);
+        for row in &SCALABILITY {
+            assert!(row.points.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(row.points.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown couple id")]
+    fn unknown_couple_panics() {
+        let _ = couple(42);
+    }
+}

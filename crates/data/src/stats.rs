@@ -1,0 +1,160 @@
+//! Dataset statistics: the Table 1 reproduction and distribution
+//! summaries used by the bench harness and EXPERIMENTS.md.
+
+use csj_core::Community;
+
+use crate::categories::Category;
+
+/// Sum per-dimension totals over any number of communities.
+pub fn combined_dimension_totals<'c>(
+    communities: impl IntoIterator<Item = &'c Community>,
+    d: usize,
+) -> Vec<u64> {
+    let mut totals = vec![0u64; d];
+    for c in communities {
+        assert_eq!(c.d(), d, "all communities must share dimensionality");
+        for (t, v) in totals.iter_mut().zip(c.dimension_totals()) {
+            *t += v;
+        }
+    }
+    totals
+}
+
+/// Rank categories by total likes, descending — the shape of Table 1.
+/// Only meaningful for `d == 27` data.
+pub fn rank_categories(totals: &[u64]) -> Vec<(Category, u64)> {
+    assert_eq!(totals.len(), 27, "category ranking needs d = 27");
+    let mut ranked: Vec<(Category, u64)> = Category::ALL
+        .into_iter()
+        .map(|c| (c, totals[c.dim()]))
+        .collect();
+    ranked.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    ranked
+}
+
+/// Spearman rank correlation between two rankings of the same 27
+/// categories (1.0 = identical order). Used to report how faithfully the
+/// generated corpus reproduces the published Table 1 ranking.
+pub fn rank_correlation(ours: &[(Category, u64)], paper: &[(Category, u64)]) -> f64 {
+    assert_eq!(ours.len(), paper.len());
+    let n = ours.len() as f64;
+    if ours.len() < 2 {
+        return 1.0;
+    }
+    let position = |list: &[(Category, u64)], cat: Category| {
+        list.iter()
+            .position(|&(c, _)| c == cat)
+            .expect("category present") as f64
+    };
+    let mut d2 = 0.0;
+    for &(cat, _) in ours {
+        let diff = position(ours, cat) - position(paper, cat);
+        d2 += diff * diff;
+    }
+    1.0 - 6.0 * d2 / (n * (n * n - 1.0))
+}
+
+/// Distribution summary of all counters in a community.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionSummary {
+    /// Arithmetic mean over all `n * d` counters.
+    pub mean: f64,
+    /// Median counter.
+    pub p50: u32,
+    /// 99th percentile counter.
+    pub p99: u32,
+    /// Largest counter.
+    pub max: u32,
+    /// Fraction of zero counters (sparsity).
+    pub zero_fraction: f64,
+}
+
+/// Summarise the counter distribution of a community.
+pub fn summarize(community: &Community) -> DistributionSummary {
+    let data = community.raw_data();
+    if data.is_empty() {
+        return DistributionSummary {
+            mean: 0.0,
+            p50: 0,
+            p99: 0,
+            max: 0,
+            zero_fraction: 0.0,
+        };
+    }
+    let mut sorted: Vec<u32> = data.to_vec();
+    sorted.sort_unstable();
+    let sum: u64 = sorted.iter().map(|&v| v as u64).sum();
+    let zeros = sorted.iter().take_while(|&&v| v == 0).count();
+    let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
+    DistributionSummary {
+        mean: sum as f64 / sorted.len() as f64,
+        p50: pick(0.50),
+        p99: pick(0.99),
+        max: *sorted.last().expect("non-empty"),
+        zero_fraction: zeros as f64 / sorted.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::VK_TOTAL_LIKES;
+
+    fn community(rows: &[Vec<u32>]) -> Community {
+        Community::from_rows(
+            "t",
+            rows[0].len(),
+            rows.iter().cloned().enumerate().map(|(i, v)| (i as u64, v)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn combined_totals_add_up() {
+        let c1 = community(&[vec![1, 2], vec![3, 4]]);
+        let c2 = community(&[vec![10, 0]]);
+        assert_eq!(combined_dimension_totals([&c1, &c2], 2), vec![14, 6]);
+    }
+
+    #[test]
+    fn ranking_matches_table1_on_table1_itself() {
+        let mut totals = vec![0u64; 27];
+        for &(c, v) in &VK_TOTAL_LIKES {
+            totals[c.dim()] = v;
+        }
+        let ranked = rank_categories(&totals);
+        for (ours, paper) in ranked.iter().zip(VK_TOTAL_LIKES.iter()) {
+            assert_eq!(ours.0, paper.0);
+        }
+        assert!((rank_correlation(&ranked, &VK_TOTAL_LIKES) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_correlation_detects_reversal() {
+        let mut totals = vec![0u64; 27];
+        for &(c, v) in &VK_TOTAL_LIKES {
+            totals[c.dim()] = v;
+        }
+        let ranked = rank_categories(&totals);
+        let reversed: Vec<_> = ranked.iter().rev().copied().collect();
+        assert!(rank_correlation(&reversed, &ranked) < -0.9);
+    }
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let c = community(&[vec![0, 0, 10, 2]]);
+        let s = summarize(&c);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.zero_fraction, 0.5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.p50, 0);
+    }
+
+    #[test]
+    fn summary_of_empty_community() {
+        let c = Community::new("e", 3);
+        let s = summarize(&c);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The "Synthetic" dataset generator: per-dimension uniform counters.
+//!
+//! The paper fills each user vector "with values derived from a uniform
+//! generator" over a large range (maximum 500 000) and joins with
+//! `eps = 15000`. In that regime two *independent* uniform vectors match
+//! in all 27 dimensions with probability `(2r - r^2)^27 ≈ 10^-33`
+//! (`r = eps/V`), so the published 8–37 % similarities cannot come from
+//! chance collisions — the corpus must contain genuinely similar
+//! profiles. [`UniformGenerator::generate_pair`] therefore **plants** an
+//! admissible partner for a target fraction of `B` users (partner =
+//! profile + independent per-dimension noise uniform on `[-eps, eps]`),
+//! while every other vector is an independent uniform draw. Marginals
+//! stay uniform; similarity equals the planted fraction; cross-matches
+//! are negligible. A small `conflict_rate` plants greedy-hostile gadgets
+//! so approximate methods show the paper's slight deficit.
+//!
+//! The purely statistical mode ([`UniformGenerator::generate_community`]
+//! / [`UniformGenerator::generate_pair_statistical`]) is kept for
+//! experiments at small value ranges, calibrated by
+//! [`crate::calibrate::uniform_value_range`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use csj_core::Community;
+
+/// Tuning of the uniform generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformConfig {
+    /// Vector dimensionality.
+    pub d: usize,
+    /// Inclusive upper bound of every counter (values are uniform on
+    /// `0..=max_value`). The paper's Synthetic maximum is 500 000.
+    pub max_value: u32,
+    /// The join threshold planted partners must satisfy.
+    pub eps: u32,
+    /// Fraction of `B` users given an admissible partner in `A`.
+    pub target_similarity: f64,
+    /// Fraction of planted matches embedded in a greedy-hostile conflict
+    /// gadget (consumes two planted slots at a time).
+    pub conflict_rate: f64,
+}
+
+impl Default for UniformConfig {
+    fn default() -> Self {
+        Self {
+            d: 27,
+            max_value: 500_000,
+            eps: 15_000,
+            target_similarity: 0.20,
+            conflict_rate: 0.04,
+        }
+    }
+}
+
+/// Seeded generator of uniform community pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformGenerator {
+    cfg: UniformConfig,
+}
+
+impl UniformGenerator {
+    /// Create a generator.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or the target similarity is outside `[0, 1]`.
+    pub fn new(cfg: UniformConfig) -> Self {
+        assert!(cfg.d >= 1, "d must be positive");
+        assert!((0.0..=1.0).contains(&cfg.target_similarity));
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &UniformConfig {
+        &self.cfg
+    }
+
+    fn uniform_row(&self, rng: &mut StdRng, row: &mut [u32]) {
+        for v in row.iter_mut() {
+            *v = rng.gen_range(0..=self.cfg.max_value);
+        }
+    }
+
+    /// A planted partner: the profile plus independent noise uniform on
+    /// `[-eps, eps]` per dimension, clamped to the value range (clamping
+    /// can only shrink the difference, so admissibility is preserved).
+    fn partner_row(&self, rng: &mut StdRng, profile: &[u32], out: &mut [u32]) {
+        let eps = self.cfg.eps as i64;
+        for (o, &v) in out.iter_mut().zip(profile) {
+            let noise = rng.gen_range(-eps..=eps);
+            let shifted = (v as i64 + noise).clamp(0, self.cfg.max_value as i64);
+            *o = shifted as u32;
+        }
+    }
+
+    /// Generate one community of `n` independent uniform users.
+    /// Deterministic in `seed`.
+    pub fn generate_community(&self, name: &str, n: usize, seed: u64) -> Community {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Community::with_capacity(name, self.cfg.d, n);
+        let mut row = vec![0u32; self.cfg.d];
+        for i in 0..n {
+            self.uniform_row(&mut rng, &mut row);
+            c.push(i as u64, &row)
+                .expect("row has the right dimensionality");
+        }
+        c
+    }
+
+    /// Generate a `(B, A)` pair of independent draws (no planting;
+    /// similarity emerges statistically — use
+    /// [`crate::calibrate::uniform_value_range`] to pick `max_value`).
+    pub fn generate_pair_statistical(
+        &self,
+        name_b: &str,
+        name_a: &str,
+        nb: usize,
+        na: usize,
+        seed: u64,
+    ) -> (Community, Community) {
+        assert!(nb >= 1 && nb <= na, "need 1 <= nb <= na");
+        let b = self.generate_community(name_b, nb, seed ^ 0x00B5_1DE5);
+        let a = self.generate_community(name_a, na, seed ^ 0x000A_51DE);
+        (b, a)
+    }
+
+    /// Generate a `(B, A)` pair whose similarity under `cfg.eps` equals
+    /// `cfg.target_similarity` (to rounding), with uniform marginals.
+    /// Deterministic in `seed`.
+    pub fn generate_pair(
+        &self,
+        name_b: &str,
+        name_a: &str,
+        nb: usize,
+        na: usize,
+        seed: u64,
+    ) -> (Community, Community) {
+        assert!(nb >= 1 && nb <= na, "need 1 <= nb <= na");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planted = ((self.cfg.target_similarity * nb as f64).round() as usize)
+            .min(nb)
+            .min(na);
+
+        let d = self.cfg.d;
+        let mut b_rows: Vec<Vec<u32>> = Vec::with_capacity(nb);
+        let mut a_rows: Vec<Vec<u32>> = Vec::with_capacity(na);
+        let mut profile = vec![0u32; d];
+        let mut partner = vec![0u32; d];
+
+        let mut remaining = planted;
+        while remaining > 0 {
+            self.uniform_row(&mut rng, &mut profile);
+            if remaining >= 2
+                && self.cfg.eps > 0
+                && self.cfg.max_value >= 2 * self.cfg.eps
+                && rng.gen_bool(self.cfg.conflict_rate)
+            {
+                // Gadget: b1 = v, a1 = v, a2 = v (+eps in one dim),
+                // b2 = v (+2*eps in that dim): b1 matches both a's, b2
+                // only a2 — greedy can strand b2.
+                let dim = rng.gen_range(0..d);
+                // Keep headroom so the +2*eps shift stays in range.
+                profile[dim] = profile[dim].min(self.cfg.max_value - 2 * self.cfg.eps);
+                let mut a2 = profile.clone();
+                a2[dim] += self.cfg.eps;
+                let mut b2 = profile.clone();
+                b2[dim] += 2 * self.cfg.eps;
+                b_rows.push(profile.clone());
+                b_rows.push(b2);
+                a_rows.push(profile.clone());
+                a_rows.push(a2);
+                remaining -= 2;
+            } else {
+                self.partner_row(&mut rng, &profile, &mut partner);
+                b_rows.push(profile.clone());
+                a_rows.push(partner.clone());
+                remaining -= 1;
+            }
+        }
+        let mut row = vec![0u32; d];
+        while b_rows.len() < nb {
+            self.uniform_row(&mut rng, &mut row);
+            b_rows.push(row.clone());
+        }
+        b_rows.truncate(nb);
+        while a_rows.len() < na {
+            self.uniform_row(&mut rng, &mut row);
+            a_rows.push(row.clone());
+        }
+        a_rows.truncate(na);
+
+        shuffle(&mut rng, &mut b_rows);
+        shuffle(&mut rng, &mut a_rows);
+
+        let b = Community::from_rows(
+            name_b,
+            d,
+            b_rows.into_iter().enumerate().map(|(i, v)| (i as u64, v)),
+        )
+        .expect("generated rows are well-formed");
+        let a = Community::from_rows(
+            name_a,
+            d,
+            a_rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (1_000_000_000 + i as u64, v)),
+        )
+        .expect("generated rows are well-formed");
+        (b, a)
+    }
+}
+
+/// Fisher–Yates shuffle.
+fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::uniform_value_range;
+    use csj_core::verify::ground_truth;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = UniformGenerator::new(UniformConfig {
+            d: 5,
+            max_value: 100,
+            eps: 3,
+            ..UniformConfig::default()
+        });
+        let c1 = g.generate_community("X", 50, 9);
+        let c2 = g.generate_community("X", 50, 9);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, g.generate_community("X", 50, 10));
+        let (b1, a1) = g.generate_pair("B", "A", 60, 80, 4);
+        let (b2, a2) = g.generate_pair("B", "A", 60, 80, 4);
+        assert_eq!(b1, b2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn values_respect_bound() {
+        let g = UniformGenerator::new(UniformConfig {
+            d: 4,
+            max_value: 7,
+            eps: 1,
+            ..UniformConfig::default()
+        });
+        let c = g.generate_community("X", 200, 3);
+        assert!(c.raw_data().iter().all(|&v| v <= 7));
+        for v in 0..=7u32 {
+            assert!(c.raw_data().contains(&v), "value {v} never drawn");
+        }
+    }
+
+    #[test]
+    fn planted_pair_hits_target_exactly() {
+        // At the paper's regime accidental matches are impossible, so
+        // ground-truth similarity equals the planted fraction.
+        for target in [0.08, 0.16, 0.31] {
+            let cfg = UniformConfig {
+                target_similarity: target,
+                ..UniformConfig::default()
+            };
+            let g = UniformGenerator::new(cfg);
+            let (b, a) = g.generate_pair("B", "A", 400, 520, 77);
+            let sim = ground_truth(&b, &a, cfg.eps).similarity.ratio();
+            let expected = (target * 400.0).round() / 400.0;
+            assert!(
+                (sim - expected).abs() < 0.01,
+                "target {target}, measured {sim}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_look_uniform() {
+        let cfg = UniformConfig::default();
+        let g = UniformGenerator::new(cfg);
+        let (b, _) = g.generate_pair("B", "A", 2_000, 2_200, 5);
+        let mean: f64 =
+            b.raw_data().iter().map(|&v| v as f64).sum::<f64>() / b.raw_data().len() as f64;
+        let expected = cfg.max_value as f64 / 2.0;
+        assert!(
+            (mean - expected).abs() < expected * 0.05,
+            "mean {mean} too far from uniform expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn statistical_mode_with_calibrated_range() {
+        let d = 6;
+        let eps = 1_000u32;
+        let (nb, na) = (500usize, 600usize);
+        let target = 0.25;
+        let v = uniform_value_range(target, na, d, eps);
+        let g = UniformGenerator::new(UniformConfig {
+            d,
+            max_value: v,
+            eps,
+            ..UniformConfig::default()
+        });
+        let (b, a) = g.generate_pair_statistical("B", "A", nb, na, 77);
+        let sim = ground_truth(&b, &a, eps).similarity.ratio();
+        // The closed-form model ignores one-to-one competition and edge
+        // effects, so allow a generous band.
+        assert!(
+            (sim - target).abs() < 0.12,
+            "target {target}, measured {sim}, V={v}"
+        );
+    }
+
+    #[test]
+    fn conflict_gadgets_do_not_break_admissibility() {
+        let cfg = UniformConfig {
+            target_similarity: 0.5,
+            conflict_rate: 1.0,
+            ..UniformConfig::default()
+        };
+        let g = UniformGenerator::new(cfg);
+        let (b, a) = g.generate_pair("B", "A", 100, 120, 9);
+        let gt = ground_truth(&b, &a, cfg.eps);
+        // Every planted B user (gadget or not) must still be coverable.
+        assert_eq!(gt.similarity.matched, 50);
+    }
+}

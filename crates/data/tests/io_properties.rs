@@ -1,0 +1,77 @@
+//! Property-based round-trip tests of the dataset I/O formats.
+
+use csj_core::{Community, CsjOptions, PreparedCommunity};
+use csj_data::io::{read_binary, read_csv, read_prepared, write_binary, write_csv, write_prepared};
+use proptest::prelude::*;
+
+fn arbitrary_community() -> impl Strategy<Value = Community> {
+    // Names avoid newlines (the CSV header is line-oriented).
+    ("[a-zA-Z0-9 _|-]{1,24}", 1usize..=6).prop_flat_map(|(name, d)| {
+        proptest::collection::vec(
+            (
+                proptest::num::u64::ANY,
+                proptest::collection::vec(proptest::num::u32::ANY, d),
+            ),
+            0..20,
+        )
+        .prop_map(move |rows| Community::from_rows(name.clone(), d, rows).expect("well-formed"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip(c in arbitrary_community()) {
+        let mut buf = Vec::new();
+        write_binary(&c, &mut buf).expect("write");
+        let back = read_binary(&buf[..]).expect("read");
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn csv_roundtrip(c in arbitrary_community()) {
+        let mut buf = Vec::new();
+        write_csv(&c, &mut buf).expect("write");
+        let back = read_csv(&buf[..]).expect("read");
+        prop_assert_eq!(back, c);
+    }
+
+    /// Prepared-index files round-trip for arbitrary communities.
+    #[test]
+    fn prepared_roundtrip(c in arbitrary_community(), eps in 0u32..5, parts in 1usize..4) {
+        let opts = CsjOptions::new(eps).with_parts(parts);
+        let p = PreparedCommunity::new(c, &opts);
+        let mut buf = Vec::new();
+        write_prepared(&p, &mut buf).expect("write");
+        let back = read_prepared(&buf[..]).expect("read");
+        prop_assert_eq!(back.community(), p.community());
+        prop_assert_eq!(back.eps(), p.eps());
+        prop_assert_eq!(&back.encoded_b().encd_ids, &p.encoded_b().encd_ids);
+        prop_assert_eq!(&back.encoded_a().range_hi, &p.encoded_a().range_hi);
+    }
+
+    /// Truncations of a valid binary file fail cleanly, never panic.
+    #[test]
+    fn binary_truncation_is_an_error(c in arbitrary_community(), cut in 1usize..64) {
+        let mut buf = Vec::new();
+        write_binary(&c, &mut buf).expect("write");
+        if cut <= buf.len() {
+            let truncated = &buf[..buf.len() - cut];
+            prop_assert!(read_binary(truncated).is_err());
+        }
+    }
+
+    /// Flipping a header byte never panics, and a no-op flip still parses.
+    #[test]
+    fn binary_corruption_is_handled(c in arbitrary_community(), pos in 0usize..16, byte: u8) {
+        let mut buf = Vec::new();
+        write_binary(&c, &mut buf).expect("write");
+        if pos < buf.len() {
+            let original = buf[pos];
+            buf[pos] = byte;
+            let parsed = read_binary(&buf[..]); // must not panic
+            if byte == original {
+                prop_assert!(parsed.is_ok());
+            }
+        }
+    }
+}

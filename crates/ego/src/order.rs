@@ -1,0 +1,59 @@
+//! Epsilon Grid Order (EGO) sorting.
+//!
+//! The EGO of Böhm et al. lays an epsilon-width grid over the space and
+//! orders points lexicographically by their cell coordinates. Sorting both
+//! datasets in this order makes joinable points *cluster*: a contiguous
+//! segment spans a small cell range in the leading dimensions, which is
+//! what the EGO pruning strategy exploits.
+
+/// Compute the permutation that sorts points into EGO order.
+///
+/// `cells` is flat row-major, `n * d` cell coordinates. Returns sorted
+/// point indices; ties keep their original relative order (stable), so the
+/// result is deterministic.
+pub fn ego_sort_order(d: usize, cells: &[u32]) -> Vec<u32> {
+    if d == 0 {
+        return Vec::new();
+    }
+    debug_assert_eq!(cells.len() % d, 0);
+    let n = cells.len() / d;
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by(|&x, &y| {
+        let cx = &cells[x as usize * d..x as usize * d + d];
+        let cy = &cells[y as usize * d..y as usize * d + d];
+        cx.cmp(cy)
+    });
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_lexicographically() {
+        // Points (cells): [1,0], [0,5], [0,2]
+        let cells = vec![1, 0, 0, 5, 0, 2];
+        let perm = ego_sort_order(2, &cells);
+        assert_eq!(perm, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn stable_on_ties() {
+        let cells = vec![3, 3, 3, 3];
+        let perm = ego_sort_order(2, &cells);
+        assert_eq!(perm, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(ego_sort_order(4, &[]).is_empty());
+        assert!(ego_sort_order(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_dimension() {
+        let cells = vec![9, 1, 5];
+        assert_eq!(ego_sort_order(1, &cells), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! EGO-Strategy: decide whether two EGO-sorted segments are non-joinable.
+//!
+//! This is the "core component for efficiency" the paper attributes to
+//! SuperEGO (Line 1 of Algorithm SuperEGO: `if EGO-Strategy(B, A, d, eps)
+//! = 1 then return ∅`).
+//!
+//! Soundness argument. Both segments are contiguous runs of EGO-sorted
+//! (lexicographic cell order) points. We walk dimensions from the first:
+//!
+//! * While *each* segment has a constant cell in all earlier dimensions,
+//!   the current dimension's cells are themselves sorted within each
+//!   segment, so `[first, last]` is the segment's exact cell range in that
+//!   dimension.
+//! * If those ranges are separated by **two or more cells**, every cross
+//!   pair differs by more than one cell width in this dimension — and one
+//!   cell width is the epsilon radius — so no pair can join: prune.
+//! * If the ranges are not separated but some of the four boundary cells
+//!   differ, deeper dimensions are no longer totally ordered within the
+//!   segments and nothing further can be concluded: stop, don't prune.
+
+use crate::points::PointSet;
+use crate::scalar::Scalar;
+use std::ops::Range;
+
+/// Returns `true` when segments `br` of `b` and `ar` of `a` are guaranteed
+/// non-joinable under a per-dimension epsilon equal to the grid cell width.
+///
+/// Empty segments are trivially non-joinable.
+pub fn ego_prune<S: Scalar>(
+    b: &PointSet<S>,
+    br: &Range<usize>,
+    a: &PointSet<S>,
+    ar: &Range<usize>,
+) -> bool {
+    if br.is_empty() || ar.is_empty() {
+        return true;
+    }
+    debug_assert_eq!(b.d(), a.d());
+    let (b_first, b_last) = (br.start, br.end - 1);
+    let (a_first, a_last) = (ar.start, ar.end - 1);
+    for dim in 0..b.d() {
+        let bf = b.cell(b_first, dim);
+        let bl = b.cell(b_last, dim);
+        let af = a.cell(a_first, dim);
+        let al = a.cell(a_last, dim);
+        // Exact ranges in this dimension (valid because all earlier
+        // dimensions were constant across both segments): prune on a gap
+        // of at least two cells.
+        if bf > al.saturating_add(1) || af > bl.saturating_add(1) {
+            return true;
+        }
+        if !(bf == bl && af == al) {
+            // Cells vary within a segment here, so deeper dimensions are
+            // no longer totally ordered within the segments: stop.
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(d: usize, width: u32, rows: &[&[u32]]) -> PointSet<u32> {
+        let data: Vec<u32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        PointSet::build(d, width, data, None)
+    }
+
+    #[test]
+    fn prunes_far_segments_first_dim() {
+        let b = set(2, 1, &[&[0, 0], &[1, 0]]);
+        let a = set(2, 1, &[&[5, 0], &[6, 0]]);
+        assert!(ego_prune(&b, &(0..2), &a, &(0..2)));
+    }
+
+    #[test]
+    fn keeps_adjacent_cells() {
+        // One cell apart: values may still be within one width.
+        let b = set(2, 1, &[&[0, 0]]);
+        let a = set(2, 1, &[&[1, 1]]);
+        assert!(!ego_prune(&b, &(0..1), &a, &(0..1)));
+    }
+
+    #[test]
+    fn descends_through_constant_prefix() {
+        // First dim identical everywhere; second dim separated by > 1 cell.
+        let b = set(2, 1, &[&[3, 0], &[3, 1]]);
+        let a = set(2, 1, &[&[3, 7], &[3, 9]]);
+        assert!(ego_prune(&b, &(0..2), &a, &(0..2)));
+    }
+
+    #[test]
+    fn stops_when_cells_diverge_without_gap() {
+        // First dim ranges overlap but are not constant: cannot conclude.
+        let b = set(2, 1, &[&[0, 0], &[1, 0]]);
+        let a = set(2, 1, &[&[1, 9], &[2, 9]]);
+        assert!(!ego_prune(&b, &(0..2), &a, &(0..2)));
+    }
+
+    #[test]
+    fn empty_segment_prunes() {
+        let b = set(1, 1, &[&[0]]);
+        let a = set(1, 1, &[&[0]]);
+        assert!(ego_prune(&b, &(0..0), &a, &(0..1)));
+        assert!(ego_prune(&b, &(0..1), &a, &(1..1)));
+    }
+
+    #[test]
+    fn never_prunes_joinable_pairs_exhaustive() {
+        // Exhaustive soundness check on a small 2-d integer grid: if any
+        // cross pair satisfies the per-dim condition, ego_prune must be
+        // false for the full segments.
+        let eps = 2u32;
+        let vals: Vec<[u32; 2]> = (0..6)
+            .flat_map(|x| (0..6).map(move |y| [x * 2, y * 2]))
+            .collect();
+        for chunk_b in vals.chunks(4) {
+            for chunk_a in vals.chunks(4) {
+                let rows_b: Vec<&[u32]> = chunk_b.iter().map(|r| &r[..]).collect();
+                let rows_a: Vec<&[u32]> = chunk_a.iter().map(|r| &r[..]).collect();
+                let b = set(2, eps, &rows_b);
+                let a = set(2, eps, &rows_a);
+                let joinable = (0..b.len()).any(|i| {
+                    (0..a.len()).any(|j| {
+                        b.point(i)
+                            .iter()
+                            .zip(a.point(j))
+                            .all(|(&x, &y)| x.abs_diff(y) <= eps)
+                    })
+                });
+                if joinable {
+                    assert!(
+                        !ego_prune(&b, &(0..b.len()), &a, &(0..a.len())),
+                        "pruned a joinable segment pair"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! The engine proper: registry, cache, screening pipeline, queries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity};
+use csj_core::{run, Community, CsjMethod, CsjOptions, Similarity, UserId};
+
+use crate::error::EngineError;
+
+/// Stable handle to a registered community.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommunityHandle(pub u32);
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// The CSJ options every join runs with (eps, matcher, encoding...).
+    pub options: CsjOptions,
+    /// Method used for the fast screening phase (Section 3 prescribes an
+    /// approximate method here).
+    pub screen_method: CsjMethod,
+    /// Method used for precise refinement (an exact method).
+    pub refine_method: CsjMethod,
+    /// Pairs whose *screened* similarity falls below this ratio are not
+    /// refined (the paper's "similar-enough group" cut).
+    pub screen_threshold: f64,
+    /// Worker threads for multi-pair queries (screening fans out across
+    /// pairs; each join stays single-threaded).
+    pub threads: usize,
+}
+
+impl EngineConfig {
+    /// Paper-flavoured defaults: screen with Ap-MinMax, refine with
+    /// Ex-MinMax, 15% screening threshold (the paper's lower similarity
+    /// band), eps from the caller.
+    pub fn new(eps: u32) -> Self {
+        Self {
+            options: CsjOptions::new(eps),
+            screen_method: CsjMethod::ApMinMax,
+            refine_method: CsjMethod::ExMinMax,
+            screen_threshold: 0.15,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
+        }
+    }
+}
+
+/// A scored community pair returned by queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairScore {
+    /// The queried community.
+    pub x: CommunityHandle,
+    /// The other community.
+    pub y: CommunityHandle,
+    /// The (refined, exact) similarity.
+    pub similarity: Similarity,
+}
+
+/// The outcome of a screening pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenOutcome {
+    /// Pairs that cleared the threshold, with their *approximate* score.
+    pub shortlisted: Vec<(CommunityHandle, Similarity)>,
+    /// Pairs that were screened out.
+    pub rejected: Vec<(CommunityHandle, Similarity)>,
+    /// Pairs skipped because the size constraint makes the comparison
+    /// meaningless (paper: `|B| < ceil(|A|/2)`).
+    pub inadmissible: Vec<CommunityHandle>,
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Registered communities.
+    pub communities: usize,
+    /// Exact similarities currently cached.
+    pub cached_pairs: usize,
+    /// Joins executed since creation (screen + refine).
+    pub joins_executed: u64,
+    /// Cache hits served.
+    pub cache_hits: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    similarity: Similarity,
+    version_x: u64,
+    version_y: u64,
+}
+
+/// One registered community plus its (lazily rebuilt) prepared encoding.
+#[derive(Debug)]
+struct Registered {
+    community: Community,
+    version: u64,
+    /// Prepared MinMax encodings for the engine's (eps, parts); rebuilt
+    /// lazily after mutations. `Arc` so parallel screening workers can
+    /// share it without cloning the buffers.
+    prepared: Option<Arc<PreparedCommunity>>,
+}
+
+/// The multi-community CSJ engine. Not `Sync`-shared; wrap in a lock for
+/// concurrent callers (queries fan out internally already).
+///
+/// ```
+/// use csj_core::Community;
+/// use csj_engine::{CsjEngine, EngineConfig};
+///
+/// let mut engine = CsjEngine::new(2, EngineConfig::new(1));
+/// let x = engine.register(Community::from_rows("X", 2,
+///     vec![(1u64, vec![3u32, 3]), (2, vec![9, 9])]).unwrap()).unwrap();
+/// let y = engine.register(Community::from_rows("Y", 2,
+///     vec![(7u64, vec![3u32, 4]), (8, vec![50, 50])]).unwrap()).unwrap();
+/// let sim = engine.similarity(x, y).unwrap();
+/// assert_eq!(sim.percent(), 50.0); // one of X's two users has a partner
+/// ```
+#[derive(Debug)]
+pub struct CsjEngine {
+    config: EngineConfig,
+    d: usize,
+    entries: Vec<Registered>,
+    names: HashMap<String, u32>,
+    /// Exact-similarity cache keyed by (smaller handle, larger handle).
+    cache: HashMap<(u32, u32), CacheEntry>,
+    joins_executed: std::sync::atomic::AtomicU64,
+    cache_hits: u64,
+}
+
+impl CsjEngine {
+    /// Create an engine for `d`-dimensional communities.
+    pub fn new(d: usize, config: EngineConfig) -> Self {
+        assert!(d > 0, "dimensionality must be positive");
+        Self {
+            config,
+            d,
+            entries: Vec::new(),
+            names: HashMap::new(),
+            cache: HashMap::new(),
+            joins_executed: std::sync::atomic::AtomicU64::new(0),
+            cache_hits: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Register a community; names must be unique.
+    pub fn register(&mut self, community: Community) -> Result<CommunityHandle, EngineError> {
+        if community.d() != self.d {
+            return Err(EngineError::DimensionMismatch {
+                engine_d: self.d,
+                got: community.d(),
+            });
+        }
+        if self.names.contains_key(community.name()) {
+            return Err(EngineError::DuplicateName(community.name().to_string()));
+        }
+        let handle = self.entries.len() as u32;
+        self.names.insert(community.name().to_string(), handle);
+        self.entries.push(Registered {
+            community,
+            version: 0,
+            prepared: None,
+        });
+        Ok(CommunityHandle(handle))
+    }
+
+    /// Look up a community by name.
+    pub fn find(&self, name: &str) -> Option<CommunityHandle> {
+        self.names.get(name).map(|&h| CommunityHandle(h))
+    }
+
+    /// Borrow a registered community.
+    pub fn community(&self, handle: CommunityHandle) -> Result<&Community, EngineError> {
+        self.entries
+            .get(handle.0 as usize)
+            .map(|e| &e.community)
+            .ok_or(EngineError::UnknownCommunity(handle.0))
+    }
+
+    /// All registered handles.
+    pub fn handles(&self) -> impl Iterator<Item = CommunityHandle> + '_ {
+        (0..self.entries.len() as u32).map(CommunityHandle)
+    }
+
+    /// Get (building if stale) the prepared MinMax encoding of a
+    /// community. Encodings are shared (`Arc`) with in-flight queries.
+    fn prepared(&mut self, handle: u32) -> Arc<PreparedCommunity> {
+        let entry = &mut self.entries[handle as usize];
+        if entry.prepared.is_none() {
+            entry.prepared = Some(Arc::new(PreparedCommunity::new(
+                entry.community.clone(),
+                &self.config.options,
+            )));
+        }
+        entry.prepared.clone().expect("just built")
+    }
+
+    /// Join an oriented prepared pair with `method`, using the prepared
+    /// fast paths for the MinMax methods.
+    fn join_prepared(
+        &self,
+        method: CsjMethod,
+        b: &PreparedCommunity,
+        a: &PreparedCommunity,
+    ) -> Result<Similarity, EngineError> {
+        csj_core::validate_sizes(b.len(), a.len()).map_err(EngineError::Csj)?;
+        self.joins_executed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let matched = match method {
+            CsjMethod::ApMinMax => ap_minmax_between(b, a, &self.config.options).pairs.len(),
+            CsjMethod::ExMinMax => ex_minmax_between(b, a, &self.config.options).pairs.len(),
+            other => {
+                let outcome = run(other, b.community(), a.community(), &self.config.options)?;
+                outcome.similarity.matched
+            }
+        };
+        Ok(Similarity::new(matched, b.len()))
+    }
+
+    /// Overwrite (or insert) a user's profile; invalidates cached
+    /// similarities involving the community. In a live system this is
+    /// the "counters increased by one" path of the paper's Section 1.1.
+    pub fn upsert_user(
+        &mut self,
+        handle: CommunityHandle,
+        user: UserId,
+        vector: &[u32],
+    ) -> Result<(), EngineError> {
+        let idx = handle.0 as usize;
+        let entry = self
+            .entries
+            .get_mut(idx)
+            .ok_or(EngineError::UnknownCommunity(handle.0))?;
+        match entry.community.find_user(user) {
+            Some(i) => entry.community.set_vector(i, vector)?,
+            None => entry.community.push(user, vector)?,
+        }
+        self.bump_version(handle.0);
+        Ok(())
+    }
+
+    /// Remove a user (unsubscribe); invalidates cached similarities.
+    pub fn remove_user(
+        &mut self,
+        handle: CommunityHandle,
+        user: UserId,
+    ) -> Result<(), EngineError> {
+        let idx = handle.0 as usize;
+        let entry = self
+            .entries
+            .get_mut(idx)
+            .ok_or(EngineError::UnknownCommunity(handle.0))?;
+        let i = entry
+            .community
+            .find_user(user)
+            .ok_or(EngineError::UnknownUser(user))?;
+        entry.community.swap_remove_user(i);
+        self.bump_version(handle.0);
+        Ok(())
+    }
+
+    fn bump_version(&mut self, handle: u32) {
+        let entry = &mut self.entries[handle as usize];
+        entry.version += 1;
+        entry.prepared = None; // encodings are stale now
+        self.cache.retain(|&(x, y), _| x != handle && y != handle);
+    }
+
+    /// Orient a pair as (smaller B, larger A) with their handles; equal
+    /// sizes tie-break on the handle so the cache key is canonical.
+    fn oriented(&self, x: CommunityHandle, y: CommunityHandle) -> Result<(u32, u32), EngineError> {
+        let cx = self.community(x)?;
+        let cy = self.community(y)?;
+        Ok(match cx.len().cmp(&cy.len()) {
+            std::cmp::Ordering::Less => (x.0, y.0),
+            std::cmp::Ordering::Greater => (y.0, x.0),
+            std::cmp::Ordering::Equal => (x.0.min(y.0), x.0.max(y.0)),
+        })
+    }
+
+    /// Exact similarity of a pair, cached. Recomputes only when either
+    /// community changed since the cached join.
+    pub fn similarity(
+        &mut self,
+        x: CommunityHandle,
+        y: CommunityHandle,
+    ) -> Result<Similarity, EngineError> {
+        let (b, a) = self.oriented(x, y)?;
+        if let Some(entry) = self.cache.get(&(b, a)) {
+            if entry.version_x == self.entries[b as usize].version
+                && entry.version_y == self.entries[a as usize].version
+            {
+                self.cache_hits += 1;
+                return Ok(entry.similarity);
+            }
+        }
+        let pb = self.prepared(b);
+        let pa = self.prepared(a);
+        let similarity = self.join_prepared(self.config.refine_method, &pb, &pa)?;
+        self.cache.insert(
+            (b, a),
+            CacheEntry {
+                similarity,
+                version_x: self.entries[b as usize].version,
+                version_y: self.entries[a as usize].version,
+            },
+        );
+        Ok(similarity)
+    }
+
+    /// Phase 1 of the paper's pipeline: screen `x` against `candidates`
+    /// with the fast approximate method, in parallel, partitioning them
+    /// into shortlisted / rejected / inadmissible.
+    pub fn screen(
+        &mut self,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+    ) -> Result<ScreenOutcome, EngineError> {
+        self.community(x)?;
+        for &c in candidates {
+            self.community(c)?;
+        }
+        // Prepare every participant once (&mut phase), then fan the
+        // actual joins out over shared Arcs (&self phase).
+        let px = self.prepared(x.0);
+        let prepared: Vec<Arc<PreparedCommunity>> =
+            candidates.iter().map(|&c| self.prepared(c.0)).collect();
+
+        let inputs: Vec<(CommunityHandle, Arc<PreparedCommunity>)> =
+            candidates.iter().copied().zip(prepared).collect();
+        let results = self.parallel_map(&inputs, |(cand, py)| {
+            let (b, a) = if px.len() <= py.len() {
+                (&px, py)
+            } else {
+                (py, &px)
+            };
+            match self.join_prepared(self.config.screen_method, b, a) {
+                Ok(similarity) => (*cand, Some(similarity)),
+                Err(EngineError::Csj(_)) => (*cand, None),
+                Err(other) => unreachable!("handles validated above: {other}"),
+            }
+        });
+
+        let mut out = ScreenOutcome {
+            shortlisted: Vec::new(),
+            rejected: Vec::new(),
+            inadmissible: Vec::new(),
+        };
+        for (cand, sim) in results {
+            match sim {
+                None => out.inadmissible.push(cand),
+                Some(s) if s.ratio() >= self.config.screen_threshold => {
+                    out.shortlisted.push((cand, s))
+                }
+                Some(s) => out.rejected.push((cand, s)),
+            }
+        }
+        out.shortlisted
+            .sort_by(|p, q| q.1.ratio().partial_cmp(&p.1.ratio()).expect("finite"));
+        Ok(out)
+    }
+
+    /// The full two-phase pipeline of Section 3: screen `candidates`,
+    /// then refine the shortlist with the exact method (cached) and
+    /// return the refined ranking.
+    pub fn screen_and_refine(
+        &mut self,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+    ) -> Result<Vec<PairScore>, EngineError> {
+        let screened = self.screen(x, candidates)?;
+        let mut refined = Vec::with_capacity(screened.shortlisted.len());
+        for (cand, _) in screened.shortlisted {
+            let similarity = self.similarity(x, cand)?;
+            refined.push(PairScore {
+                x,
+                y: cand,
+                similarity,
+            });
+        }
+        refined.sort_by(|p, q| {
+            q.similarity
+                .ratio()
+                .partial_cmp(&p.similarity.ratio())
+                .expect("finite")
+        });
+        Ok(refined)
+    }
+
+    /// The `k` registered communities most similar to `x` (exact scores,
+    /// via screen-and-refine over everything admissible).
+    pub fn top_k_similar(
+        &mut self,
+        x: CommunityHandle,
+        k: usize,
+    ) -> Result<Vec<PairScore>, EngineError> {
+        let candidates: Vec<CommunityHandle> = self.handles().filter(|&h| h != x).collect();
+        let mut ranked = self.screen_and_refine(x, &candidates)?;
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    /// Every admissible pair among the registered communities whose
+    /// *exact* similarity reaches `threshold` (the broadcast-
+    /// recommendation sweep of scenario ii.b).
+    ///
+    /// Uses the paper's two-phase strategy per pair: the cheap screening
+    /// method first, refining only pairs whose screened similarity
+    /// clears the threshold. Because approximate CSJ never over-counts,
+    /// a pair screened *below* the threshold minus the screening margin
+    /// cannot reach it exactly — but since greedy matchings are maximal
+    /// (>= half the maximum), the safe skip bound is `threshold / 2`.
+    pub fn pairs_above(&mut self, threshold: f64) -> Result<Vec<PairScore>, EngineError> {
+        let handles: Vec<CommunityHandle> = self.handles().collect();
+        let mut out = Vec::new();
+        for (i, &x) in handles.iter().enumerate() {
+            for &y in &handles[i + 1..] {
+                let (b, a) = self.oriented(x, y)?;
+                if csj_core::validate_sizes(
+                    self.entries[b as usize].community.len(),
+                    self.entries[a as usize].community.len(),
+                )
+                .is_err()
+                {
+                    continue;
+                }
+                // Phase 1: cheap screen (unless already cached exactly).
+                let cached = self
+                    .cache
+                    .get(&(b, a))
+                    .map(|e| {
+                        e.version_x == self.entries[b as usize].version
+                            && e.version_y == self.entries[a as usize].version
+                    })
+                    .unwrap_or(false);
+                if !cached {
+                    let pb = self.prepared(b);
+                    let pa = self.prepared(a);
+                    let screened = self.join_prepared(self.config.screen_method, &pb, &pa)?;
+                    // Maximal matchings reach at least half the maximum,
+                    // so a screened ratio below threshold/2 proves the
+                    // exact ratio is below threshold.
+                    if screened.ratio() < threshold / 2.0 {
+                        continue;
+                    }
+                }
+                // Phase 2: exact (cached).
+                let similarity = self.similarity(x, y)?;
+                if similarity.ratio() >= threshold {
+                    out.push(PairScore { x, y, similarity });
+                }
+            }
+        }
+        out.sort_by(|p, q| {
+            q.similarity
+                .ratio()
+                .partial_cmp(&p.similarity.ratio())
+                .expect("finite")
+        });
+        Ok(out)
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            communities: self.entries.len(),
+            cached_pairs: self.cache.len(),
+            joins_executed: self
+                .joins_executed
+                .load(std::sync::atomic::Ordering::Relaxed),
+            cache_hits: self.cache_hits,
+        }
+    }
+
+    /// Order-preserving parallel map over a slice (workers steal by
+    /// index; results land in input order).
+    fn parallel_map<'s, T: Sync, R: Send>(
+        &'s self,
+        items: &'s [T],
+        f: impl Fn(&T) -> R + Sync + 's,
+    ) -> Vec<R> {
+        let threads = self.config.threads.max(1).min(items.len().max(1));
+        if threads <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+        results.resize_with(items.len(), || None);
+        let results_cell = std::sync::Mutex::new(&mut results);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    results_cell.lock().expect("no poisoned workers")[i] = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker filled slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn community(name: &str, rows: &[[u32; 2]]) -> Community {
+        Community::from_rows(
+            name,
+            2,
+            rows.iter().enumerate().map(|(i, v)| (i as u64, v.to_vec())),
+        )
+        .expect("well-formed")
+    }
+
+    fn engine_with_three() -> (CsjEngine, CommunityHandle, CommunityHandle, CommunityHandle) {
+        let mut engine = CsjEngine::new(2, EngineConfig::new(1));
+        // anchor: 4 users; near: 3 of 4 match; far: none match.
+        let anchor = community("anchor", &[[1, 1], [5, 5], [9, 9], [13, 13]]);
+        let near = community("near", &[[1, 2], [5, 5], [9, 8], [100, 100]]);
+        let far = community("far", &[[50, 0], [60, 0], [70, 0], [80, 0]]);
+        let a = engine.register(anchor).unwrap();
+        let n = engine.register(near).unwrap();
+        let f = engine.register(far).unwrap();
+        (engine, a, n, f)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (engine, a, _, _) = engine_with_three();
+        assert_eq!(engine.find("anchor"), Some(a));
+        assert_eq!(engine.find("nope"), None);
+        assert_eq!(engine.community(a).unwrap().len(), 4);
+        assert_eq!(engine.stats().communities, 3);
+    }
+
+    #[test]
+    fn register_rejects_bad_input() {
+        let mut engine = CsjEngine::new(2, EngineConfig::new(1));
+        engine.register(community("x", &[[1, 1]])).unwrap();
+        assert_eq!(
+            engine.register(community("x", &[[2, 2]])),
+            Err(EngineError::DuplicateName("x".into()))
+        );
+        let wrong_d = Community::new("y", 3);
+        assert!(matches!(
+            engine.register(wrong_d),
+            Err(EngineError::DimensionMismatch {
+                engine_d: 2,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn similarity_is_cached_and_symmetric() {
+        let (mut engine, a, n, _) = engine_with_three();
+        let s1 = engine.similarity(a, n).unwrap();
+        assert_eq!(s1.matched, 3);
+        let before = engine.stats().joins_executed;
+        let s2 = engine.similarity(n, a).unwrap(); // symmetric: same cache slot
+        assert_eq!(s1, s2);
+        assert_eq!(engine.stats().joins_executed, before, "must be a cache hit");
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn updates_invalidate_cache() {
+        let (mut engine, a, n, _) = engine_with_three();
+        let s1 = engine.similarity(a, n).unwrap();
+        assert_eq!(s1.matched, 3);
+        // Move the non-matching 'near' user onto a matching profile.
+        engine.upsert_user(n, 3, &[13, 13]).unwrap();
+        let s2 = engine.similarity(a, n).unwrap();
+        assert_eq!(s2.matched, 4, "update must be reflected");
+        // Removing a matching user drops it again.
+        engine.remove_user(n, 3).unwrap();
+        let s3 = engine.similarity(a, n).unwrap();
+        assert_eq!(s3.matched, 3);
+        assert_eq!(
+            engine.remove_user(n, 77).unwrap_err(),
+            EngineError::UnknownUser(77)
+        );
+    }
+
+    #[test]
+    fn upsert_can_insert_new_users() {
+        let (mut engine, a, _, _) = engine_with_three();
+        engine.upsert_user(a, 999, &[2, 2]).unwrap();
+        assert_eq!(engine.community(a).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn screening_partitions_candidates() {
+        let (mut engine, a, n, f) = engine_with_three();
+        let outcome = engine.screen(a, &[n, f]).unwrap();
+        assert_eq!(outcome.shortlisted.len(), 1);
+        assert_eq!(outcome.shortlisted[0].0, n);
+        assert_eq!(outcome.rejected, vec![(f, Similarity::new(0, 4))]);
+        assert!(outcome.inadmissible.is_empty());
+    }
+
+    #[test]
+    fn screening_flags_inadmissible_sizes() {
+        let mut engine = CsjEngine::new(2, EngineConfig::new(1));
+        let big = community("big", &[[1, 1], [2, 2], [3, 3], [4, 4], [5, 5]]);
+        let tiny = community("tiny", &[[1, 1]]);
+        let b = engine.register(big).unwrap();
+        let t = engine.register(tiny).unwrap();
+        let outcome = engine.screen(b, &[t]).unwrap();
+        assert_eq!(outcome.inadmissible, vec![t]);
+    }
+
+    #[test]
+    fn top_k_ranks_by_exact_similarity() {
+        let (mut engine, a, n, _) = engine_with_three();
+        let top = engine.top_k_similar(a, 5).unwrap();
+        assert_eq!(top.len(), 1, "only 'near' clears the screen threshold");
+        assert_eq!(top[0].y, n);
+        assert_eq!(top[0].similarity.matched, 3);
+    }
+
+    #[test]
+    fn pairs_above_sweeps_all_admissible_pairs() {
+        let (mut engine, a, n, f) = engine_with_three();
+        let pairs = engine.pairs_above(0.5).unwrap();
+        assert_eq!(pairs.len(), 1);
+        let p = pairs[0];
+        assert!((p.x == a && p.y == n) || (p.x == n && p.y == a));
+        let _ = f;
+    }
+
+    #[test]
+    fn unknown_handle_errors() {
+        let (mut engine, a, _, _) = engine_with_three();
+        let ghost = CommunityHandle(99);
+        assert!(matches!(
+            engine.similarity(a, ghost),
+            Err(EngineError::UnknownCommunity(99))
+        ));
+        assert!(engine.screen(ghost, &[a]).is_err());
+        assert!(engine.upsert_user(ghost, 1, &[1, 1]).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # csj-engine — a multi-community CSJ service layer
+//!
+//! The paper's application scenarios (Section 1.2) all revolve around an
+//! *online system* that evaluates CSJ over **many** community pairs:
+//! business-partner search compares one brand against candidate brands,
+//! broadcast recommendation ranks "a variety of community pairs", and
+//! Section 3 prescribes the execution strategy:
+//!
+//! > "The usage of approximate method is to fast find a group of
+//! > similar-enough community pairs for impending precise similarity
+//! > computation. When such a group is found, the exact method applies
+//! > ... The online system executes the respective recommendation case
+//! > exclusively based on the precise results derived from the exact
+//! > method."
+//!
+//! [`CsjEngine`] packages exactly that: a registry of communities, the
+//! two-phase **screen (approximate) → refine (exact)** pipeline, cached
+//! exact similarities with version-based invalidation, top-k
+//! most-similar queries and in-place community updates (subscribers
+//! arrive and counters grow continuously in a live system).
+//!
+//! For a pair that must be monitored under a *stream* of user updates,
+//! [`TrackedPair`] maintains the exact similarity incrementally — one
+//! `O(n·d)` candidate rescan plus a bounded matching repair per update,
+//! instead of a full `O(|B|·|A|·d)` re-join.
+
+mod engine;
+mod error;
+mod tracked;
+
+pub use engine::{CommunityHandle, CsjEngine, EngineConfig, EngineStats, PairScore, ScreenOutcome};
+pub use error::EngineError;
+pub use tracked::{Side, TrackedPair};
+
+#[cfg(test)]
+mod tests {
+    // Integration-style tests live in `engine.rs` and `tests/`.
+}

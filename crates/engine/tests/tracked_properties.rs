@@ -1,0 +1,82 @@
+//! Property-based tests: TrackedPair stays exact under arbitrary update
+//! streams (cross-checked against full brute-force recomputation).
+
+use csj_core::verify::ground_truth;
+use csj_core::Community;
+use csj_engine::{Side, TrackedPair};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    UpsertB(u64, Vec<u32>),
+    UpsertA(u64, Vec<u32>),
+    RemoveB(usize),
+    RemoveA(usize),
+}
+
+fn ops(d: usize) -> impl Strategy<Value = Vec<Op>> {
+    let vector = proptest::collection::vec(0u32..6, d);
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..2000, vector.clone()).prop_map(|(id, v)| Op::UpsertB(id, v)),
+            (0u64..2000, vector.clone()).prop_map(|(id, v)| Op::UpsertA(id, v)),
+            (0usize..64).prop_map(Op::RemoveB),
+            (0usize..64).prop_map(Op::RemoveA),
+        ],
+        1..30,
+    )
+}
+
+fn seed_pair(d: usize) -> (Community, Community) {
+    let mk = |name: &str, base: u64, n: u64| {
+        Community::from_rows(
+            name,
+            d,
+            (0..n).map(|i| {
+                let v: Vec<u32> = (0..d as u64)
+                    .map(|k| ((i * 3 + k * 5) % 6) as u32)
+                    .collect();
+                (base + i, v)
+            }),
+        )
+        .expect("well-formed")
+    };
+    (mk("B", 0, 8), mk("A", 100, 10))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tracked_pair_matches_recompute((d, stream) in (1usize..=4).prop_flat_map(|d| (Just(d), ops(d)))) {
+        let (b, a) = seed_pair(d);
+        let mut pair = TrackedPair::new(b, a, 1).expect("same d");
+        prop_assert_eq!(
+            pair.similarity().matched,
+            ground_truth(pair.b(), pair.a(), 1).similarity.matched
+        );
+        for op in stream {
+            match op {
+                Op::UpsertB(id, v) => pair.upsert_user(Side::B, id, &v).expect("valid"),
+                Op::UpsertA(id, v) => pair.upsert_user(Side::A, id, &v).expect("valid"),
+                Op::RemoveB(k) => {
+                    if pair.b().len() > 1 {
+                        let id = pair.b().user_id(k % pair.b().len());
+                        pair.remove_user(Side::B, id).expect("exists");
+                    }
+                }
+                Op::RemoveA(k) => {
+                    if pair.a().len() > 1 {
+                        let id = pair.a().user_id(k % pair.a().len());
+                        pair.remove_user(Side::A, id).expect("exists");
+                    }
+                }
+            }
+            prop_assert_eq!(
+                pair.similarity().matched,
+                ground_truth(pair.b(), pair.a(), 1).similarity.matched,
+                "tracked similarity diverged after {:?}", pair.updates_applied()
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! First-fit greedy matching in edge insertion order.
+//!
+//! This mirrors what the *approximate* CSJ methods compute implicitly: the
+//! first time an unmatched `b` meets an unmatched `a`, the pair is taken and
+//! both users are consumed. Having it as a standalone matcher lets the test
+//! suite and the `ablation_matcher` bench compare the approximate
+//! assignment policy against CSF and the true maximum on identical
+//! candidate graphs.
+
+use crate::{MatchGraph, Matching};
+
+/// Greedily match edges in their first-occurrence order.
+pub fn greedy(graph: &MatchGraph) -> Matching {
+    let mut left_used = vec![false; graph.num_left() as usize];
+    let mut right_used = vec![false; graph.num_right() as usize];
+    let mut out = Matching::new();
+    for &(b, a) in graph.edges() {
+        if !left_used[b as usize] && !right_used[a as usize] {
+            left_used[b as usize] = true;
+            right_used[a as usize] = true;
+            out.push(b, a);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn takes_first_available() {
+        // Edge order (0,0) first: greedy pairs b0-a0 and strands b1 (which
+        // only connects to a0) — a maximal but not maximum matching.
+        let g = MatchGraph::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 0)]);
+        let m = greedy(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.pairs(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn insertion_order_matters() {
+        // Same graph, better order: b1's only edge first.
+        let g = MatchGraph::from_edges(2, 2, vec![(1, 0), (0, 0), (0, 1)]);
+        let m = greedy(&g);
+        assert_eq!(m.pairs(), &[(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn empty() {
+        let g = MatchGraph::from_edges(0, 0, vec![]);
+        assert!(greedy(&g).is_empty());
+    }
+
+    #[test]
+    fn maximal_property() {
+        // Greedy output is always maximal: no remaining edge has both
+        // endpoints free.
+        let g = MatchGraph::from_edges(
+            4,
+            4,
+            vec![(0, 1), (1, 1), (1, 2), (2, 0), (2, 2), (3, 2), (3, 3)],
+        );
+        let m = greedy(&g);
+        m.validate(&g).unwrap();
+        let mut lu = [false; 4];
+        let mut ru = [false; 4];
+        for &(b, a) in m.pairs() {
+            lu[b as usize] = true;
+            ru[a as usize] = true;
+        }
+        for &(b, a) in g.edges() {
+            assert!(
+                lu[b as usize] || ru[a as usize],
+                "edge ({b},{a}) extends the matching"
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Kuhn's algorithm: maximum bipartite matching via DFS augmenting paths.
+//!
+//! `O(V * E)` worst case. Used as a second, independently implemented exact
+//! matcher so Hopcroft–Karp has a cross-check in the test suite, and as a
+//! reasonable default when candidate graphs are tiny. The DFS is iterative,
+//! so deep augmenting chains cannot overflow the call stack.
+
+use crate::{MatchGraph, Matching};
+
+const UNMATCHED: u32 = u32::MAX;
+
+/// Compute a maximum matching with Kuhn's augmenting-path algorithm.
+pub fn kuhn(graph: &MatchGraph) -> Matching {
+    let nb = graph.num_left() as usize;
+    let na = graph.num_right() as usize;
+    let mut match_a: Vec<u32> = vec![UNMATCHED; na]; // a -> b
+    let mut visited: Vec<u32> = vec![UNMATCHED; na]; // phase stamp per a
+                                                     // Iterative DFS: frames of (b, next neighbour cursor); `path[i]` is the
+                                                     // a-node through which frame `i+1` was entered (path.len() == depth).
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    let mut path: Vec<u32> = Vec::new();
+
+    for start in 0..nb as u32 {
+        if graph.left_degree(start) == 0 {
+            continue;
+        }
+        stack.clear();
+        path.clear();
+        stack.push((start, 0));
+        let stamp = start;
+        let mut augmented = false;
+
+        while let Some(top) = stack.len().checked_sub(1) {
+            let (b, cursor) = stack[top];
+            let neighbors = graph.neighbors_of_left(b);
+            if cursor >= neighbors.len() {
+                // Exhausted this b: backtrack (pop the a that led here too).
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            stack[top].1 += 1;
+            let a = neighbors[cursor];
+            if visited[a as usize] == stamp {
+                continue;
+            }
+            visited[a as usize] = stamp;
+            if match_a[a as usize] == UNMATCHED {
+                // Augmenting path found; record its final a and flip below.
+                path.push(a);
+                augmented = true;
+                break;
+            }
+            // Descend into the b currently holding `a`.
+            path.push(a);
+            stack.push((match_a[a as usize], 0));
+        }
+
+        if augmented {
+            debug_assert_eq!(stack.len(), path.len());
+            for (&(b, _), &a) in stack.iter().zip(path.iter()) {
+                match_a[a as usize] = b;
+            }
+        }
+    }
+
+    let mut out = Matching::new();
+    for (a, &b) in match_a.iter().enumerate() {
+        if b != UNMATCHED {
+            out.push(b, a as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_maximum;
+
+    fn graph(nb: u32, na: u32, edges: &[(u32, u32)]) -> MatchGraph {
+        MatchGraph::from_edges(nb, na, edges.to_vec())
+    }
+
+    #[test]
+    fn finds_augmenting_path() {
+        let g = graph(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let m = kuhn(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn empty() {
+        let g = graph(0, 0, &[]);
+        assert!(kuhn(&g).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        type Case = (u32, u32, Vec<(u32, u32)>);
+        let cases: Vec<Case> = vec![
+            (3, 3, vec![(0, 0), (1, 0), (2, 0)]),
+            (3, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)]),
+            (4, 2, vec![(0, 0), (1, 0), (2, 1), (3, 1)]),
+            (
+                5,
+                5,
+                vec![
+                    (0, 1),
+                    (0, 2),
+                    (1, 0),
+                    (1, 3),
+                    (2, 1),
+                    (3, 4),
+                    (3, 0),
+                    (4, 2),
+                    (4, 4),
+                ],
+            ),
+        ];
+        for (nb, na, edges) in cases {
+            let g = graph(nb, na, &edges);
+            let m = kuhn(&g);
+            m.validate(&g).unwrap();
+            assert_eq!(m.len(), brute_force_maximum(&g).len(), "edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // Chain graph forcing repeated re-matching: b_i -> {a_i, a_{i+1}}.
+        let n = 50u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, i));
+            edges.push((i, i + 1));
+        }
+        let g = graph(n, n + 1, &edges);
+        let m = kuhn(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.len(), n as usize);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // A pathological instance that forces one very long augmenting path:
+        // all b_i prefer a_0 first, then their own a_i.
+        let n = 5_000u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, 0));
+            edges.push((i, i));
+        }
+        let g = graph(n, n, &edges);
+        let m = kuhn(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.len(), n as usize);
+    }
+}

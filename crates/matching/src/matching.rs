@@ -1,0 +1,153 @@
+//! The [`Matching`] result type and its validation.
+
+use crate::MatchGraph;
+
+/// A one-to-one assignment between left (`B`) and right (`A`) nodes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    pairs: Vec<(u32, u32)>,
+}
+
+/// Violations detected by [`Matching::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchingError {
+    /// A pair references an edge that does not exist in the graph.
+    PhantomEdge { b: u32, a: u32 },
+    /// A left node appears in more than one pair.
+    LeftReused(u32),
+    /// A right node appears in more than one pair.
+    RightReused(u32),
+}
+
+impl std::fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchingError::PhantomEdge { b, a } => {
+                write!(f, "matched pair ({b}, {a}) is not an edge of the graph")
+            }
+            MatchingError::LeftReused(b) => write!(f, "left node {b} matched more than once"),
+            MatchingError::RightReused(a) => write!(f, "right node {a} matched more than once"),
+        }
+    }
+}
+
+impl std::error::Error for MatchingError {}
+
+impl Matching {
+    /// Empty matching.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Matching from raw pairs. Invariants are *not* checked here; call
+    /// [`Matching::validate`] when the pairs come from untrusted code.
+    pub fn from_pairs(pairs: Vec<(u32, u32)>) -> Self {
+        Self { pairs }
+    }
+
+    /// Add pair `(b, a)`.
+    #[inline]
+    pub fn push(&mut self, b: u32, a: u32) {
+        self.pairs.push((b, a));
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the matching is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The matched `(b, a)` pairs.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Consume into the raw pair vector.
+    pub fn into_pairs(self) -> Vec<(u32, u32)> {
+        self.pairs
+    }
+
+    /// Merge another matching into this one (used when a join flushes
+    /// per-segment matchings, as Ex-MinMax does).
+    pub fn extend_from(&mut self, other: Matching) {
+        self.pairs.extend(other.pairs);
+    }
+
+    /// Check the one-to-one invariants against `graph`:
+    /// every pair is a real edge, and no node is used twice.
+    pub fn validate(&self, graph: &MatchGraph) -> Result<(), MatchingError> {
+        let mut left_used = vec![false; graph.num_left() as usize];
+        let mut right_used = vec![false; graph.num_right() as usize];
+        for &(b, a) in &self.pairs {
+            if !graph.has_edge(b, a) {
+                return Err(MatchingError::PhantomEdge { b, a });
+            }
+            if std::mem::replace(&mut left_used[b as usize], true) {
+                return Err(MatchingError::LeftReused(b));
+            }
+            if std::mem::replace(&mut right_used[a as usize], true) {
+                return Err(MatchingError::RightReused(a));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(u32, u32)> for Matching {
+    fn from_iter<T: IntoIterator<Item = (u32, u32)>>(iter: T) -> Self {
+        Self {
+            pairs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> MatchGraph {
+        MatchGraph::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 0)])
+    }
+
+    #[test]
+    fn validate_accepts_proper_matching() {
+        let m = Matching::from_pairs(vec![(0, 1), (1, 0)]);
+        assert!(m.validate(&diamond()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_phantom_edge() {
+        let m = Matching::from_pairs(vec![(1, 1)]);
+        assert_eq!(
+            m.validate(&diamond()),
+            Err(MatchingError::PhantomEdge { b: 1, a: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_reuse() {
+        let m = Matching::from_pairs(vec![(0, 0), (0, 1)]);
+        assert_eq!(m.validate(&diamond()), Err(MatchingError::LeftReused(0)));
+        let m = Matching::from_pairs(vec![(0, 0), (1, 0)]);
+        assert_eq!(m.validate(&diamond()), Err(MatchingError::RightReused(0)));
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut m = Matching::from_pairs(vec![(0, 0)]);
+        m.extend_from(Matching::from_pairs(vec![(1, 1)]));
+        assert_eq!(m.pairs(), &[(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = MatchingError::PhantomEdge { b: 3, a: 4 };
+        assert!(e.to_string().contains("(3, 4)"));
+        assert!(MatchingError::LeftReused(7).to_string().contains('7'));
+        assert!(MatchingError::RightReused(9).to_string().contains('9'));
+    }
+}

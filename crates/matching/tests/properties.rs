@@ -1,0 +1,116 @@
+//! Property-based tests for the matching substrate.
+
+use csj_matching::{
+    brute_force_maximum, csf, greedy, hopcroft_karp, kuhn, run_matcher, MatchGraph, MatcherKind,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random bipartite graph.
+fn small_graph() -> impl Strategy<Value = MatchGraph> {
+    (1u32..=10, 1u32..=10).prop_flat_map(|(nb, na)| {
+        proptest::collection::vec((0..nb, 0..na), 0..40)
+            .prop_map(move |edges| MatchGraph::from_edges(nb, na, edges))
+    })
+}
+
+/// Strategy: a medium random bipartite graph (too big for the brute oracle,
+/// used for exact-vs-exact agreement).
+fn medium_graph() -> impl Strategy<Value = MatchGraph> {
+    (1u32..=60, 1u32..=60).prop_flat_map(|(nb, na)| {
+        proptest::collection::vec((0..nb, 0..na), 0..400)
+            .prop_map(move |edges| MatchGraph::from_edges(nb, na, edges))
+    })
+}
+
+proptest! {
+    /// Every matcher must return a valid one-to-one matching over real edges.
+    #[test]
+    fn all_matchers_return_valid_matchings(g in small_graph()) {
+        for kind in MatcherKind::ALL {
+            let m = run_matcher(&g, kind);
+            prop_assert!(m.validate(&g).is_ok(), "{kind} produced an invalid matching");
+        }
+    }
+
+    /// The exact matchers agree with the brute-force oracle.
+    #[test]
+    fn exact_matchers_hit_the_true_maximum(g in small_graph()) {
+        let best = brute_force_maximum(&g).len();
+        prop_assert_eq!(hopcroft_karp(&g).len(), best);
+        prop_assert_eq!(kuhn(&g).len(), best);
+    }
+
+    /// Heuristics never exceed the maximum and CSF dominates plain greedy's
+    /// worst-case guarantee (both are maximal, so >= max/2).
+    #[test]
+    fn heuristic_bounds(g in small_graph()) {
+        let best = brute_force_maximum(&g).len();
+        let csf_len = csf(&g).len();
+        let greedy_len = greedy(&g).len();
+        prop_assert!(csf_len <= best);
+        prop_assert!(greedy_len <= best);
+        // Maximal matchings are at least half of maximum.
+        prop_assert!(2 * csf_len >= best, "csf={csf_len} best={best}");
+        prop_assert!(2 * greedy_len >= best, "greedy={greedy_len} best={best}");
+    }
+
+    /// Kuhn and Hopcroft–Karp agree on graphs beyond the oracle's reach.
+    #[test]
+    fn exact_matchers_agree_on_medium_graphs(g in medium_graph()) {
+        prop_assert_eq!(hopcroft_karp(&g).len(), kuhn(&g).len());
+    }
+
+    /// CSF is maximal: after it finishes no edge has two free endpoints.
+    #[test]
+    fn csf_is_maximal(g in medium_graph()) {
+        let m = csf(&g);
+        let mut lu = vec![false; g.num_left() as usize];
+        let mut ru = vec![false; g.num_right() as usize];
+        for &(b, a) in m.pairs() {
+            lu[b as usize] = true;
+            ru[a as usize] = true;
+        }
+        for &(b, a) in g.edges() {
+            prop_assert!(lu[b as usize] || ru[a as usize],
+                "edge ({}, {}) could extend CSF's matching", b, a);
+        }
+    }
+}
+
+/// One edge-replacement step: (left side?, vertex, new neighbours).
+type UpdateStep = (bool, u32, Vec<u32>);
+
+/// Strategy: a sequence of per-vertex edge replacements.
+fn update_sequence() -> impl Strategy<Value = (u32, u32, Vec<UpdateStep>)> {
+    (2u32..=12, 2u32..=12).prop_flat_map(|(nb, na)| {
+        let updates = proptest::collection::vec(
+            (
+                proptest::bool::ANY,
+                0u32..nb.max(na),
+                proptest::collection::vec(0u32..na.max(nb), 0..6),
+            ),
+            1..25,
+        );
+        (Just(nb), Just(na), updates)
+    })
+}
+
+proptest! {
+    /// DynamicMatching stays maximum under arbitrary update sequences.
+    #[test]
+    fn dynamic_matching_stays_maximum((nb, na, updates) in update_sequence()) {
+        let mut dm = csj_matching::DynamicMatching::new(nb as usize, na as usize);
+        for (left, vertex, neighbors) in updates {
+            if left {
+                let b = vertex % nb;
+                let n: Vec<u32> = neighbors.iter().map(|&x| x % na).collect();
+                dm.set_left_edges(b, n);
+            } else {
+                let a = vertex % na;
+                let n: Vec<u32> = neighbors.iter().map(|&x| x % nb).collect();
+                dm.set_right_edges(a, n);
+            }
+            dm.assert_maximum();
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Organic community similarity from a single corpus (no planting).
+//!
+//! The paper's communities are subscriber sets of real pages inside one
+//! social network, so two pages naturally share subscribers — and CSJ
+//! "interprets the matched users as being the same person belonging to a
+//! different kind of audience". This example generates one population
+//! with popularity-ranked pages ([`csj_data::corpus`]), then measures CSJ
+//! between sibling pages (same category) and across categories, showing
+//! that the paper's similarity bands (same-category > different-category)
+//! emerge organically.
+//!
+//! ```text
+//! cargo run --release --example organic_corpus
+//! ```
+
+use csj::prelude::*;
+use csj_data::corpus::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig {
+        users: 30_000,
+        pages_per_category: 8,
+        ..CorpusConfig::default()
+    });
+    println!(
+        "corpus: {} users, {} pages across 27 categories\n",
+        corpus.population().len(),
+        corpus.pages().len()
+    );
+
+    let top2 = |cat: Category| {
+        let ranked = corpus.pages_of(cat);
+        (ranked[0].0, ranked[1].0)
+    };
+    let (ent1, ent2) = top2(Category::Entertainment);
+    let (sport1, _) = top2(Category::Sport);
+    let (food1, _) = top2(Category::FoodRecipes);
+
+    let opts = CsjOptions::new(1);
+    let mut join = |x: usize, y: usize| -> (f64, usize, usize) {
+        let cx = corpus.community(x);
+        let cy = corpus.community(y);
+        let (b, a) = if cx.len() <= cy.len() {
+            (&cx, &cy)
+        } else {
+            (&cy, &cx)
+        };
+        let mut o = opts;
+        o.enforce_sizes = false; // organic page sizes vary freely
+        let out = run(CsjMethod::ExMinMax, b, a, &o).expect("valid instance");
+        (
+            out.similarity.percent(),
+            out.similarity.matched,
+            corpus.shared_subscribers(x, y),
+        )
+    };
+
+    println!(
+        "{:<46} {:>9} {:>9} {:>8}",
+        "pair", "similarity", "matched", "shared"
+    );
+    for (label, x, y) in [
+        ("Entertainment #1 ~ Entertainment #2 (same)", ent1, ent2),
+        ("Entertainment #1 ~ Sport #1 (different)", ent1, sport1),
+        (
+            "Entertainment #1 ~ Food_recipes #1 (different)",
+            ent1,
+            food1,
+        ),
+        ("Sport #1 ~ Food_recipes #1 (different)", sport1, food1),
+    ] {
+        let (pct, matched, shared) = join(x, y);
+        println!("{label:<46} {pct:>8.2}% {matched:>9} {shared:>8}");
+    }
+
+    println!(
+        "\nShared subscribers anchor every pair (each matches itself exactly), and \
+         same-category siblings add similar-taste users on top — the organic version \
+         of the paper's >=30% (same) vs >=15% (different) case-study bands."
+    );
+}

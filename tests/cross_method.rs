@@ -1,0 +1,202 @@
+//! Cross-method agreement on realistic generated data, both datasets.
+//!
+//! These are the end-to-end guarantees the paper's evaluation relies on:
+//! integer-domain exact methods agree with each other; with a
+//! maximum-matching matcher they agree with brute-force ground truth;
+//! approximate methods never exceed exact ones; SuperEGO never exceeds
+//! the integer ground truth (its float conversion can only lose pairs).
+
+use csj::prelude::*;
+use csj_core::verify::ground_truth;
+
+fn generated_pairs() -> Vec<(CouplePair, &'static str)> {
+    let opts = BuildOptions {
+        scale: 512,
+        seed: 99,
+    };
+    let mut out = Vec::new();
+    for (i, dataset) in [Dataset::VkLike, Dataset::Uniform].into_iter().enumerate() {
+        for cid in [1u8, 10, 13] {
+            let spec = csj_data::spec::couple(cid);
+            let mut o = opts;
+            o.seed ^= i as u64;
+            out.push((
+                build_couple(spec, dataset, o),
+                if dataset == Dataset::VkLike {
+                    "vk"
+                } else {
+                    "synthetic"
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn options_for(pair: &CouplePair) -> CsjOptions {
+    let mut opts = CsjOptions::new(pair.eps);
+    opts.superego.max_value = Some(pair.superego_max_value);
+    opts
+}
+
+#[test]
+fn integer_exact_methods_agree_everywhere() {
+    // Guaranteed equality needs a true maximum matcher; under CSF the
+    // methods may differ by a whisker because CSF is a heuristic run on
+    // different decompositions (the paper's own Table 4, couple 10,
+    // shows 21.57% vs 21.56%).
+    for (pair, tag) in generated_pairs() {
+        let opts = options_for(&pair).with_matcher(MatcherKind::HopcroftKarp);
+        let baseline = run(CsjMethod::ExBaseline, &pair.b, &pair.a, &opts).unwrap();
+        for m in [CsjMethod::ExMinMax, CsjMethod::ExHybrid] {
+            let out = run(m, &pair.b, &pair.a, &opts).unwrap();
+            assert_eq!(
+                out.similarity.matched, baseline.similarity.matched,
+                "{m} disagrees with ex-baseline on {tag} cid {}",
+                pair.spec.cid
+            );
+        }
+        // Under CSF the disagreement must stay within a fraction of a
+        // percent of |B| (the paper-observed magnitude).
+        let csf = options_for(&pair);
+        let bl = run(CsjMethod::ExBaseline, &pair.b, &pair.a, &csf).unwrap();
+        let mm = run(CsjMethod::ExMinMax, &pair.b, &pair.a, &csf).unwrap();
+        let diff = bl.similarity.matched.abs_diff(mm.similarity.matched);
+        assert!(
+            diff as f64 <= 0.005 * pair.b.len() as f64 + 2.0,
+            "CSF-flavoured exact methods diverged by {diff} pairs on {tag} cid {}",
+            pair.spec.cid
+        );
+    }
+}
+
+#[test]
+fn exact_with_maximum_matcher_hits_ground_truth() {
+    for (pair, tag) in generated_pairs() {
+        let gt = ground_truth(&pair.b, &pair.a, pair.eps);
+        let opts = options_for(&pair).with_matcher(MatcherKind::HopcroftKarp);
+        for m in [
+            CsjMethod::ExBaseline,
+            CsjMethod::ExMinMax,
+            CsjMethod::ExHybrid,
+        ] {
+            let out = run(m, &pair.b, &pair.a, &opts).unwrap();
+            assert_eq!(
+                out.similarity.matched, gt.similarity.matched,
+                "{m} with Hopcroft-Karp must reach the maximum on {tag} cid {}",
+                pair.spec.cid
+            );
+        }
+    }
+}
+
+#[test]
+fn csf_is_near_optimal_on_csj_graphs() {
+    // The paper treats CSF as exact; audit how close it gets on realistic
+    // candidate graphs (it should be optimal or within 1%).
+    for (pair, tag) in generated_pairs() {
+        let gt = ground_truth(&pair.b, &pair.a, pair.eps);
+        let opts = options_for(&pair); // CSF matcher (default)
+        let out = run(CsjMethod::ExMinMax, &pair.b, &pair.a, &opts).unwrap();
+        assert!(out.similarity.matched <= gt.similarity.matched);
+        let deficit = gt.similarity.matched - out.similarity.matched;
+        assert!(
+            deficit * 100 <= gt.similarity.matched,
+            "CSF lost {deficit} of {} pairs on {tag} cid {}",
+            gt.similarity.matched,
+            pair.spec.cid
+        );
+    }
+}
+
+#[test]
+fn approximate_methods_never_exceed_exact() {
+    for (pair, tag) in generated_pairs() {
+        let opts = options_for(&pair);
+        let exact = run(
+            CsjMethod::ExBaseline,
+            &pair.b,
+            &pair.a,
+            &opts.with_matcher(MatcherKind::HopcroftKarp),
+        )
+        .unwrap();
+        for (ap, ex_bound) in [
+            (CsjMethod::ApBaseline, exact.similarity.matched),
+            (CsjMethod::ApMinMax, exact.similarity.matched),
+            (CsjMethod::ApHybrid, exact.similarity.matched),
+        ] {
+            let out = run(ap, &pair.b, &pair.a, &opts).unwrap();
+            assert!(
+                out.similarity.matched <= ex_bound,
+                "{ap} exceeded exact on {tag} cid {}",
+                pair.spec.cid
+            );
+        }
+    }
+}
+
+#[test]
+fn superego_never_exceeds_integer_ground_truth() {
+    for (pair, tag) in generated_pairs() {
+        let gt = ground_truth(&pair.b, &pair.a, pair.eps);
+        let opts = options_for(&pair).with_matcher(MatcherKind::HopcroftKarp);
+        let out = run(CsjMethod::ExSuperEgo, &pair.b, &pair.a, &opts).unwrap();
+        assert!(
+            out.similarity.matched <= gt.similarity.matched,
+            "ex-superego over-counted on {tag} cid {}",
+            pair.spec.cid
+        );
+    }
+}
+
+#[test]
+fn synthetic_exact_normalisation_gives_full_agreement() {
+    // Tables 8/10: on the Synthetic dataset all exact methods report the
+    // same similarity (the power-of-two divisor makes floats exact).
+    let spec = csj_data::spec::couple(15);
+    let pair = build_couple(
+        spec,
+        Dataset::Uniform,
+        BuildOptions {
+            scale: 256,
+            seed: 5,
+        },
+    );
+    let opts = options_for(&pair);
+    let minmax = run(CsjMethod::ExMinMax, &pair.b, &pair.a, &opts).unwrap();
+    let superego = run(CsjMethod::ExSuperEgo, &pair.b, &pair.a, &opts).unwrap();
+    assert_eq!(minmax.similarity.matched, superego.similarity.matched);
+}
+
+#[test]
+fn all_reported_pairs_are_true_matches() {
+    for (pair, tag) in generated_pairs() {
+        let opts = options_for(&pair);
+        for m in CsjMethod::ALL {
+            let out = run(m, &pair.b, &pair.a, &opts).unwrap();
+            // One-to-one.
+            let mut bs: Vec<u32> = out.pairs.iter().map(|&(x, _)| x).collect();
+            let mut as_: Vec<u32> = out.pairs.iter().map(|&(_, y)| y).collect();
+            let (nb, na) = (bs.len(), as_.len());
+            bs.sort_unstable();
+            bs.dedup();
+            as_.sort_unstable();
+            as_.dedup();
+            assert_eq!(bs.len(), nb, "{m} reused a B user on {tag}");
+            assert_eq!(as_.len(), na, "{m} reused an A user on {tag}");
+            // Every integer-domain pair satisfies the strict condition.
+            if !matches!(m, CsjMethod::ApSuperEgo | CsjMethod::ExSuperEgo) {
+                for &(x, y) in &out.pairs {
+                    assert!(
+                        csj_core::vectors_match(
+                            pair.b.vector(x as usize),
+                            pair.a.vector(y as usize),
+                            pair.eps
+                        ),
+                        "{m} reported a non-matching pair on {tag}"
+                    );
+                }
+            }
+        }
+    }
+}

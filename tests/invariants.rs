@@ -1,0 +1,132 @@
+//! Property-based end-to-end invariants over random communities.
+
+use csj::prelude::*;
+use csj_core::verify::ground_truth;
+use proptest::prelude::*;
+
+/// Strategy: a pair of random communities sharing dimensionality, with
+/// sizes that satisfy the CSJ constraint, plus an epsilon.
+fn csj_instance() -> impl Strategy<Value = (Community, Community, u32)> {
+    (1usize..=6, 1usize..=30, 0u32..=3, 1u32..=25).prop_flat_map(|(d, nb_extra, eps, range)| {
+        let nb = 1 + nb_extra;
+        // |A| in [|B|, 2|B|] keeps ceil(|A|/2) <= |B|.
+        (Just(d), Just(nb), nb..=(2 * nb), Just(eps), Just(range)).prop_flat_map(
+            |(d, nb, na, eps, range)| {
+                let vec_b = proptest::collection::vec(proptest::collection::vec(0..range, d), nb);
+                let vec_a = proptest::collection::vec(proptest::collection::vec(0..range, d), na);
+                (vec_b, vec_a).prop_map(move |(rb, ra)| {
+                    let b = Community::from_rows(
+                        "B",
+                        d,
+                        rb.into_iter().enumerate().map(|(i, v)| (i as u64, v)),
+                    )
+                    .expect("well-formed");
+                    let a = Community::from_rows(
+                        "A",
+                        d,
+                        ra.into_iter().enumerate().map(|(i, v)| (i as u64, v)),
+                    )
+                    .expect("well-formed");
+                    (b, a, eps)
+                })
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ex-MinMax's segment flushing is lossless: with a maximum matcher
+    /// it equals whole-graph maximum matching (the segment-isolation
+    /// safety argument of Section 4.2, tested end-to-end).
+    #[test]
+    fn segment_flushing_is_lossless((b, a, eps) in csj_instance()) {
+        let gt = ground_truth(&b, &a, eps);
+        let opts = CsjOptions::new(eps).with_matcher(MatcherKind::HopcroftKarp);
+        let out = run(CsjMethod::ExMinMax, &b, &a, &opts).expect("valid instance");
+        prop_assert_eq!(out.similarity.matched, gt.similarity.matched);
+    }
+
+    /// The encoding never causes false misses end-to-end: under a true
+    /// maximum matcher Ex-MinMax and Ex-Baseline agree exactly. (Under
+    /// the CSF heuristic they may differ by a whisker — the paper's own
+    /// Table 4 shows 21.57 vs 21.56 on couple 10 — so equality is only
+    /// guaranteed here with Hopcroft-Karp.)
+    #[test]
+    fn minmax_equals_baseline((b, a, eps) in csj_instance()) {
+        let opts = CsjOptions::new(eps).with_matcher(MatcherKind::HopcroftKarp);
+        let m = run(CsjMethod::ExMinMax, &b, &a, &opts).expect("valid");
+        let bl = run(CsjMethod::ExBaseline, &b, &a, &opts).expect("valid");
+        prop_assert_eq!(m.similarity.matched, bl.similarity.matched);
+    }
+
+    /// Approximate results are valid one-to-one matchings of true pairs,
+    /// bounded by the true maximum matching.
+    #[test]
+    fn approximate_is_sound((b, a, eps) in csj_instance()) {
+        let opts = CsjOptions::new(eps);
+        let maximum = ground_truth(&b, &a, eps).similarity.matched;
+        for m in [CsjMethod::ApBaseline, CsjMethod::ApMinMax, CsjMethod::ApHybrid] {
+            let out = run(m, &b, &a, &opts).expect("valid");
+            prop_assert!(out.similarity.matched <= maximum);
+            // Maximal matchings reach at least half the maximum.
+            prop_assert!(2 * out.similarity.matched >= maximum);
+            let mut seen_b = vec![false; b.len()];
+            let mut seen_a = vec![false; a.len()];
+            for &(x, y) in &out.pairs {
+                prop_assert!(csj_core::vectors_match(
+                    b.vector(x as usize), a.vector(y as usize), eps));
+                prop_assert!(!std::mem::replace(&mut seen_b[x as usize], true));
+                prop_assert!(!std::mem::replace(&mut seen_a[y as usize], true));
+            }
+            // Approximate matchings are maximal: a b with a free true
+            // partner would have taken it, so every unmatched b has no
+            // free partner left.
+            for (x, &bx_used) in seen_b.iter().enumerate() {
+                if bx_used { continue; }
+                for (y, &ay_used) in seen_a.iter().enumerate() {
+                    if !ay_used {
+                        prop_assert!(
+                            !csj_core::vectors_match(b.vector(x), a.vector(y), eps),
+                            "{m} left matchable pair ({x}, {y}) unmatched"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The hybrid integer-domain methods agree with the integer baseline
+    /// (maximum matcher: edge order must not matter).
+    #[test]
+    fn hybrid_is_lossless((b, a, eps) in csj_instance()) {
+        let opts = CsjOptions::new(eps).with_matcher(MatcherKind::HopcroftKarp);
+        let hybrid = run(CsjMethod::ExHybrid, &b, &a, &opts).expect("valid");
+        let baseline = run(CsjMethod::ExBaseline, &b, &a, &opts).expect("valid");
+        prop_assert_eq!(hybrid.similarity.matched, baseline.similarity.matched);
+    }
+
+    /// Similarity is always within [0, 100] and matched <= |B|.
+    #[test]
+    fn similarity_is_well_formed((b, a, eps) in csj_instance()) {
+        let opts = CsjOptions::new(eps);
+        for m in CsjMethod::ALL {
+            let out = run(m, &b, &a, &opts).expect("valid");
+            prop_assert!(out.similarity.matched <= b.len());
+            prop_assert!(out.similarity.percent() >= 0.0);
+            prop_assert!(out.similarity.percent() <= 100.0);
+        }
+    }
+
+    /// SuperEGO with an exact power-of-two divisor equals the integer
+    /// answer (the Synthetic-regime agreement), for any data.
+    #[test]
+    fn superego_exact_under_power_of_two((b, a, eps) in csj_instance()) {
+        let mut opts = CsjOptions::new(eps).with_matcher(MatcherKind::HopcroftKarp);
+        opts.superego.max_value = Some(32); // counters < 32, power of two
+        let ego = run(CsjMethod::ExSuperEgo, &b, &a, &opts).expect("valid");
+        let gt = ground_truth(&b, &a, eps);
+        prop_assert_eq!(ego.similarity.matched, gt.similarity.matched);
+    }
+}
