@@ -65,7 +65,7 @@ fn bench_leaf_threshold(c: &mut Criterion) {
 fn bench_predicate(c: &mut Criterion) {
     let pair = vk_pair();
     let per_dim = base_opts(&pair);
-    let mut l1 = per_dim;
+    let mut l1 = per_dim.clone();
     l1.superego.l1_predicate = true;
     let per_dim_pairs = ex_superego(&pair.b, &pair.a, &per_dim).pairs.len();
     let l1_pairs = ex_superego(&pair.b, &pair.a, &l1).pairs.len();

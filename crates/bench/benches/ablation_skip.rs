@@ -17,7 +17,7 @@ fn bench_skip(c: &mut Criterion) {
         },
     );
     let on = CsjOptions::new(pair.eps);
-    let mut off = on;
+    let mut off = on.clone();
     off.offset_pruning = false;
 
     let mut group = c.benchmark_group("offset_pruning");

@@ -68,6 +68,11 @@ pub enum Command {
         candidates: Vec<PathBuf>,
         eps: u32,
         k: usize,
+        /// Wall-clock budget for the whole query; on exhaustion the
+        /// ranking covers whatever was scored in time.
+        deadline_ms: Option<u64>,
+        /// Cap on joins executed by the query.
+        max_joins: Option<u64>,
     },
     /// Brute-force ground truth of a pair.
     Truth { b: PathBuf, a: PathBuf, eps: u32 },
@@ -104,7 +109,7 @@ usage:
   csj info <FILE>
   csj prepare --input FILE --eps E [--parts P] --out FILE.csjp
   csj join --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P] [--json] [--pairs N]
-  csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K]
+  csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N]
   csj truth --b FILE --a FILE --eps E
 formats: *.csv is text, *.csjp is a prepared index, anything else the CSJB binary format";
 
@@ -207,6 +212,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 candidates,
                 eps: parse_num("--eps", require("--eps")?)? as u32,
                 k: get("--k").map_or(Ok(3), |v| parse_num("--k", v))? as usize,
+                deadline_ms: get("--deadline-ms")
+                    .map(|v| parse_num("--deadline-ms", v))
+                    .transpose()?,
+                max_joins: get("--max-joins")
+                    .map(|v| parse_num("--max-joins", v))
+                    .transpose()?,
             })
         }
         "truth" => Ok(Command::Truth {
@@ -394,6 +405,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         ego_stats: raw.ego,
                         elapsed: start.elapsed() + raw.timings.total(),
                         timings: raw.timings,
+                        cancelled: raw.cancelled,
                     }
                 }
                 None => run(method, cb, ca, &opts).map_err(CliError::Csj)?,
@@ -462,8 +474,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             candidates,
             eps,
             k,
+            deadline_ms,
+            max_joins,
         } => {
-            use csj_engine::{CsjEngine, EngineConfig};
+            use csj_engine::{Budget, CsjEngine, EngineConfig};
             let anchor_c = match load_any(&anchor)? {
                 Loaded::Plain(c) => c,
                 Loaded::Prepared(p) => p.into_community(),
@@ -485,9 +499,18 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         .map_err(|e| CliError::Io(e.to_string()))?,
                 );
             }
-            let mut ranked = engine
-                .screen_and_refine(anchor_h, &handles)
+            let mut budget = Budget::unlimited();
+            if let Some(ms) = deadline_ms {
+                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            if let Some(max) = max_joins {
+                budget = budget.with_max_joins(max);
+            }
+            let partial = engine
+                .screen_and_refine_with_budget(anchor_h, &handles, &budget)
                 .map_err(|e| CliError::Io(e.to_string()))?;
+            let exhausted = partial.exhausted;
+            let mut ranked = partial.value;
             ranked.truncate(k);
             use std::fmt::Write as _;
             let mut out = format!(
@@ -496,6 +519,13 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 candidates.len(),
                 engine.community(anchor_h).expect("registered").name()
             );
+            if let Some(marker) = exhausted {
+                let _ = writeln!(
+                    out,
+                    "  (budget exhausted: {}; {} joins done, {} skipped — ranking is partial)",
+                    marker.reason, marker.pairs_done, marker.pairs_skipped
+                );
+            }
             if ranked.is_empty() {
                 let _ = writeln!(out, "  (no candidate cleared the screening threshold)");
             }
@@ -685,6 +715,8 @@ mod tests {
             candidates: vec![a],
             eps: 1,
             k: 2,
+            deadline_ms: None,
+            max_joins: None,
         })
         .unwrap();
         assert!(topk.contains("#1"), "topk output was: {topk}");
@@ -774,6 +806,8 @@ mod tests {
             candidates: vec![b],
             eps: 1,
             k: 1,
+            deadline_ms: None,
+            max_joins: None,
         })
         .unwrap();
         assert!(out.contains("#1"), "topk must accept .csjp inputs: {out}");
@@ -818,6 +852,70 @@ mod tests {
             parse(&argv("topk --anchor x --candidates , --eps 1")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_topk_budget_flags() {
+        let cmd = parse(&argv(
+            "topk --anchor x --candidates a,b --eps 1 --deadline-ms 250 --max-joins 10",
+        ))
+        .unwrap();
+        match cmd {
+            Command::TopK {
+                deadline_ms,
+                max_joins,
+                ..
+            } => {
+                assert_eq!(deadline_ms, Some(250));
+                assert_eq!(max_joins, Some(10));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("topk --anchor x --candidates a --eps 1")).unwrap() {
+            Command::TopK {
+                deadline_ms,
+                max_joins,
+                ..
+            } => {
+                assert_eq!(deadline_ms, None, "budget flags default to unlimited");
+                assert_eq!(max_joins, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv(
+                "topk --anchor x --candidates a --eps 1 --deadline-ms soon"
+            )),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn topk_reports_budget_exhaustion() {
+        let dir = std::env::temp_dir().join("csj_cli_topk_budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = dir.join("b.csjb");
+        let a = dir.join("a.csjb");
+        execute(Command::Generate {
+            dataset: Dataset::VkLike,
+            cid: 3,
+            scale: 1024,
+            seed: 11,
+            out_b: b.clone(),
+            out_a: a.clone(),
+        })
+        .unwrap();
+        let out = execute(Command::TopK {
+            anchor: b,
+            candidates: vec![a],
+            eps: 1,
+            k: 3,
+            deadline_ms: None,
+            max_joins: Some(0),
+        })
+        .unwrap();
+        assert!(out.contains("budget exhausted"), "output was: {out}");
+        assert!(out.contains("max-joins"), "output was: {out}");
     }
 
     #[test]

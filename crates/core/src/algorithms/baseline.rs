@@ -28,6 +28,10 @@ pub fn ap_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     // to Ap-MinMax for the faster processing of the nested loop join").
     let mut offset = 0usize;
     for i in 0..nb {
+        if opts.is_cancelled() {
+            out.cancelled = true;
+            break;
+        }
         let bv = b.vector(i);
         let mut skip = true;
         let mut j = offset;
@@ -66,8 +70,9 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let mut out = RawJoin::default();
     let pairing = std::time::Instant::now();
 
+    let cancel = opts.cancel.as_ref();
     let chunks: Vec<ScanChunk> = if threads <= 1 {
-        vec![scan_rows(b, a, 0..nb, opts.eps)]
+        vec![scan_rows(b, a, 0..nb, opts.eps, cancel)]
     } else {
         let chunk = nb.div_ceil(threads);
         let ranges: Vec<std::ops::Range<usize>> = (0..threads)
@@ -76,7 +81,7 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|r| scope.spawn(move || scan_rows(b, a, r, opts.eps)))
+                .map(|r| scope.spawn(move || scan_rows(b, a, r, opts.eps, cancel)))
                 .collect();
             handles
                 .into_iter()
@@ -88,14 +93,15 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let mut builder = GraphBuilder::with_capacity(
         nb as u32,
         na as u32,
-        chunks.iter().map(|(e, _, _)| e.len()).sum(),
+        chunks.iter().map(|c| c.edges.len()).sum(),
     );
-    for (edges, matches, no_matches) in chunks {
-        for (i, j) in edges {
+    for chunk in chunks {
+        for (i, j) in chunk.edges {
             builder.add_edge(i, j);
         }
-        out.events.matches += matches;
-        out.events.no_match += no_matches;
+        out.events.matches += chunk.matches;
+        out.events.no_match += chunk.no_matches;
+        out.cancelled |= chunk.cancelled;
     }
     out.timings.pairing = pairing.elapsed();
     let matching_t = std::time::Instant::now();
@@ -106,15 +112,32 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     out
 }
 
-/// Edges plus (match, no-match) counts from one scanned row range.
-type ScanChunk = (Vec<(u32, u32)>, u64, u64);
+/// Edges plus event counts from one scanned row range.
+struct ScanChunk {
+    edges: Vec<(u32, u32)>,
+    matches: u64,
+    no_matches: u64,
+    cancelled: bool,
+}
 
-/// Scan one range of `B` rows against all of `A`.
-fn scan_rows(b: &Community, a: &Community, rows: std::ops::Range<usize>, eps: u32) -> ScanChunk {
+/// Scan one range of `B` rows against all of `A`, polling `cancel` once
+/// per row.
+fn scan_rows(
+    b: &Community,
+    a: &Community,
+    rows: std::ops::Range<usize>,
+    eps: u32,
+    cancel: Option<&crate::cancel::CancelToken>,
+) -> ScanChunk {
     let mut edges = Vec::new();
     let mut matches = 0u64;
     let mut no_matches = 0u64;
+    let mut cancelled = false;
     for i in rows {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            cancelled = true;
+            break;
+        }
         let bv = b.vector(i);
         for j in 0..a.len() {
             if vectors_match(bv, a.vector(j), eps) {
@@ -125,7 +148,12 @@ fn scan_rows(b: &Community, a: &Community, rows: std::ops::Range<usize>, eps: u3
             }
         }
     }
-    (edges, matches, no_matches)
+    ScanChunk {
+        edges,
+        matches,
+        no_matches,
+        cancelled,
+    }
 }
 
 #[cfg(test)]
@@ -233,12 +261,31 @@ mod tests {
         )
         .unwrap();
         let serial = CsjOptions::new(1);
-        let mut parallel = serial;
+        let mut parallel = serial.clone();
         parallel.threads = 4;
         let s = ex_baseline(&b, &a, &serial);
         let p = ex_baseline(&b, &a, &parallel);
         assert_eq!(s.pairs, p.pairs);
         assert_eq!(s.events, p.events);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_empty_flagged_result() {
+        let b = community("B", &[&[1], &[1], &[1]]);
+        let a = community("A", &[&[1], &[1], &[1]]);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let opts = CsjOptions::new(0).with_cancel(token);
+        let ap = ap_baseline(&b, &a, &opts);
+        assert!(ap.cancelled);
+        assert!(ap.pairs.is_empty());
+        let ex = ex_baseline(&b, &a, &opts);
+        assert!(ex.cancelled);
+        assert!(ex.pairs.is_empty());
+        // Without a token the same inputs run to completion.
+        let full = ap_baseline(&b, &a, &CsjOptions::new(0));
+        assert!(!full.cancelled);
+        assert_eq!(full.pairs.len(), 3);
     }
 
     #[test]

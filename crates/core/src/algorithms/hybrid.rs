@@ -116,6 +116,9 @@ pub fn ap_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
         params,
         &mut stats,
         &mut |bs, br, as_, ar, stats| {
+            if opts.is_cancelled() {
+                return;
+            }
             for i in br {
                 let bi = bs.id(i) as usize;
                 if matched_b[bi] {
@@ -153,6 +156,7 @@ pub fn ap_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
             pairing: pairing_t.elapsed(),
             matching: std::time::Duration::ZERO,
         },
+        cancelled: opts.is_cancelled(),
     }
 }
 
@@ -175,6 +179,9 @@ pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
         params,
         &mut stats,
         &mut |bs, br, as_, ar, stats| {
+            if opts.is_cancelled() {
+                return;
+            }
             for i in br {
                 let bi = bs.id(i) as usize;
                 for j in ar.clone() {
@@ -196,9 +203,16 @@ pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     );
 
     let pairing = pairing_t.elapsed();
+    // Honour cancellation before paying for the matcher: the empty
+    // matching is trivially valid and the flag tells the caller why.
+    let cancelled = opts.is_cancelled();
     let matching_t = std::time::Instant::now();
-    let graph = builder.build();
-    let pairs = run_matcher(&graph, opts.matcher).into_pairs();
+    let pairs = if cancelled {
+        Vec::new()
+    } else {
+        let graph = builder.build();
+        run_matcher(&graph, opts.matcher).into_pairs()
+    };
     RawJoin {
         pairs,
         events,
@@ -208,6 +222,7 @@ pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
             pairing,
             matching: matching_t.elapsed(),
         },
+        cancelled,
     }
 }
 

@@ -35,6 +35,7 @@
 use csj_matching::{run_matcher, MatchGraph, MatcherKind};
 
 use crate::algorithms::{CsjOptions, RawJoin};
+use crate::cancel::CancelToken;
 use crate::community::Community;
 use crate::encoding::{encode_a, encode_b, EncodedA, EncodedB};
 use crate::events::{Event, EventCounters};
@@ -97,7 +98,9 @@ impl MinMaxOracle for RealOracle<'_> {
 }
 
 /// The Ap-MinMax pairing loop over pre-encoded buffers. Returns matched
-/// `(b_pos, a_pos)` buffer positions.
+/// `(b_pos, a_pos)` buffer positions. `cancel` is polled once per `b`
+/// row; on trip the loop stops and sets `*cancelled`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub(crate) fn ap_minmax_loop<O: MinMaxOracle, T: TraceSink>(
     eb_ids: &[u64],
     ea_mins: &[u64],
@@ -106,6 +109,8 @@ pub(crate) fn ap_minmax_loop<O: MinMaxOracle, T: TraceSink>(
     advance_offset: bool,
     events: &mut EventCounters,
     trace: &mut T,
+    cancel: Option<&CancelToken>,
+    cancelled: &mut bool,
 ) -> Vec<(u32, u32)> {
     let na = ea_mins.len();
     let mut consumed = vec![false; na];
@@ -113,6 +118,10 @@ pub(crate) fn ap_minmax_loop<O: MinMaxOracle, T: TraceSink>(
     let mut pairs = Vec::new();
 
     for (i, &id) in eb_ids.iter().enumerate() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            *cancelled = true;
+            break;
+        }
         let mut skip = true;
         let mut j = offset;
         while j < na {
@@ -166,7 +175,10 @@ pub(crate) fn ap_minmax_loop<O: MinMaxOracle, T: TraceSink>(
 
 /// The Ex-MinMax pairing loop: collects every match per `b`, flushing
 /// closed segments through `matcher`. Returns the final one-to-one
-/// `(b_pos, a_pos)` buffer positions.
+/// `(b_pos, a_pos)` buffer positions. `cancel` is polled once per `b`
+/// row; on trip the already-flushed segments are returned (a valid
+/// partial matching) and `*cancelled` is set — edges of the still-open
+/// segment are dropped rather than matched so cancellation stays prompt.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub(crate) fn ex_minmax_loop<O: MinMaxOracle, T: TraceSink>(
     eb_ids: &[u64],
@@ -178,6 +190,8 @@ pub(crate) fn ex_minmax_loop<O: MinMaxOracle, T: TraceSink>(
     events: &mut EventCounters,
     trace: &mut T,
     matcher_time: &mut std::time::Duration,
+    cancel: Option<&CancelToken>,
+    cancelled: &mut bool,
 ) -> Vec<(u32, u32)> {
     let na = ea_mins.len();
     let mut flushed = vec![false; na];
@@ -187,6 +201,10 @@ pub(crate) fn ex_minmax_loop<O: MinMaxOracle, T: TraceSink>(
     let mut pairs = Vec::new();
 
     for (i, &id) in eb_ids.iter().enumerate() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            *cancelled = true;
+            break;
+        }
         let mut skip = true;
         let mut j = offset;
         while j < na {
@@ -321,6 +339,8 @@ pub(crate) fn ap_minmax_prepared(
         opts.offset_pruning,
         &mut out.events,
         &mut NoTrace,
+        opts.cancel.as_ref(),
+        &mut out.cancelled,
     );
     out.timings.pairing = pairing.elapsed();
     out.pairs = map_positions(&pos_pairs, eb, ea);
@@ -366,6 +386,8 @@ pub(crate) fn ex_minmax_prepared(
         &mut out.events,
         &mut NoTrace,
         &mut matcher_time,
+        opts.cancel.as_ref(),
+        &mut out.cancelled,
     );
     out.timings.pairing = pairing.elapsed().saturating_sub(matcher_time);
     out.timings.matching = matcher_time;
@@ -436,6 +458,7 @@ mod tests {
         ]);
         let mut events = EventCounters::default();
         let mut tape = Tape::default();
+        let mut cancelled = false;
         let pairs = ap_minmax_loop(
             &eb_ids,
             &ea_mins,
@@ -444,6 +467,8 @@ mod tests {
             true,
             &mut events,
             &mut tape,
+            None,
+            &mut cancelled,
         );
 
         // MATCHES = {<b2, a3>, <b5, a5>} -> positions (1,2), (4,4);
@@ -503,6 +528,7 @@ mod tests {
         let mut events = EventCounters::default();
         let mut tape = Tape::default();
         let mut matcher_time = std::time::Duration::ZERO;
+        let mut cancelled = false;
         let pairs = ex_minmax_loop(
             &eb_ids,
             &ea_mins,
@@ -513,6 +539,8 @@ mod tests {
             &mut events,
             &mut tape,
             &mut matcher_time,
+            None,
+            &mut cancelled,
         );
 
         use Event::*;
@@ -704,7 +732,7 @@ mod tests {
         )
         .unwrap();
         let on = CsjOptions::new(1).with_parts(2);
-        let mut off = on;
+        let mut off = on.clone();
         off.offset_pruning = false;
         // Identical results either way; pruning only affects work done.
         assert_eq!(ap_minmax(&b, &a, &on).pairs, ap_minmax(&b, &a, &off).pairs);

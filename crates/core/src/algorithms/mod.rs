@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use csj_ego::EgoStats;
 use csj_matching::MatcherKind;
 
+use crate::cancel::CancelToken;
 use crate::community::Community;
 use crate::encoding::EncodingParams;
 use crate::error::CsjError;
@@ -150,7 +151,7 @@ impl Default for SuperEgoConfig {
 }
 
 /// Options shared by all CSJ methods.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsjOptions {
     /// The per-dimension absolute-difference threshold.
     pub eps: u32,
@@ -171,6 +172,11 @@ pub struct CsjOptions {
     /// (Ex-Baseline partitions `B`; Ex-SuperEGO uses its own
     /// `superego.threads`). 1 = serial, the paper's setting.
     pub threads: usize,
+    /// Cooperative cancellation hook. When set, the join loops poll the
+    /// token at per-row granularity and stop early once it trips; the
+    /// truncated result is reported via [`JoinOutcome::cancelled`].
+    /// `None` (the default) runs to completion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl CsjOptions {
@@ -185,6 +191,7 @@ impl CsjOptions {
             enforce_sizes: true,
             offset_pruning: true,
             threads: 1,
+            cancel: None,
         }
     }
 
@@ -198,6 +205,18 @@ impl CsjOptions {
     pub fn with_parts(mut self, parts: usize) -> Self {
         self.encoding = EncodingParams { parts };
         self
+    }
+
+    /// Builder-style: attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the attached token (if any) has been tripped.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -236,6 +255,9 @@ pub struct RawJoin {
     pub ego: Option<EgoStats>,
     /// Per-phase wall-clock breakdown.
     pub timings: PhaseTimings,
+    /// The join stopped early because [`CsjOptions::cancel`] tripped; the
+    /// pairs above are a valid but possibly incomplete matching.
+    pub cancelled: bool,
 }
 
 /// The full result of a CSJ join.
@@ -255,6 +277,10 @@ pub struct JoinOutcome {
     pub elapsed: Duration,
     /// Per-phase breakdown (setup / pairing / matching).
     pub timings: PhaseTimings,
+    /// The join was cancelled mid-flight (see [`CsjOptions::cancel`]);
+    /// `similarity` and `pairs` reflect only the work done before the
+    /// token tripped and may under-count.
+    pub cancelled: bool,
 }
 
 impl JoinOutcome {
@@ -336,6 +362,7 @@ pub fn run(
         ego_stats: raw.ego,
         elapsed,
         timings: raw.timings,
+        cancelled: raw.cancelled,
     })
 }
 

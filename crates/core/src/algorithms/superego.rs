@@ -89,6 +89,11 @@ pub fn ap_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
         params,
         &mut stats,
         &mut |bs, br, as_, ar, stats| {
+            // Cooperative cancellation: leaf granularity (the recursion
+            // itself lives in csj_ego and stays oblivious to tokens).
+            if opts.is_cancelled() {
+                return;
+            }
             for i in br {
                 if matched_b[i] {
                     continue;
@@ -116,6 +121,7 @@ pub fn ap_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     out.pairs = pairs;
     out.events = events;
     out.ego = Some(stats);
+    out.cancelled = opts.is_cancelled();
     out
 }
 
@@ -144,6 +150,14 @@ pub fn ex_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     out.timings.pairing = pairing.elapsed();
     out.events.matches = edges.len() as u64;
     out.events.no_match = stats.pairs_checked - edges.len() as u64;
+    // The pair enumeration lives in csj_ego and cannot poll the token,
+    // so Ex-SuperEGO cancellation is coarse: skip the matcher and return
+    // an empty (trivially valid) matching once the token trips.
+    if opts.is_cancelled() {
+        out.cancelled = true;
+        out.ego = Some(stats);
+        return out;
+    }
     let matching_t = std::time::Instant::now();
     let graph = MatchGraph::from_edges(b.len() as u32, a.len() as u32, edges);
     out.pairs = run_matcher(&graph, opts.matcher).into_pairs();
@@ -276,7 +290,7 @@ mod tests {
         let a = community("A", &rows_a);
         let mut serial_opts = CsjOptions::new(2).with_parts(2);
         serial_opts.superego.t = 16;
-        let mut par_opts = serial_opts;
+        let mut par_opts = serial_opts.clone();
         par_opts.superego.threads = 4;
         let s = ex_superego(&b, &a, &serial_opts);
         let p = ex_superego(&b, &a, &par_opts);
@@ -299,7 +313,7 @@ mod tests {
         let a = community("A", &rows_a);
         let mut per = CsjOptions::new(1).with_parts(2);
         per.superego.t = 8;
-        let mut l1 = per;
+        let mut l1 = per.clone();
         l1.superego.l1_predicate = true;
         let per_out = ex_superego(&b, &a, &per);
         let l1_out = ex_superego(&b, &a, &l1);
@@ -320,7 +334,7 @@ mod tests {
         let a = community("A", &rows_a);
         let mut with = CsjOptions::new(2).with_parts(3);
         with.superego.t = 8;
-        let mut without = with;
+        let mut without = with.clone();
         without.superego.reorder = false;
         assert_eq!(
             ex_superego(&b, &a, &with).pairs.len(),

@@ -51,6 +51,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod cancel;
 pub mod community;
 pub mod encoding;
 pub mod error;
@@ -60,6 +61,7 @@ pub mod similarity;
 pub mod verify;
 
 pub use algorithms::{run, CsjMethod, CsjOptions, JoinOutcome, PhaseTimings, SuperEgoConfig};
+pub use cancel::CancelToken;
 pub use community::{Community, UserId};
 pub use encoding::{encode_a, encode_b, part_bounds, EncodedA, EncodedB, EncodingParams};
 pub use error::CsjError;

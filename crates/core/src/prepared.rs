@@ -23,15 +23,22 @@
 //! assert_eq!(raw.pairs.len(), 1);
 //! ```
 
+use std::sync::Arc;
+
 use crate::algorithms::{CsjOptions, RawJoin};
 use crate::community::Community;
 use crate::encoding::{encode_a, encode_b, EncodedA, EncodedB, EncodingParams};
 
 /// A community with both MinMax encodings precomputed for a fixed
 /// `(eps, parts)` configuration.
+///
+/// The community itself is held behind an [`Arc`], so preparing an
+/// encoding for a community someone else already owns (the engine's
+/// registry, a caller keeping its own handle) shares the user vectors
+/// instead of copying them — see [`PreparedCommunity::from_shared`].
 #[derive(Debug, Clone)]
 pub struct PreparedCommunity {
-    community: Community,
+    community: Arc<Community>,
     eps: u32,
     params: EncodingParams,
     as_b: EncodedB,
@@ -42,6 +49,11 @@ impl PreparedCommunity {
     /// Encode `community` for joins under `opts` (only `eps` and the
     /// encoding parameters matter here).
     pub fn new(community: Community, opts: &CsjOptions) -> Self {
+        Self::from_shared(Arc::new(community), opts)
+    }
+
+    /// Encode an already-shared community without copying its rows.
+    pub fn from_shared(community: Arc<Community>, opts: &CsjOptions) -> Self {
         let as_b = encode_b(&community, opts.encoding);
         let as_a = encode_a(&community, opts.eps, opts.encoding);
         Self {
@@ -88,9 +100,15 @@ impl PreparedCommunity {
         &self.as_a
     }
 
-    /// Consume the wrapper, returning the community.
+    /// The wrapped community's shared handle (cheap refcount bump).
+    pub fn shared_community(&self) -> Arc<Community> {
+        Arc::clone(&self.community)
+    }
+
+    /// Consume the wrapper, returning the community. Clones the rows
+    /// only when another `Arc` still shares them.
     pub fn into_community(self) -> Community {
-        self.community
+        Arc::try_unwrap(self.community).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Reassemble from persisted pieces (the `csj_data::io` load path).
@@ -114,7 +132,7 @@ impl PreparedCommunity {
             ));
         }
         Ok(Self {
-            community,
+            community: Arc::new(community),
             eps,
             params,
             as_b,
@@ -242,6 +260,17 @@ mod tests {
         assert_eq!(p.encoded_b().len(), 10);
         assert_eq!(p.encoded_a().len(), 10);
         assert_eq!(p.into_community(), c);
+    }
+
+    #[test]
+    fn from_shared_shares_rather_than_copies() {
+        let opts = CsjOptions::new(1).with_parts(2);
+        let c = Arc::new(random_community("sh", 10, 3, 5));
+        let p = PreparedCommunity::from_shared(Arc::clone(&c), &opts);
+        assert!(Arc::ptr_eq(&c, &p.shared_community()));
+        // With the outer Arc still alive, consuming must clone.
+        let back = p.into_community();
+        assert_eq!(back, *c);
     }
 
     #[test]

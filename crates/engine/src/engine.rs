@@ -1,19 +1,33 @@
 //! The engine proper: registry, cache, screening pipeline, queries.
+//!
+//! Every multi-pair query comes in two flavours: the plain entry point
+//! (`screen`, `screen_and_refine`, `top_k_similar`, `pairs_above`) runs
+//! to completion, and a `*_with_budget` twin that bounds the work with a
+//! [`Budget`] and *degrades gracefully* — returning a [`Partial`] with
+//! everything scored before the budget ran out instead of an error.
+//! Joins are panic-isolated per candidate: one poisoned community shows
+//! up as an [`EngineError::JoinPanicked`] entry in the outcome while the
+//! rest of the query completes normally.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity};
-use csj_core::{run, Community, CsjMethod, CsjOptions, Similarity, UserId};
+use csj_core::{run, Community, CsjError, CsjMethod, CsjOptions, Similarity, UserId};
 
+use crate::budget::{exhausted_marker, Budget, Partial};
 use crate::error::EngineError;
+#[cfg(feature = "fault-injection")]
+use crate::fault::FaultPlan;
 
 /// Stable handle to a registered community.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CommunityHandle(pub u32);
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// The CSJ options every join runs with (eps, matcher, encoding...).
     pub options: CsjOptions,
@@ -57,7 +71,7 @@ pub struct PairScore {
 }
 
 /// The outcome of a screening pass.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ScreenOutcome {
     /// Pairs that cleared the threshold, with their *approximate* score.
     pub shortlisted: Vec<(CommunityHandle, Similarity)>,
@@ -66,6 +80,35 @@ pub struct ScreenOutcome {
     /// Pairs skipped because the size constraint makes the comparison
     /// meaningless (paper: `|B| < ceil(|A|/2)`).
     pub inadmissible: Vec<CommunityHandle>,
+    /// Candidates whose join panicked or hit an injected fault; the
+    /// panic was contained at the per-candidate boundary and the rest of
+    /// the screen completed.
+    pub failed: Vec<(CommunityHandle, EngineError)>,
+    /// Candidates never screened because the query's [`Budget`] ran out.
+    /// Always empty for unbudgeted queries.
+    pub skipped: Vec<CommunityHandle>,
+}
+
+/// Resume point of a truncated [`CsjEngine::pairs_above_with_budget`]
+/// sweep: the first pair the sweep did *not* process. Feed it back to
+/// continue exactly where the budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairsCursor {
+    i: u32,
+    j: u32,
+}
+
+/// Result of a (possibly budgeted) broadcast sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PairsSweep {
+    /// Pairs whose exact similarity reached the threshold, best first.
+    pub pairs: Vec<PairScore>,
+    /// Where to resume when the budget ran out; `None` means the sweep
+    /// covered every pair.
+    pub cursor: Option<PairsCursor>,
+    /// Pairs whose join panicked or hit an injected fault; the sweep
+    /// carried on past them.
+    pub failed: Vec<(CommunityHandle, CommunityHandle, EngineError)>,
 }
 
 /// Aggregate engine statistics.
@@ -91,12 +134,22 @@ struct CacheEntry {
 /// One registered community plus its (lazily rebuilt) prepared encoding.
 #[derive(Debug)]
 struct Registered {
-    community: Community,
+    /// `Arc` so prepared encodings and in-flight queries share the rows
+    /// instead of cloning them; mutations go through [`Arc::make_mut`].
+    community: Arc<Community>,
     version: u64,
     /// Prepared MinMax encodings for the engine's (eps, parts); rebuilt
     /// lazily after mutations. `Arc` so parallel screening workers can
     /// share it without cloning the buffers.
     prepared: Option<Arc<PreparedCommunity>>,
+}
+
+/// Per-candidate result of a screening worker.
+enum Screened {
+    Scored(Similarity),
+    Inadmissible,
+    Skipped,
+    Failed(EngineError),
 }
 
 /// The multi-community CSJ engine. Not `Sync`-shared; wrap in a lock for
@@ -122,8 +175,10 @@ pub struct CsjEngine {
     names: HashMap<String, u32>,
     /// Exact-similarity cache keyed by (smaller handle, larger handle).
     cache: HashMap<(u32, u32), CacheEntry>,
-    joins_executed: std::sync::atomic::AtomicU64,
+    joins_executed: AtomicU64,
     cache_hits: u64,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<FaultPlan>,
 }
 
 impl CsjEngine {
@@ -136,8 +191,10 @@ impl CsjEngine {
             entries: Vec::new(),
             names: HashMap::new(),
             cache: HashMap::new(),
-            joins_executed: std::sync::atomic::AtomicU64::new(0),
+            joins_executed: AtomicU64::new(0),
             cache_hits: 0,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
     }
 
@@ -160,7 +217,7 @@ impl CsjEngine {
         let handle = self.entries.len() as u32;
         self.names.insert(community.name().to_string(), handle);
         self.entries.push(Registered {
-            community,
+            community: Arc::new(community),
             version: 0,
             prepared: None,
         });
@@ -176,7 +233,7 @@ impl CsjEngine {
     pub fn community(&self, handle: CommunityHandle) -> Result<&Community, EngineError> {
         self.entries
             .get(handle.0 as usize)
-            .map(|e| &e.community)
+            .map(|e| e.community.as_ref())
             .ok_or(EngineError::UnknownCommunity(handle.0))
     }
 
@@ -186,12 +243,14 @@ impl CsjEngine {
     }
 
     /// Get (building if stale) the prepared MinMax encoding of a
-    /// community. Encodings are shared (`Arc`) with in-flight queries.
+    /// community. Encodings are shared (`Arc`) with in-flight queries,
+    /// and share the community rows with the registry rather than
+    /// cloning them.
     fn prepared(&mut self, handle: u32) -> Arc<PreparedCommunity> {
         let entry = &mut self.entries[handle as usize];
         if entry.prepared.is_none() {
-            entry.prepared = Some(Arc::new(PreparedCommunity::new(
-                entry.community.clone(),
+            entry.prepared = Some(Arc::new(PreparedCommunity::from_shared(
+                Arc::clone(&entry.community),
                 &self.config.options,
             )));
         }
@@ -199,25 +258,53 @@ impl CsjEngine {
     }
 
     /// Join an oriented prepared pair with `method`, using the prepared
-    /// fast paths for the MinMax methods.
+    /// fast paths for the MinMax methods. Runs under `opts` (which may
+    /// carry a query budget's cancellation token); a join truncated by
+    /// cancellation reports [`EngineError::Cancelled`] rather than an
+    /// under-counted similarity.
     fn join_prepared(
         &self,
         method: CsjMethod,
         b: &PreparedCommunity,
         a: &PreparedCommunity,
+        opts: &CsjOptions,
     ) -> Result<Similarity, EngineError> {
         csj_core::validate_sizes(b.len(), a.len()).map_err(EngineError::Csj)?;
-        self.joins_executed
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let matched = match method {
-            CsjMethod::ApMinMax => ap_minmax_between(b, a, &self.config.options).pairs.len(),
-            CsjMethod::ExMinMax => ex_minmax_between(b, a, &self.config.options).pairs.len(),
+        self.joins_executed.fetch_add(1, Ordering::Relaxed);
+        let (matched, cancelled) = match method {
+            CsjMethod::ApMinMax => {
+                let raw = ap_minmax_between(b, a, opts);
+                (raw.pairs.len(), raw.cancelled)
+            }
+            CsjMethod::ExMinMax => {
+                let raw = ex_minmax_between(b, a, opts);
+                (raw.pairs.len(), raw.cancelled)
+            }
             other => {
-                let outcome = run(other, b.community(), a.community(), &self.config.options)?;
-                outcome.similarity.matched
+                let outcome = run(other, b.community(), a.community(), opts)?;
+                (outcome.similarity.matched, outcome.cancelled)
             }
         };
+        if cancelled {
+            return Err(EngineError::Cancelled);
+        }
         Ok(Similarity::new(matched, b.len()))
+    }
+
+    /// Fire any injected faults registered for `handle`. Called just
+    /// before each join, inside the per-candidate isolation boundary.
+    #[cfg(feature = "fault-injection")]
+    fn fault_hook(&self, handle: u32) -> Result<(), EngineError> {
+        match &self.faults {
+            Some(plan) => plan.apply(handle),
+            None => Ok(()),
+        }
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    fn fault_hook(&self, _handle: u32) -> Result<(), EngineError> {
+        Ok(())
     }
 
     /// Overwrite (or insert) a user's profile; invalidates cached
@@ -234,9 +321,14 @@ impl CsjEngine {
             .entries
             .get_mut(idx)
             .ok_or(EngineError::UnknownCommunity(handle.0))?;
-        match entry.community.find_user(user) {
-            Some(i) => entry.community.set_vector(i, vector)?,
-            None => entry.community.push(user, vector)?,
+        // Drop the prepared encoding first: it shares the community Arc,
+        // and releasing it lets make_mut edit in place (refcount 1)
+        // instead of deep-copying the rows.
+        entry.prepared = None;
+        let community = Arc::make_mut(&mut entry.community);
+        match community.find_user(user) {
+            Some(i) => community.set_vector(i, vector)?,
+            None => community.push(user, vector)?,
         }
         self.bump_version(handle.0);
         Ok(())
@@ -253,11 +345,12 @@ impl CsjEngine {
             .entries
             .get_mut(idx)
             .ok_or(EngineError::UnknownCommunity(handle.0))?;
-        let i = entry
-            .community
+        entry.prepared = None; // release the shared Arc before make_mut
+        let community = Arc::make_mut(&mut entry.community);
+        let i = community
             .find_user(user)
             .ok_or(EngineError::UnknownUser(user))?;
-        entry.community.swap_remove_user(i);
+        community.swap_remove_user(i);
         self.bump_version(handle.0);
         Ok(())
     }
@@ -281,6 +374,18 @@ impl CsjEngine {
         })
     }
 
+    /// Whether the cache holds a fresh exact similarity for the oriented
+    /// pair `(b, a)`.
+    fn cache_fresh(&self, b: u32, a: u32) -> bool {
+        self.cache
+            .get(&(b, a))
+            .map(|e| {
+                e.version_x == self.entries[b as usize].version
+                    && e.version_y == self.entries[a as usize].version
+            })
+            .unwrap_or(false)
+    }
+
     /// Exact similarity of a pair, cached. Recomputes only when either
     /// community changed since the cached join.
     pub fn similarity(
@@ -288,18 +393,45 @@ impl CsjEngine {
         x: CommunityHandle,
         y: CommunityHandle,
     ) -> Result<Similarity, EngineError> {
+        let qopts = self.config.options.clone();
+        let joins = AtomicU64::new(0);
+        self.refine_pair(x, y, &qopts, &joins)
+    }
+
+    /// Exact (refined) similarity of one pair under `qopts`, cached.
+    /// The refine join runs inside a panic-isolation boundary: a panic
+    /// surfaces as [`EngineError::JoinPanicked`] naming `y`, never an
+    /// abort. Increments `joins` when a join actually runs.
+    fn refine_pair(
+        &mut self,
+        x: CommunityHandle,
+        y: CommunityHandle,
+        qopts: &CsjOptions,
+        joins: &AtomicU64,
+    ) -> Result<Similarity, EngineError> {
         let (b, a) = self.oriented(x, y)?;
-        if let Some(entry) = self.cache.get(&(b, a)) {
-            if entry.version_x == self.entries[b as usize].version
-                && entry.version_y == self.entries[a as usize].version
-            {
-                self.cache_hits += 1;
-                return Ok(entry.similarity);
-            }
+        if self.cache_fresh(b, a) {
+            self.cache_hits += 1;
+            return Ok(self.cache[&(b, a)].similarity);
         }
         let pb = self.prepared(b);
         let pa = self.prepared(a);
-        let similarity = self.join_prepared(self.config.refine_method, &pb, &pa)?;
+        let method = self.config.refine_method;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.fault_hook(b)?;
+            self.fault_hook(a)?;
+            self.join_prepared(method, &pb, &pa, qopts)
+        }));
+        let similarity = match result {
+            Ok(joined) => joined?,
+            Err(payload) => {
+                return Err(EngineError::JoinPanicked {
+                    handle: y.0,
+                    message: panic_message(payload),
+                })
+            }
+        };
+        joins.fetch_add(1, Ordering::Relaxed);
         self.cache.insert(
             (b, a),
             CacheEntry {
@@ -313,12 +445,47 @@ impl CsjEngine {
 
     /// Phase 1 of the paper's pipeline: screen `x` against `candidates`
     /// with the fast approximate method, in parallel, partitioning them
-    /// into shortlisted / rejected / inadmissible.
+    /// into shortlisted / rejected / inadmissible. A candidate whose
+    /// join panics lands in [`ScreenOutcome::failed`] while the others
+    /// complete.
     pub fn screen(
         &mut self,
         x: CommunityHandle,
         candidates: &[CommunityHandle],
     ) -> Result<ScreenOutcome, EngineError> {
+        Ok(self
+            .screen_with_budget(x, candidates, &Budget::unlimited())?
+            .into_value())
+    }
+
+    /// [`screen`](CsjEngine::screen) under a [`Budget`]. Candidates the
+    /// budget never admitted land in [`ScreenOutcome::skipped`] and the
+    /// returned [`Partial`] carries the exhaustion marker.
+    pub fn screen_with_budget(
+        &mut self,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+        budget: &Budget,
+    ) -> Result<Partial<ScreenOutcome>, EngineError> {
+        let joins = AtomicU64::new(0);
+        let (outcome, done, skipped) = self.screen_budgeted(x, candidates, budget, &joins)?;
+        let exhausted = exhausted_marker(budget, &joins, done, skipped);
+        Ok(Partial {
+            value: outcome,
+            exhausted,
+        })
+    }
+
+    /// Screening core shared by the budgeted entry points. Returns the
+    /// outcome plus (candidates processed, candidates skipped); `joins`
+    /// accumulates this query's join count across phases.
+    fn screen_budgeted(
+        &mut self,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+        budget: &Budget,
+        joins: &AtomicU64,
+    ) -> Result<(ScreenOutcome, u64, u64), EngineError> {
         self.community(x)?;
         for &c in candidates {
             self.community(c)?;
@@ -328,66 +495,173 @@ impl CsjEngine {
         let px = self.prepared(x.0);
         let prepared: Vec<Arc<PreparedCommunity>> =
             candidates.iter().map(|&c| self.prepared(c.0)).collect();
+        let qopts = self
+            .config
+            .options
+            .clone()
+            .with_cancel(budget.cancel_token());
 
         let inputs: Vec<(CommunityHandle, Arc<PreparedCommunity>)> =
             candidates.iter().copied().zip(prepared).collect();
         let results = self.parallel_map(&inputs, |(cand, py)| {
+            if budget.exceeded(joins.load(Ordering::Relaxed)).is_some() {
+                // Trip the shared token so in-flight sibling joins stop
+                // at their next per-row check too.
+                budget.cancel();
+                return (*cand, Screened::Skipped);
+            }
+            if let Err(e) = self.fault_hook(cand.0) {
+                return (*cand, Screened::Failed(e));
+            }
             let (b, a) = if px.len() <= py.len() {
                 (&px, py)
             } else {
                 (py, &px)
             };
-            match self.join_prepared(self.config.screen_method, b, a) {
-                Ok(similarity) => (*cand, Some(similarity)),
-                Err(EngineError::Csj(_)) => (*cand, None),
-                Err(other) => unreachable!("handles validated above: {other}"),
+            match self.join_prepared(self.config.screen_method, b, a, &qopts) {
+                Ok(similarity) => {
+                    joins.fetch_add(1, Ordering::Relaxed);
+                    (*cand, Screened::Scored(similarity))
+                }
+                Err(EngineError::Csj(CsjError::SizeConstraint { .. })) => {
+                    (*cand, Screened::Inadmissible)
+                }
+                Err(EngineError::Cancelled) => {
+                    joins.fetch_add(1, Ordering::Relaxed);
+                    (*cand, Screened::Skipped)
+                }
+                Err(other) => (*cand, Screened::Failed(other)),
             }
         });
 
-        let mut out = ScreenOutcome {
-            shortlisted: Vec::new(),
-            rejected: Vec::new(),
-            inadmissible: Vec::new(),
-        };
-        for (cand, sim) in results {
-            match sim {
-                None => out.inadmissible.push(cand),
-                Some(s) if s.ratio() >= self.config.screen_threshold => {
-                    out.shortlisted.push((cand, s))
+        let mut out = ScreenOutcome::default();
+        let mut pairs_done = 0u64;
+        let mut pairs_skipped = 0u64;
+        let mut hard_error: Option<EngineError> = None;
+        for (slot, (cand, _)) in results.into_iter().zip(&inputs) {
+            match slot {
+                // The worker itself panicked: contained at the
+                // per-candidate boundary, reported against the handle.
+                Err(message) => {
+                    pairs_done += 1;
+                    out.failed.push((
+                        *cand,
+                        EngineError::JoinPanicked {
+                            handle: cand.0,
+                            message,
+                        },
+                    ));
                 }
-                Some(s) => out.rejected.push((cand, s)),
+                Ok((cand, Screened::Scored(s))) => {
+                    pairs_done += 1;
+                    if s.ratio() >= self.config.screen_threshold {
+                        out.shortlisted.push((cand, s));
+                    } else {
+                        out.rejected.push((cand, s));
+                    }
+                }
+                Ok((cand, Screened::Inadmissible)) => {
+                    pairs_done += 1;
+                    out.inadmissible.push(cand);
+                }
+                Ok((cand, Screened::Skipped)) => {
+                    pairs_skipped += 1;
+                    out.skipped.push(cand);
+                }
+                Ok((cand, Screened::Failed(e))) => {
+                    pairs_done += 1;
+                    // Faults and panics degrade per candidate; anything
+                    // else is a real configuration/state error and is
+                    // surfaced (first in candidate order) instead of
+                    // being silently folded into "inadmissible".
+                    if !matches!(
+                        e,
+                        EngineError::Faulted { .. } | EngineError::JoinPanicked { .. }
+                    ) && hard_error.is_none()
+                    {
+                        hard_error = Some(e.clone());
+                    }
+                    out.failed.push((cand, e));
+                }
             }
         }
+        if let Some(e) = hard_error {
+            return Err(e);
+        }
         out.shortlisted
-            .sort_by(|p, q| q.1.ratio().partial_cmp(&p.1.ratio()).expect("finite"));
-        Ok(out)
+            .sort_by(|p, q| q.1.ratio().total_cmp(&p.1.ratio()));
+        Ok((out, pairs_done, pairs_skipped))
     }
 
     /// The full two-phase pipeline of Section 3: screen `candidates`,
     /// then refine the shortlist with the exact method (cached) and
-    /// return the refined ranking.
+    /// return the refined ranking. Candidates whose join panicked or
+    /// faulted are dropped from the ranking (use
+    /// [`screen_with_budget`](CsjEngine::screen_with_budget) to see
+    /// them); the query itself never aborts on a per-candidate panic.
     pub fn screen_and_refine(
         &mut self,
         x: CommunityHandle,
         candidates: &[CommunityHandle],
     ) -> Result<Vec<PairScore>, EngineError> {
-        let screened = self.screen(x, candidates)?;
-        let mut refined = Vec::with_capacity(screened.shortlisted.len());
-        for (cand, _) in screened.shortlisted {
-            let similarity = self.similarity(x, cand)?;
-            refined.push(PairScore {
-                x,
-                y: cand,
-                similarity,
-            });
+        Ok(self
+            .screen_and_refine_with_budget(x, candidates, &Budget::unlimited())?
+            .into_value())
+    }
+
+    /// [`screen_and_refine`](CsjEngine::screen_and_refine) under a
+    /// [`Budget`] shared across both phases. On exhaustion the refined
+    /// ranking covers only the shortlist prefix the budget admitted.
+    pub fn screen_and_refine_with_budget(
+        &mut self,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+        budget: &Budget,
+    ) -> Result<Partial<Vec<PairScore>>, EngineError> {
+        let joins = AtomicU64::new(0);
+        let (screened, mut done, mut skipped) =
+            self.screen_budgeted(x, candidates, budget, &joins)?;
+        let qopts = self
+            .config
+            .options
+            .clone()
+            .with_cancel(budget.cancel_token());
+        let shortlist = screened.shortlisted;
+        let mut refined = Vec::with_capacity(shortlist.len());
+        for (idx, &(cand, _)) in shortlist.iter().enumerate() {
+            if budget.exceeded(joins.load(Ordering::Relaxed)).is_some() {
+                budget.cancel();
+                skipped += (shortlist.len() - idx) as u64;
+                break;
+            }
+            match self.refine_pair(x, cand, &qopts, &joins) {
+                Ok(similarity) => {
+                    done += 1;
+                    refined.push(PairScore {
+                        x,
+                        y: cand,
+                        similarity,
+                    });
+                }
+                // The refine join was truncated mid-flight (external
+                // cancel): everything from here on is unprocessed.
+                Err(EngineError::Cancelled) => {
+                    skipped += (shortlist.len() - idx) as u64;
+                    break;
+                }
+                // Panic/fault: drop this candidate, keep ranking the rest.
+                Err(EngineError::JoinPanicked { .. }) | Err(EngineError::Faulted { .. }) => {
+                    done += 1;
+                }
+                Err(other) => return Err(other),
+            }
         }
-        refined.sort_by(|p, q| {
-            q.similarity
-                .ratio()
-                .partial_cmp(&p.similarity.ratio())
-                .expect("finite")
-        });
-        Ok(refined)
+        refined.sort_by(|p, q| q.similarity.ratio().total_cmp(&p.similarity.ratio()));
+        let exhausted = exhausted_marker(budget, &joins, done, skipped);
+        Ok(Partial {
+            value: refined,
+            exhausted,
+        })
     }
 
     /// The `k` registered communities most similar to `x` (exact scores,
@@ -397,9 +671,23 @@ impl CsjEngine {
         x: CommunityHandle,
         k: usize,
     ) -> Result<Vec<PairScore>, EngineError> {
+        Ok(self
+            .top_k_similar_with_budget(x, k, &Budget::unlimited())?
+            .into_value())
+    }
+
+    /// [`top_k_similar`](CsjEngine::top_k_similar) under a [`Budget`]:
+    /// on exhaustion the result is the best `k` of whatever was scored
+    /// in time.
+    pub fn top_k_similar_with_budget(
+        &mut self,
+        x: CommunityHandle,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Partial<Vec<PairScore>>, EngineError> {
         let candidates: Vec<CommunityHandle> = self.handles().filter(|&h| h != x).collect();
-        let mut ranked = self.screen_and_refine(x, &candidates)?;
-        ranked.truncate(k);
+        let mut ranked = self.screen_and_refine_with_budget(x, &candidates, budget)?;
+        ranked.value.truncate(k);
         Ok(ranked)
     }
 
@@ -413,54 +701,150 @@ impl CsjEngine {
     /// a pair screened *below* the threshold minus the screening margin
     /// cannot reach it exactly — but since greedy matchings are maximal
     /// (>= half the maximum), the safe skip bound is `threshold / 2`.
+    ///
+    /// Runs unbudgeted; the first panicked/faulted pair (if any) is
+    /// surfaced as its error. Use
+    /// [`pairs_above_with_budget`](CsjEngine::pairs_above_with_budget)
+    /// for deadline-bounded, degradable sweeps.
     pub fn pairs_above(&mut self, threshold: f64) -> Result<Vec<PairScore>, EngineError> {
-        let handles: Vec<CommunityHandle> = self.handles().collect();
-        let mut out = Vec::new();
-        for (i, &x) in handles.iter().enumerate() {
-            for &y in &handles[i + 1..] {
-                let (b, a) = self.oriented(x, y)?;
-                if csj_core::validate_sizes(
-                    self.entries[b as usize].community.len(),
-                    self.entries[a as usize].community.len(),
-                )
-                .is_err()
-                {
-                    continue;
+        let swept = self
+            .pairs_above_with_budget(threshold, &Budget::unlimited(), None)?
+            .into_value();
+        if let Some((_, _, e)) = swept.failed.into_iter().next() {
+            return Err(e);
+        }
+        Ok(swept.pairs)
+    }
+
+    /// [`pairs_above`](CsjEngine::pairs_above) under a [`Budget`], with
+    /// resume. The sweep walks pairs in a canonical order; when the
+    /// budget runs out it stops *before* the next pair and returns that
+    /// position as [`PairsSweep::cursor`], so a later call (with a fresh
+    /// budget) picks up exactly where this one left off — pairs already
+    /// refined are served from the cache. Pairs whose join panicked or
+    /// faulted land in [`PairsSweep::failed`] and the sweep carries on.
+    pub fn pairs_above_with_budget(
+        &mut self,
+        threshold: f64,
+        budget: &Budget,
+        resume: Option<PairsCursor>,
+    ) -> Result<Partial<PairsSweep>, EngineError> {
+        let n = self.entries.len() as u32;
+        let joins = AtomicU64::new(0);
+        let qopts = self
+            .config
+            .options
+            .clone()
+            .with_cancel(budget.cancel_token());
+        let mut sweep = PairsSweep::default();
+        let mut pairs_done = 0u64;
+        let (start_i, start_j) = resume.map_or((0, 1), |c| (c.i, c.j));
+        'outer: for i in start_i..n {
+            let j_lo = if i == start_i { start_j.max(i + 1) } else { i + 1 };
+            for j in j_lo..n {
+                let x = CommunityHandle(i);
+                let y = CommunityHandle(j);
+                if budget.exceeded(joins.load(Ordering::Relaxed)).is_some() {
+                    budget.cancel();
+                    sweep.cursor = Some(PairsCursor { i, j });
+                    break 'outer;
                 }
-                // Phase 1: cheap screen (unless already cached exactly).
-                let cached = self
-                    .cache
-                    .get(&(b, a))
-                    .map(|e| {
-                        e.version_x == self.entries[b as usize].version
-                            && e.version_y == self.entries[a as usize].version
-                    })
-                    .unwrap_or(false);
-                if !cached {
-                    let pb = self.prepared(b);
-                    let pa = self.prepared(a);
-                    let screened = self.join_prepared(self.config.screen_method, &pb, &pa)?;
-                    // Maximal matchings reach at least half the maximum,
-                    // so a screened ratio below threshold/2 proves the
-                    // exact ratio is below threshold.
-                    if screened.ratio() < threshold / 2.0 {
-                        continue;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    self.sweep_pair(x, y, threshold, &qopts, &joins)
+                }));
+                match outcome {
+                    Err(payload) => {
+                        pairs_done += 1;
+                        sweep.failed.push((
+                            x,
+                            y,
+                            EngineError::JoinPanicked {
+                                handle: y.0,
+                                message: panic_message(payload),
+                            },
+                        ));
                     }
-                }
-                // Phase 2: exact (cached).
-                let similarity = self.similarity(x, y)?;
-                if similarity.ratio() >= threshold {
-                    out.push(PairScore { x, y, similarity });
+                    Ok(Ok(Some(score))) => {
+                        pairs_done += 1;
+                        sweep.pairs.push(score);
+                    }
+                    Ok(Ok(None)) => pairs_done += 1,
+                    // A join truncated mid-flight: this pair was not
+                    // fully processed, so resume from it.
+                    Ok(Err(EngineError::Cancelled)) => {
+                        sweep.cursor = Some(PairsCursor { i, j });
+                        break 'outer;
+                    }
+                    Ok(Err(e)) => match e {
+                        EngineError::JoinPanicked { .. } | EngineError::Faulted { .. } => {
+                            pairs_done += 1;
+                            sweep.failed.push((x, y, e));
+                        }
+                        other => return Err(other),
+                    },
                 }
             }
         }
-        out.sort_by(|p, q| {
-            q.similarity
-                .ratio()
-                .partial_cmp(&p.similarity.ratio())
-                .expect("finite")
-        });
-        Ok(out)
+        sweep
+            .pairs
+            .sort_by(|p, q| q.similarity.ratio().total_cmp(&p.similarity.ratio()));
+        let pairs_skipped = sweep.cursor.map_or(0, |c| Self::remaining_pairs(n, c));
+        let exhausted = exhausted_marker(budget, &joins, pairs_done, pairs_skipped);
+        Ok(Partial {
+            value: sweep,
+            exhausted,
+        })
+    }
+
+    /// One pair of the broadcast sweep: admissibility, cheap screen with
+    /// the safe `threshold / 2` skip bound, then cached exact refine.
+    fn sweep_pair(
+        &mut self,
+        x: CommunityHandle,
+        y: CommunityHandle,
+        threshold: f64,
+        qopts: &CsjOptions,
+        joins: &AtomicU64,
+    ) -> Result<Option<PairScore>, EngineError> {
+        let (b, a) = self.oriented(x, y)?;
+        if csj_core::validate_sizes(
+            self.entries[b as usize].community.len(),
+            self.entries[a as usize].community.len(),
+        )
+        .is_err()
+        {
+            return Ok(None);
+        }
+        // Phase 1: cheap screen (unless already cached exactly).
+        if !self.cache_fresh(b, a) {
+            self.fault_hook(b)?;
+            self.fault_hook(a)?;
+            let pb = self.prepared(b);
+            let pa = self.prepared(a);
+            let screened = self.join_prepared(self.config.screen_method, &pb, &pa, qopts)?;
+            joins.fetch_add(1, Ordering::Relaxed);
+            // Maximal matchings reach at least half the maximum, so a
+            // screened ratio below threshold/2 proves the exact ratio is
+            // below threshold.
+            if screened.ratio() < threshold / 2.0 {
+                return Ok(None);
+            }
+        }
+        // Phase 2: exact (cached).
+        let similarity = self.refine_pair(x, y, qopts, joins)?;
+        if similarity.ratio() >= threshold {
+            Ok(Some(PairScore { x, y, similarity }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Number of pairs a sweep starting at `cursor` still has to visit
+    /// (the cursor's own pair included).
+    fn remaining_pairs(n: u32, cursor: PairsCursor) -> u64 {
+        let n = u64::from(n);
+        let rest = n.saturating_sub(u64::from(cursor.i) + 1);
+        n.saturating_sub(u64::from(cursor.j)) + rest.saturating_sub(1) * rest / 2
     }
 
     /// Engine statistics.
@@ -468,37 +852,41 @@ impl CsjEngine {
         EngineStats {
             communities: self.entries.len(),
             cached_pairs: self.cache.len(),
-            joins_executed: self
-                .joins_executed
-                .load(std::sync::atomic::Ordering::Relaxed),
+            joins_executed: self.joins_executed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits,
         }
     }
 
     /// Order-preserving parallel map over a slice (workers steal by
-    /// index; results land in input order).
+    /// index; results land in input order). Each item runs inside its
+    /// own `catch_unwind` boundary: a panic in `f` is captured as
+    /// `Err(message)` in that item's slot while every other item
+    /// completes normally — one poisoned input never aborts the query.
     fn parallel_map<'s, T: Sync, R: Send>(
         &'s self,
         items: &'s [T],
         f: impl Fn(&T) -> R + Sync + 's,
-    ) -> Vec<R> {
+    ) -> Vec<Result<R, String>> {
+        let run_one = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message);
         let threads = self.config.threads.max(1).min(items.len().max(1));
         if threads <= 1 {
-            return items.iter().map(f).collect();
+            return items.iter().map(run_one).collect();
         }
-        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+        let mut results: Vec<Option<Result<R, String>>> = Vec::with_capacity(items.len());
         results.resize_with(items.len(), || None);
         let results_cell = std::sync::Mutex::new(&mut results);
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
-                    let r = f(&items[i]);
-                    results_cell.lock().expect("no poisoned workers")[i] = Some(r);
+                    let r = run_one(&items[i]);
+                    // Worker panics are caught above, so the mutex can't
+                    // be poisoned by `f`; recover defensively anyway.
+                    results_cell.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
                 });
             }
         });
@@ -509,9 +897,37 @@ impl CsjEngine {
     }
 }
 
+#[cfg(feature = "fault-injection")]
+impl CsjEngine {
+    /// Install a chaos plan; subsequent joins hit its faults. Part of
+    /// the fault-injection test harness, compiled only under the
+    /// `fault-injection` feature.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Remove any installed chaos plan.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::ExhaustReason;
+    use std::time::Duration;
 
     fn community(name: &str, rows: &[[u32; 2]]) -> Community {
         Community::from_rows(
@@ -600,6 +1016,22 @@ mod tests {
     }
 
     #[test]
+    fn registry_shares_rows_with_prepared_encodings() {
+        let (mut engine, a, _, _) = engine_with_three();
+        let prepared = engine.prepared(a.0);
+        // One preparation does not copy the community rows.
+        assert!(Arc::ptr_eq(
+            &prepared.shared_community(),
+            &engine.entries[a.0 as usize].community
+        ));
+        // A mutation while the query still holds the Arc copies-on-write
+        // for the registry; the in-flight query keeps the old snapshot.
+        engine.upsert_user(a, 999, &[2, 2]).unwrap();
+        assert_eq!(prepared.len(), 4, "in-flight snapshot is unchanged");
+        assert_eq!(engine.community(a).unwrap().len(), 5);
+    }
+
+    #[test]
     fn screening_partitions_candidates() {
         let (mut engine, a, n, f) = engine_with_three();
         let outcome = engine.screen(a, &[n, f]).unwrap();
@@ -607,6 +1039,8 @@ mod tests {
         assert_eq!(outcome.shortlisted[0].0, n);
         assert_eq!(outcome.rejected, vec![(f, Similarity::new(0, 4))]);
         assert!(outcome.inadmissible.is_empty());
+        assert!(outcome.failed.is_empty());
+        assert!(outcome.skipped.is_empty());
     }
 
     #[test]
@@ -649,5 +1083,110 @@ mod tests {
         ));
         assert!(engine.screen(ghost, &[a]).is_err());
         assert!(engine.upsert_user(ghost, 1, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn zero_join_budget_skips_all_candidates() {
+        let (mut engine, a, n, f) = engine_with_three();
+        let budget = Budget::unlimited().with_max_joins(0);
+        let partial = engine.screen_with_budget(a, &[n, f], &budget).unwrap();
+        assert!(partial.value.shortlisted.is_empty());
+        assert!(partial.value.rejected.is_empty());
+        assert_eq!(partial.value.skipped.len(), 2);
+        let marker = partial.exhausted.expect("budget must be exhausted");
+        assert_eq!(marker.reason, ExhaustReason::MaxJoins);
+        assert_eq!(marker.pairs_done, 0);
+        assert_eq!(marker.pairs_skipped, 2);
+    }
+
+    #[test]
+    fn max_joins_budget_truncates_refinement() {
+        let (mut engine, a, n, f) = engine_with_three();
+        // Two screen joins exhaust the budget before refinement starts.
+        let budget = Budget::unlimited().with_max_joins(2);
+        let partial = engine
+            .screen_and_refine_with_budget(a, &[n, f], &budget)
+            .unwrap();
+        assert!(partial.value.is_empty(), "no refine join was admitted");
+        let marker = partial.exhausted.expect("budget must be exhausted");
+        assert_eq!(marker.reason, ExhaustReason::MaxJoins);
+        assert_eq!(marker.pairs_done, 2);
+        assert_eq!(marker.pairs_skipped, 1, "the shortlisted refine");
+    }
+
+    #[test]
+    fn zero_deadline_sweep_degrades_and_resumes() {
+        let (mut engine, _a, _n, _f) = engine_with_three();
+        let spent = Budget::unlimited().with_deadline(Duration::ZERO);
+        let partial = engine.pairs_above_with_budget(0.5, &spent, None).unwrap();
+        assert!(partial.value.pairs.is_empty());
+        let marker = partial.exhausted.expect("budget must be exhausted");
+        assert_eq!(marker.reason, ExhaustReason::Deadline);
+        assert_eq!(marker.pairs_done, 0);
+        assert_eq!(marker.pairs_skipped, 3, "all of C(3,2) pairs unprocessed");
+        let cursor = partial.value.cursor.expect("resume point");
+
+        // Resuming with a fresh unlimited budget completes the sweep and
+        // matches the unbudgeted result exactly.
+        let resumed = engine
+            .pairs_above_with_budget(0.5, &Budget::unlimited(), Some(cursor))
+            .unwrap();
+        assert!(resumed.is_complete());
+        assert!(resumed.value.cursor.is_none());
+        assert!(resumed.value.failed.is_empty());
+        let full = engine.pairs_above(0.5).unwrap();
+        assert_eq!(resumed.value.pairs, full);
+    }
+
+    #[test]
+    fn pre_cancelled_budget_reports_cancelled() {
+        let (mut engine, a, n, f) = engine_with_three();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let partial = engine.screen_with_budget(a, &[n, f], &budget).unwrap();
+        assert_eq!(partial.value.skipped.len(), 2);
+        assert_eq!(
+            partial.exhausted.expect("exhausted").reason,
+            ExhaustReason::Cancelled
+        );
+    }
+
+    #[test]
+    fn remaining_pairs_counts_the_tail() {
+        // n = 4 handles, 6 pairs total.
+        let all = CsjEngine::remaining_pairs(4, PairsCursor { i: 0, j: 1 });
+        assert_eq!(all, 6);
+        assert_eq!(CsjEngine::remaining_pairs(4, PairsCursor { i: 0, j: 3 }), 4);
+        assert_eq!(CsjEngine::remaining_pairs(4, PairsCursor { i: 2, j: 3 }), 1);
+    }
+
+    #[test]
+    fn parallel_map_isolates_panics() {
+        let (engine, _, _, _) = engine_with_three();
+        let items: Vec<u32> = (0..8).collect();
+        let results = engine.parallel_map(&items, |&i| {
+            if i == 3 {
+                panic!("poisoned item {i}");
+            }
+            i * 2
+        });
+        for (i, slot) in results.iter().enumerate() {
+            if i == 3 {
+                let message = slot.as_ref().unwrap_err();
+                assert!(message.contains("poisoned item 3"), "got: {message}");
+            } else {
+                assert_eq!(*slot.as_ref().unwrap(), i as u32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let p = catch_unwind(|| panic!("plain &str")).unwrap_err();
+        assert_eq!(panic_message(p), "plain &str");
+        let p = catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(p), "formatted 42");
+        let p = catch_unwind(|| std::panic::panic_any(7u8)).unwrap_err();
+        assert_eq!(panic_message(p), "opaque panic payload");
     }
 }

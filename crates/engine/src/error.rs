@@ -15,6 +15,16 @@ pub enum EngineError {
     UnknownUser(u64),
     /// The underlying CSJ join rejected the pair (size constraint, ...).
     Csj(CsjError),
+    /// The join for this candidate panicked; the panic was caught at the
+    /// per-candidate isolation boundary and the rest of the query ran on.
+    JoinPanicked { handle: u32, message: String },
+    /// An injected fault fired for this handle. Produced only by the
+    /// `fault-injection` chaos harness, never in production.
+    Faulted { handle: u32 },
+    /// The query's budget was exhausted or its token tripped before this
+    /// join ran. Internal to budgeted execution — public query APIs
+    /// convert it into a [`crate::Partial`] marker, not an error.
+    Cancelled,
 }
 
 impl From<CsjError> for EngineError {
@@ -33,6 +43,13 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::UnknownUser(id) => write!(f, "user id {id} not in community"),
             EngineError::Csj(e) => write!(f, "CSJ error: {e}"),
+            EngineError::JoinPanicked { handle, message } => {
+                write!(f, "join panicked for community handle {handle}: {message}")
+            }
+            EngineError::Faulted { handle } => {
+                write!(f, "injected fault for community handle {handle}")
+            }
+            EngineError::Cancelled => write!(f, "query cancelled before this join ran"),
         }
     }
 }
@@ -65,5 +82,15 @@ mod tests {
         assert!(EngineError::UnknownUser(9).to_string().contains('9'));
         let wrapped: EngineError = CsjError::SizeConstraint { nb: 1, na: 9 }.into();
         assert!(wrapped.to_string().contains("CSJ error"));
+        let panicked = EngineError::JoinPanicked {
+            handle: 4,
+            message: "boom".into(),
+        };
+        assert!(panicked.to_string().contains("handle 4"));
+        assert!(panicked.to_string().contains("boom"));
+        assert!(EngineError::Faulted { handle: 6 }
+            .to_string()
+            .contains("injected fault"));
+        assert!(EngineError::Cancelled.to_string().contains("cancelled"));
     }
 }

@@ -1,0 +1,105 @@
+//! Deterministic fault injection for chaos-testing the engine.
+//!
+//! Compiled only under the `fault-injection` cargo feature, and meant
+//! for tests: a [`FaultPlan`] tells the engine to panic, error, or
+//! stall whenever a join touches a specific community handle, so tests
+//! can assert that one poisoned candidate never takes down the rest of
+//! a query. The hook fires inside the engine's per-candidate isolation
+//! boundary — exactly where a real bug in a join kernel would surface.
+//!
+//! ```no_run
+//! # use csj_engine::{CsjEngine, EngineConfig};
+//! # use csj_engine::fault::FaultPlan;
+//! # let mut engine = CsjEngine::new(2, EngineConfig::new(1));
+//! engine.inject_faults(FaultPlan::new().panic_on(2).slow_on(3, std::time::Duration::from_millis(50)));
+//! // ... queries now hit the injected faults ...
+//! engine.clear_faults();
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use crate::error::EngineError;
+
+/// Which faults to inject, keyed by the raw id of the community handle
+/// a join is about to touch. A handle may appear in several sets; slow
+/// applies first, then error, then panic.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    panic_on: HashSet<u32>,
+    error_on: HashSet<u32>,
+    slow_on: HashMap<u32, Duration>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panic (as a buggy join kernel would) when a join touches `handle`.
+    pub fn panic_on(mut self, handle: u32) -> Self {
+        self.panic_on.insert(handle);
+        self
+    }
+
+    /// Return [`EngineError::Faulted`] when a join touches `handle`.
+    pub fn error_on(mut self, handle: u32) -> Self {
+        self.error_on.insert(handle);
+        self
+    }
+
+    /// Sleep for `delay` before any join touching `handle`, simulating a
+    /// pathologically slow candidate for deadline tests.
+    pub fn slow_on(mut self, handle: u32, delay: Duration) -> Self {
+        self.slow_on.insert(handle, delay);
+        self
+    }
+
+    /// Fire the faults registered for `handle`. Called by the engine
+    /// just before each join, inside its panic-isolation boundary.
+    pub(crate) fn apply(&self, handle: u32) -> Result<(), EngineError> {
+        if let Some(delay) = self.slow_on.get(&handle) {
+            std::thread::sleep(*delay);
+        }
+        if self.error_on.contains(&handle) {
+            return Err(EngineError::Faulted { handle });
+        }
+        if self.panic_on.contains(&handle) {
+            panic!("injected fault: panic on community handle {handle}");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        assert_eq!(FaultPlan::new().apply(7), Ok(()));
+    }
+
+    #[test]
+    fn error_fault_names_the_handle() {
+        let plan = FaultPlan::new().error_on(3);
+        assert_eq!(plan.apply(3), Err(EngineError::Faulted { handle: 3 }));
+        assert_eq!(plan.apply(4), Ok(()));
+    }
+
+    #[test]
+    fn panic_fault_panics() {
+        let plan = FaultPlan::new().panic_on(5);
+        let caught = std::panic::catch_unwind(|| plan.apply(5));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn slow_fault_delays() {
+        let plan = FaultPlan::new().slow_on(1, Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        assert_eq!(plan.apply(1), Ok(()));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+}

@@ -23,12 +23,27 @@
 //! [`TrackedPair`] maintains the exact similarity incrementally — one
 //! `O(n·d)` candidate rescan plus a bounded matching repair per update,
 //! instead of a full `O(|B|·|A|·d)` re-join.
+//!
+//! A live system also needs its queries *bounded*: every multi-pair
+//! query has a `*_with_budget` variant taking a [`Budget`] (wall-clock
+//! deadline, join cap, cooperative cancellation) and returning a
+//! [`Partial`] that degrades gracefully on exhaustion instead of
+//! erroring. Joins are panic-isolated per candidate, and the
+//! `fault-injection` cargo feature compiles in a chaos-testing harness
+//! ([`fault`]) that injects panics, errors, and slowdowns into joins.
 
+mod budget;
 mod engine;
 mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod tracked;
 
-pub use engine::{CommunityHandle, CsjEngine, EngineConfig, EngineStats, PairScore, ScreenOutcome};
+pub use budget::{Budget, BudgetExhausted, CancelToken, ExhaustReason, Partial};
+pub use engine::{
+    CommunityHandle, CsjEngine, EngineConfig, EngineStats, PairScore, PairsCursor, PairsSweep,
+    ScreenOutcome,
+};
 pub use error::EngineError;
 pub use tracked::{Side, TrackedPair};
 

@@ -34,8 +34,29 @@ fn main() {
         handles.push(engine.register(a).expect("fresh name"));
     }
 
+    // A deadline-conscious planner asks for whatever fits in a budget
+    // first: the sweep degrades gracefully and hands back a resume
+    // cursor instead of erroring.
+    let budget = Budget::unlimited().with_max_joins(4);
+    let partial = engine
+        .pairs_above_with_budget(0.10, &budget, None)
+        .expect("budgeted sweeps degrade, they do not error");
+    println!("== Budgeted sweep (at most 4 joins) ==");
+    match partial.exhausted {
+        Some(marker) => println!(
+            "  scored {} pairs, stopped by {} with {} pairs left (resumable)",
+            partial.value.pairs.len(),
+            marker.reason,
+            marker.pairs_skipped
+        ),
+        None => println!(
+            "  scored {} pairs, budget never exhausted",
+            partial.value.pairs.len()
+        ),
+    }
+
     // Broadcast planner: every admissible pair above 10%.
-    println!("== All community pairs above 10% similarity ==");
+    println!("\n== All community pairs above 10% similarity ==");
     let pairs = engine.pairs_above(0.10).expect("valid sweep");
     for p in &pairs {
         println!(

@@ -45,7 +45,7 @@ fn main() {
         } else {
             (&cy, &cx)
         };
-        let mut o = opts;
+        let mut o = opts.clone();
         o.enforce_sizes = false; // organic page sizes vary freely
         let out = run(CsjMethod::ExMinMax, b, a, &o).expect("valid instance");
         (

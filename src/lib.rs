@@ -51,7 +51,10 @@ pub mod prelude {
     pub use csj_data::uniform::{UniformConfig, UniformGenerator};
     pub use csj_data::vklike::{VkLikeConfig, VkLikeGenerator};
     pub use csj_data::Category;
-    pub use csj_engine::{CommunityHandle, CsjEngine, EngineConfig, PairScore};
+    pub use csj_engine::{
+        Budget, CommunityHandle, CsjEngine, EngineConfig, EngineError, ExhaustReason, PairScore,
+        Partial,
+    };
 }
 
 #[cfg(test)]
