@@ -7,6 +7,8 @@
 //! csj info b.csjb                               community statistics
 //! csj join --b b.csjb --a a.csjb --eps 1 \
 //!          --method ex-minmax [--json]          run one CSJ method
+//! csj explain --b b.csjb --a a.csjb --eps 1 \
+//!             --method ex-minmax                join + kernel telemetry report
 //! csj truth --b b.csjb --a a.csjb --eps 1       brute-force ground truth
 //! ```
 //!
@@ -61,6 +63,17 @@ pub enum Command {
         /// Print the closest N matched user pairs.
         pairs: usize,
     },
+    /// Join two community files and print the kernel telemetry report
+    /// (per-phase timings, prune histograms, candidate-stream depth,
+    /// matcher flush counts) instead of the result summary.
+    Explain {
+        b: PathBuf,
+        a: PathBuf,
+        eps: u32,
+        method: CsjMethod,
+        matcher: MatcherKind,
+        parts: usize,
+    },
     /// Rank candidate community files against an anchor (two-phase
     /// screen-then-refine pipeline).
     TopK {
@@ -109,6 +122,7 @@ usage:
   csj info <FILE>
   csj prepare --input FILE --eps E [--parts P] --out FILE.csjp
   csj join --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P] [--json] [--pairs N]
+  csj explain --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P]
   csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N]
   csj truth --b FILE --a FILE --eps E
 formats: *.csv is text, *.csjp is a prepared index, anything else the CSJB binary format";
@@ -195,6 +209,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             json: has("--json"),
             pairs: get("--pairs").map_or(Ok(0), |v| parse_num("--pairs", v))? as usize,
         }),
+        "explain" => Ok(Command::Explain {
+            b: PathBuf::from(require("--b")?),
+            a: PathBuf::from(require("--a")?),
+            eps: parse_num("--eps", require("--eps")?)? as u32,
+            method: get("--method")
+                .unwrap_or("ex-minmax")
+                .parse()
+                .map_err(CliError::Usage)?,
+            matcher: get("--matcher")
+                .unwrap_or("csf")
+                .parse()
+                .map_err(CliError::Usage)?,
+            parts: get("--parts").map_or(Ok(4), |v| parse_num("--parts", v))? as usize,
+        }),
         "topk" => {
             let anchor = PathBuf::from(require("--anchor")?);
             let candidates: Vec<PathBuf> = require("--candidates")?
@@ -266,6 +294,59 @@ fn load(path: &Path) -> Result<Community, CliError> {
         read_binary(file)
     };
     parsed.map_err(|e| CliError::Io(format!("{}: {e}", path.display())))
+}
+
+/// Load both sides, orient them smaller-first, and run `method` under
+/// `opts` — through the persisted encodings when both sides carry a
+/// compatible `.csjp` index and the method has a prepared fast path.
+/// Shared by `join` and `explain`.
+fn load_and_join(
+    b: &Path,
+    a: &Path,
+    method: CsjMethod,
+    opts: &CsjOptions,
+) -> Result<(Loaded, Loaded, csj_core::JoinOutcome), CliError> {
+    let lb = load_any(b)?;
+    let la = load_any(a)?;
+    let (lb, la) = if lb.community().len() <= la.community().len() {
+        (lb, la)
+    } else {
+        (la, lb)
+    };
+    let prepared_path = match (&lb, &la) {
+        (Loaded::Prepared(pb), Loaded::Prepared(pa))
+            if pb.eps() == opts.eps
+                && pa.eps() == opts.eps
+                && pb.params() == opts.encoding
+                && pa.params() == opts.encoding =>
+        {
+            match method {
+                CsjMethod::ApMinMax => Some(ap_minmax_between(pb, pa, opts)),
+                CsjMethod::ExMinMax => Some(ex_minmax_between(pb, pa, opts)),
+                _ => None,
+            }
+        }
+        _ => None,
+    };
+    let outcome = match prepared_path {
+        Some(raw) => {
+            let start = std::time::Instant::now();
+            let _ = &raw; // join already ran; timing below reports packaging only
+            csj_core::JoinOutcome {
+                method,
+                similarity: csj_core::Similarity::new(raw.pairs.len(), lb.community().len()),
+                pairs: raw.pairs,
+                events: raw.telemetry.events,
+                telemetry: raw.telemetry,
+                ego_stats: raw.ego,
+                elapsed: start.elapsed() + raw.timings.total(),
+                timings: raw.timings,
+                cancelled: raw.cancelled,
+            }
+        }
+        None => run(method, lb.community(), la.community(), opts).map_err(CliError::Csj)?,
+    };
+    Ok((lb, la, outcome))
 }
 
 fn store(community: &Community, path: &Path) -> Result<(), CliError> {
@@ -367,49 +448,9 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             json,
             pairs,
         } => {
-            let lb = load_any(&b)?;
-            let la = load_any(&a)?;
-            let (lb, la) = if lb.community().len() <= la.community().len() {
-                (lb, la)
-            } else {
-                (la, lb)
-            };
             let opts = CsjOptions::new(eps).with_matcher(matcher).with_parts(parts);
-            // Use the persisted encodings when both sides carry a
-            // compatible index and the method has a prepared fast path.
-            let prepared_path = match (&lb, &la) {
-                (Loaded::Prepared(pb), Loaded::Prepared(pa))
-                    if pb.eps() == eps
-                        && pa.eps() == eps
-                        && pb.params() == opts.encoding
-                        && pa.params() == opts.encoding =>
-                {
-                    match method {
-                        CsjMethod::ApMinMax => Some(ap_minmax_between(pb, pa, &opts)),
-                        CsjMethod::ExMinMax => Some(ex_minmax_between(pb, pa, &opts)),
-                        _ => None,
-                    }
-                }
-                _ => None,
-            };
+            let (lb, la, outcome) = load_and_join(&b, &a, method, &opts)?;
             let (cb, ca) = (lb.community(), la.community());
-            let outcome = match prepared_path {
-                Some(raw) => {
-                    let start = std::time::Instant::now();
-                    let _ = &raw; // join already ran; timing below reports packaging only
-                    csj_core::JoinOutcome {
-                        method,
-                        similarity: csj_core::Similarity::new(raw.pairs.len(), cb.len()),
-                        pairs: raw.pairs,
-                        events: raw.events,
-                        ego_stats: raw.ego,
-                        elapsed: start.elapsed() + raw.timings.total(),
-                        timings: raw.timings,
-                        cancelled: raw.cancelled,
-                    }
-                }
-                None => run(method, cb, ca, &opts).map_err(CliError::Csj)?,
-            };
             let closest_pairs = if pairs > 0 {
                 let mut scored: Vec<(u64, u64, u64)> = outcome
                     .pairs
@@ -468,6 +509,34 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 }
                 Ok(out)
             }
+        }
+        Command::Explain {
+            b,
+            a,
+            eps,
+            method,
+            matcher,
+            parts,
+        } => {
+            let opts = CsjOptions::new(eps).with_matcher(matcher).with_parts(parts);
+            let (lb, la, outcome) = load_and_join(&b, &a, method, &opts)?;
+            let t = outcome.timings;
+            Ok(format!(
+                "{} | {} vs {} | eps = {eps}\n\
+                 similarity: {} ({} of {} B-users matched)\n\
+                 phases: setup {:.3} s | pairing {:.3} s | matching {:.3} s (total {:.3} s)\n{}",
+                method.name(),
+                lb.community().name(),
+                la.community().name(),
+                outcome.similarity,
+                outcome.similarity.matched,
+                lb.community().len(),
+                t.setup.as_secs_f64(),
+                t.pairing.as_secs_f64(),
+                t.matching.as_secs_f64(),
+                t.total().as_secs_f64(),
+                outcome.telemetry.report(),
+            ))
         }
         Command::TopK {
             anchor,
@@ -620,6 +689,33 @@ mod tests {
             }
             other => panic!("parsed {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_explain_flags() {
+        let cmd = parse(&argv(
+            "explain --b b.csv --a a.csv --eps 2 --method ap-hybrid",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Explain {
+                eps,
+                method,
+                matcher,
+                parts,
+                ..
+            } => {
+                assert_eq!(eps, 2);
+                assert_eq!(method, CsjMethod::ApHybrid);
+                assert_eq!(matcher, MatcherKind::Csf);
+                assert_eq!(parts, 4);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("explain --b b.csv --eps 2")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -776,6 +872,41 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(parse_matched(&via_index), parse_matched(&via_plain));
+    }
+
+    #[test]
+    fn explain_reports_kernel_telemetry() {
+        let dir = std::env::temp_dir().join("csj_cli_explain_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = dir.join("b.csjb");
+        let a = dir.join("a.csjb");
+        execute(Command::Generate {
+            dataset: Dataset::VkLike,
+            cid: 3,
+            scale: 1024,
+            seed: 11,
+            out_b: b.clone(),
+            out_a: a.clone(),
+        })
+        .unwrap();
+        let out = execute(Command::Explain {
+            b,
+            a,
+            eps: 1,
+            method: CsjMethod::ExMinMax,
+            matcher: MatcherKind::Csf,
+            parts: 4,
+        })
+        .unwrap();
+        assert!(out.contains("similarity:"), "explain output was: {out}");
+        assert!(out.contains("phases: setup"), "explain output was: {out}");
+        assert!(out.contains("rows driven:"), "explain output was: {out}");
+        assert!(
+            out.contains("stream depth per row:"),
+            "explain output was: {out}"
+        );
+        assert!(out.contains("matcher:"), "explain output was: {out}");
+        assert!(out.contains("cancel polls:"), "explain output was: {out}");
     }
 
     #[test]

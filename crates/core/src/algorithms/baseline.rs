@@ -1,68 +1,47 @@
-//! The Baseline methods (Section 5.1): plain nested-loop joins.
+//! The Baseline substrate (Section 5.1): plain nested-loop pairing.
 //!
-//! * **Ap-Baseline** scans `A` for each `b ∈ B` and takes the first match,
-//!   consuming both users. Like Ap-MinMax it maintains a `skip`/`offset`
-//!   pair so that a contiguous prefix of already-consumed `A` users is
-//!   never rescanned.
-//! * **Ex-Baseline** first finds *all* matches between `B` and `A` with a
-//!   full nested loop, then builds the four matching structures and calls
-//!   the one-to-one matcher (the paper's CSF) **once**.
+//! One generic [`drive_baseline`] scan drives both consumption modes:
+//!
+//! * **Ap-Baseline** = Baseline × [`GreedySink`]: the first match
+//!   consumes both users; the shared [`PrefixPruner`] keeps the
+//!   contiguous prefix of consumed `A` users out of later scans.
+//! * **Ex-Baseline** = Baseline × [`CollectSink`]: every match becomes an
+//!   edge and the one-to-one matcher (the paper's CSF) runs **once**.
 
-use csj_matching::{run_matcher, GraphBuilder};
-
+use crate::algorithms::kernel::{
+    drive_baseline, join_worker, CollectSink, DriveCtx, EdgeListSink, GreedySink, PairSink,
+    PrefixPruner,
+};
 use crate::algorithms::{CsjOptions, RawJoin};
 use crate::community::Community;
-use crate::events::Event;
-use crate::vectors_match;
 
-/// Approximate Baseline: greedy first-match nested loop.
+/// Approximate Baseline: nested-loop substrate × greedy sink.
 pub fn ap_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let nb = b.len();
     let na = a.len();
     let mut out = RawJoin::default();
     let pairing = std::time::Instant::now();
-    let mut consumed = vec![false; na];
-    // `offset` skips the contiguous prefix of consumed A users; `skip`
-    // stays true while the scan has only seen that prefix, exactly like
-    // the MinMax flag (Section 5.1: "skip and offset are used similarly
-    // to Ap-MinMax for the faster processing of the nested loop join").
-    let mut offset = 0usize;
-    for i in 0..nb {
-        if opts.is_cancelled() {
-            out.cancelled = true;
-            break;
-        }
-        let bv = b.vector(i);
-        let mut skip = true;
-        let mut j = offset;
-        while j < na {
-            if consumed[j] {
-                if opts.offset_pruning && skip && j == offset {
-                    offset += 1;
-                }
-                j += 1;
-                continue;
-            }
-            skip = false;
-            if vectors_match(bv, a.vector(j), opts.eps) {
-                out.events.record(Event::Match);
-                out.pairs.push((i as u32, j as u32));
-                consumed[j] = true;
-                break;
-            }
-            out.events.record(Event::NoMatch);
-            j += 1;
-        }
-    }
+    let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    let mut sink = GreedySink::new(nb, na);
+    // Section 5.1: "skip and offset are used similarly to Ap-MinMax for
+    // the faster processing of the nested loop join".
+    let mut pruner = PrefixPruner::new(opts.offset_pruning);
+    drive_baseline(b, a, 0..nb, opts.eps, &mut pruner, &mut ctx, &mut sink);
+    out.pairs = sink.finish(&mut ctx);
     out.timings.pairing = pairing.elapsed();
+    out.cancelled = ctx.cancelled;
+    out.telemetry = ctx.telemetry;
     out
 }
 
-/// Exact Baseline: enumerate all matches, then one matcher call.
+/// Exact Baseline: nested-loop substrate × collect sink.
 ///
 /// With `opts.threads > 1` the enumeration partitions `B` into row
-/// ranges processed by scoped workers (edges and event counts merge in
-/// range order, so the result is identical to the serial run).
+/// ranges processed by scoped workers, each streaming into an
+/// [`EdgeListSink`]; edges and telemetry merge in range order, so the
+/// result (pairs *and* telemetry) is identical to the serial run. A
+/// worker panic is re-raised on the caller's thread with its original
+/// payload, so the engine's panic isolation reports the real message.
 pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let nb = b.len();
     let na = a.len();
@@ -71,89 +50,47 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let pairing = std::time::Instant::now();
 
     let cancel = opts.cancel.as_ref();
-    let chunks: Vec<ScanChunk> = if threads <= 1 {
-        vec![scan_rows(b, a, 0..nb, opts.eps, cancel)]
+    let mut ctx = DriveCtx::new(cancel);
+    // Exact mode never consumes during the scan, so prefix pruning is a
+    // no-op; keep it disabled to preserve full comparison counts.
+    let mut sink = CollectSink::whole(nb, na, opts.matcher, true);
+    if threads <= 1 {
+        let mut pruner = PrefixPruner::new(false);
+        let mut edges = EdgeListSink::new();
+        drive_baseline(b, a, 0..nb, opts.eps, &mut pruner, &mut ctx, &mut edges);
+        sink.absorb_edges(&edges.into_edges());
     } else {
         let chunk = nb.div_ceil(threads);
         let ranges: Vec<std::ops::Range<usize>> = (0..threads)
             .map(|t| (t * chunk).min(nb)..((t + 1) * chunk).min(nb))
             .collect();
-        std::thread::scope(|scope| {
+        let chunks = std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|r| scope.spawn(move || scan_rows(b, a, r, opts.eps, cancel)))
+                .map(|r| {
+                    scope.spawn(move || {
+                        let mut ctx = DriveCtx::new(cancel);
+                        let mut pruner = PrefixPruner::new(false);
+                        let mut edges = EdgeListSink::new();
+                        drive_baseline(b, a, r, opts.eps, &mut pruner, &mut ctx, &mut edges);
+                        (ctx.telemetry, ctx.cancelled, edges.into_edges())
+                    })
+                })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    };
-
-    let mut builder = GraphBuilder::with_capacity(
-        nb as u32,
-        na as u32,
-        chunks.iter().map(|c| c.edges.len()).sum(),
-    );
-    for chunk in chunks {
-        for (i, j) in chunk.edges {
-            builder.add_edge(i, j);
+            handles.into_iter().map(join_worker).collect::<Vec<_>>()
+        });
+        for (telemetry, cancelled, edges) in chunks {
+            ctx.telemetry.merge(&telemetry);
+            ctx.cancelled |= cancelled;
+            sink.absorb_edges(&edges);
         }
-        out.events.matches += chunk.matches;
-        out.events.no_match += chunk.no_matches;
-        out.cancelled |= chunk.cancelled;
     }
     out.timings.pairing = pairing.elapsed();
-    let matching_t = std::time::Instant::now();
-    let graph = builder.build();
-    let matching = run_matcher(&graph, opts.matcher);
-    out.timings.matching = matching_t.elapsed();
-    out.pairs = matching.into_pairs();
+    out.pairs = sink.finish(&mut ctx);
+    out.timings.matching = ctx.matcher_time;
+    out.cancelled = ctx.cancelled;
+    out.telemetry = ctx.telemetry;
     out
-}
-
-/// Edges plus event counts from one scanned row range.
-struct ScanChunk {
-    edges: Vec<(u32, u32)>,
-    matches: u64,
-    no_matches: u64,
-    cancelled: bool,
-}
-
-/// Scan one range of `B` rows against all of `A`, polling `cancel` once
-/// per row.
-fn scan_rows(
-    b: &Community,
-    a: &Community,
-    rows: std::ops::Range<usize>,
-    eps: u32,
-    cancel: Option<&crate::cancel::CancelToken>,
-) -> ScanChunk {
-    let mut edges = Vec::new();
-    let mut matches = 0u64;
-    let mut no_matches = 0u64;
-    let mut cancelled = false;
-    for i in rows {
-        if cancel.is_some_and(|c| c.is_cancelled()) {
-            cancelled = true;
-            break;
-        }
-        let bv = b.vector(i);
-        for j in 0..a.len() {
-            if vectors_match(bv, a.vector(j), eps) {
-                matches += 1;
-                edges.push((i as u32, j as u32));
-            } else {
-                no_matches += 1;
-            }
-        }
-    }
-    ScanChunk {
-        edges,
-        matches,
-        no_matches,
-        cancelled,
-    }
 }
 
 #[cfg(test)]
@@ -206,10 +143,14 @@ mod tests {
         let opts = CsjOptions::new(0);
         let out = ap_baseline(&b, &a, &opts);
         assert_eq!(out.pairs, vec![(0, 0), (1, 1), (2, 2)]);
-        assert_eq!(out.events.matches, 3);
+        assert_eq!(out.telemetry.events.matches, 3);
         // b1 must not re-compare a0 (consumed): only match events + zero
         // no-match events proves the prefix skipping worked.
-        assert_eq!(out.events.no_match, 0);
+        assert_eq!(out.telemetry.events.no_match, 0);
+        // The kernel saw exactly one candidate per row.
+        assert_eq!(out.telemetry.rows_driven, 3);
+        assert_eq!(out.telemetry.candidates_streamed, 3);
+        assert_eq!(out.telemetry.peak_stream_depth, 1);
     }
 
     #[test]
@@ -218,9 +159,12 @@ mod tests {
         let a = community("A", &[&[0], &[10], &[20]]);
         let opts = CsjOptions::new(1);
         let out = ex_baseline(&b, &a, &opts);
-        assert_eq!(out.events.full_comparisons(), 6);
-        assert_eq!(out.events.matches, 2);
+        assert_eq!(out.telemetry.events.full_comparisons(), 6);
+        assert_eq!(out.telemetry.events.matches, 2);
         assert_eq!(out.pairs.len(), 2);
+        // One whole-graph matcher flush over both match edges.
+        assert_eq!(out.telemetry.matcher_flushes, 1);
+        assert_eq!(out.telemetry.matcher_edges, 2);
     }
 
     #[test]
@@ -266,7 +210,9 @@ mod tests {
         let s = ex_baseline(&b, &a, &serial);
         let p = ex_baseline(&b, &a, &parallel);
         assert_eq!(s.pairs, p.pairs);
-        assert_eq!(s.events, p.events);
+        // Range-ordered merging makes the whole telemetry block — not
+        // just the event counters — bit-identical to the serial drive.
+        assert_eq!(s.telemetry, p.telemetry);
     }
 
     #[test]

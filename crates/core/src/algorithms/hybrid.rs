@@ -16,17 +16,21 @@
 //!   (encoded-ID window, then part/range overlap) before paying for a
 //!   d-dimensional comparison.
 //!
-//! Filter rejections inside the leaf are reported as NO OVERLAP events
-//! (both the ID-window and the part/range filter are encoding-level
-//! rejections); full comparisons report NO MATCH / MATCH as usual.
+//! The leaves stream through the kernel's `drive_ego` like SuperEGO's:
+//! **Ap-Hybrid** = Hybrid × [`GreedySink`], **Ex-Hybrid** = Hybrid ×
+//! [`CollectSink`]. Filter rejections inside the leaf are reported as
+//! NO OVERLAP events (both the ID-window and the part/range filter are
+//! encoding-level rejections); full comparisons report NO MATCH / MATCH
+//! as usual.
 
 use csj_ego::{EgoStats, PointSet, SuperEgoParams};
-use csj_matching::{run_matcher, GraphBuilder};
 
+use crate::algorithms::kernel::{
+    drive_ego, CollectSink, DriveCtx, GreedySink, Judgement, PairSink,
+};
 use crate::algorithms::{CsjOptions, RawJoin};
 use crate::community::Community;
 use crate::encoding::{encode_vector_a, encode_vector_b, part_bounds};
-use crate::events::{Event, EventCounters};
 use crate::vectors_match;
 
 /// Per-user encodings addressable by community index (unsorted — the EGO
@@ -94,8 +98,33 @@ fn prepare(b: &Community, a: &Community, eps: u32) -> (PointSet<u32>, PointSet<u
     (ps_b, ps_a)
 }
 
-/// Approximate hybrid: EGO recursion, greedy consuming leaf with the
-/// encoding filters in front of each comparison.
+/// The leaf judgement shared by both hybrid modes: encoding filters in
+/// front of each full comparison. Positions here are EGO point-set
+/// positions, translated to community indices via the point ids.
+fn hybrid_judgement(
+    index: &HybridIndex,
+    b: &Community,
+    a: &Community,
+    ps_b: &PointSet<u32>,
+    ps_a: &PointSet<u32>,
+    eps: u32,
+    i: usize,
+    j: usize,
+) -> Judgement {
+    let bi = ps_b.id(i) as usize;
+    let aj = ps_a.id(j) as usize;
+    if !index.passes_filters(bi, aj) {
+        return Judgement::NoOverlap;
+    }
+    if vectors_match(b.vector(bi), a.vector(aj), eps) {
+        Judgement::Match
+    } else {
+        Judgement::NoMatch
+    }
+}
+
+/// Approximate hybrid: EGO recursion × greedy sink with the encoding
+/// filters in front of each comparison.
 pub fn ap_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let setup = std::time::Instant::now();
     let (ps_b, ps_a) = prepare(b, a, opts.eps);
@@ -104,63 +133,29 @@ pub fn ap_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let pairing_t = std::time::Instant::now();
     let params = SuperEgoParams { t: opts.superego.t };
     let mut stats = EgoStats::default();
-    let mut events = EventCounters::default();
-    let mut matched_b = vec![false; b.len()];
-    let mut matched_a = vec![false; a.len()];
-    let mut pairs: Vec<(u32, u32)> = Vec::new();
-    let eps = opts.eps;
-
-    csj_ego::super_ego_join(
+    let mut out = RawJoin::default();
+    let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    let mut sink = GreedySink::new(b.len(), a.len());
+    drive_ego(
         &ps_b,
         &ps_a,
         params,
         &mut stats,
-        &mut |bs, br, as_, ar, stats| {
-            if opts.is_cancelled() {
-                return;
-            }
-            for i in br {
-                let bi = bs.id(i) as usize;
-                if matched_b[bi] {
-                    continue;
-                }
-                for j in ar.clone() {
-                    let aj = as_.id(j) as usize;
-                    if matched_a[aj] {
-                        continue;
-                    }
-                    stats.pairs_checked += 1;
-                    if !index.passes_filters(bi, aj) {
-                        events.record(Event::NoOverlap);
-                        continue;
-                    }
-                    if vectors_match(b.vector(bi), a.vector(aj), eps) {
-                        events.record(Event::Match);
-                        matched_b[bi] = true;
-                        matched_a[aj] = true;
-                        pairs.push((bi as u32, aj as u32));
-                        break;
-                    }
-                    events.record(Event::NoMatch);
-                }
-            }
-        },
+        &mut |i, j| hybrid_judgement(&index, b, a, &ps_b, &ps_a, opts.eps, i, j),
+        &mut ctx,
+        &mut sink,
     );
-
-    RawJoin {
-        pairs,
-        events,
-        ego: Some(stats),
-        timings: crate::algorithms::PhaseTimings {
-            setup,
-            pairing: pairing_t.elapsed(),
-            matching: std::time::Duration::ZERO,
-        },
-        cancelled: opts.is_cancelled(),
-    }
+    ctx.cancelled |= opts.is_cancelled();
+    out.pairs = sink.finish(&mut ctx);
+    out.timings.setup = setup;
+    out.timings.pairing = pairing_t.elapsed();
+    out.ego = Some(stats);
+    out.cancelled = ctx.cancelled;
+    out.telemetry = ctx.telemetry;
+    out
 }
 
-/// Exact hybrid: EGO recursion, filtered all-pairs leaf, one matcher call.
+/// Exact hybrid: EGO recursion × collect sink, one matcher call.
 pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let setup = std::time::Instant::now();
     let (ps_b, ps_a) = prepare(b, a, opts.eps);
@@ -169,61 +164,29 @@ pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let pairing_t = std::time::Instant::now();
     let params = SuperEgoParams { t: opts.superego.t };
     let mut stats = EgoStats::default();
-    let mut events = EventCounters::default();
-    let mut builder = GraphBuilder::new(b.len() as u32, a.len() as u32);
-    let eps = opts.eps;
-
-    csj_ego::super_ego_join(
+    let mut out = RawJoin::default();
+    let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    // Honour cancellation before paying for the matcher: the empty
+    // matching is trivially valid and the flag tells the caller why.
+    let mut sink = CollectSink::whole(b.len(), a.len(), opts.matcher, false);
+    drive_ego(
         &ps_b,
         &ps_a,
         params,
         &mut stats,
-        &mut |bs, br, as_, ar, stats| {
-            if opts.is_cancelled() {
-                return;
-            }
-            for i in br {
-                let bi = bs.id(i) as usize;
-                for j in ar.clone() {
-                    let aj = as_.id(j) as usize;
-                    stats.pairs_checked += 1;
-                    if !index.passes_filters(bi, aj) {
-                        events.record(Event::NoOverlap);
-                        continue;
-                    }
-                    if vectors_match(b.vector(bi), a.vector(aj), eps) {
-                        events.record(Event::Match);
-                        builder.add_edge(bi as u32, aj as u32);
-                    } else {
-                        events.record(Event::NoMatch);
-                    }
-                }
-            }
-        },
+        &mut |i, j| hybrid_judgement(&index, b, a, &ps_b, &ps_a, opts.eps, i, j),
+        &mut ctx,
+        &mut sink,
     );
-
-    let pairing = pairing_t.elapsed();
-    // Honour cancellation before paying for the matcher: the empty
-    // matching is trivially valid and the flag tells the caller why.
-    let cancelled = opts.is_cancelled();
-    let matching_t = std::time::Instant::now();
-    let pairs = if cancelled {
-        Vec::new()
-    } else {
-        let graph = builder.build();
-        run_matcher(&graph, opts.matcher).into_pairs()
-    };
-    RawJoin {
-        pairs,
-        events,
-        ego: Some(stats),
-        timings: crate::algorithms::PhaseTimings {
-            setup,
-            pairing,
-            matching: matching_t.elapsed(),
-        },
-        cancelled,
-    }
+    out.timings.pairing = pairing_t.elapsed();
+    ctx.cancelled |= opts.is_cancelled();
+    out.pairs = sink.finish(&mut ctx);
+    out.timings.setup = setup;
+    out.timings.matching = ctx.matcher_time;
+    out.ego = Some(stats);
+    out.cancelled = ctx.cancelled;
+    out.telemetry = ctx.telemetry;
+    out
 }
 
 #[cfg(test)]
@@ -310,7 +273,7 @@ mod tests {
         let opts = CsjOptions::new(1).with_parts(2);
         let out = ex_hybrid(&b, &a, &opts);
         assert!(out.pairs.is_empty());
-        assert_eq!(out.events.full_comparisons(), 0);
+        assert_eq!(out.telemetry.events.full_comparisons(), 0);
         let stats = out.ego.unwrap();
         assert!(stats.prunes >= 1, "EGO should prune the separated clusters");
     }

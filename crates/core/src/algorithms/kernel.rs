@@ -1,0 +1,807 @@
+//! The substrate × sink join kernel.
+//!
+//! Every CSJ method is the product of a pairing **substrate** (how
+//! candidate `(b, a)` pairs are generated: Baseline's nested loop,
+//! MinMax's encoded sort-merge scan, the two EGO recursions) and a
+//! **sink** (how candidates are consumed: [`GreedySink`] takes the first
+//! match and consumes both users, [`CollectSink`] gathers every edge for
+//! a one-to-one matcher). Each substrate is written once as a generic
+//! `drive` function; the eight public entry points are thin
+//! `substrate × sink` instantiations.
+//!
+//! Cross-cutting concerns live here instead of being copy-pasted into
+//! each method: the cancel poll site, [`JoinTelemetry`] recording, the
+//! `skip`/`offset` contiguous-prefix pruning ([`PrefixPruner`]) and the
+//! matcher flush bookkeeping (including Ex-MinMax's `maxV` segment
+//! flushing). The [`Tape`] hook replays ordered event traces for the
+//! paper-figure tests without any production overhead beyond a
+//! predictable `Option` check.
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use csj_ego::{super_ego_join, EgoStats, PointSet, Scalar, SuperEgoParams};
+use csj_matching::{run_matcher, GraphBuilder, MatchGraph, MatcherKind};
+
+use crate::cancel::CancelToken;
+use crate::community::Community;
+use crate::events::Event;
+use crate::telemetry::JoinTelemetry;
+use crate::vectors_match;
+
+/// Verdict of the substrate's filters plus (when they pass) the full
+/// d-dimensional comparison for one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Judgement {
+    /// An encoding-level filter rejected the pair (NO OVERLAP).
+    NoOverlap,
+    /// Full comparison executed and failed (NO MATCH).
+    NoMatch,
+    /// Full comparison executed and succeeded (MATCH).
+    Match,
+}
+
+impl Judgement {
+    /// The event a judgement records.
+    pub(crate) fn event(self) -> Event {
+        match self {
+            Judgement::NoOverlap => Event::NoOverlap,
+            Judgement::NoMatch => Event::NoMatch,
+            Judgement::Match => Event::Match,
+        }
+    }
+}
+
+/// Observes the ordered pairing process — the unit tests replaying the
+/// paper's Figures 2 and 3 install one; production paths leave it unset.
+pub(crate) trait Tape {
+    fn event(&mut self, ev: Event, b_pos: usize, a_pos: usize);
+    fn flush(&mut self, edges: &[(u32, u32)]);
+}
+
+/// Shared per-drive state: telemetry, the single cancel poll site and
+/// matcher timing. Constructed once per join and threaded through the
+/// substrate driver and the sink.
+pub(crate) struct DriveCtx<'t> {
+    /// Telemetry of the drive so far.
+    pub telemetry: JoinTelemetry,
+    /// The drive stopped early because the token tripped.
+    pub cancelled: bool,
+    /// Accumulated one-to-one matcher wall-clock (segment flushes plus
+    /// the final call).
+    pub matcher_time: Duration,
+    cancel: Option<&'t CancelToken>,
+    tape: Option<&'t mut dyn Tape>,
+    row_candidates: u64,
+    row_prunes: u64,
+}
+
+impl<'t> DriveCtx<'t> {
+    pub(crate) fn new(cancel: Option<&'t CancelToken>) -> Self {
+        Self {
+            telemetry: JoinTelemetry::default(),
+            cancelled: false,
+            matcher_time: Duration::ZERO,
+            cancel,
+            tape: None,
+            row_candidates: 0,
+            row_prunes: 0,
+        }
+    }
+
+    /// Attach an ordered-trace observer (figure tests only).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn with_tape(cancel: Option<&'t CancelToken>, tape: &'t mut dyn Tape) -> Self {
+        let mut ctx = Self::new(cancel);
+        ctx.tape = Some(tape);
+        ctx
+    }
+
+    /// The kernel's one cancellation poll site. Returns `true` once the
+    /// token has tripped (and latches [`DriveCtx::cancelled`]).
+    #[inline]
+    pub(crate) fn poll_cancel(&mut self) -> bool {
+        if self.cancelled {
+            return true;
+        }
+        self.telemetry.cancel_polls += 1;
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
+            self.cancelled = true;
+        }
+        self.cancelled
+    }
+
+    /// Record one pairing event (counter, per-row depth, trace tape).
+    #[inline]
+    pub(crate) fn event(&mut self, ev: Event, b_pos: usize, a_pos: usize) {
+        self.telemetry.events.record(ev);
+        if matches!(ev, Event::MinPrune | Event::MaxPrune) {
+            self.row_prunes += 1;
+        }
+        if let Some(tape) = self.tape.as_deref_mut() {
+            tape.event(ev, b_pos, a_pos);
+        }
+    }
+
+    /// A `B` row entered the pairing loop.
+    #[inline]
+    pub(crate) fn begin_row(&mut self) {
+        self.telemetry.rows_driven += 1;
+        self.row_candidates = 0;
+        self.row_prunes = 0;
+    }
+
+    /// A candidate pair survived the cheap filters and is being judged.
+    #[inline]
+    pub(crate) fn candidate(&mut self) {
+        self.telemetry.candidates_streamed += 1;
+        self.row_candidates += 1;
+    }
+
+    /// The current `B` row's scan finished.
+    #[inline]
+    pub(crate) fn end_row(&mut self) {
+        self.telemetry.stream_depth_hist.record(self.row_candidates);
+        self.telemetry.prune_depth_hist.record(self.row_prunes);
+        if self.row_candidates > self.telemetry.peak_stream_depth {
+            self.telemetry.peak_stream_depth = self.row_candidates;
+        }
+    }
+
+    /// Account one matcher invocation over `edges` edges.
+    fn record_flush(&mut self, edges: u64, elapsed: Duration) {
+        self.telemetry.matcher_flushes += 1;
+        self.telemetry.matcher_edges += edges;
+        if edges > self.telemetry.largest_flush_edges {
+            self.telemetry.largest_flush_edges = edges;
+        }
+        self.matcher_time += elapsed;
+    }
+
+    fn tape_flush(&mut self, edges: &[(u32, u32)]) {
+        if let Some(tape) = self.tape.as_deref_mut() {
+            tape.flush(edges);
+        }
+    }
+}
+
+/// The `skip`/`offset` contiguous-prefix pruning shared by the Baseline
+/// and MinMax scans (Section 4.1 / 5.1): a contiguous prefix of `A`
+/// entries that are consumed (or MAX-pruned) is folded into a global
+/// `offset` so later rows never rescan it. The fold is only sound while
+/// the scan has seen nothing but that prefix, which the per-row `skip`
+/// flag tracks.
+#[derive(Debug)]
+pub(crate) struct PrefixPruner {
+    enabled: bool,
+    offset: usize,
+    skip: bool,
+}
+
+impl PrefixPruner {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            offset: 0,
+            skip: true,
+        }
+    }
+
+    /// Start scanning a new `B` row; returns the first `A` index to
+    /// visit.
+    #[inline]
+    pub(crate) fn begin_row(&mut self) -> usize {
+        self.skip = true;
+        self.offset
+    }
+
+    /// The scan hit a consumed/flushed entry at `j`; fold it into the
+    /// offset while still inside the untouched prefix.
+    #[inline]
+    pub(crate) fn on_dead(&mut self, j: usize) {
+        if self.enabled && self.skip && j == self.offset {
+            self.offset += 1;
+        }
+    }
+
+    /// A live candidate was inspected: the contiguous prefix is broken
+    /// for the rest of this row.
+    #[inline]
+    pub(crate) fn touch(&mut self) {
+        self.skip = false;
+    }
+
+    /// MAX PRUNE at the scan head: the current `a` can never match any
+    /// later `b`, so the offset may swallow it permanently. Returns
+    /// whether the offset advanced (i.e. whether the event counts).
+    #[inline]
+    pub(crate) fn on_max_prune(&mut self) -> bool {
+        if self.enabled && self.skip {
+            self.offset += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+/// Consumes the candidate stream a substrate drives. Implementations own
+/// all consumption bookkeeping (greedy `consumed` flags, edge buffers,
+/// segment flushing); substrates stay consumption-agnostic.
+pub(crate) trait PairSink {
+    /// Whether `B` row `bi` still needs pairing (greedy sinks drop rows
+    /// already consumed by an earlier leaf visit).
+    fn wants_b(&self, bi: u32) -> bool;
+
+    /// Whether `A` column `aj` is still available.
+    fn wants_a(&self, aj: u32) -> bool;
+
+    /// Record a matched pair. `a_bound` is the substrate's encoded upper
+    /// bound for the `A` column (Ex-MinMax `maxV` bookkeeping; 0 where
+    /// the substrate has none). Returns `true` when the current `B` row
+    /// is consumed and its scan must stop.
+    fn on_match(&mut self, ctx: &mut DriveCtx, bi: u32, aj: u32, a_bound: u64) -> bool;
+
+    /// End of a `B` row. `next_watermark` carries the next row's encoded
+    /// ID (the Ex-MinMax segment flush trigger); `None` means the input
+    /// is exhausted.
+    fn row_end(&mut self, ctx: &mut DriveCtx, next_watermark: Option<u64>);
+
+    /// Finalise into matched pairs (exact sinks run their matcher here).
+    fn finish(self, ctx: &mut DriveCtx) -> Vec<(u32, u32)>;
+}
+
+/// The approximate consumption mode: the first MATCH consumes both
+/// users; the pair list is the matching.
+pub(crate) struct GreedySink {
+    consumed_b: Vec<bool>,
+    consumed_a: Vec<bool>,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl GreedySink {
+    pub(crate) fn new(nb: usize, na: usize) -> Self {
+        Self {
+            consumed_b: vec![false; nb],
+            consumed_a: vec![false; na],
+            pairs: Vec::new(),
+        }
+    }
+}
+
+impl PairSink for GreedySink {
+    #[inline]
+    fn wants_b(&self, bi: u32) -> bool {
+        !self.consumed_b[bi as usize]
+    }
+
+    #[inline]
+    fn wants_a(&self, aj: u32) -> bool {
+        !self.consumed_a[aj as usize]
+    }
+
+    #[inline]
+    fn on_match(&mut self, _ctx: &mut DriveCtx, bi: u32, aj: u32, _a_bound: u64) -> bool {
+        self.consumed_b[bi as usize] = true;
+        self.consumed_a[aj as usize] = true;
+        self.pairs.push((bi, aj));
+        true
+    }
+
+    fn row_end(&mut self, _ctx: &mut DriveCtx, _next_watermark: Option<u64>) {}
+
+    fn finish(self, _ctx: &mut DriveCtx) -> Vec<(u32, u32)> {
+        self.pairs
+    }
+}
+
+enum CollectMode {
+    /// Gather every edge, run the matcher once in `finish`.
+    Whole {
+        builder: GraphBuilder,
+        edge_count: u64,
+        /// Whether the final matcher call still runs after cancellation
+        /// (Ex-Baseline matches what was gathered; the EGO methods skip
+        /// the matcher so cancellation stays prompt).
+        matcher_on_cancel: bool,
+    },
+    /// Ex-MinMax: buffer the running segment's edges and flush through
+    /// the matcher whenever the next row's encoded ID exceeds `maxv`.
+    Segmented {
+        seg_edges: Vec<(u32, u32)>,
+        flushed: Vec<bool>,
+        maxv: u64,
+    },
+}
+
+/// The exact consumption mode: accumulate the admissible-pair graph and
+/// resolve it with a one-to-one matcher.
+pub(crate) struct CollectSink {
+    matcher: MatcherKind,
+    mode: CollectMode,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl CollectSink {
+    /// Whole-graph mode (Ex-Baseline, Ex-SuperEGO, Ex-Hybrid).
+    pub(crate) fn whole(
+        nb: usize,
+        na: usize,
+        matcher: MatcherKind,
+        matcher_on_cancel: bool,
+    ) -> Self {
+        Self {
+            matcher,
+            mode: CollectMode::Whole {
+                builder: GraphBuilder::new(nb as u32, na as u32),
+                edge_count: 0,
+                matcher_on_cancel,
+            },
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Segment-flushing mode (Ex-MinMax over `na` encoded `A` entries).
+    pub(crate) fn segmented(na: usize, matcher: MatcherKind) -> Self {
+        Self {
+            matcher,
+            mode: CollectMode::Segmented {
+                seg_edges: Vec::new(),
+                flushed: vec![false; na],
+                maxv: 0,
+            },
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Merge edges gathered by a parallel worker (whole mode only; the
+    /// workers stream into [`EdgeListSink`]s and the ranges concatenate
+    /// in row order, so the result equals the serial drive).
+    pub(crate) fn absorb_edges(&mut self, edges: &[(u32, u32)]) {
+        match &mut self.mode {
+            CollectMode::Whole {
+                builder,
+                edge_count,
+                ..
+            } => {
+                for &(bi, aj) in edges {
+                    builder.add_edge(bi, aj);
+                    *edge_count += 1;
+                }
+            }
+            CollectMode::Segmented { .. } => {
+                unreachable!("segmented sinks have no parallel drive")
+            }
+        }
+    }
+
+    /// Run the matcher on the closed segment, translate its compact
+    /// numbering back and mark the segment's `A` entries flushed.
+    fn flush_segment(
+        ctx: &mut DriveCtx,
+        matcher: MatcherKind,
+        seg_edges: &mut Vec<(u32, u32)>,
+        flushed: &mut [bool],
+        pairs: &mut Vec<(u32, u32)>,
+    ) {
+        ctx.tape_flush(seg_edges);
+        let t = Instant::now();
+        let mut b_nodes: Vec<u32> = seg_edges.iter().map(|&(b, _)| b).collect();
+        b_nodes.sort_unstable();
+        b_nodes.dedup();
+        let mut a_nodes: Vec<u32> = seg_edges.iter().map(|&(_, a)| a).collect();
+        a_nodes.sort_unstable();
+        a_nodes.dedup();
+        let remapped: Vec<(u32, u32)> = seg_edges
+            .iter()
+            .map(|&(b, a)| {
+                let bi = b_nodes.binary_search(&b).expect("node present") as u32;
+                let ai = a_nodes.binary_search(&a).expect("node present") as u32;
+                (bi, ai)
+            })
+            .collect();
+        let graph = MatchGraph::from_edges(b_nodes.len() as u32, a_nodes.len() as u32, remapped);
+        let matching = run_matcher(&graph, matcher);
+        for &(bi, ai) in matching.pairs() {
+            pairs.push((b_nodes[bi as usize], a_nodes[ai as usize]));
+        }
+        for &(_, a) in seg_edges.iter() {
+            flushed[a as usize] = true;
+        }
+        let edges = seg_edges.len() as u64;
+        seg_edges.clear();
+        ctx.record_flush(edges, t.elapsed());
+    }
+}
+
+impl PairSink for CollectSink {
+    #[inline]
+    fn wants_b(&self, _bi: u32) -> bool {
+        true
+    }
+
+    #[inline]
+    fn wants_a(&self, aj: u32) -> bool {
+        match &self.mode {
+            CollectMode::Whole { .. } => true,
+            CollectMode::Segmented { flushed, .. } => !flushed[aj as usize],
+        }
+    }
+
+    #[inline]
+    fn on_match(&mut self, _ctx: &mut DriveCtx, bi: u32, aj: u32, a_bound: u64) -> bool {
+        match &mut self.mode {
+            CollectMode::Whole {
+                builder,
+                edge_count,
+                ..
+            } => {
+                builder.add_edge(bi, aj);
+                *edge_count += 1;
+            }
+            CollectMode::Segmented {
+                seg_edges, maxv, ..
+            } => {
+                seg_edges.push((bi, aj));
+                if a_bound > *maxv {
+                    *maxv = a_bound;
+                }
+            }
+        }
+        false
+    }
+
+    fn row_end(&mut self, ctx: &mut DriveCtx, next_watermark: Option<u64>) {
+        if let CollectMode::Segmented {
+            seg_edges,
+            flushed,
+            maxv,
+        } = &mut self.mode
+        {
+            // Segment boundary: if every future b's encoded ID exceeds
+            // maxV, no future b can reach any matched a of the running
+            // segment (their encoded Max values are all <= maxV), so it
+            // is safe to flush now.
+            let closes_segment = match next_watermark {
+                Some(next_id) => next_id > *maxv,
+                None => true,
+            };
+            if closes_segment {
+                if !seg_edges.is_empty() {
+                    Self::flush_segment(ctx, self.matcher, seg_edges, flushed, &mut self.pairs);
+                }
+                *maxv = 0;
+            }
+        }
+    }
+
+    fn finish(mut self, ctx: &mut DriveCtx) -> Vec<(u32, u32)> {
+        match self.mode {
+            CollectMode::Whole {
+                builder,
+                edge_count,
+                matcher_on_cancel,
+            } => {
+                if ctx.cancelled && !matcher_on_cancel {
+                    // Prompt cancellation: the empty matching is valid.
+                    return self.pairs;
+                }
+                let t = Instant::now();
+                let graph = builder.build();
+                self.pairs = run_matcher(&graph, self.matcher).into_pairs();
+                ctx.record_flush(edge_count, t.elapsed());
+                self.pairs
+            }
+            // A cancelled drive leaves the open segment unmatched (its
+            // edges are dropped so cancellation stays prompt); the loop
+            // itself flushes the final segment on normal exit.
+            CollectMode::Segmented { .. } => self.pairs,
+        }
+    }
+}
+
+/// Edge recorder used by parallel whole-graph workers; the main thread
+/// absorbs the edges into the real [`CollectSink`] in row order.
+pub(crate) struct EdgeListSink {
+    edges: Vec<(u32, u32)>,
+}
+
+impl EdgeListSink {
+    pub(crate) fn new() -> Self {
+        Self { edges: Vec::new() }
+    }
+
+    pub(crate) fn into_edges(self) -> Vec<(u32, u32)> {
+        self.edges
+    }
+}
+
+impl PairSink for EdgeListSink {
+    #[inline]
+    fn wants_b(&self, _bi: u32) -> bool {
+        true
+    }
+
+    #[inline]
+    fn wants_a(&self, _aj: u32) -> bool {
+        true
+    }
+
+    #[inline]
+    fn on_match(&mut self, _ctx: &mut DriveCtx, bi: u32, aj: u32, _a_bound: u64) -> bool {
+        self.edges.push((bi, aj));
+        false
+    }
+
+    fn row_end(&mut self, _ctx: &mut DriveCtx, _next_watermark: Option<u64>) {}
+
+    fn finish(self, _ctx: &mut DriveCtx) -> Vec<(u32, u32)> {
+        self.edges
+    }
+}
+
+/// Join a scoped worker, re-raising a panic with its **original**
+/// payload instead of masking it behind a generic `expect` message, so
+/// the engine's `catch_unwind` isolation reports the real panic text.
+pub(crate) fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Drive the Baseline substrate: scan `A` for each `B` row in `rows`.
+/// The one nested loop behind both Ap- and Ex-Baseline (and their
+/// parallel row-range workers).
+pub(crate) fn drive_baseline<S: PairSink>(
+    b: &Community,
+    a: &Community,
+    rows: Range<usize>,
+    eps: u32,
+    pruner: &mut PrefixPruner,
+    ctx: &mut DriveCtx,
+    sink: &mut S,
+) {
+    let na = a.len();
+    for i in rows {
+        if ctx.poll_cancel() {
+            break;
+        }
+        if !sink.wants_b(i as u32) {
+            continue;
+        }
+        ctx.begin_row();
+        let bv = b.vector(i);
+        let mut j = pruner.begin_row();
+        while j < na {
+            if !sink.wants_a(j as u32) {
+                pruner.on_dead(j);
+                j += 1;
+                continue;
+            }
+            pruner.touch();
+            ctx.candidate();
+            if vectors_match(bv, a.vector(j), eps) {
+                ctx.event(Event::Match, i, j);
+                if sink.on_match(ctx, i as u32, j as u32, 0) {
+                    break;
+                }
+            } else {
+                ctx.event(Event::NoMatch, i, j);
+            }
+            j += 1;
+        }
+        ctx.end_row();
+        sink.row_end(ctx, None);
+    }
+}
+
+/// Drive an EGO-recursion substrate (SuperEGO on normalised floats, the
+/// hybrid on raw integers): `judge` settles each candidate pair by leaf
+/// position, the sink consumes by point id (= community index).
+pub(crate) fn drive_ego<Sc, J, S>(
+    ps_b: &PointSet<Sc>,
+    ps_a: &PointSet<Sc>,
+    params: SuperEgoParams,
+    stats: &mut EgoStats,
+    judge: &mut J,
+    ctx: &mut DriveCtx,
+    sink: &mut S,
+) where
+    Sc: Scalar,
+    J: FnMut(usize, usize) -> Judgement,
+    S: PairSink,
+{
+    super_ego_join(ps_b, ps_a, params, stats, &mut |bs, br, as_, ar, stats| {
+        // Leaf-granular cancellation: the recursion lives in csj_ego and
+        // stays oblivious to tokens, so tripped drives fall through the
+        // remaining leaves without doing work.
+        if ctx.poll_cancel() {
+            return;
+        }
+        for i in br {
+            let bi = bs.id(i);
+            if !sink.wants_b(bi) {
+                continue;
+            }
+            ctx.begin_row();
+            for j in ar.clone() {
+                let aj = as_.id(j);
+                if !sink.wants_a(aj) {
+                    continue;
+                }
+                stats.pairs_checked += 1;
+                ctx.candidate();
+                let judgement = judge(i, j);
+                ctx.event(judgement.event(), bi as usize, aj as usize);
+                if judgement == Judgement::Match && sink.on_match(ctx, bi, aj, 0) {
+                    break;
+                }
+            }
+            ctx.end_row();
+            sink.row_end(ctx, None);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shared helper folds consumed entries into the offset only
+    /// while the scan is still inside the untouched prefix.
+    #[test]
+    fn pruner_folds_contiguous_prefix_only() {
+        let mut p = PrefixPruner::new(true);
+        assert_eq!(p.begin_row(), 0);
+        p.on_dead(0); // consumed at the head: folded
+        assert_eq!(p.offset(), 1);
+        p.touch(); // live comparison at 1
+        p.on_dead(2); // consumed past the break: NOT folded
+        assert_eq!(p.offset(), 1);
+        // Next row starts at the folded offset with a fresh skip flag.
+        assert_eq!(p.begin_row(), 1);
+        p.on_dead(1);
+        assert_eq!(p.offset(), 2);
+    }
+
+    #[test]
+    fn pruner_max_prune_advances_only_at_scan_head() {
+        let mut p = PrefixPruner::new(true);
+        p.begin_row();
+        assert!(p.on_max_prune(), "head prune must advance and count");
+        assert_eq!(p.offset(), 1);
+        p.touch();
+        assert!(!p.on_max_prune(), "prune after a live entry is silent");
+        assert_eq!(p.offset(), 1);
+    }
+
+    #[test]
+    fn disabled_pruner_never_moves() {
+        let mut p = PrefixPruner::new(false);
+        assert_eq!(p.begin_row(), 0);
+        p.on_dead(0);
+        assert!(!p.on_max_prune());
+        assert_eq!(p.offset(), 0);
+        assert_eq!(p.begin_row(), 0);
+    }
+
+    #[test]
+    fn pruner_ignores_dead_entries_beyond_the_head() {
+        let mut p = PrefixPruner::new(true);
+        p.begin_row();
+        // The invariant j == offset while skip holds means a dead entry
+        // at a later index must not advance the offset.
+        p.on_dead(5);
+        assert_eq!(p.offset(), 0);
+    }
+
+    #[test]
+    fn greedy_sink_consumes_both_sides() {
+        let mut ctx = DriveCtx::new(None);
+        let mut sink = GreedySink::new(2, 3);
+        assert!(sink.wants_b(0) && sink.wants_a(1));
+        assert!(sink.on_match(&mut ctx, 0, 1, 0), "greedy stops the row");
+        assert!(!sink.wants_b(0), "b consumed");
+        assert!(!sink.wants_a(1), "a consumed");
+        assert!(sink.wants_a(2));
+        assert_eq!(sink.finish(&mut ctx), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn collect_whole_runs_matcher_once() {
+        let mut ctx = DriveCtx::new(None);
+        let mut sink = CollectSink::whole(2, 2, MatcherKind::HopcroftKarp, true);
+        assert!(!sink.on_match(&mut ctx, 0, 0, 0), "collect keeps scanning");
+        sink.on_match(&mut ctx, 0, 1, 0);
+        sink.on_match(&mut ctx, 1, 0, 0);
+        let mut pairs = sink.finish(&mut ctx);
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 2, "maximum matching covers both rows");
+        assert_eq!(ctx.telemetry.matcher_flushes, 1);
+        assert_eq!(ctx.telemetry.matcher_edges, 3);
+        assert_eq!(ctx.telemetry.largest_flush_edges, 3);
+    }
+
+    #[test]
+    fn collect_segmented_flushes_on_watermark() {
+        let mut ctx = DriveCtx::new(None);
+        let mut sink = CollectSink::segmented(4, MatcherKind::Csf);
+        sink.on_match(&mut ctx, 0, 0, 55);
+        sink.row_end(&mut ctx, Some(40)); // 40 <= 55: segment stays open
+        assert_eq!(ctx.telemetry.matcher_flushes, 0);
+        assert!(sink.wants_a(0), "open segment keeps its columns live");
+        sink.on_match(&mut ctx, 1, 1, 60);
+        sink.row_end(&mut ctx, Some(61)); // 61 > 60: flush
+        assert_eq!(ctx.telemetry.matcher_flushes, 1);
+        assert_eq!(ctx.telemetry.matcher_edges, 2);
+        assert!(!sink.wants_a(0) && !sink.wants_a(1), "flushed columns die");
+        assert!(sink.wants_a(2));
+        let mut pairs = sink.finish(&mut ctx);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn cancelled_whole_sink_skips_matcher_when_prompt() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ctx = DriveCtx::new(Some(&token));
+        assert!(ctx.poll_cancel());
+        let mut sink = CollectSink::whole(1, 1, MatcherKind::Csf, false);
+        sink.on_match(&mut ctx, 0, 0, 0);
+        assert!(sink.finish(&mut ctx).is_empty(), "prompt mode drops edges");
+        assert_eq!(ctx.telemetry.matcher_flushes, 0);
+    }
+
+    #[test]
+    fn ctx_tracks_stream_depth_per_row() {
+        let mut ctx = DriveCtx::new(None);
+        ctx.begin_row();
+        ctx.candidate();
+        ctx.candidate();
+        ctx.end_row();
+        ctx.begin_row();
+        ctx.candidate();
+        ctx.end_row();
+        assert_eq!(ctx.telemetry.rows_driven, 2);
+        assert_eq!(ctx.telemetry.candidates_streamed, 3);
+        assert_eq!(ctx.telemetry.peak_stream_depth, 2);
+        assert_eq!(ctx.telemetry.stream_depth_hist.count(), 2);
+    }
+
+    #[test]
+    fn worker_panic_payload_survives_join() {
+        let caught = std::panic::catch_unwind(|| {
+            std::thread::scope(|scope| {
+                let h = scope.spawn(|| -> u32 { panic!("kernel worker exploded") });
+                join_worker(h)
+            })
+        })
+        .unwrap_err();
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(msg, "kernel worker exploded", "payload must survive");
+    }
+
+    #[test]
+    fn poll_latches_after_trip() {
+        let token = CancelToken::new();
+        let mut ctx = DriveCtx::new(Some(&token));
+        assert!(!ctx.poll_cancel());
+        token.cancel();
+        assert!(ctx.poll_cancel());
+        let polls = ctx.telemetry.cancel_polls;
+        assert!(ctx.poll_cancel(), "stays tripped");
+        assert_eq!(ctx.telemetry.cancel_polls, polls, "latched polls are free");
+    }
+}

@@ -1,57 +1,49 @@
-//! The MinMax methods (Section 4): the paper's main contribution.
+//! The MinMax substrate (Section 4): the paper's main contribution.
 //!
 //! Both algorithms first build the encoded buffers `Encd_B` (ascending
-//! `encoded_ID`) and `Encd_A` (ascending `encoded_Min`) and then run a
-//! pruned double loop:
+//! `encoded_ID`) and `Encd_A` (ascending `encoded_Min`) and then run one
+//! pruned double loop — [`drive_minmax`] — whose consumption mode is a
+//! [`PairSink`]:
 //!
 //! * **MIN PRUNE** — `eB.encd_ID < eA.encd_Min`: since `Encd_A` is sorted
 //!   by `encd_Min`, the current `b` cannot match this or any later `a`;
 //!   move to the next `b`.
-//! * **MAX PRUNE** — `eB.encd_ID > eA.encd_Max` while the `skip` flag is
-//!   still set: since `Encd_B` is sorted by `encd_ID`, this `a` can never
-//!   match a later `b` either, so the global `offset` advances past it.
-//!   (`skip` is deactivated by the first comparison of the scan — even a
-//!   part/range comparison — because the offset may only swallow a
-//!   *contiguous* prefix.)
+//! * **MAX PRUNE** — `eB.encd_ID > eA.encd_Max` while the scan is still
+//!   inside the untouched prefix: since `Encd_B` is sorted by `encd_ID`,
+//!   this `a` can never match a later `b` either, so the shared
+//!   [`PrefixPruner`] folds it into the global offset. (The prefix is
+//!   broken by the first comparison of the scan — even a part/range
+//!   comparison — because the offset may only swallow a *contiguous*
+//!   prefix.)
 //! * **NO OVERLAP** — some part sum of `b` falls outside the matching
 //!   range of `a`: skip the d-dimensional comparison.
 //! * **NO MATCH / MATCH** — result of the full d-dimensional comparison.
 //!
-//! **Ap-MinMax** consumes both users at the first MATCH. **Ex-MinMax**
-//! keeps scanning to collect *every* match of the current `b`, maintains
-//! `maxV` (the largest `encoded_Max` among matched `a`s of the running
-//! segment) and, whenever the next `b`'s `encoded_ID` exceeds `maxV`,
-//! flushes the segment through the one-to-one matcher (CSF by default) —
-//! safe because no future `b` can reach any matched `a` of the segment
-//! (their `encoded_Max` values are all `<= maxV`), and no past `b` can
-//! reach any future `a` (they were MIN-pruned). Segment connected
-//! components therefore never straddle a flush boundary, which is also
+//! **Ap-MinMax** = MinMax × [`GreedySink`]: the first MATCH consumes both
+//! users. **Ex-MinMax** = MinMax × segmented [`CollectSink`]: every match
+//! of the current `b` becomes an edge, the sink maintains `maxV` (the
+//! largest `encoded_Max` among matched `a`s of the running segment) and,
+//! whenever the next `b`'s `encoded_ID` exceeds `maxV`, flushes the
+//! segment through the one-to-one matcher (CSF by default) — safe because
+//! no future `b` can reach any matched `a` of the segment (their
+//! `encoded_Max` values are all `<= maxV`), and no past `b` can reach any
+//! future `a` (they were MIN-pruned). Segment connected components
+//! therefore never straddle a flush boundary, which is also
 //! property-tested against whole-graph matching.
 //!
-//! The pairing loops are written against an [`MinMaxOracle`] so the unit
+//! The drive judges candidates through a [`MinMaxOracle`] so the unit
 //! tests can replay the exact executions of Figures 2 and 3 of the paper
-//! (see `figure2_trace` / `figure3_trace`).
+//! (see `figure2_trace` / `figure3_trace`), observing the ordered event
+//! stream through the kernel's `Tape` hook.
 
-use csj_matching::{run_matcher, MatchGraph, MatcherKind};
-
+use crate::algorithms::kernel::{
+    CollectSink, DriveCtx, GreedySink, Judgement, PairSink, PrefixPruner,
+};
 use crate::algorithms::{CsjOptions, RawJoin};
-use crate::cancel::CancelToken;
 use crate::community::Community;
 use crate::encoding::{encode_a, encode_b, EncodedA, EncodedB};
-use crate::events::{Event, EventCounters};
+use crate::events::Event;
 use crate::vectors_match;
-
-/// Verdict of the part/range filter plus (when it passes) the full
-/// d-dimensional comparison for one candidate pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Judgement {
-    /// Part sums do not completely overlap the ranges (NO OVERLAP).
-    NoOverlap,
-    /// Full comparison failed (NO MATCH).
-    NoMatch,
-    /// Full comparison succeeded (MATCH).
-    Match,
-}
 
 /// Supplies [`Judgement`]s for candidate pairs whose encoded ID passed the
 /// Min/Max window. Production code uses [`RealOracle`]; the figure tests
@@ -59,17 +51,6 @@ pub(crate) enum Judgement {
 pub(crate) trait MinMaxOracle {
     fn judge(&mut self, b_pos: usize, a_pos: usize) -> Judgement;
 }
-
-/// Observes the pairing process; the no-op implementation vanishes at
-/// compile time in production paths.
-pub(crate) trait TraceSink {
-    fn event(&mut self, _ev: Event, _b_pos: usize, _a_pos: usize) {}
-    fn flush(&mut self, _edges: &[(u32, u32)]) {}
-}
-
-/// Zero-cost silent sink.
-pub(crate) struct NoTrace;
-impl TraceSink for NoTrace {}
 
 /// The production oracle: part/range filter, then strict per-dimension
 /// comparison through the encoded buffers' "real ID" indirection.
@@ -97,210 +78,67 @@ impl MinMaxOracle for RealOracle<'_> {
     }
 }
 
-/// The Ap-MinMax pairing loop over pre-encoded buffers. Returns matched
-/// `(b_pos, a_pos)` buffer positions. `cancel` is polled once per `b`
-/// row; on trip the loop stops and sets `*cancelled`.
-#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
-pub(crate) fn ap_minmax_loop<O: MinMaxOracle, T: TraceSink>(
+/// Drive the MinMax substrate over pre-encoded buffers: the one pruned
+/// sort-merge scan behind both Ap- and Ex-MinMax. The sink receives
+/// `(b_pos, a_pos)` **buffer positions** (translate with
+/// [`map_positions`]) plus each matched `a`'s `encd_Max` as the segment
+/// watermark bound.
+pub(crate) fn drive_minmax<O: MinMaxOracle, S: PairSink>(
     eb_ids: &[u64],
     ea_mins: &[u64],
     ea_maxs: &[u64],
     oracle: &mut O,
-    advance_offset: bool,
-    events: &mut EventCounters,
-    trace: &mut T,
-    cancel: Option<&CancelToken>,
-    cancelled: &mut bool,
-) -> Vec<(u32, u32)> {
+    pruning: bool,
+    ctx: &mut DriveCtx,
+    sink: &mut S,
+) {
     let na = ea_mins.len();
-    let mut consumed = vec![false; na];
-    let mut offset = 0usize;
-    let mut pairs = Vec::new();
-
+    let mut pruner = PrefixPruner::new(pruning);
     for (i, &id) in eb_ids.iter().enumerate() {
-        if cancel.is_some_and(CancelToken::is_cancelled) {
-            *cancelled = true;
+        if ctx.poll_cancel() {
             break;
         }
-        let mut skip = true;
-        let mut j = offset;
+        if !sink.wants_b(i as u32) {
+            continue;
+        }
+        ctx.begin_row();
+        let mut j = pruner.begin_row();
         while j < na {
-            if consumed[j] {
-                // A consumed entry can never match again; while the scan
-                // is still in the untouched prefix it may be folded into
-                // the offset.
-                if advance_offset && skip && j == offset {
-                    offset += 1;
-                }
+            if !sink.wants_a(j as u32) {
+                // A consumed/flushed entry can never match again; while
+                // the scan is still in the untouched prefix it may be
+                // folded into the offset.
+                pruner.on_dead(j);
                 j += 1;
                 continue;
             }
             if id < ea_mins[j] {
-                events.record(Event::MinPrune);
-                trace.event(Event::MinPrune, i, j);
+                ctx.event(Event::MinPrune, i, j);
                 break; // go to next eB
             } else if id <= ea_maxs[j] {
-                match oracle.judge(i, j) {
-                    Judgement::NoOverlap => {
-                        events.record(Event::NoOverlap);
-                        trace.event(Event::NoOverlap, i, j);
-                    }
-                    Judgement::NoMatch => {
-                        events.record(Event::NoMatch);
-                        trace.event(Event::NoMatch, i, j);
-                    }
-                    Judgement::Match => {
-                        events.record(Event::Match);
-                        trace.event(Event::Match, i, j);
-                        pairs.push((i as u32, j as u32));
-                        consumed[j] = true;
-                        break; // approximate: go to next eB
-                    }
+                ctx.candidate();
+                let judgement = oracle.judge(i, j);
+                ctx.event(judgement.event(), i, j);
+                if judgement == Judgement::Match
+                    && sink.on_match(ctx, i as u32, j as u32, ea_maxs[j])
+                {
+                    break; // approximate: go to next eB
                 }
-                skip = false;
+                pruner.touch();
                 j += 1;
             } else {
                 // eB.encd_ID > eA.encd_Max.
-                if advance_offset && skip {
-                    offset += 1;
-                    events.record(Event::MaxPrune);
-                    trace.event(Event::MaxPrune, i, j);
+                if pruner.on_max_prune() {
+                    ctx.event(Event::MaxPrune, i, j);
                 }
                 j += 1;
             }
         }
+        ctx.end_row();
+        // The segmented sink flushes here once the next b's encoded ID
+        // clears the running segment's maxV watermark.
+        sink.row_end(ctx, eb_ids.get(i + 1).copied());
     }
-    pairs
-}
-
-/// The Ex-MinMax pairing loop: collects every match per `b`, flushing
-/// closed segments through `matcher`. Returns the final one-to-one
-/// `(b_pos, a_pos)` buffer positions. `cancel` is polled once per `b`
-/// row; on trip the already-flushed segments are returned (a valid
-/// partial matching) and `*cancelled` is set — edges of the still-open
-/// segment are dropped rather than matched so cancellation stays prompt.
-#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
-pub(crate) fn ex_minmax_loop<O: MinMaxOracle, T: TraceSink>(
-    eb_ids: &[u64],
-    ea_mins: &[u64],
-    ea_maxs: &[u64],
-    oracle: &mut O,
-    matcher: MatcherKind,
-    advance_offset: bool,
-    events: &mut EventCounters,
-    trace: &mut T,
-    matcher_time: &mut std::time::Duration,
-    cancel: Option<&CancelToken>,
-    cancelled: &mut bool,
-) -> Vec<(u32, u32)> {
-    let na = ea_mins.len();
-    let mut flushed = vec![false; na];
-    let mut offset = 0usize;
-    let mut maxv = 0u64;
-    let mut seg_edges: Vec<(u32, u32)> = Vec::new();
-    let mut pairs = Vec::new();
-
-    for (i, &id) in eb_ids.iter().enumerate() {
-        if cancel.is_some_and(CancelToken::is_cancelled) {
-            *cancelled = true;
-            break;
-        }
-        let mut skip = true;
-        let mut j = offset;
-        while j < na {
-            if flushed[j] {
-                if advance_offset && skip && j == offset {
-                    offset += 1;
-                }
-                j += 1;
-                continue;
-            }
-            if id < ea_mins[j] {
-                events.record(Event::MinPrune);
-                trace.event(Event::MinPrune, i, j);
-                break;
-            } else if id <= ea_maxs[j] {
-                match oracle.judge(i, j) {
-                    Judgement::NoOverlap => {
-                        events.record(Event::NoOverlap);
-                        trace.event(Event::NoOverlap, i, j);
-                    }
-                    Judgement::NoMatch => {
-                        events.record(Event::NoMatch);
-                        trace.event(Event::NoMatch, i, j);
-                    }
-                    Judgement::Match => {
-                        events.record(Event::Match);
-                        trace.event(Event::Match, i, j);
-                        seg_edges.push((i as u32, j as u32));
-                        if ea_maxs[j] > maxv {
-                            maxv = ea_maxs[j];
-                        }
-                    }
-                }
-                skip = false;
-                j += 1;
-            } else {
-                if advance_offset && skip {
-                    offset += 1;
-                    events.record(Event::MaxPrune);
-                    trace.event(Event::MaxPrune, i, j);
-                }
-                j += 1;
-            }
-        }
-        // Segment boundary check: the current b is finished; if every
-        // future b's encoded ID exceeds maxV, no future b can reach any
-        // matched a of the running segment, so it is safe to flush.
-        let closes_segment = match eb_ids.get(i + 1) {
-            Some(&next_id) => next_id > maxv,
-            None => true,
-        };
-        if closes_segment {
-            if !seg_edges.is_empty() {
-                trace.flush(&seg_edges);
-                let t = std::time::Instant::now();
-                flush_segment(&mut seg_edges, &mut flushed, matcher, &mut pairs);
-                *matcher_time += t.elapsed();
-            }
-            maxv = 0;
-        }
-    }
-    pairs
-}
-
-/// Run the one-to-one matcher on a closed segment and mark its `A` users
-/// as flushed (they are MAX-pruned by construction).
-fn flush_segment(
-    seg_edges: &mut Vec<(u32, u32)>,
-    flushed: &mut [bool],
-    matcher: MatcherKind,
-    pairs: &mut Vec<(u32, u32)>,
-) {
-    // Compact node numbering for the segment subgraph.
-    let mut b_nodes: Vec<u32> = seg_edges.iter().map(|&(b, _)| b).collect();
-    b_nodes.sort_unstable();
-    b_nodes.dedup();
-    let mut a_nodes: Vec<u32> = seg_edges.iter().map(|&(_, a)| a).collect();
-    a_nodes.sort_unstable();
-    a_nodes.dedup();
-    let remapped: Vec<(u32, u32)> = seg_edges
-        .iter()
-        .map(|&(b, a)| {
-            let bi = b_nodes.binary_search(&b).expect("node present") as u32;
-            let ai = a_nodes.binary_search(&a).expect("node present") as u32;
-            (bi, ai)
-        })
-        .collect();
-    let graph = MatchGraph::from_edges(b_nodes.len() as u32, a_nodes.len() as u32, remapped);
-    let matching = run_matcher(&graph, matcher);
-    for &(bi, ai) in matching.pairs() {
-        pairs.push((b_nodes[bi as usize], a_nodes[ai as usize]));
-    }
-    for &(_, a) in seg_edges.iter() {
-        flushed[a as usize] = true;
-    }
-    seg_edges.clear();
 }
 
 /// Approximate MinMax (Algorithm Ap-MinMax).
@@ -331,19 +169,22 @@ pub(crate) fn ap_minmax_prepared(
         eps: opts.eps,
     };
     let pairing = std::time::Instant::now();
-    let pos_pairs = ap_minmax_loop(
+    let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    let mut sink = GreedySink::new(eb.encd_ids.len(), ea.encd_mins.len());
+    drive_minmax(
         &eb.encd_ids,
         &ea.encd_mins,
         &ea.encd_maxs,
         &mut oracle,
         opts.offset_pruning,
-        &mut out.events,
-        &mut NoTrace,
-        opts.cancel.as_ref(),
-        &mut out.cancelled,
+        &mut ctx,
+        &mut sink,
     );
+    let pos_pairs = sink.finish(&mut ctx);
     out.timings.pairing = pairing.elapsed();
     out.pairs = map_positions(&pos_pairs, eb, ea);
+    out.cancelled = ctx.cancelled;
+    out.telemetry = ctx.telemetry;
     out
 }
 
@@ -358,7 +199,10 @@ pub fn ex_minmax(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     raw
 }
 
-/// Ex-MinMax over pre-encoded buffers (see `csj_core::prepared`).
+/// Ex-MinMax over pre-encoded buffers (see `csj_core::prepared`). On
+/// cancellation the already-flushed segments are returned (a valid
+/// partial matching) — edges of the still-open segment are dropped
+/// rather than matched so cancellation stays prompt.
 pub(crate) fn ex_minmax_prepared(
     b: &Community,
     a: &Community,
@@ -375,23 +219,23 @@ pub(crate) fn ex_minmax_prepared(
         eps: opts.eps,
     };
     let pairing = std::time::Instant::now();
-    let mut matcher_time = std::time::Duration::ZERO;
-    let pos_pairs = ex_minmax_loop(
+    let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    let mut sink = CollectSink::segmented(ea.encd_mins.len(), opts.matcher);
+    drive_minmax(
         &eb.encd_ids,
         &ea.encd_mins,
         &ea.encd_maxs,
         &mut oracle,
-        opts.matcher,
         opts.offset_pruning,
-        &mut out.events,
-        &mut NoTrace,
-        &mut matcher_time,
-        opts.cancel.as_ref(),
-        &mut out.cancelled,
+        &mut ctx,
+        &mut sink,
     );
-    out.timings.pairing = pairing.elapsed().saturating_sub(matcher_time);
-    out.timings.matching = matcher_time;
+    let pos_pairs = sink.finish(&mut ctx);
+    out.timings.pairing = pairing.elapsed().saturating_sub(ctx.matcher_time);
+    out.timings.matching = ctx.matcher_time;
     out.pairs = map_positions(&pos_pairs, eb, ea);
+    out.cancelled = ctx.cancelled;
+    out.telemetry = ctx.telemetry;
     out
 }
 
@@ -407,7 +251,9 @@ fn map_positions(pos_pairs: &[(u32, u32)], eb: &EncodedB, ea: &EncodedA) -> Vec<
 mod tests {
     use super::*;
     use crate::algorithms::baseline::{ap_baseline, ex_baseline};
+    use crate::algorithms::kernel::Tape as TapeHook;
     use crate::algorithms::CsjOptions;
+    use csj_matching::MatcherKind;
 
     /// Scripted oracle for the figure walkthroughs.
     struct TableOracle(Vec<((usize, usize), Judgement)>);
@@ -427,7 +273,7 @@ mod tests {
         events: Vec<(Event, usize, usize)>,
         flushes: Vec<Vec<(u32, u32)>>,
     }
-    impl TraceSink for Tape {
+    impl TapeHook for Tape {
         fn event(&mut self, ev: Event, b_pos: usize, a_pos: usize) {
             self.events.push((ev, b_pos, a_pos));
         }
@@ -456,20 +302,20 @@ mod tests {
             ((3, 4), J::NoMatch),
             ((4, 4), J::Match),
         ]);
-        let mut events = EventCounters::default();
         let mut tape = Tape::default();
-        let mut cancelled = false;
-        let pairs = ap_minmax_loop(
+        let mut ctx = DriveCtx::with_tape(None, &mut tape);
+        let mut sink = GreedySink::new(eb_ids.len(), ea_mins.len());
+        drive_minmax(
             &eb_ids,
             &ea_mins,
             &ea_maxs,
             &mut oracle,
             true,
-            &mut events,
-            &mut tape,
-            None,
-            &mut cancelled,
+            &mut ctx,
+            &mut sink,
         );
+        let pairs = sink.finish(&mut ctx);
+        let telemetry = ctx.telemetry;
 
         // MATCHES = {<b2, a3>, <b5, a5>} -> positions (1,2), (4,4);
         // similarity = 2/5 = 40%.
@@ -499,11 +345,17 @@ mod tests {
             (Match, 4, 4),
         ];
         assert_eq!(tape.events, expected);
+        let events = telemetry.events;
         assert_eq!(events.matches, 2);
         assert_eq!(events.min_prune, 1);
         assert_eq!(events.max_prune, 3);
         assert_eq!(events.no_overlap, 4);
         assert_eq!(events.no_match, 4);
+        // The kernel's per-row stream telemetry on the figure: b1 streams
+        // 2 candidates, b2 3, b3 2, b4 2, b5 1 -> 10 total, peak 3.
+        assert_eq!(telemetry.rows_driven, 5);
+        assert_eq!(telemetry.candidates_streamed, 10);
+        assert_eq!(telemetry.peak_stream_depth, 3);
     }
 
     /// Figure 3: the full Ex-MinMax running example (6 instances),
@@ -525,23 +377,20 @@ mod tests {
             ((2, 4), J::NoMatch),
             ((3, 4), J::NoOverlap),
         ]);
-        let mut events = EventCounters::default();
         let mut tape = Tape::default();
-        let mut matcher_time = std::time::Duration::ZERO;
-        let mut cancelled = false;
-        let pairs = ex_minmax_loop(
+        let mut ctx = DriveCtx::with_tape(None, &mut tape);
+        let mut sink = CollectSink::segmented(ea_mins.len(), MatcherKind::Csf);
+        drive_minmax(
             &eb_ids,
             &ea_mins,
             &ea_maxs,
             &mut oracle,
-            MatcherKind::Csf,
             true,
-            &mut events,
-            &mut tape,
-            &mut matcher_time,
-            None,
-            &mut cancelled,
+            &mut ctx,
+            &mut sink,
         );
+        let pairs = sink.finish(&mut ctx);
+        let telemetry = ctx.telemetry;
 
         use Event::*;
         let expected = vec![
@@ -573,6 +422,10 @@ mod tests {
         assert_eq!(tape.flushes.len(), 2);
         assert_eq!(tape.flushes[0], vec![(0, 0), (0, 2)]);
         assert_eq!(tape.flushes[1], vec![(1, 1), (1, 3), (2, 3)]);
+        // ... which the flush telemetry mirrors.
+        assert_eq!(telemetry.matcher_flushes, 2);
+        assert_eq!(telemetry.matcher_edges, 5);
+        assert_eq!(telemetry.largest_flush_edges, 3);
 
         // CSF covers b1 with one of {a1, a3}, and both b2 and b3.
         assert_eq!(pairs.len(), 3);
@@ -678,8 +531,9 @@ mod tests {
         let opts = CsjOptions::new(1).with_parts(2);
         let out = ap_minmax(&b, &a, &opts);
         assert!(out.pairs.is_empty());
-        assert_eq!(out.events.min_prune, 2);
-        assert_eq!(out.events.full_comparisons(), 0);
+        assert_eq!(out.telemetry.events.min_prune, 2);
+        assert_eq!(out.telemetry.events.full_comparisons(), 0);
+        assert_eq!(out.telemetry.candidates_streamed, 0);
     }
 
     #[test]
@@ -691,7 +545,10 @@ mod tests {
         let opts = CsjOptions::new(1).with_parts(2);
         let out = ap_minmax(&b, &a, &opts);
         assert!(out.pairs.is_empty());
-        assert_eq!(out.events.max_prune, 3, "offset should eat A exactly once");
+        assert_eq!(
+            out.telemetry.events.max_prune, 3,
+            "offset should eat A exactly once"
+        );
     }
 
     #[test]
@@ -740,7 +597,7 @@ mod tests {
             ex_minmax(&b, &a, &on).pairs.len(),
             ex_minmax(&b, &a, &off).pairs.len()
         );
-        assert_eq!(ex_minmax(&b, &a, &off).events.max_prune, 0);
+        assert_eq!(ex_minmax(&b, &a, &off).telemetry.events.max_prune, 0);
     }
 
     #[test]

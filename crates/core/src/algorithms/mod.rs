@@ -8,6 +8,7 @@
 
 mod baseline;
 mod hybrid;
+pub(crate) mod kernel;
 pub(crate) mod minmax;
 mod superego;
 
@@ -27,6 +28,7 @@ use crate::encoding::EncodingParams;
 use crate::error::CsjError;
 use crate::events::EventCounters;
 use crate::similarity::Similarity;
+use crate::telemetry::JoinTelemetry;
 use crate::validate_sizes;
 
 /// The CSJ method to execute.
@@ -249,8 +251,9 @@ impl PhaseTimings {
 pub struct RawJoin {
     /// Matched pairs as `(b_index, a_index)` into the two communities.
     pub pairs: Vec<(u32, u32)>,
-    /// Pairing-process event counters.
-    pub events: EventCounters,
+    /// Kernel telemetry of the drive (event counters, stream depths,
+    /// prune histograms, matcher flushes, cancel polls).
+    pub telemetry: JoinTelemetry,
     /// Recursion statistics for the EGO-based methods.
     pub ego: Option<EgoStats>,
     /// Per-phase wall-clock breakdown.
@@ -269,8 +272,12 @@ pub struct JoinOutcome {
     pub similarity: Similarity,
     /// Matched pairs as `(b_index, a_index)` into the two communities.
     pub pairs: Vec<(u32, u32)>,
-    /// Pairing-process event counters.
+    /// Pairing-process event counters (a copy of `telemetry.events`,
+    /// kept as a first-class field for reporting convenience).
     pub events: EventCounters,
+    /// Kernel telemetry of the join (per-row candidate-stream depth,
+    /// prune histograms, matcher flush counts, cancel polls).
+    pub telemetry: JoinTelemetry,
     /// Recursion statistics (EGO-based methods only).
     pub ego_stats: Option<EgoStats>,
     /// Wall-clock execution time (excludes input validation).
@@ -358,7 +365,8 @@ pub fn run(
         method,
         similarity: Similarity::new(raw.pairs.len(), b.len()),
         pairs: raw.pairs,
-        events: raw.events,
+        events: raw.telemetry.events,
+        telemetry: raw.telemetry,
         ego_stats: raw.ego,
         elapsed,
         timings: raw.timings,

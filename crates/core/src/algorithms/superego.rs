@@ -1,5 +1,5 @@
-//! The SuperEGO methods (Section 5.2): the state-of-the-art epsilon-join
-//! comparator, adapted to answer CSJ.
+//! The SuperEGO substrate (Section 5.2): the state-of-the-art
+//! epsilon-join comparator, adapted to answer CSJ.
 //!
 //! Adaptation, following the paper:
 //!
@@ -14,22 +14,26 @@
 //!    "correctly applies for CSJ"; the literal aggregate-L1 reading is
 //!    available behind [`SuperEgoConfig::l1_predicate`] as an ablation
 //!    (it strictly overestimates CSJ similarity).
-//! 3. **Ap-SuperEGO** replaces the recursion's leaf `NestedLoopJoin` with
-//!    Ap-Baseline's greedy consuming loop; **Ex-SuperEGO** enumerates all
-//!    leaf pairs and calls the one-to-one matcher once at the end.
+//! 3. The recursion's leaves stream through the kernel's `drive_ego`:
+//!    **Ap-SuperEGO** = SuperEGO × [`GreedySink`] (the greedy consuming
+//!    loop of Ap-Baseline), **Ex-SuperEGO** = SuperEGO × [`CollectSink`]
+//!    (all leaf pairs, one matcher call at the end).
 //!
 //! The recursion, EGO ordering, EGO-strategy pruning and Super-EGO
 //! dimension reordering live in the [`csj_ego`] substrate crate.
+//!
+//! [`SuperEgoConfig::l1_predicate`]: crate::algorithms::SuperEgoConfig
 
 use csj_ego::{
-    collect_pairs, collect_pairs_parallel, dimension_order, normalize_counters, permute_dimensions,
-    super_ego_join, EgoStats, JoinPredicate, PointSet, SuperEgoParams,
+    collect_pairs_parallel, dimension_order, normalize_counters, permute_dimensions, EgoStats,
+    JoinPredicate, PointSet, SuperEgoParams,
 };
-use csj_matching::{run_matcher, MatchGraph};
 
+use crate::algorithms::kernel::{
+    drive_ego, CollectSink, DriveCtx, GreedySink, Judgement, PairSink,
+};
 use crate::algorithms::{CsjOptions, RawJoin};
 use crate::community::Community;
-use crate::events::Event;
 
 /// Normalise, optionally reorder dimensions, and EGO-sort both
 /// communities; derive the per-dimension predicate.
@@ -68,8 +72,8 @@ fn prepare(
     (ps_b, ps_a, pred)
 }
 
-/// Approximate SuperEGO: the recursion with Ap-Baseline's greedy
-/// consuming nested loop at the leaves.
+/// Approximate SuperEGO: the recursion with the greedy sink at the
+/// leaves.
 pub fn ap_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let setup = std::time::Instant::now();
     let (ps_b, ps_a, pred) = prepare(b, a, opts);
@@ -78,54 +82,33 @@ pub fn ap_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     out.timings.setup = setup.elapsed();
     let pairing = std::time::Instant::now();
     let mut stats = EgoStats::default();
-    let mut matched_b = vec![false; ps_b.len()];
-    let mut matched_a = vec![false; ps_a.len()];
-    let mut pairs: Vec<(u32, u32)> = Vec::new();
-    let mut events = crate::events::EventCounters::default();
-
-    super_ego_join(
+    let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    let mut sink = GreedySink::new(ps_b.len(), ps_a.len());
+    drive_ego(
         &ps_b,
         &ps_a,
         params,
         &mut stats,
-        &mut |bs, br, as_, ar, stats| {
-            // Cooperative cancellation: leaf granularity (the recursion
-            // itself lives in csj_ego and stays oblivious to tokens).
-            if opts.is_cancelled() {
-                return;
-            }
-            for i in br {
-                if matched_b[i] {
-                    continue;
-                }
-                let bp = bs.point(i);
-                for j in ar.clone() {
-                    if matched_a[j] {
-                        continue;
-                    }
-                    stats.pairs_checked += 1;
-                    if pred.matches(bp, as_.point(j)) {
-                        events.record(Event::Match);
-                        matched_b[i] = true;
-                        matched_a[j] = true;
-                        pairs.push((bs.id(i), as_.id(j)));
-                        break;
-                    }
-                    events.record(Event::NoMatch);
-                }
+        &mut |i, j| {
+            if pred.matches(ps_b.point(i), ps_a.point(j)) {
+                Judgement::Match
+            } else {
+                Judgement::NoMatch
             }
         },
+        &mut ctx,
+        &mut sink,
     );
-
+    ctx.cancelled |= opts.is_cancelled();
+    out.pairs = sink.finish(&mut ctx);
     out.timings.pairing = pairing.elapsed();
-    out.pairs = pairs;
-    out.events = events;
     out.ego = Some(stats);
-    out.cancelled = opts.is_cancelled();
+    out.cancelled = ctx.cancelled;
+    out.telemetry = ctx.telemetry;
     out
 }
 
-/// Exact SuperEGO: the recursion enumerating all leaf pairs, then one
+/// Exact SuperEGO: the recursion collecting all leaf pairs, then one
 /// matcher call (the paper's CSF by default).
 pub fn ex_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let setup = std::time::Instant::now();
@@ -135,34 +118,50 @@ pub fn ex_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     out.timings.setup = setup.elapsed();
     let mut stats = EgoStats::default();
     let pairing = std::time::Instant::now();
-    let edges = if opts.superego.threads > 1 {
-        collect_pairs_parallel(
+    let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    // The leaf enumeration cannot run the matcher after a trip: skip it
+    // and return an empty (trivially valid) matching so cancellation
+    // stays prompt.
+    let mut sink = CollectSink::whole(b.len(), a.len(), opts.matcher, false);
+    if opts.superego.threads > 1 {
+        // The parallel enumeration lives in csj_ego and streams edges
+        // from worker threads; per-row kernel telemetry is unavailable
+        // there, so only the event counters are reconstructed.
+        let edges = collect_pairs_parallel(
             &ps_b,
             &ps_a,
             pred,
             params,
             &mut stats,
             opts.superego.threads,
-        )
+        );
+        ctx.telemetry.events.matches = edges.len() as u64;
+        ctx.telemetry.events.no_match = stats.pairs_checked - edges.len() as u64;
+        sink.absorb_edges(&edges);
     } else {
-        collect_pairs(&ps_b, &ps_a, pred, params, &mut stats)
-    };
-    out.timings.pairing = pairing.elapsed();
-    out.events.matches = edges.len() as u64;
-    out.events.no_match = stats.pairs_checked - edges.len() as u64;
-    // The pair enumeration lives in csj_ego and cannot poll the token,
-    // so Ex-SuperEGO cancellation is coarse: skip the matcher and return
-    // an empty (trivially valid) matching once the token trips.
-    if opts.is_cancelled() {
-        out.cancelled = true;
-        out.ego = Some(stats);
-        return out;
+        drive_ego(
+            &ps_b,
+            &ps_a,
+            params,
+            &mut stats,
+            &mut |i, j| {
+                if pred.matches(ps_b.point(i), ps_a.point(j)) {
+                    Judgement::Match
+                } else {
+                    Judgement::NoMatch
+                }
+            },
+            &mut ctx,
+            &mut sink,
+        );
     }
-    let matching_t = std::time::Instant::now();
-    let graph = MatchGraph::from_edges(b.len() as u32, a.len() as u32, edges);
-    out.pairs = run_matcher(&graph, opts.matcher).into_pairs();
-    out.timings.matching = matching_t.elapsed();
+    out.timings.pairing = pairing.elapsed();
+    ctx.cancelled |= opts.is_cancelled();
+    out.pairs = sink.finish(&mut ctx);
+    out.timings.matching = ctx.matcher_time;
     out.ego = Some(stats);
+    out.cancelled = ctx.cancelled;
+    out.telemetry = ctx.telemetry;
     out
 }
 
@@ -295,6 +294,8 @@ mod tests {
         let s = ex_superego(&b, &a, &serial_opts);
         let p = ex_superego(&b, &a, &par_opts);
         assert_eq!(s.pairs.len(), p.pairs.len());
+        // Both routes must agree on the event counters too.
+        assert_eq!(s.telemetry.events, p.telemetry.events);
     }
 
     #[test]

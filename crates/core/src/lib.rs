@@ -58,6 +58,7 @@ pub mod error;
 pub mod events;
 pub mod prepared;
 pub mod similarity;
+pub mod telemetry;
 pub mod verify;
 
 pub use algorithms::{run, CsjMethod, CsjOptions, JoinOutcome, PhaseTimings, SuperEgoConfig};
@@ -68,6 +69,7 @@ pub use error::CsjError;
 pub use events::{Event, EventCounters};
 pub use prepared::PreparedCommunity;
 pub use similarity::Similarity;
+pub use telemetry::{JoinTelemetry, LogHistogram};
 
 // Re-export the substrates so downstream users need only csj-core.
 pub use csj_ego;

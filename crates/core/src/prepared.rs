@@ -227,7 +227,7 @@ mod tests {
         let plain_ap = ap_minmax(&b, &a, &opts);
         let prep_ap = ap_minmax_between(&pb, &pa, &opts);
         assert_eq!(plain_ap.pairs, prep_ap.pairs);
-        assert_eq!(plain_ap.events, prep_ap.events);
+        assert_eq!(plain_ap.telemetry, prep_ap.telemetry);
 
         let plain_ex = ex_minmax(&b, &a, &opts);
         let prep_ex = ex_minmax_between(&pb, &pa, &opts);

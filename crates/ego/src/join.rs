@@ -274,7 +274,13 @@ pub fn collect_pairs_parallel<S: Scalar>(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise with the original payload so callers that
+                // isolate panics report the real message instead of a
+                // generic "worker panicked".
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 

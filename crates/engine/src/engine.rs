@@ -15,7 +15,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity};
-use csj_core::{run, Community, CsjError, CsjMethod, CsjOptions, Similarity, UserId};
+use csj_core::{
+    run, Community, CsjError, CsjMethod, CsjOptions, JoinTelemetry, Similarity, UserId,
+};
 
 use crate::budget::{exhausted_marker, Budget, Partial};
 use crate::error::EngineError;
@@ -122,6 +124,9 @@ pub struct EngineStats {
     pub joins_executed: u64,
     /// Cache hits served.
     pub cache_hits: u64,
+    /// Kernel telemetry aggregated across every join the engine ran
+    /// (cache hits contribute nothing — no kernel work happened).
+    pub telemetry: JoinTelemetry,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -177,6 +182,11 @@ pub struct CsjEngine {
     cache: HashMap<(u32, u32), CacheEntry>,
     joins_executed: AtomicU64,
     cache_hits: u64,
+    /// Aggregated kernel telemetry; a `Mutex` (not per-field atomics) so
+    /// parallel screening workers merge whole [`JoinTelemetry`] blocks
+    /// consistently — histograms and maxima don't decompose into
+    /// independent atomic adds.
+    telemetry: std::sync::Mutex<JoinTelemetry>,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
 }
@@ -193,6 +203,7 @@ impl CsjEngine {
             cache: HashMap::new(),
             joins_executed: AtomicU64::new(0),
             cache_hits: 0,
+            telemetry: std::sync::Mutex::new(JoinTelemetry::default()),
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -271,20 +282,28 @@ impl CsjEngine {
     ) -> Result<Similarity, EngineError> {
         csj_core::validate_sizes(b.len(), a.len()).map_err(EngineError::Csj)?;
         self.joins_executed.fetch_add(1, Ordering::Relaxed);
-        let (matched, cancelled) = match method {
+        let (matched, cancelled, telemetry) = match method {
             CsjMethod::ApMinMax => {
                 let raw = ap_minmax_between(b, a, opts);
-                (raw.pairs.len(), raw.cancelled)
+                (raw.pairs.len(), raw.cancelled, raw.telemetry)
             }
             CsjMethod::ExMinMax => {
                 let raw = ex_minmax_between(b, a, opts);
-                (raw.pairs.len(), raw.cancelled)
+                (raw.pairs.len(), raw.cancelled, raw.telemetry)
             }
             other => {
                 let outcome = run(other, b.community(), a.community(), opts)?;
-                (outcome.similarity.matched, outcome.cancelled)
+                (
+                    outcome.similarity.matched,
+                    outcome.cancelled,
+                    outcome.telemetry,
+                )
             }
         };
+        self.telemetry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&telemetry);
         if cancelled {
             return Err(EngineError::Cancelled);
         }
@@ -740,7 +759,11 @@ impl CsjEngine {
         let mut pairs_done = 0u64;
         let (start_i, start_j) = resume.map_or((0, 1), |c| (c.i, c.j));
         'outer: for i in start_i..n {
-            let j_lo = if i == start_i { start_j.max(i + 1) } else { i + 1 };
+            let j_lo = if i == start_i {
+                start_j.max(i + 1)
+            } else {
+                i + 1
+            };
             for j in j_lo..n {
                 let x = CommunityHandle(i);
                 let y = CommunityHandle(j);
@@ -854,6 +877,7 @@ impl CsjEngine {
             cached_pairs: self.cache.len(),
             joins_executed: self.joins_executed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits,
+            telemetry: *self.telemetry.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
 
@@ -987,6 +1011,29 @@ mod tests {
         assert_eq!(s1, s2);
         assert_eq!(engine.stats().joins_executed, before, "must be a cache hit");
         assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn joins_accumulate_telemetry() {
+        let (mut engine, a, n, _) = engine_with_three();
+        assert_eq!(engine.stats().telemetry, JoinTelemetry::default());
+
+        engine.similarity(a, n).unwrap();
+        let after_one = engine.stats().telemetry;
+        assert!(after_one.rows_driven > 0, "screen+refine drove rows");
+        assert!(after_one.events.matches >= 3, "three admissible pairs seen");
+        assert!(after_one.matcher_flushes >= 1, "exact refinement flushed");
+
+        // A cache hit runs no kernel, so telemetry must not move.
+        engine.similarity(n, a).unwrap();
+        assert_eq!(engine.stats().telemetry, after_one);
+
+        // Invalidate and re-join: counters only ever grow.
+        engine.upsert_user(n, 0, &[1, 2]).unwrap();
+        engine.similarity(a, n).unwrap();
+        let after_two = engine.stats().telemetry;
+        assert!(after_two.rows_driven > after_one.rows_driven);
+        assert!(after_two.cancel_polls >= after_one.cancel_polls);
     }
 
     #[test]

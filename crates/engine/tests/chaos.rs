@@ -109,10 +109,7 @@ fn sweep_isolates_a_panicking_pair() {
         (*x == victim || *y == victim) && matches!(e, EngineError::JoinPanicked { .. })
     }));
     assert_eq!(sweep.pairs.len(), 10);
-    assert!(sweep
-        .pairs
-        .iter()
-        .all(|p| p.x != victim && p.y != victim));
+    assert!(sweep.pairs.iter().all(|p| p.x != victim && p.y != victim));
 }
 
 #[test]

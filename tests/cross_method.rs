@@ -117,7 +117,7 @@ fn approximate_methods_never_exceed_exact() {
             CsjMethod::ExBaseline,
             &pair.b,
             &pair.a,
-            &opts.with_matcher(MatcherKind::HopcroftKarp),
+            &opts.clone().with_matcher(MatcherKind::HopcroftKarp),
         )
         .unwrap();
         for (ap, ex_bound) in [
