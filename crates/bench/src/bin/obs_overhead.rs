@@ -1,0 +1,105 @@
+//! `obs_overhead` — measure the cost of the always-on observability.
+//!
+//! Runs the same engine workload (screen + refine + similarity queries
+//! over a generated couple) with the observability subsystem enabled
+//! and disabled, best-of-N rounds each, and asserts the enabled run
+//! stays within the accepted overhead envelope (5% plus a small
+//! absolute floor for timer noise on sub-millisecond workloads).
+//!
+//! ```text
+//! cargo run -p csj-bench --release --bin obs_overhead -- [--scale N] [--rounds R]
+//! ```
+//!
+//! Exits non-zero when the overhead exceeds the envelope, so CI can
+//! gate on it.
+
+use std::time::{Duration, Instant};
+
+use csj_data::pairs::{build_couple, BuildOptions, Dataset};
+use csj_data::COUPLES;
+use csj_engine::{CsjEngine, EngineConfig};
+
+const QUERIES_PER_ROUND: usize = 8;
+
+fn usage() -> ! {
+    eprintln!("usage: obs_overhead [--scale N] [--rounds R]");
+    std::process::exit(2)
+}
+
+/// One full workload pass: register the couple's communities, screen,
+/// rank, and answer point similarity queries (cache hits included).
+fn workload(enabled: bool, scale: u32, seed: u64) -> Duration {
+    let pair = build_couple(&COUPLES[0], Dataset::VkLike, BuildOptions { scale, seed });
+    let mut config = EngineConfig::new(pair.eps);
+    config.obs.enabled = enabled;
+    let mut engine = CsjEngine::new(pair.b.d(), config);
+    let b = engine.register(pair.b).expect("register b");
+    let a = engine.register(pair.a).expect("register a");
+
+    let start = Instant::now();
+    for _ in 0..QUERIES_PER_ROUND {
+        engine.top_k_similar(b, 3).expect("top-k");
+        engine.similarity(b, a).expect("similarity");
+        engine.pairs_above(0.0).expect("sweep");
+    }
+    start.elapsed()
+}
+
+fn best_of(rounds: u32, enabled: bool, scale: u32) -> Duration {
+    (0..rounds)
+        .map(|r| workload(enabled, scale, 0xC5A0_2024 ^ u64::from(r)))
+        .min()
+        .expect("at least one round")
+}
+
+fn main() {
+    let mut scale = 64u32;
+    let mut rounds = 5u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    // Warm up both configurations once, then interleave-measure.
+    workload(false, scale, 1);
+    workload(true, scale, 1);
+    let off = best_of(rounds, false, scale);
+    let on = best_of(rounds, true, scale);
+
+    let ratio = on.as_secs_f64() / off.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "obs_overhead: disabled {:.3} ms, enabled {:.3} ms, ratio {:.4}",
+        off.as_secs_f64() * 1e3,
+        on.as_secs_f64() * 1e3,
+        ratio
+    );
+
+    // 5% relative envelope, plus 2 ms absolute slack so timer jitter on
+    // tiny scaled-down workloads cannot fail the gate spuriously.
+    let limit = off.as_secs_f64() * 1.05 + 0.002;
+    if on.as_secs_f64() > limit {
+        eprintln!(
+            "obs_overhead: FAIL — enabled run exceeds the 5% envelope ({:.3} ms > {:.3} ms)",
+            on.as_secs_f64() * 1e3,
+            limit * 1e3
+        );
+        std::process::exit(1);
+    }
+    println!("obs_overhead: OK (within the 5% + 2 ms envelope)");
+}

@@ -114,6 +114,27 @@ fn main() {
     }
 
     write_index(&out_dir);
+    write_bench_profile(&out_dir, &cfg);
+}
+
+/// Dump the harness's accumulated per-method join-latency metrics as a
+/// `BENCH_<unix-timestamp>.json` artifact next to the tables.
+fn write_bench_profile(out_dir: &std::path::Path, cfg: &RunConfig) {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let path = out_dir.join(format!("BENCH_{ts}.json"));
+    let body = format!(
+        "{{\"scale\":{},\"seed\":{},\"profile\":{}}}\n",
+        cfg.scale,
+        cfg.seed,
+        csj_bench::runner::bench_obs().snapshot().to_json()
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("[tables] wrote join-latency profile {}", path.display()),
+        Err(e) => eprintln!("[tables] could not write {}: {e}", path.display()),
+    }
 }
 
 /// Refresh `index.md`: one line per report present in the output dir.

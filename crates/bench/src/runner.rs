@@ -1,9 +1,73 @@
 //! Joins one materialised couple with one method and captures the cell.
 
+use std::sync::{Arc, OnceLock};
+
 use csj_core::{run, CsjMethod, CsjOptions};
 use csj_data::pairs::CouplePair;
+use csj_obs::{Counter, LatencyHistogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::report::MeasuredCell;
+
+/// Harness-wide join metrics: every [`measure`] call feeds one
+/// per-method counter and latency histogram, so a full table run
+/// leaves behind a machine-readable latency profile
+/// (`BENCH_<timestamp>.json` written by the `tables` binary).
+pub struct BenchObs {
+    registry: MetricsRegistry,
+    joins: Vec<Arc<Counter>>,
+    latency: Vec<Arc<LatencyHistogram>>,
+}
+
+impl BenchObs {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let joins = CsjMethod::ALL
+            .iter()
+            .map(|m| {
+                registry.counter(
+                    "csj_bench_joins_total",
+                    "Joins measured by the bench harness, by method.",
+                    vec![("method", m.name().to_string())],
+                )
+            })
+            .collect();
+        let latency = CsjMethod::ALL
+            .iter()
+            .map(|m| {
+                registry.latency(
+                    "csj_bench_join_latency_seconds",
+                    "Measured join wall-clock latency, by method.",
+                    vec![("method", m.name().to_string())],
+                )
+            })
+            .collect();
+        Self {
+            registry,
+            joins,
+            latency,
+        }
+    }
+
+    fn on_measure(&self, method: CsjMethod, elapsed: std::time::Duration) {
+        let idx = CsjMethod::ALL
+            .iter()
+            .position(|&m| m == method)
+            .expect("method in ALL");
+        self.joins[idx].inc();
+        self.latency[idx].observe(elapsed);
+    }
+
+    /// Snapshot of everything measured so far in this process.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// The process-wide bench metrics collector.
+pub fn bench_obs() -> &'static BenchObs {
+    static OBS: OnceLock<BenchObs> = OnceLock::new();
+    OBS.get_or_init(BenchObs::new)
+}
 
 /// Global harness configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +110,7 @@ pub fn measure(pair: &CouplePair, method: CsjMethod) -> MeasuredCell {
     let opts = options_for(pair);
     let outcome = run(method, &pair.b, &pair.a, &opts)
         .expect("generated couples satisfy the CSJ constraints");
+    bench_obs().on_measure(method, outcome.elapsed);
     MeasuredCell {
         method: method.name().to_string(),
         similarity_pct: outcome.similarity.percent(),

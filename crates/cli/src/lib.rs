@@ -87,8 +87,53 @@ pub enum Command {
         /// Cap on joins executed by the query.
         max_joins: Option<u64>,
     },
+    /// Run a broadcast sweep over community files, then print the
+    /// engine's `csj_*` metrics in the requested exposition format.
+    Stats {
+        communities: Vec<PathBuf>,
+        eps: u32,
+        /// Similarity threshold for the sweep that feeds the metrics.
+        threshold: f64,
+        format: StatsFormat,
+    },
+    /// Run a top-k query over community files (first file is the
+    /// anchor) and dump the flight recorder's span traces.
+    Trace {
+        communities: Vec<PathBuf>,
+        eps: u32,
+        k: usize,
+        deadline_ms: Option<u64>,
+        max_joins: Option<u64>,
+        /// How many of the most recent traces to print.
+        last: usize,
+        json: bool,
+    },
     /// Brute-force ground truth of a pair.
     Truth { b: PathBuf, a: PathBuf, eps: u32 },
+}
+
+/// Output format of `csj stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Prometheus text exposition format 0.0.4.
+    Prometheus,
+    /// One JSON object per metric sample.
+    Json,
+    /// Human-readable summary ([`csj_engine::EngineStats`] display).
+    Text,
+}
+
+impl std::str::FromStr for StatsFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "prom" | "prometheus" => Ok(StatsFormat::Prometheus),
+            "json" => Ok(StatsFormat::Json),
+            "text" => Ok(StatsFormat::Text),
+            other => Err(format!("--format expects prom|json|text, got {other:?}")),
+        }
+    }
 }
 
 /// CLI errors (bad arguments, I/O, join rejections).
@@ -124,6 +169,8 @@ usage:
   csj join --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P] [--json] [--pairs N]
   csj explain --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P]
   csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N]
+  csj stats --communities F1,F2,... --eps E [--threshold T] [--format prom|json|text]
+  csj trace --communities F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N] [--last N] [--json]
   csj truth --b FILE --a FILE --eps E
 formats: *.csv is text, *.csjp is a prepared index, anything else the CSJB binary format";
 
@@ -248,6 +295,56 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .transpose()?,
             })
         }
+        "stats" => {
+            let communities: Vec<PathBuf> = require("--communities")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from)
+                .collect();
+            if communities.len() < 2 {
+                return Err(CliError::Usage(
+                    "--communities expects at least two comma-separated files".into(),
+                ));
+            }
+            let threshold = get("--threshold").map_or(Ok(0.15), |v| {
+                v.parse::<f64>()
+                    .map_err(|_| CliError::Usage(format!("--threshold expects a ratio, got {v:?}")))
+            })?;
+            Ok(Command::Stats {
+                communities,
+                eps: parse_num("--eps", require("--eps")?)? as u32,
+                threshold,
+                format: get("--format")
+                    .unwrap_or("prom")
+                    .parse()
+                    .map_err(CliError::Usage)?,
+            })
+        }
+        "trace" => {
+            let communities: Vec<PathBuf> = require("--communities")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from)
+                .collect();
+            if communities.len() < 2 {
+                return Err(CliError::Usage(
+                    "--communities expects at least two comma-separated files".into(),
+                ));
+            }
+            Ok(Command::Trace {
+                communities,
+                eps: parse_num("--eps", require("--eps")?)? as u32,
+                k: get("--k").map_or(Ok(3), |v| parse_num("--k", v))? as usize,
+                deadline_ms: get("--deadline-ms")
+                    .map(|v| parse_num("--deadline-ms", v))
+                    .transpose()?,
+                max_joins: get("--max-joins")
+                    .map(|v| parse_num("--max-joins", v))
+                    .transpose()?,
+                last: get("--last").map_or(Ok(1), |v| parse_num("--last", v))? as usize,
+                json: has("--json"),
+            })
+        }
         "truth" => Ok(Command::Truth {
             b: PathBuf::from(require("--b")?),
             a: PathBuf::from(require("--a")?),
@@ -347,6 +444,32 @@ fn load_and_join(
         None => run(method, lb.community(), la.community(), opts).map_err(CliError::Csj)?,
     };
     Ok((lb, la, outcome))
+}
+
+/// Load community files and register them all in one fresh engine; the
+/// first file's dimensionality sets the engine's. Used by the
+/// observability subcommands (`stats`, `trace`).
+fn load_engine(
+    files: &[PathBuf],
+    eps: u32,
+) -> Result<(csj_engine::CsjEngine, Vec<csj_engine::CommunityHandle>), CliError> {
+    use csj_engine::{CsjEngine, EngineConfig};
+    let mut engine: Option<CsjEngine> = None;
+    let mut handles = Vec::new();
+    for path in files {
+        let c = match load_any(path)? {
+            Loaded::Plain(c) => c,
+            Loaded::Prepared(p) => p.into_community(),
+        };
+        let engine = engine.get_or_insert_with(|| CsjEngine::new(c.d(), EngineConfig::new(eps)));
+        handles.push(
+            engine
+                .register(c)
+                .map_err(|e| CliError::Io(e.to_string()))?,
+        );
+    }
+    let engine = engine.ok_or_else(|| CliError::Usage("no community files given".into()))?;
+    Ok((engine, handles))
 }
 
 fn store(community: &Community, path: &Path) -> Result<(), CliError> {
@@ -535,7 +658,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 t.pairing.as_secs_f64(),
                 t.matching.as_secs_f64(),
                 t.total().as_secs_f64(),
-                outcome.telemetry.report(),
+                outcome.telemetry,
             ))
         }
         Command::TopK {
@@ -608,6 +731,55 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 );
             }
             Ok(out)
+        }
+        Command::Stats {
+            communities,
+            eps,
+            threshold,
+            format,
+        } => {
+            let (mut engine, _handles) = load_engine(&communities, eps)?;
+            engine
+                .pairs_above(threshold)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            Ok(match format {
+                StatsFormat::Prometheus => engine.metrics_snapshot().to_prometheus(),
+                StatsFormat::Json => format!("{}\n", engine.metrics_snapshot().to_json()),
+                StatsFormat::Text => engine.stats().to_string(),
+            })
+        }
+        Command::Trace {
+            communities,
+            eps,
+            k,
+            deadline_ms,
+            max_joins,
+            last,
+            json,
+        } => {
+            use csj_engine::Budget;
+            let (mut engine, handles) = load_engine(&communities, eps)?;
+            let mut budget = Budget::unlimited();
+            if let Some(ms) = deadline_ms {
+                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            if let Some(max) = max_joins {
+                budget = budget.with_max_joins(max);
+            }
+            engine
+                .top_k_similar_with_budget(handles[0], k, &budget)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            let traces = engine.traces(last);
+            if json {
+                let items: Vec<String> = traces.iter().map(|t| t.to_json()).collect();
+                Ok(format!("[{}]\n", items.join(",")))
+            } else {
+                let mut out = String::new();
+                for t in &traces {
+                    out.push_str(&t.to_text());
+                }
+                Ok(out)
+            }
         }
         Command::Truth { b, a, eps } => {
             let cb = load(&b)?;
@@ -1047,6 +1219,155 @@ mod tests {
         .unwrap();
         assert!(out.contains("budget exhausted"), "output was: {out}");
         assert!(out.contains("max-joins"), "output was: {out}");
+    }
+
+    #[test]
+    fn parse_stats_and_trace() {
+        let cmd = parse(&argv(
+            "stats --communities a.csjb,b.csjb --eps 1 --threshold 0.3 --format json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Stats {
+                communities,
+                eps,
+                threshold,
+                format,
+            } => {
+                assert_eq!(communities.len(), 2);
+                assert_eq!(eps, 1);
+                assert!((threshold - 0.3).abs() < 1e-9);
+                assert_eq!(format, StatsFormat::Json);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("stats --communities a,b --eps 1")).unwrap() {
+            Command::Stats {
+                format, threshold, ..
+            } => {
+                assert_eq!(format, StatsFormat::Prometheus, "prom is the default");
+                assert!((threshold - 0.15).abs() < 1e-9);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let cmd = parse(&argv(
+            "trace --communities a,b,c --eps 2 --k 4 --max-joins 0 --last 5 --json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Trace {
+                communities,
+                k,
+                max_joins,
+                last,
+                json,
+                ..
+            } => {
+                assert_eq!(communities.len(), 3);
+                assert_eq!(k, 4);
+                assert_eq!(max_joins, Some(0));
+                assert_eq!(last, 5);
+                assert!(json);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("stats --communities solo --eps 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("stats --communities a,b --eps 1 --format yaml")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    /// Generate a couple into `dir` and return the two file paths.
+    fn generated_pair(dir: &str, cid: u8) -> (PathBuf, PathBuf) {
+        let dir = std::env::temp_dir().join(dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = dir.join("b.csjb");
+        let a = dir.join("a.csjb");
+        execute(Command::Generate {
+            dataset: Dataset::VkLike,
+            cid,
+            scale: 1024,
+            seed: 7,
+            out_b: b.clone(),
+            out_a: a.clone(),
+        })
+        .unwrap();
+        (b, a)
+    }
+
+    #[test]
+    fn stats_emits_valid_prometheus_and_json() {
+        let (b, a) = generated_pair("csj_cli_stats_test", 1);
+        let prom = execute(Command::Stats {
+            communities: vec![b.clone(), a.clone()],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Prometheus,
+        })
+        .unwrap();
+        assert!(prom.contains("# TYPE csj_joins_total counter"), "{prom}");
+        assert!(prom.contains("# TYPE csj_join_latency_seconds histogram"));
+        assert!(prom.contains("csj_queries_total{kind=\"pairs_above\"} 1"));
+        assert!(prom.contains("csj_communities 2"));
+        assert!(prom.contains("le=\"+Inf\""));
+
+        let json = execute(Command::Stats {
+            communities: vec![b.clone(), a.clone()],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Json,
+        })
+        .unwrap();
+        let _parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("stats --format json emits valid JSON");
+
+        let text = execute(Command::Stats {
+            communities: vec![b, a],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Text,
+        })
+        .unwrap();
+        assert!(text.contains("communities:"), "{text}");
+        assert!(text.contains("rows driven"), "{text}");
+    }
+
+    #[test]
+    fn trace_reproduces_an_exhausted_query() {
+        let (b, a) = generated_pair("csj_cli_trace_test", 2);
+        let json = execute(Command::Trace {
+            communities: vec![b.clone(), a.clone()],
+            eps: 1,
+            k: 3,
+            deadline_ms: None,
+            max_joins: Some(0),
+            last: 1,
+            json: true,
+        })
+        .unwrap();
+        assert!(json.contains("\"kind\":\"top_k\""), "{json}");
+        assert!(json.contains("exhausted:max-joins"), "{json}");
+        let _parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("trace --json emits valid JSON");
+        assert!(json.trim_end().starts_with('[') && json.trim_end().ends_with(']'));
+
+        let text = execute(Command::Trace {
+            communities: vec![b, a],
+            eps: 1,
+            k: 3,
+            deadline_ms: None,
+            max_joins: None,
+            last: 1,
+            json: false,
+        })
+        .unwrap();
+        assert!(text.contains("top_k outcome=completed"), "{text}");
+        assert!(text.contains("screen"), "{text}");
+        assert!(text.contains("join"), "{text}");
     }
 
     #[test]

@@ -20,7 +20,6 @@ pub fn ap_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let nb = b.len();
     let na = a.len();
     let mut out = RawJoin::default();
-    let pairing = std::time::Instant::now();
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
     let mut sink = GreedySink::new(nb, na);
     // Section 5.1: "skip and offset are used similarly to Ap-MinMax for
@@ -28,7 +27,7 @@ pub fn ap_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let mut pruner = PrefixPruner::new(opts.offset_pruning);
     drive_baseline(b, a, 0..nb, opts.eps, &mut pruner, &mut ctx, &mut sink);
     out.pairs = sink.finish(&mut ctx);
-    out.timings.pairing = pairing.elapsed();
+    out.timings = ctx.phase_timings();
     out.cancelled = ctx.cancelled;
     out.telemetry = ctx.telemetry;
     out
@@ -47,7 +46,6 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let na = a.len();
     let threads = opts.threads.max(1).min(nb.max(1));
     let mut out = RawJoin::default();
-    let pairing = std::time::Instant::now();
 
     let cancel = opts.cancel.as_ref();
     let mut ctx = DriveCtx::new(cancel);
@@ -85,9 +83,8 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
             sink.absorb_edges(&edges);
         }
     }
-    out.timings.pairing = pairing.elapsed();
     out.pairs = sink.finish(&mut ctx);
-    out.timings.matching = ctx.matcher_time;
+    out.timings = ctx.phase_timings();
     out.cancelled = ctx.cancelled;
     out.telemetry = ctx.telemetry;
     out

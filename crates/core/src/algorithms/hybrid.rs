@@ -101,6 +101,7 @@ fn prepare(b: &Community, a: &Community, eps: u32) -> (PointSet<u32>, PointSet<u
 /// The leaf judgement shared by both hybrid modes: encoding filters in
 /// front of each full comparison. Positions here are EGO point-set
 /// positions, translated to community indices via the point ids.
+#[allow(clippy::too_many_arguments)]
 fn hybrid_judgement(
     index: &HybridIndex,
     b: &Community,
@@ -130,7 +131,6 @@ pub fn ap_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let (ps_b, ps_a) = prepare(b, a, opts.eps);
     let index = HybridIndex::build(b, a, opts.eps, opts.encoding.effective_parts(b.d()));
     let setup = setup.elapsed();
-    let pairing_t = std::time::Instant::now();
     let params = SuperEgoParams { t: opts.superego.t };
     let mut stats = EgoStats::default();
     let mut out = RawJoin::default();
@@ -147,8 +147,8 @@ pub fn ap_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     );
     ctx.cancelled |= opts.is_cancelled();
     out.pairs = sink.finish(&mut ctx);
+    out.timings = ctx.phase_timings();
     out.timings.setup = setup;
-    out.timings.pairing = pairing_t.elapsed();
     out.ego = Some(stats);
     out.cancelled = ctx.cancelled;
     out.telemetry = ctx.telemetry;
@@ -161,7 +161,6 @@ pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let (ps_b, ps_a) = prepare(b, a, opts.eps);
     let index = HybridIndex::build(b, a, opts.eps, opts.encoding.effective_parts(b.d()));
     let setup = setup.elapsed();
-    let pairing_t = std::time::Instant::now();
     let params = SuperEgoParams { t: opts.superego.t };
     let mut stats = EgoStats::default();
     let mut out = RawJoin::default();
@@ -178,11 +177,10 @@ pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
         &mut ctx,
         &mut sink,
     );
-    out.timings.pairing = pairing_t.elapsed();
     ctx.cancelled |= opts.is_cancelled();
     out.pairs = sink.finish(&mut ctx);
+    out.timings = ctx.phase_timings();
     out.timings.setup = setup;
-    out.timings.matching = ctx.matcher_time;
     out.ego = Some(stats);
     out.cancelled = ctx.cancelled;
     out.telemetry = ctx.telemetry;

@@ -70,6 +70,8 @@ pub(crate) struct DriveCtx<'t> {
     /// Accumulated one-to-one matcher wall-clock (segment flushes plus
     /// the final call).
     pub matcher_time: Duration,
+    /// When the context was created — the drive's phase clock.
+    started: Instant,
     cancel: Option<&'t CancelToken>,
     tape: Option<&'t mut dyn Tape>,
     row_candidates: u64,
@@ -82,10 +84,26 @@ impl<'t> DriveCtx<'t> {
             telemetry: JoinTelemetry::default(),
             cancelled: false,
             matcher_time: Duration::ZERO,
+            started: Instant::now(),
             cancel,
             tape: None,
             row_candidates: 0,
             row_prunes: 0,
+        }
+    }
+
+    /// Phase timings of the drive: `pairing` is the wall-clock since
+    /// the context was created minus time spent inside the one-to-one
+    /// matcher, `matching` is the matcher time, and `setup` is zero
+    /// (encoding/index builds happen before the context exists, so
+    /// entry points overwrite it). Call after the sink's `finish` so
+    /// the matcher time is final — this is the one place the
+    /// `pairing`/`matching` split is computed for all eight methods.
+    pub(crate) fn phase_timings(&self) -> crate::algorithms::PhaseTimings {
+        crate::algorithms::PhaseTimings {
+            setup: Duration::ZERO,
+            pairing: self.started.elapsed().saturating_sub(self.matcher_time),
+            matching: self.matcher_time,
         }
     }
 

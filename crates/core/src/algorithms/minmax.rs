@@ -168,7 +168,6 @@ pub(crate) fn ap_minmax_prepared(
         ea,
         eps: opts.eps,
     };
-    let pairing = std::time::Instant::now();
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
     let mut sink = GreedySink::new(eb.encd_ids.len(), ea.encd_mins.len());
     drive_minmax(
@@ -181,7 +180,7 @@ pub(crate) fn ap_minmax_prepared(
         &mut sink,
     );
     let pos_pairs = sink.finish(&mut ctx);
-    out.timings.pairing = pairing.elapsed();
+    out.timings = ctx.phase_timings();
     out.pairs = map_positions(&pos_pairs, eb, ea);
     out.cancelled = ctx.cancelled;
     out.telemetry = ctx.telemetry;
@@ -218,7 +217,6 @@ pub(crate) fn ex_minmax_prepared(
         ea,
         eps: opts.eps,
     };
-    let pairing = std::time::Instant::now();
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
     let mut sink = CollectSink::segmented(ea.encd_mins.len(), opts.matcher);
     drive_minmax(
@@ -231,8 +229,7 @@ pub(crate) fn ex_minmax_prepared(
         &mut sink,
     );
     let pos_pairs = sink.finish(&mut ctx);
-    out.timings.pairing = pairing.elapsed().saturating_sub(ctx.matcher_time);
-    out.timings.matching = ctx.matcher_time;
+    out.timings = ctx.phase_timings();
     out.pairs = map_positions(&pos_pairs, eb, ea);
     out.cancelled = ctx.cancelled;
     out.telemetry = ctx.telemetry;

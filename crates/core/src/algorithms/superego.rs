@@ -79,8 +79,7 @@ pub fn ap_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let (ps_b, ps_a, pred) = prepare(b, a, opts);
     let params = SuperEgoParams { t: opts.superego.t };
     let mut out = RawJoin::default();
-    out.timings.setup = setup.elapsed();
-    let pairing = std::time::Instant::now();
+    let setup = setup.elapsed();
     let mut stats = EgoStats::default();
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
     let mut sink = GreedySink::new(ps_b.len(), ps_a.len());
@@ -101,7 +100,8 @@ pub fn ap_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     );
     ctx.cancelled |= opts.is_cancelled();
     out.pairs = sink.finish(&mut ctx);
-    out.timings.pairing = pairing.elapsed();
+    out.timings = ctx.phase_timings();
+    out.timings.setup = setup;
     out.ego = Some(stats);
     out.cancelled = ctx.cancelled;
     out.telemetry = ctx.telemetry;
@@ -115,9 +115,8 @@ pub fn ex_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let (ps_b, ps_a, pred) = prepare(b, a, opts);
     let params = SuperEgoParams { t: opts.superego.t };
     let mut out = RawJoin::default();
-    out.timings.setup = setup.elapsed();
+    let setup = setup.elapsed();
     let mut stats = EgoStats::default();
-    let pairing = std::time::Instant::now();
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
     // The leaf enumeration cannot run the matcher after a trip: skip it
     // and return an empty (trivially valid) matching so cancellation
@@ -155,10 +154,10 @@ pub fn ex_superego(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
             &mut sink,
         );
     }
-    out.timings.pairing = pairing.elapsed();
     ctx.cancelled |= opts.is_cancelled();
     out.pairs = sink.finish(&mut ctx);
-    out.timings.matching = ctx.matcher_time;
+    out.timings = ctx.phase_timings();
+    out.timings.setup = setup;
     out.ego = Some(stats);
     out.cancelled = ctx.cancelled;
     out.telemetry = ctx.telemetry;

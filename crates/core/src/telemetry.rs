@@ -15,8 +15,8 @@ use crate::events::EventCounters;
 pub const HISTOGRAM_BUCKETS: usize = 16;
 
 /// A tiny fixed-size log2 histogram: bucket `k` counts values `v` with
-/// `2^(k-1) <= v < 2^k` (bucket 0 counts zeros; the last bucket absorbs
-/// everything beyond `2^14`).
+/// `2^(k-1) <= v < 2^k` (bucket 0 counts zeros; bucket 15, the last,
+/// is open-ended and absorbs every value `>= 2^14`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LogHistogram {
     buckets: [u64; HISTOGRAM_BUCKETS],
@@ -149,27 +149,33 @@ impl JoinTelemetry {
     }
 
     /// Multi-line human-readable report (the `csj explain` body).
+    /// Convenience wrapper over the [`std::fmt::Display`] impl.
     pub fn report(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(out, "events: {}", self.events);
-        let _ = writeln!(
-            out,
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for JoinTelemetry {
+    /// The `csj explain` / `csj trace` body: one line per section,
+    /// trailing newline included so callers can append further blocks.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "events: {}", self.events)?;
+        writeln!(
+            f,
             "rows driven: {} | candidates streamed: {} (mean {:.2}/row, peak {})",
             self.rows_driven,
             self.candidates_streamed,
             self.mean_stream_depth(),
             self.peak_stream_depth
-        );
-        let _ = writeln!(out, "stream depth per row: {}", self.stream_depth_hist);
-        let _ = writeln!(out, "prune events per row: {}", self.prune_depth_hist);
-        let _ = writeln!(
-            out,
+        )?;
+        writeln!(f, "stream depth per row: {}", self.stream_depth_hist)?;
+        writeln!(f, "prune events per row: {}", self.prune_depth_hist)?;
+        writeln!(
+            f,
             "matcher: {} flushes, {} edges (largest flush {})",
             self.matcher_flushes, self.matcher_edges, self.largest_flush_edges
-        );
-        let _ = writeln!(out, "cancel polls: {}", self.cancel_polls);
-        out
+        )?;
+        writeln!(f, "cancel polls: {}", self.cancel_polls)
     }
 }
 
@@ -194,6 +200,46 @@ mod tests {
         assert_eq!(h.bucket(HISTOGRAM_BUCKETS - 1), 1);
         assert_eq!(h.count(), 6);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_pinned() {
+        // Pin the exact bucket for each documented edge: zeros land in
+        // bucket 0, 1 in bucket 1, 2^14 - 1 is the last value of the
+        // bounded range (bucket 14), and everything >= 2^14 — up to and
+        // including u64::MAX — lands in the open bucket 15.
+        let edges = [
+            (0u64, 0usize),
+            (1, 1),
+            ((1 << 14) - 1, 14),
+            (1 << 14, HISTOGRAM_BUCKETS - 1),
+            (u64::MAX, HISTOGRAM_BUCKETS - 1),
+        ];
+        for (value, expected) in edges {
+            let mut h = LogHistogram::default();
+            h.record(value);
+            assert_eq!(
+                h.bucket(expected),
+                1,
+                "value {value} should land in bucket {expected}"
+            );
+            assert_eq!(h.count(), 1);
+        }
+        // And the bucket_limit view agrees: bucket 14 is bounded by
+        // 2^14 (exclusive), bucket 15 is open-ended.
+        assert_eq!(LogHistogram::bucket_limit(14), Some(1 << 14));
+        assert_eq!(LogHistogram::bucket_limit(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn telemetry_display_matches_report() {
+        let mut t = JoinTelemetry {
+            rows_driven: 3,
+            candidates_streamed: 9,
+            ..Default::default()
+        };
+        t.events.record(Event::Match);
+        assert_eq!(t.report(), format!("{t}"));
     }
 
     #[test]

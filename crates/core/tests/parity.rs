@@ -351,9 +351,11 @@ mod reference {
         let params = SuperEgoParams { t: opts.superego.t };
         let mut stats = EgoStats::default();
         let edges = collect_pairs(&ps_b, &ps_a, pred, params, &mut stats);
-        let mut events = EventCounters::default();
-        events.matches = edges.len() as u64;
-        events.no_match = stats.pairs_checked - edges.len() as u64;
+        let events = EventCounters {
+            matches: edges.len() as u64,
+            no_match: stats.pairs_checked - edges.len() as u64,
+            ..Default::default()
+        };
         let graph = MatchGraph::from_edges(b.len() as u32, a.len() as u32, edges);
         let pairs = run_matcher(&graph, opts.matcher).into_pairs();
         RefJoin { pairs, events }

@@ -201,7 +201,7 @@ impl Corpus {
             .enumerate()
             .filter(|(_, p)| p.category == category)
             .collect();
-        out.sort_by(|x, y| y.1.subscribers.len().cmp(&x.1.subscribers.len()));
+        out.sort_by_key(|x| std::cmp::Reverse(x.1.subscribers.len()));
         out
     }
 

@@ -18,11 +18,13 @@ use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity
 use csj_core::{
     run, Community, CsjError, CsjMethod, CsjOptions, JoinTelemetry, Similarity, UserId,
 };
+use csj_obs::{MetricsSnapshot, QueryTrace};
 
-use crate::budget::{exhausted_marker, Budget, Partial};
+use crate::budget::{exhausted_marker, Budget, BudgetExhausted, Partial};
 use crate::error::EngineError;
 #[cfg(feature = "fault-injection")]
 use crate::fault::FaultPlan;
+use crate::obs::{outcome_label, EngineObs, ObsConfig, QueryRecorder};
 
 /// Stable handle to a registered community.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,6 +46,8 @@ pub struct EngineConfig {
     /// Worker threads for multi-pair queries (screening fans out across
     /// pairs; each join stays single-threaded).
     pub threads: usize,
+    /// Observability: span recording, metrics, flight-recorder depth.
+    pub obs: ObsConfig,
 }
 
 impl EngineConfig {
@@ -57,6 +61,7 @@ impl EngineConfig {
             refine_method: CsjMethod::ExMinMax,
             screen_threshold: 0.15,
             threads: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -129,6 +134,16 @@ pub struct EngineStats {
     pub telemetry: JoinTelemetry,
 }
 
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "communities:     {}", self.communities)?;
+        writeln!(f, "cached pairs:    {}", self.cached_pairs)?;
+        writeln!(f, "joins executed:  {}", self.joins_executed)?;
+        writeln!(f, "cache hits:      {}", self.cache_hits)?;
+        write!(f, "{}", self.telemetry)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
     similarity: Similarity,
@@ -187,6 +202,8 @@ pub struct CsjEngine {
     /// consistently — histograms and maxima don't decompose into
     /// independent atomic adds.
     telemetry: std::sync::Mutex<JoinTelemetry>,
+    /// Metrics registry + flight recorder (see [`ObsConfig`]).
+    obs: EngineObs,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
 }
@@ -195,9 +212,11 @@ impl CsjEngine {
     /// Create an engine for `d`-dimensional communities.
     pub fn new(d: usize, config: EngineConfig) -> Self {
         assert!(d > 0, "dimensionality must be positive");
+        let obs = EngineObs::new(&config.obs);
         Self {
             config,
             d,
+            obs,
             entries: Vec::new(),
             names: HashMap::new(),
             cache: HashMap::new(),
@@ -279,17 +298,19 @@ impl CsjEngine {
         b: &PreparedCommunity,
         a: &PreparedCommunity,
         opts: &CsjOptions,
+        rec: Option<&QueryRecorder>,
     ) -> Result<Similarity, EngineError> {
         csj_core::validate_sizes(b.len(), a.len()).map_err(EngineError::Csj)?;
         self.joins_executed.fetch_add(1, Ordering::Relaxed);
-        let (matched, cancelled, telemetry) = match method {
+        let start_us = rec.map_or(0, QueryRecorder::now_us);
+        let (matched, cancelled, telemetry, timings) = match method {
             CsjMethod::ApMinMax => {
                 let raw = ap_minmax_between(b, a, opts);
-                (raw.pairs.len(), raw.cancelled, raw.telemetry)
+                (raw.pairs.len(), raw.cancelled, raw.telemetry, raw.timings)
             }
             CsjMethod::ExMinMax => {
                 let raw = ex_minmax_between(b, a, opts);
-                (raw.pairs.len(), raw.cancelled, raw.telemetry)
+                (raw.pairs.len(), raw.cancelled, raw.telemetry, raw.timings)
             }
             other => {
                 let outcome = run(other, b.community(), a.community(), opts)?;
@@ -297,6 +318,7 @@ impl CsjEngine {
                     outcome.similarity.matched,
                     outcome.cancelled,
                     outcome.telemetry,
+                    outcome.timings,
                 )
             }
         };
@@ -304,6 +326,11 @@ impl CsjEngine {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .merge(&telemetry);
+        self.obs.on_join(method, &telemetry, &timings, cancelled);
+        if let Some(rec) = rec {
+            let outcome = if cancelled { "cancelled" } else { "ok" };
+            rec.record_join(method, b.len(), a.len(), &timings, outcome, start_us);
+        }
         if cancelled {
             return Err(EngineError::Cancelled);
         }
@@ -315,7 +342,13 @@ impl CsjEngine {
     #[cfg(feature = "fault-injection")]
     fn fault_hook(&self, handle: u32) -> Result<(), EngineError> {
         match &self.faults {
-            Some(plan) => plan.apply(handle),
+            Some(plan) => {
+                let fired = plan.apply(handle);
+                if fired.is_err() {
+                    self.obs.on_fault();
+                }
+                fired
+            }
             None => Ok(()),
         }
     }
@@ -414,7 +447,17 @@ impl CsjEngine {
     ) -> Result<Similarity, EngineError> {
         let qopts = self.config.options.clone();
         let joins = AtomicU64::new(0);
-        self.refine_pair(x, y, &qopts, &joins)
+        let rec = QueryRecorder::start("similarity", self.obs.enabled());
+        self.obs.on_query("similarity");
+        let result = self.refine_pair(x, y, &qopts, &joins, Some(&rec));
+        let outcome = match &result {
+            Ok(_) => "completed".to_string(),
+            Err(e) => format!("failed:{e}"),
+        };
+        if let Some(trace) = rec.finish(outcome) {
+            self.obs.record_trace(trace);
+        }
+        result
     }
 
     /// Exact (refined) similarity of one pair under `qopts`, cached.
@@ -427,10 +470,12 @@ impl CsjEngine {
         y: CommunityHandle,
         qopts: &CsjOptions,
         joins: &AtomicU64,
+        rec: Option<&QueryRecorder>,
     ) -> Result<Similarity, EngineError> {
         let (b, a) = self.oriented(x, y)?;
         if self.cache_fresh(b, a) {
             self.cache_hits += 1;
+            self.obs.on_cache_hit();
             return Ok(self.cache[&(b, a)].similarity);
         }
         let pb = self.prepared(b);
@@ -439,15 +484,16 @@ impl CsjEngine {
         let result = catch_unwind(AssertUnwindSafe(|| {
             self.fault_hook(b)?;
             self.fault_hook(a)?;
-            self.join_prepared(method, &pb, &pa, qopts)
+            self.join_prepared(method, &pb, &pa, qopts, rec)
         }));
         let similarity = match result {
             Ok(joined) => joined?,
             Err(payload) => {
+                self.obs.on_join_panicked();
                 return Err(EngineError::JoinPanicked {
                     handle: y.0,
                     message: panic_message(payload),
-                })
+                });
             }
         };
         joins.fetch_add(1, Ordering::Relaxed);
@@ -487,12 +533,40 @@ impl CsjEngine {
         budget: &Budget,
     ) -> Result<Partial<ScreenOutcome>, EngineError> {
         let joins = AtomicU64::new(0);
-        let (outcome, done, skipped) = self.screen_budgeted(x, candidates, budget, &joins)?;
+        let rec = QueryRecorder::start("screen", self.obs.enabled());
+        self.obs.on_query("screen");
+        let (outcome, done, skipped) =
+            match self.screen_budgeted(x, candidates, budget, &joins, Some(&rec)) {
+                Ok(screened) => screened,
+                Err(e) => return Err(self.trace_failure(rec, e)),
+            };
+        rec.end_phase("screen", 0);
         let exhausted = exhausted_marker(budget, &joins, done, skipped);
+        self.finish_trace(rec, exhausted);
         Ok(Partial {
             value: outcome,
             exhausted,
         })
+    }
+
+    /// Close out a query whose recorder saw a hard error: the trace (if
+    /// recording) lands in the flight recorder with a `failed:` outcome.
+    fn trace_failure(&self, rec: QueryRecorder, e: EngineError) -> EngineError {
+        if let Some(trace) = rec.finish(format!("failed:{e}")) {
+            self.obs.record_trace(trace);
+        }
+        e
+    }
+
+    /// Close out a completed (possibly exhausted) query: count the
+    /// exhaustion and file the trace.
+    fn finish_trace(&self, rec: QueryRecorder, exhausted: Option<BudgetExhausted>) {
+        if let Some(marker) = exhausted {
+            self.obs.on_budget_exhausted(marker.reason);
+        }
+        if let Some(trace) = rec.finish(outcome_label(exhausted.map(|m| m.reason))) {
+            self.obs.record_trace(trace);
+        }
     }
 
     /// Screening core shared by the budgeted entry points. Returns the
@@ -504,6 +578,7 @@ impl CsjEngine {
         candidates: &[CommunityHandle],
         budget: &Budget,
         joins: &AtomicU64,
+        rec: Option<&QueryRecorder>,
     ) -> Result<(ScreenOutcome, u64, u64), EngineError> {
         self.community(x)?;
         for &c in candidates {
@@ -537,7 +612,7 @@ impl CsjEngine {
             } else {
                 (py, &px)
             };
-            match self.join_prepared(self.config.screen_method, b, a, &qopts) {
+            match self.join_prepared(self.config.screen_method, b, a, &qopts, rec) {
                 Ok(similarity) => {
                     joins.fetch_add(1, Ordering::Relaxed);
                     (*cand, Screened::Scored(similarity))
@@ -563,6 +638,7 @@ impl CsjEngine {
                 // per-candidate boundary, reported against the handle.
                 Err(message) => {
                     pairs_done += 1;
+                    self.obs.on_join_panicked();
                     out.failed.push((
                         *cand,
                         EngineError::JoinPanicked {
@@ -637,9 +713,30 @@ impl CsjEngine {
         candidates: &[CommunityHandle],
         budget: &Budget,
     ) -> Result<Partial<Vec<PairScore>>, EngineError> {
+        self.ranked_query("screen_and_refine", x, candidates, budget)
+    }
+
+    /// The screen → refine pipeline shared by
+    /// [`screen_and_refine_with_budget`](CsjEngine::screen_and_refine_with_budget)
+    /// and [`top_k_similar_with_budget`](CsjEngine::top_k_similar_with_budget);
+    /// `kind` labels the query in metrics and its flight-recorder trace.
+    fn ranked_query(
+        &mut self,
+        kind: &'static str,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+        budget: &Budget,
+    ) -> Result<Partial<Vec<PairScore>>, EngineError> {
         let joins = AtomicU64::new(0);
+        let rec = QueryRecorder::start(kind, self.obs.enabled());
+        self.obs.on_query(kind);
         let (screened, mut done, mut skipped) =
-            self.screen_budgeted(x, candidates, budget, &joins)?;
+            match self.screen_budgeted(x, candidates, budget, &joins, Some(&rec)) {
+                Ok(screened) => screened,
+                Err(e) => return Err(self.trace_failure(rec, e)),
+            };
+        rec.end_phase("screen", 0);
+        let refine_start = rec.now_us();
         let qopts = self
             .config
             .options
@@ -653,7 +750,7 @@ impl CsjEngine {
                 skipped += (shortlist.len() - idx) as u64;
                 break;
             }
-            match self.refine_pair(x, cand, &qopts, &joins) {
+            match self.refine_pair(x, cand, &qopts, &joins, Some(&rec)) {
                 Ok(similarity) => {
                     done += 1;
                     refined.push(PairScore {
@@ -672,11 +769,13 @@ impl CsjEngine {
                 Err(EngineError::JoinPanicked { .. }) | Err(EngineError::Faulted { .. }) => {
                     done += 1;
                 }
-                Err(other) => return Err(other),
+                Err(other) => return Err(self.trace_failure(rec, other)),
             }
         }
+        rec.end_phase("refine", refine_start);
         refined.sort_by(|p, q| q.similarity.ratio().total_cmp(&p.similarity.ratio()));
         let exhausted = exhausted_marker(budget, &joins, done, skipped);
+        self.finish_trace(rec, exhausted);
         Ok(Partial {
             value: refined,
             exhausted,
@@ -705,7 +804,7 @@ impl CsjEngine {
         budget: &Budget,
     ) -> Result<Partial<Vec<PairScore>>, EngineError> {
         let candidates: Vec<CommunityHandle> = self.handles().filter(|&h| h != x).collect();
-        let mut ranked = self.screen_and_refine_with_budget(x, &candidates, budget)?;
+        let mut ranked = self.ranked_query("top_k", x, &candidates, budget)?;
         ranked.value.truncate(k);
         Ok(ranked)
     }
@@ -750,6 +849,8 @@ impl CsjEngine {
     ) -> Result<Partial<PairsSweep>, EngineError> {
         let n = self.entries.len() as u32;
         let joins = AtomicU64::new(0);
+        let rec = QueryRecorder::start("pairs_above", self.obs.enabled());
+        self.obs.on_query("pairs_above");
         let qopts = self
             .config
             .options
@@ -773,11 +874,12 @@ impl CsjEngine {
                     break 'outer;
                 }
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    self.sweep_pair(x, y, threshold, &qopts, &joins)
+                    self.sweep_pair(x, y, threshold, &qopts, &joins, Some(&rec))
                 }));
                 match outcome {
                     Err(payload) => {
                         pairs_done += 1;
+                        self.obs.on_join_panicked();
                         sweep.failed.push((
                             x,
                             y,
@@ -803,7 +905,7 @@ impl CsjEngine {
                             pairs_done += 1;
                             sweep.failed.push((x, y, e));
                         }
-                        other => return Err(other),
+                        other => return Err(self.trace_failure(rec, other)),
                     },
                 }
             }
@@ -811,8 +913,10 @@ impl CsjEngine {
         sweep
             .pairs
             .sort_by(|p, q| q.similarity.ratio().total_cmp(&p.similarity.ratio()));
+        rec.end_phase("sweep", 0);
         let pairs_skipped = sweep.cursor.map_or(0, |c| Self::remaining_pairs(n, c));
         let exhausted = exhausted_marker(budget, &joins, pairs_done, pairs_skipped);
+        self.finish_trace(rec, exhausted);
         Ok(Partial {
             value: sweep,
             exhausted,
@@ -828,6 +932,7 @@ impl CsjEngine {
         threshold: f64,
         qopts: &CsjOptions,
         joins: &AtomicU64,
+        rec: Option<&QueryRecorder>,
     ) -> Result<Option<PairScore>, EngineError> {
         let (b, a) = self.oriented(x, y)?;
         if csj_core::validate_sizes(
@@ -844,7 +949,7 @@ impl CsjEngine {
             self.fault_hook(a)?;
             let pb = self.prepared(b);
             let pa = self.prepared(a);
-            let screened = self.join_prepared(self.config.screen_method, &pb, &pa, qopts)?;
+            let screened = self.join_prepared(self.config.screen_method, &pb, &pa, qopts, rec)?;
             joins.fetch_add(1, Ordering::Relaxed);
             // Maximal matchings reach at least half the maximum, so a
             // screened ratio below threshold/2 proves the exact ratio is
@@ -854,7 +959,7 @@ impl CsjEngine {
             }
         }
         // Phase 2: exact (cached).
-        let similarity = self.refine_pair(x, y, qopts, joins)?;
+        let similarity = self.refine_pair(x, y, qopts, joins, rec)?;
         if similarity.ratio() >= threshold {
             Ok(Some(PairScore { x, y, similarity }))
         } else {
@@ -868,6 +973,20 @@ impl CsjEngine {
         let n = u64::from(n);
         let rest = n.saturating_sub(u64::from(cursor.i) + 1);
         n.saturating_sub(u64::from(cursor.j)) + rest.saturating_sub(1) * rest / 2
+    }
+
+    /// Point-in-time snapshot of every `csj_*` metric (counters,
+    /// gauges, latency and depth histograms). Render it with
+    /// [`MetricsSnapshot::to_prometheus`] or
+    /// [`MetricsSnapshot::to_json`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot(self.entries.len(), self.cache.len())
+    }
+
+    /// The `n` most recent query traces from the flight recorder,
+    /// oldest first. Empty when observability is disabled.
+    pub fn traces(&self, n: usize) -> Vec<QueryTrace> {
+        self.obs.traces(n)
     }
 
     /// Engine statistics.

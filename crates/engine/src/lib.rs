@@ -37,14 +37,17 @@ mod engine;
 mod error;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+mod obs;
 mod tracked;
 
 pub use budget::{Budget, BudgetExhausted, CancelToken, ExhaustReason, Partial};
+pub use csj_obs::{MetricsSnapshot, QueryTrace};
 pub use engine::{
     CommunityHandle, CsjEngine, EngineConfig, EngineStats, PairScore, PairsCursor, PairsSweep,
     ScreenOutcome,
 };
 pub use error::EngineError;
+pub use obs::ObsConfig;
 pub use tracked::{Side, TrackedPair};
 
 #[cfg(test)]

@@ -1,0 +1,588 @@
+//! Engine-side observability glue.
+//!
+//! Wires the `csj-obs` building blocks into the engine: [`EngineObs`]
+//! owns the metrics registry (every `csj_*` time series, registered
+//! once at engine construction) and the flight recorder;
+//! [`QueryRecorder`] assembles one query's span tree
+//! (`query → screen/refine/sweep → join → phase`) as the query runs.
+//!
+//! Everything is designed to stay on in release builds: the hot join
+//! path updates atomics, span assembly appends to a mutex-guarded
+//! vector once per *join* (never per candidate), and with
+//! [`ObsConfig::enabled`]` = false` every hook is a branch on a bool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use csj_core::{CsjMethod, JoinTelemetry, PhaseTimings};
+use csj_obs::{
+    Counter, FlightRecorder, Gauge, LatencyHistogram, LogHistogramCell, MetricsRegistry,
+    MetricsSnapshot, QueryTrace, Span,
+};
+
+use crate::budget::ExhaustReason;
+
+/// Observability configuration, part of
+/// [`EngineConfig`](crate::EngineConfig).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Master switch: `false` turns every hook into a no-op (no spans,
+    /// no metric updates, no flight recording).
+    pub enabled: bool,
+    /// How many completed query traces the flight recorder retains.
+    pub flight_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            flight_capacity: 64,
+        }
+    }
+}
+
+/// Query kinds, used as the `kind` label of `csj_queries_total` and as
+/// [`QueryTrace::kind`].
+pub(crate) const QUERY_KINDS: [&str; 5] = [
+    "similarity",
+    "screen",
+    "screen_and_refine",
+    "top_k",
+    "pairs_above",
+];
+
+/// Join spans retained per query trace; beyond this the trace records
+/// only a `joins_dropped` count (a broadcast sweep over thousands of
+/// pairs should not hold thousands of spans in memory).
+const MAX_JOIN_SPANS: usize = 256;
+
+fn method_index(method: CsjMethod) -> usize {
+    CsjMethod::ALL
+        .iter()
+        .position(|&m| m == method)
+        .expect("method in ALL")
+}
+
+fn reason_index(reason: ExhaustReason) -> usize {
+    match reason {
+        ExhaustReason::Cancelled => 0,
+        ExhaustReason::Deadline => 1,
+        ExhaustReason::MaxJoins => 2,
+    }
+}
+
+/// The engine's observability state: one registry of `csj_*` time
+/// series plus the flight recorder. Constructed once per engine.
+pub(crate) struct EngineObs {
+    enabled: bool,
+    registry: MetricsRegistry,
+    flight: FlightRecorder,
+    joins: Vec<Arc<Counter>>,
+    latency: Vec<Arc<LatencyHistogram>>,
+    queries: Vec<Arc<Counter>>,
+    budget_exhausted: Vec<Arc<Counter>>,
+    joins_cancelled: Arc<Counter>,
+    join_panics: Arc<Counter>,
+    faults: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    rows_driven: Arc<Counter>,
+    candidates_streamed: Arc<Counter>,
+    prune_min: Arc<Counter>,
+    prune_max: Arc<Counter>,
+    ev_match: Arc<Counter>,
+    ev_no_match: Arc<Counter>,
+    ev_no_overlap: Arc<Counter>,
+    matcher_flushes: Arc<Counter>,
+    matcher_edges: Arc<Counter>,
+    cancel_polls: Arc<Counter>,
+    stream_depth: Arc<LogHistogramCell>,
+    prune_depth: Arc<LogHistogramCell>,
+    communities: Arc<Gauge>,
+    cached_pairs: Arc<Gauge>,
+}
+
+impl std::fmt::Debug for EngineObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineObs")
+            .field("enabled", &self.enabled)
+            .field("flight_len", &self.flight.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineObs {
+    pub(crate) fn new(config: &ObsConfig) -> Self {
+        let registry = MetricsRegistry::new();
+        let joins = CsjMethod::ALL
+            .iter()
+            .map(|m| {
+                registry.counter(
+                    "csj_joins_total",
+                    "Joins executed by the engine, by method.",
+                    vec![("method", m.name().to_string())],
+                )
+            })
+            .collect();
+        let latency = CsjMethod::ALL
+            .iter()
+            .map(|m| {
+                registry.latency(
+                    "csj_join_latency_seconds",
+                    "Join wall-clock latency (setup + pairing + matching), by method.",
+                    vec![("method", m.name().to_string())],
+                )
+            })
+            .collect();
+        let queries = QUERY_KINDS
+            .iter()
+            .map(|kind| {
+                registry.counter(
+                    "csj_queries_total",
+                    "Engine queries executed, by kind.",
+                    vec![("kind", kind.to_string())],
+                )
+            })
+            .collect();
+        let budget_exhausted = ["cancelled", "deadline", "max-joins"]
+            .iter()
+            .map(|reason| {
+                registry.counter(
+                    "csj_budget_exhausted_total",
+                    "Budgeted queries that ran out of budget, by reason.",
+                    vec![("reason", reason.to_string())],
+                )
+            })
+            .collect();
+        Self {
+            enabled: config.enabled,
+            flight: FlightRecorder::new(config.flight_capacity),
+            joins,
+            latency,
+            queries,
+            budget_exhausted,
+            joins_cancelled: registry.counter(
+                "csj_joins_cancelled_total",
+                "Joins truncated mid-flight by cooperative cancellation.",
+                vec![],
+            ),
+            join_panics: registry.counter(
+                "csj_join_panics_total",
+                "Joins that panicked and were contained at the per-candidate boundary.",
+                vec![],
+            ),
+            faults: registry.counter(
+                "csj_faults_total",
+                "Injected faults fired (fault-injection builds only).",
+                vec![],
+            ),
+            cache_hits: registry.counter(
+                "csj_cache_hits_total",
+                "Exact-similarity queries served from the cache.",
+                vec![],
+            ),
+            rows_driven: registry.counter(
+                "csj_rows_driven_total",
+                "B rows that entered a pairing loop.",
+                vec![],
+            ),
+            candidates_streamed: registry.counter(
+                "csj_candidates_streamed_total",
+                "Candidate pairs that survived cheap pruning and were fully judged.",
+                vec![],
+            ),
+            prune_min: registry.counter(
+                "csj_prune_events_total",
+                "Kernel prune events, by kind.",
+                vec![("kind", "min".to_string())],
+            ),
+            prune_max: registry.counter(
+                "csj_prune_events_total",
+                "Kernel prune events, by kind.",
+                vec![("kind", "max".to_string())],
+            ),
+            ev_match: registry.counter(
+                "csj_match_events_total",
+                "Full-comparison outcomes, by kind.",
+                vec![("kind", "match".to_string())],
+            ),
+            ev_no_match: registry.counter(
+                "csj_match_events_total",
+                "Full-comparison outcomes, by kind.",
+                vec![("kind", "no_match".to_string())],
+            ),
+            ev_no_overlap: registry.counter(
+                "csj_match_events_total",
+                "Full-comparison outcomes, by kind.",
+                vec![("kind", "no_overlap".to_string())],
+            ),
+            matcher_flushes: registry.counter(
+                "csj_matcher_flushes_total",
+                "One-to-one matcher invocations (whole-graph and segment flushes).",
+                vec![],
+            ),
+            matcher_edges: registry.counter(
+                "csj_matcher_edges_total",
+                "Edges handed to the one-to-one matcher.",
+                vec![],
+            ),
+            cancel_polls: registry.counter(
+                "csj_cancel_polls_total",
+                "Cooperative cancellation polls performed by the kernel.",
+                vec![],
+            ),
+            stream_depth: registry.log_histogram(
+                "csj_candidate_stream_depth",
+                "Distribution of candidates streamed per driven B row (log2 buckets).",
+                vec![],
+            ),
+            prune_depth: registry.log_histogram(
+                "csj_prune_depth",
+                "Distribution of prune events per driven B row (log2 buckets).",
+                vec![],
+            ),
+            communities: registry.gauge(
+                "csj_communities",
+                "Communities currently registered.",
+                vec![],
+            ),
+            cached_pairs: registry.gauge(
+                "csj_cached_pairs",
+                "Exact similarities currently cached.",
+                vec![],
+            ),
+            registry,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Fold one completed join into the metrics: per-method count and
+    /// latency plus every kernel telemetry counter.
+    pub(crate) fn on_join(
+        &self,
+        method: CsjMethod,
+        telemetry: &JoinTelemetry,
+        timings: &PhaseTimings,
+        cancelled: bool,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let idx = method_index(method);
+        self.joins[idx].inc();
+        self.latency[idx].observe(timings.total());
+        if cancelled {
+            self.joins_cancelled.inc();
+        }
+        self.rows_driven.add(telemetry.rows_driven);
+        self.candidates_streamed.add(telemetry.candidates_streamed);
+        self.prune_min.add(telemetry.events.min_prune);
+        self.prune_max.add(telemetry.events.max_prune);
+        self.ev_match.add(telemetry.events.matches);
+        self.ev_no_match.add(telemetry.events.no_match);
+        self.ev_no_overlap.add(telemetry.events.no_overlap);
+        self.matcher_flushes.add(telemetry.matcher_flushes);
+        self.matcher_edges.add(telemetry.matcher_edges);
+        self.cancel_polls.add(telemetry.cancel_polls);
+        self.stream_depth
+            .merge(&telemetry.stream_depth_hist, telemetry.candidates_streamed);
+        self.prune_depth.merge(
+            &telemetry.prune_depth_hist,
+            telemetry.events.min_prune + telemetry.events.max_prune,
+        );
+    }
+
+    pub(crate) fn on_query(&self, kind: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        let idx = QUERY_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .expect("known query kind");
+        self.queries[idx].inc();
+    }
+
+    pub(crate) fn on_join_panicked(&self) {
+        if self.enabled {
+            self.join_panics.inc();
+        }
+    }
+
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    pub(crate) fn on_fault(&self) {
+        if self.enabled {
+            self.faults.inc();
+        }
+    }
+
+    pub(crate) fn on_cache_hit(&self) {
+        if self.enabled {
+            self.cache_hits.inc();
+        }
+    }
+
+    pub(crate) fn on_budget_exhausted(&self, reason: ExhaustReason) {
+        if self.enabled {
+            self.budget_exhausted[reason_index(reason)].inc();
+        }
+    }
+
+    /// Point-in-time snapshot, with the registry-size gauges refreshed
+    /// from the caller's current counts.
+    pub(crate) fn snapshot(&self, communities: usize, cached_pairs: usize) -> MetricsSnapshot {
+        self.communities.set(communities as u64);
+        self.cached_pairs.set(cached_pairs as u64);
+        self.registry.snapshot()
+    }
+
+    /// Store a completed query trace in the flight recorder.
+    pub(crate) fn record_trace(&self, trace: QueryTrace) {
+        if self.enabled {
+            self.flight.record(trace);
+        }
+    }
+
+    /// The most recent `n` traces, oldest first.
+    pub(crate) fn traces(&self, n: usize) -> Vec<QueryTrace> {
+        self.flight.last(n)
+    }
+}
+
+/// Assembles one query's span tree while the query runs. Join spans are
+/// appended from (possibly parallel) workers under a mutex — once per
+/// join, never per candidate; [`QueryRecorder::end_phase`] folds the
+/// joins gathered so far into a named phase span.
+pub(crate) struct QueryRecorder {
+    on: bool,
+    kind: &'static str,
+    t0: Instant,
+    join_spans: Mutex<Vec<Span>>,
+    phases: Mutex<Vec<Span>>,
+    joins_dropped: AtomicU64,
+}
+
+impl QueryRecorder {
+    /// Start recording a query of `kind`. With `on = false` every
+    /// method is a no-op and [`QueryRecorder::finish`] returns `None`.
+    pub(crate) fn start(kind: &'static str, on: bool) -> Self {
+        Self {
+            on,
+            kind,
+            t0: Instant::now(),
+            join_spans: Mutex::new(Vec::new()),
+            phases: Mutex::new(Vec::new()),
+            joins_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Microseconds since the query started.
+    pub(crate) fn now_us(&self) -> u64 {
+        self.t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Record one join as a span (with `setup`/`pairing`/`matching`
+    /// phase children) under the current phase.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_join(
+        &self,
+        method: CsjMethod,
+        b_size: usize,
+        a_size: usize,
+        timings: &PhaseTimings,
+        outcome: &str,
+        start_us: u64,
+    ) {
+        if !self.on {
+            return;
+        }
+        let mut joins = self.join_spans.lock().unwrap_or_else(|e| e.into_inner());
+        if joins.len() >= MAX_JOIN_SPANS {
+            self.joins_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut span = Span::new("join")
+            .at(start_us, timings.total().as_micros() as u64)
+            .attr("method", method.name())
+            .attr("b_size", b_size)
+            .attr("a_size", a_size)
+            .attr("outcome", outcome);
+        let mut offset = start_us;
+        for (name, d) in [
+            ("setup", timings.setup),
+            ("pairing", timings.pairing),
+            ("matching", timings.matching),
+        ] {
+            let us = d.as_micros() as u64;
+            if us > 0 {
+                span.push_child(Span::new(name).at(offset, us));
+            }
+            offset += us;
+        }
+        joins.push(span);
+    }
+
+    /// Close the phase that started at `start_us`: every join recorded
+    /// since the previous phase boundary becomes a child of one
+    /// `name` span.
+    pub(crate) fn end_phase(&self, name: &'static str, start_us: u64) {
+        if !self.on {
+            return;
+        }
+        let children =
+            std::mem::take(&mut *self.join_spans.lock().unwrap_or_else(|e| e.into_inner()));
+        let mut span = Span::new(name)
+            .at(start_us, self.now_us().saturating_sub(start_us))
+            .attr("joins", children.len());
+        span.children = children;
+        self.phases
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(span);
+    }
+
+    /// Finish the query and build its trace (the flight recorder
+    /// assigns the id). `None` when recording was off.
+    pub(crate) fn finish(self, outcome: String) -> Option<QueryTrace> {
+        if !self.on {
+            return None;
+        }
+        let elapsed = self.now_us();
+        let mut root = Span::new("query").at(0, elapsed);
+        let dropped = self.joins_dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            root = root.attr("joins_dropped", dropped);
+        }
+        root.children = self.phases.into_inner().unwrap_or_else(|e| e.into_inner());
+        // Joins recorded outside any phase (single-join queries) attach
+        // directly to the root.
+        let loose = self
+            .join_spans
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        root.children.extend(loose);
+        Some(QueryTrace {
+            id: 0,
+            kind: self.kind,
+            outcome,
+            root,
+        })
+    }
+}
+
+/// Outcome label shared by traces and tests: `completed`, or
+/// `exhausted:<reason>`.
+pub(crate) fn outcome_label(exhausted: Option<ExhaustReason>) -> String {
+    match exhausted {
+        None => "completed".to_string(),
+        Some(reason) => format!("exhausted:{reason}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_recorder_produces_nothing() {
+        let rec = QueryRecorder::start("similarity", false);
+        rec.record_join(CsjMethod::ApMinMax, 4, 8, &PhaseTimings::default(), "ok", 0);
+        rec.end_phase("screen", 0);
+        assert!(rec.finish("completed".into()).is_none());
+    }
+
+    #[test]
+    fn phases_capture_their_joins() {
+        let rec = QueryRecorder::start("top_k", true);
+        let timings = PhaseTimings {
+            setup: Duration::from_micros(5),
+            pairing: Duration::from_micros(11),
+            matching: Duration::from_micros(7),
+        };
+        rec.record_join(CsjMethod::ApMinMax, 4, 8, &timings, "ok", 1);
+        rec.record_join(CsjMethod::ApMinMax, 4, 6, &timings, "ok", 20);
+        rec.end_phase("screen", 0);
+        rec.record_join(CsjMethod::ExMinMax, 4, 8, &timings, "ok", 40);
+        rec.end_phase("refine", 40);
+        let trace = rec.finish("completed".into()).expect("recording on");
+        assert_eq!(trace.kind, "top_k");
+        let screen = trace.root.find("screen").expect("screen phase");
+        assert_eq!(screen.children.len(), 2);
+        let refine = trace.root.find("refine").expect("refine phase");
+        assert_eq!(refine.children.len(), 1);
+        let join = refine.children[0].clone();
+        assert_eq!(join.name, "join");
+        assert_eq!(join.elapsed_us, 23, "setup + pairing + matching");
+        assert!(join.find("setup").is_some());
+        assert!(join.find("pairing").is_some());
+        assert!(join.find("matching").is_some());
+    }
+
+    #[test]
+    fn join_span_cap_counts_drops() {
+        let rec = QueryRecorder::start("pairs_above", true);
+        for i in 0..(MAX_JOIN_SPANS + 3) {
+            rec.record_join(
+                CsjMethod::ApMinMax,
+                1,
+                1,
+                &PhaseTimings::default(),
+                "ok",
+                i as u64,
+            );
+        }
+        rec.end_phase("sweep", 0);
+        let trace = rec.finish("completed".into()).unwrap();
+        assert_eq!(
+            trace.root.find("sweep").unwrap().children.len(),
+            MAX_JOIN_SPANS
+        );
+        assert_eq!(
+            trace.root.get_attr("joins_dropped"),
+            Some(&csj_obs::AttrValue::U64(3))
+        );
+    }
+
+    #[test]
+    fn obs_hooks_are_inert_when_disabled() {
+        let obs = EngineObs::new(&ObsConfig {
+            enabled: false,
+            flight_capacity: 4,
+        });
+        obs.on_query("similarity");
+        obs.on_join(
+            CsjMethod::ApMinMax,
+            &JoinTelemetry::default(),
+            &PhaseTimings::default(),
+            false,
+        );
+        obs.on_join_panicked();
+        obs.on_budget_exhausted(ExhaustReason::Deadline);
+        let snap = obs.snapshot(2, 1);
+        assert_eq!(
+            snap.counter_value("csj_queries_total", &[("kind", "similarity")]),
+            0
+        );
+        assert_eq!(snap.counter_value("csj_join_panics_total", &[]), 0);
+        // Gauges still reflect reality (they are set at snapshot time).
+        assert_eq!(snap.counter_value("csj_communities", &[]), 2);
+    }
+
+    #[test]
+    fn outcome_labels() {
+        assert_eq!(outcome_label(None), "completed");
+        assert_eq!(
+            outcome_label(Some(ExhaustReason::MaxJoins)),
+            "exhausted:max-joins"
+        );
+        assert_eq!(
+            outcome_label(Some(ExhaustReason::Deadline)),
+            "exhausted:deadline"
+        );
+    }
+}

@@ -142,6 +142,85 @@ fn slow_join_blows_the_deadline_and_the_sweep_resumes() {
 }
 
 #[test]
+fn faults_and_panics_surface_in_the_metrics_snapshot() {
+    let (mut engine, x, candidates) = engine_with_candidates();
+    engine.inject_faults(
+        FaultPlan::new()
+            .panic_on(candidates[1].0)
+            .error_on(candidates[3].0),
+    );
+    engine.screen(x, &candidates).unwrap();
+
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.counter_value("csj_join_panics_total", &[]), 1);
+    assert_eq!(snap.counter_value("csj_faults_total", &[]), 1);
+    // Healthy candidates still executed their screen joins.
+    assert_eq!(
+        snap.counter_value("csj_joins_total", &[("method", "ap-minmax")]),
+        3
+    );
+    // The Prometheus exposition carries the failure counters too.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("csj_join_panics_total 1"));
+    assert!(prom.contains("csj_faults_total 1"));
+}
+
+#[test]
+fn exhaustion_reasons_are_labeled_in_the_snapshot() {
+    let (mut engine, x, candidates) = engine_with_candidates();
+    engine.inject_faults(FaultPlan::new().slow_on(0, Duration::from_millis(60)));
+    let deadline = Budget::unlimited().with_deadline(Duration::from_millis(10));
+    engine
+        .pairs_above_with_budget(0.0, &deadline, None)
+        .unwrap();
+    engine.clear_faults();
+    let strict = Budget::unlimited().with_max_joins(0);
+    engine.screen_with_budget(x, &candidates, &strict).unwrap();
+
+    let snap = engine.metrics_snapshot();
+    assert_eq!(
+        snap.counter_value("csj_budget_exhausted_total", &[("reason", "deadline")]),
+        1
+    );
+    assert_eq!(
+        snap.counter_value("csj_budget_exhausted_total", &[("reason", "max-joins")]),
+        1
+    );
+    assert_eq!(
+        snap.counter_value("csj_budget_exhausted_total", &[("reason", "cancelled")]),
+        0
+    );
+}
+
+#[test]
+fn trace_survives_a_panicked_query() {
+    let (mut engine, x, candidates) = engine_with_candidates();
+    let victim = candidates[2];
+    engine.inject_faults(FaultPlan::new().panic_on(victim.0));
+
+    // similarity() against the victim errors with JoinPanicked, but its
+    // trace still lands in the flight recorder.
+    let err = engine.similarity(x, victim).unwrap_err();
+    assert!(matches!(err, EngineError::JoinPanicked { .. }));
+    let traces = engine.traces(1);
+    assert_eq!(traces.len(), 1);
+    assert_eq!(traces[0].kind, "similarity");
+    assert!(
+        traces[0].outcome.starts_with("failed:"),
+        "got outcome {:?}",
+        traces[0].outcome
+    );
+    assert!(traces[0].outcome.contains("panicked"));
+
+    // A screen that degrades around the panic completes normally and
+    // records a completed trace.
+    engine.screen(x, &candidates).unwrap();
+    let traces = engine.traces(1);
+    assert_eq!(traces[0].kind, "screen");
+    assert_eq!(traces[0].outcome, "completed");
+}
+
+#[test]
 fn panicked_pairs_are_not_cached_as_results() {
     let (mut engine, x, candidates) = engine_with_candidates();
     let victim = candidates[3];

@@ -1,0 +1,169 @@
+//! Flight recorder: a bounded ring buffer of completed query traces.
+//!
+//! Keeps the last N [`QueryTrace`]s — including partial, exhausted and
+//! panicked queries — so a bad query can be reconstructed after the
+//! fact without having had tracing piped anywhere. Recording happens
+//! once per *query* (not per join), so a plain mutex around the ring is
+//! plenty even under the parallel screening workers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::span::QueryTrace;
+
+/// Bounded ring buffer of the last N completed [`QueryTrace`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<QueryTrace>>,
+    next_id: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `cap` traces (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            ring: Mutex::new(VecDeque::with_capacity(cap)),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether no trace has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total traces ever recorded (ids are 1-based and monotone).
+    pub fn recorded(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed) - 1
+    }
+
+    /// Store a completed trace, assigning it the next sequence id
+    /// (returned). Evicts the oldest trace when full.
+    pub fn record(&self, mut trace: QueryTrace) -> u64 {
+        let mut ring = self.ring.lock().unwrap();
+        // Id assignment happens under the ring lock so retained traces
+        // are always in id order even under concurrent recording.
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        trace.id = id;
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+        id
+    }
+
+    /// The most recent `n` traces, oldest first. `n` larger than the
+    /// retained count returns everything.
+    pub fn last(&self, n: usize) -> Vec<QueryTrace> {
+        let ring = self.ring.lock().unwrap();
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn trace(kind: &'static str) -> QueryTrace {
+        QueryTrace {
+            id: 0,
+            kind,
+            outcome: "completed".into(),
+            root: Span::new("query"),
+        }
+    }
+
+    #[test]
+    fn assigns_monotone_ids_and_evicts_oldest() {
+        let rec = FlightRecorder::new(3);
+        for _ in 0..5 {
+            rec.record(trace("similarity"));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.capacity(), 3);
+        assert_eq!(rec.recorded(), 5);
+        let ids: Vec<u64> = rec.last(10).iter().map(|t| t.id).collect();
+        // Oldest-first, the two earliest (1, 2) evicted.
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn last_n_slices_most_recent() {
+        let rec = FlightRecorder::new(8);
+        for _ in 0..6 {
+            rec.record(trace("top_k"));
+        }
+        let last2: Vec<u64> = rec.last(2).iter().map(|t| t.id).collect();
+        assert_eq!(last2, vec![5, 6]);
+        assert_eq!(rec.last(0).len(), 0);
+        assert_eq!(rec.last(100).len(), 6);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let rec = FlightRecorder::new(0);
+        assert_eq!(rec.capacity(), 1);
+        rec.record(trace("screen"));
+        rec.record(trace("refine"));
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.last(1)[0].id, 2);
+    }
+
+    #[test]
+    fn preserves_failed_outcomes() {
+        let rec = FlightRecorder::new(4);
+        let mut t = trace("pairs_above");
+        t.outcome = "failed:join panicked".into();
+        rec.record(t);
+        let mut t = trace("top_k");
+        t.outcome = "exhausted:deadline".into();
+        rec.record(t);
+        let out: Vec<String> = rec.last(2).into_iter().map(|t| t.outcome).collect();
+        assert_eq!(out, vec!["failed:join panicked", "exhausted:deadline"]);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_id_unique() {
+        let rec = std::sync::Arc::new(FlightRecorder::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let rec = std::sync::Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for _ in 0..100 {
+                    ids.push(rec.record(trace("screen")));
+                }
+                ids
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800, "ids must be unique across threads");
+        assert_eq!(rec.recorded(), 800);
+        assert_eq!(rec.len(), 64);
+        // The retained window is the 64 highest ids, oldest first.
+        let kept: Vec<u64> = rec.last(64).iter().map(|t| t.id).collect();
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(kept.len(), 64);
+    }
+}

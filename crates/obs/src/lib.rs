@@ -1,0 +1,38 @@
+//! # csj-obs — observability for the CSJ engine
+//!
+//! Set-similarity systems live and die by visibility into pruning
+//! effectiveness and skew: where a slow `top_k_similar` spends its time,
+//! which method/eps regime dominates latency, and what exactly happened
+//! in the query that blew its budget or panicked. This crate packages
+//! that visibility as three small, dependency-free building blocks:
+//!
+//! * **Spans** ([`Span`], [`QueryTrace`]) — a hierarchical record of one
+//!   query (`query → screen/refine → join → phase`) with microsecond
+//!   offsets and typed attributes (method, eps, |B|, |A|, budget
+//!   outcome). Cheap enough to stay on in release builds; the engine
+//!   skips construction entirely when observability is disabled.
+//! * **Metrics** ([`MetricsRegistry`]) — named counters, gauges and
+//!   histograms (a fixed-boundary latency histogram plus
+//!   `csj_core::telemetry::LogHistogram` for depth distributions),
+//!   exported as a [`MetricsSnapshot`] that renders both **Prometheus
+//!   text exposition** and **JSON**.
+//! * **Flight recorder** ([`FlightRecorder`]) — a bounded ring buffer of
+//!   the last N completed [`QueryTrace`]s (including partial, exhausted
+//!   and panicked queries) so a bad query can be reconstructed after the
+//!   fact.
+//!
+//! The hot-path types are lock-free ([`Counter`], [`Gauge`],
+//! [`LatencyHistogram`] are atomics); only trace assembly and
+//! `LogHistogram` merging take a mutex, at per-join (not per-candidate)
+//! granularity.
+
+mod flight;
+mod metrics;
+mod span;
+
+pub use flight::FlightRecorder;
+pub use metrics::{
+    Counter, Gauge, LatencyHistogram, LogHistogramCell, MetricSample, MetricsRegistry,
+    MetricsSnapshot, SampleValue, LATENCY_BOUNDS_US,
+};
+pub use span::{escape_json, AttrValue, QueryTrace, Span};

@@ -1,0 +1,741 @@
+//! Metrics registry: named counters, gauges and histograms with
+//! Prometheus text-format and JSON exposition.
+//!
+//! Hot-path instruments ([`Counter`], [`Gauge`], [`LatencyHistogram`])
+//! are plain atomics — safe to hammer from the parallel screening
+//! workers without coordination. [`LogHistogramCell`] wraps
+//! `csj_core::telemetry::LogHistogram` in a mutex because it is merged
+//! per join (coarse granularity), not per observation.
+//!
+//! Metric names follow Prometheus conventions (`csj_*`, `_total`
+//! suffix on counters); labels are fixed at registration so exposition
+//! is a pure read of the registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use csj_core::telemetry::{LogHistogram, HISTOGRAM_BUCKETS};
+
+/// Monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed upper bounds (microseconds) for join/query latency
+/// histograms: 50µs … 10s. Joins on paper-scale communities span five
+/// orders of magnitude depending on method and eps, hence the wide,
+/// roughly-logarithmic ladder.
+pub const LATENCY_BOUNDS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 1_000_000, 10_000_000,
+];
+
+/// Fixed-boundary latency histogram (cumulative-on-read, atomic
+/// per-bucket counts). Bucket `i` counts observations `<= bounds[i]`;
+/// the final implicit bucket is `+Inf`.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// A histogram over [`LATENCY_BOUNDS_US`].
+    pub fn new() -> Self {
+        Self::with_bounds(&LATENCY_BOUNDS_US)
+    }
+
+    /// A histogram over caller-provided ascending bounds.
+    pub fn with_bounds(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = self.bounds.partition_point(|&b| b < us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one observation from a [`std::time::Duration`].
+    pub fn observe(&self, elapsed: std::time::Duration) {
+        self.observe_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, one per bound plus the
+    /// trailing `+Inf` bucket.
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A mergeable cell around `csj_core`'s [`LogHistogram`], for depth
+/// distributions that the kernel already aggregates per join. The sum
+/// is tracked separately (the log histogram only keeps bucket counts)
+/// so Prometheus `_sum` stays meaningful.
+#[derive(Debug, Default)]
+pub struct LogHistogramCell {
+    hist: Mutex<LogHistogram>,
+    sum: AtomicU64,
+}
+
+impl LogHistogramCell {
+    /// Fold a per-join histogram (and the corresponding sum of its
+    /// observations) into the cell.
+    pub fn merge(&self, other: &LogHistogram, sum_delta: u64) {
+        self.hist.lock().unwrap().merge(other);
+        self.sum.fetch_add(sum_delta, Ordering::Relaxed);
+    }
+
+    /// Copy out the current histogram.
+    pub fn load(&self) -> LogHistogram {
+        *self.hist.lock().unwrap()
+    }
+
+    /// Sum of all merged observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Latency(Arc<LatencyHistogram>),
+    LogHist(Arc<LogHistogramCell>),
+}
+
+struct MetricEntry {
+    name: &'static str,
+    help: &'static str,
+    labels: Vec<(&'static str, String)>,
+    instrument: Instrument,
+}
+
+/// Registry of named instruments. Registration order is preserved in
+/// every snapshot; multiple entries may share a metric name with
+/// different labels (one time series each), in which case `# HELP` /
+/// `# TYPE` headers are emitted once per name.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<MetricEntry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, entry: MetricEntry) {
+        self.entries.lock().unwrap().push(entry);
+    }
+
+    /// Register a counter time series.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Counter> {
+        let c = Arc::new(Counter::default());
+        self.register(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Register a gauge time series.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::default());
+        self.register(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Register a fixed-boundary latency histogram time series.
+    pub fn latency(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<LatencyHistogram> {
+        let h = Arc::new(LatencyHistogram::new());
+        self.register(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Latency(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Register a log2-bucket histogram time series (depth
+    /// distributions merged from `JoinTelemetry`).
+    pub fn log_histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<LogHistogramCell> {
+        let h = Arc::new(LogHistogramCell::default());
+        self.register(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::LogHist(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// A point-in-time copy of every registered time series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().unwrap();
+        MetricsSnapshot {
+            metrics: entries
+                .iter()
+                .map(|e| MetricSample {
+                    name: e.name,
+                    help: e.help,
+                    labels: e.labels.clone(),
+                    value: match &e.instrument {
+                        Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                        Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                        Instrument::Latency(h) => SampleValue::Histogram {
+                            bounds_us: h.bounds.to_vec(),
+                            buckets: h.bucket_counts(),
+                            sum_us: h.sum_us(),
+                            count: h.count(),
+                        },
+                        Instrument::LogHist(h) => {
+                            let hist = h.load();
+                            SampleValue::Histogram {
+                                bounds_us: log_bucket_bounds(),
+                                buckets: (0..HISTOGRAM_BUCKETS).map(|i| hist.bucket(i)).collect(),
+                                sum_us: h.sum(),
+                                count: hist.count(),
+                            }
+                        }
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Upper bounds for the log2 histogram's Prometheus rendering: bucket
+/// 0 holds zeros (`le="0"`), bucket k (1 <= k <= 14) holds values in
+/// `[2^(k-1), 2^k)` i.e. `le = 2^k - 1`, and the last bucket is open
+/// (`+Inf`, not listed here).
+fn log_bucket_bounds() -> Vec<u64> {
+    let mut bounds = vec![0u64];
+    bounds.extend((1..HISTOGRAM_BUCKETS - 1).map(|k| (1u64 << k) - 1));
+    bounds
+}
+
+/// One time series captured by [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name (`csj_*`).
+    pub name: &'static str,
+    /// Prometheus `# HELP` text.
+    pub help: &'static str,
+    /// Fixed label set, e.g. `[("method", "ap-minmax")]`.
+    pub labels: Vec<(&'static str, String)>,
+    /// The captured value.
+    pub value: SampleValue,
+}
+
+/// Captured value of one time series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Gauge.
+    Gauge(u64),
+    /// Histogram: non-cumulative `buckets` (one per bound plus a final
+    /// `+Inf` bucket), plus sum/count. `bounds_us` are microseconds for
+    /// latency series and raw values for depth series.
+    Histogram {
+        /// Upper bounds, ascending; one fewer than `buckets`.
+        bounds_us: Vec<u64>,
+        /// Per-bucket counts (not cumulative).
+        buckets: Vec<u64>,
+        /// Sum of all observations.
+        sum_us: u64,
+        /// Total observations.
+        count: u64,
+    },
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All time series, in registration order.
+    pub metrics: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Find the first sample named `name` whose labels include every
+    /// pair in `labels`.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSample> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| m.labels.iter().any(|(mk, mv)| mk == k && mv == v))
+        })
+    }
+
+    /// Convenience: counter value of `find(name, labels)`, or 0 when
+    /// the series is absent.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.find(name, labels).map(|m| &m.value) {
+            Some(SampleValue::Counter(v)) | Some(SampleValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Render the snapshot in Prometheus text exposition format
+    /// (version 0.0.4). Histogram `le` bounds and `_sum` are emitted in
+    /// seconds for `*_seconds` metrics and raw units otherwise.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let mut last_name = "";
+        for m in &self.metrics {
+            if m.name != last_name {
+                let kind = match m.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram { .. } => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+                last_name = m.name;
+            }
+            let seconds = m.name.ends_with("_seconds");
+            match &m.value {
+                SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, &[]), v);
+                }
+                SampleValue::Histogram {
+                    bounds_us,
+                    buckets,
+                    sum_us,
+                    count,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (i, bound) in bounds_us.iter().enumerate() {
+                        cumulative += buckets[i];
+                        let le = if seconds {
+                            format!("{}", *bound as f64 / 1e6)
+                        } else {
+                            format!("{bound}")
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.name,
+                            prom_labels(&m.labels, &[("le", &le)]),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        m.name,
+                        prom_labels(&m.labels, &[("le", "+Inf")]),
+                        count
+                    );
+                    if seconds {
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            m.name,
+                            prom_labels(&m.labels, &[]),
+                            *sum_us as f64 / 1e6
+                        );
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            m.name,
+                            prom_labels(&m.labels, &[]),
+                            sum_us
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        prom_labels(&m.labels, &[]),
+                        count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the snapshot as one JSON object keyed by metric name;
+    /// labelled series become arrays of `{labels, value}` objects.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\"", m.name);
+            if !m.labels.is_empty() {
+                out.push_str(",\"labels\":{");
+                for (j, (k, v)) in m.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{k}\":\"");
+                    crate::span::escape_json(v, &mut out);
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            match &m.value {
+                SampleValue::Counter(v) => {
+                    let _ = write!(out, ",\"type\":\"counter\",\"value\":{v}");
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = write!(out, ",\"type\":\"gauge\",\"value\":{v}");
+                }
+                SampleValue::Histogram {
+                    bounds_us,
+                    buckets,
+                    sum_us,
+                    count,
+                } => {
+                    out.push_str(",\"type\":\"histogram\",\"bounds\":[");
+                    for (j, b) in bounds_us.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push_str("],\"buckets\":[");
+                    for (j, b) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    let _ = write!(out, "],\"sum\":{sum_us},\"count\":{count}");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn prom_labels(fixed: &[(&'static str, String)], extra: &[(&str, &str)]) -> String {
+    if fixed.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in fixed
+        .iter()
+        .map(|(k, v)| (*k, v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        // Prometheus label escaping: backslash, double-quote, newline.
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter(
+            "csj_test_total",
+            "test counter",
+            vec![("method", "ap-minmax".into())],
+        );
+        let g = reg.gauge("csj_test_gauge", "test gauge", vec![]);
+        c.inc();
+        c.add(4);
+        g.set(7);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("csj_test_total", &[("method", "ap-minmax")]),
+            5
+        );
+        assert_eq!(snap.counter_value("csj_test_gauge", &[]), 7);
+        assert_eq!(snap.counter_value("csj_missing", &[]), 0);
+    }
+
+    #[test]
+    fn latency_histogram_bucketing() {
+        let h = LatencyHistogram::new();
+        h.observe_us(1); // <= 50
+        h.observe_us(50); // boundary is inclusive
+        h.observe_us(51); // next bucket
+        h.observe_us(20_000_000); // beyond the last bound → +Inf
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_us(), 20_000_102);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[LATENCY_BOUNDS_US.len()], 1);
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_in_seconds() {
+        let reg = MetricsRegistry::new();
+        let h = reg.latency(
+            "csj_join_latency_seconds",
+            "join latency",
+            vec![("method", "ex-minmax".into())],
+        );
+        h.observe_us(60); // second bucket (le=100µs)
+        h.observe_us(200_000); // le=1s bucket
+        let text = reg.snapshot().to_prometheus();
+        assert!(
+            text.contains("# HELP csj_join_latency_seconds join latency"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE csj_join_latency_seconds histogram"),
+            "{text}"
+        );
+        // Bounds render in seconds; the le=0.0001 (100µs) line is
+        // cumulative so it holds 1, the le=1 line holds 2.
+        assert!(
+            text.contains("csj_join_latency_seconds_bucket{method=\"ex-minmax\",le=\"0.0001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("csj_join_latency_seconds_bucket{method=\"ex-minmax\",le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("csj_join_latency_seconds_bucket{method=\"ex-minmax\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("csj_join_latency_seconds_sum{method=\"ex-minmax\"} 0.20006"),
+            "{text}"
+        );
+        assert!(
+            text.contains("csj_join_latency_seconds_count{method=\"ex-minmax\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn help_and_type_emitted_once_per_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter(
+            "csj_joins_total",
+            "joins",
+            vec![("method", "ap-baseline".into())],
+        );
+        let b = reg.counter(
+            "csj_joins_total",
+            "joins",
+            vec![("method", "ex-baseline".into())],
+        );
+        a.inc();
+        b.add(2);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(text.matches("# HELP csj_joins_total").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE csj_joins_total").count(), 1, "{text}");
+        assert!(
+            text.contains("csj_joins_total{method=\"ap-baseline\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("csj_joins_total{method=\"ex-baseline\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn log_histogram_cell_merges_and_exports() {
+        let reg = MetricsRegistry::new();
+        let cell = reg.log_histogram("csj_candidate_stream_depth", "depth", vec![]);
+        let mut h = LogHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        cell.merge(&h, 4);
+        let snap = reg.snapshot();
+        let text = snap.to_prometheus();
+        // Depth (no _seconds suffix) keeps raw bounds: le="0" holds the
+        // zero, le="1" adds the one, le="3" adds the three.
+        assert!(
+            text.contains("csj_candidate_stream_depth_bucket{le=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("csj_candidate_stream_depth_bucket{le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("csj_candidate_stream_depth_bucket{le=\"3\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("csj_candidate_stream_depth_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("csj_candidate_stream_depth_sum 4"), "{text}");
+        assert!(
+            text.contains("csj_candidate_stream_depth_count 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_snapshot_is_structured() {
+        let reg = MetricsRegistry::new();
+        reg.counter(
+            "csj_joins_total",
+            "joins",
+            vec![("method", "ap-minmax".into())],
+        )
+        .inc();
+        reg.gauge("csj_communities", "registered", vec![]).set(3);
+        reg.latency("csj_join_latency_seconds", "latency", vec![])
+            .observe_us(10);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with("{\"metrics\":["), "{json}");
+        assert!(json.contains("\"name\":\"csj_joins_total\""), "{json}");
+        assert!(
+            json.contains("\"labels\":{\"method\":\"ap-minmax\"}"),
+            "{json}"
+        );
+        assert!(json.contains("\"type\":\"gauge\",\"value\":3"), "{json}");
+        assert!(json.contains("\"type\":\"histogram\""), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("csj_rows_total", "rows", vec![]);
+        let h = reg.latency("csj_lat_seconds", "lat", vec![]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe_us(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+}

@@ -37,7 +37,7 @@ fn main() {
     let (food1, _) = top2(Category::FoodRecipes);
 
     let opts = CsjOptions::new(1);
-    let mut join = |x: usize, y: usize| -> (f64, usize, usize) {
+    let join = |x: usize, y: usize| -> (f64, usize, usize) {
         let cx = corpus.community(x);
         let cy = corpus.community(y);
         let (b, a) = if cx.len() <= cy.len() {
