@@ -1,0 +1,2 @@
+//! Offline stand-in for `crossbeam` — declared but unused in this
+//! workspace, so an empty lib satisfies resolution.

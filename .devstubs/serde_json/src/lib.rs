@@ -1,0 +1,418 @@
+//! Offline stand-in for `serde_json`: a real `Value` + `json!` macro with
+//! working pretty-printing (the CLI's --json path), while generic
+//! `to_string_pretty` over derived types degrades to the stub impl and
+//! `from_str` always errors (don't run roundtrip tests offline).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::Float(v) => out.push_str(&format!("{v}")),
+            Value::String(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Int(v as i64) }
+        }
+    )*};
+}
+impl_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl serde::Serialize for Value {
+    fn __stub_json(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn __stub_from_json(s: &str) -> Option<Self> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(&mut self) -> Option<Value> {
+        self.skip_ws();
+        match *self.bytes.get(self.pos)? {
+            b'n' => self.parse_lit("null", Value::Null),
+            b't' => self.parse_lit("true", Value::Bool(true)),
+            b'f' => self.parse_lit("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::String),
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Value) -> Option<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match *self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match *self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex =
+                                std::str::from_utf8(self.bytes.get(self.pos + 1..self.pos + 5)?)
+                                    .ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<Value> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        if let Ok(i) = text.parse::<i64>() {
+            Some(Value::Int(i))
+        } else {
+            text.parse::<f64>().ok().map(Value::Float)
+        }
+    }
+
+    fn parse_object(&mut self) -> Option<Value> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.eat(b'}').is_some() {
+            return Some(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b'}')?;
+            return Some(Value::Object(map));
+        }
+    }
+
+    fn parse_array(&mut self) -> Option<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']').is_some() {
+            return Some(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b']')?;
+            return Some(Value::Array(items));
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.__stub_json())
+}
+
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.__stub_json())
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
+    T::__stub_from_json(s).ok_or_else(|| {
+        Error("offline serde_json stub can only deserialize Value".to_string())
+    })
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = ::std::collections::BTreeMap::<String, $crate::Value>::new();
+        $crate::json_object!(map; $($body)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* } $(,)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+    };
+    ($map:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::from($val));
+        $crate::json_object!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $val:expr) => {
+        $map.insert($key.to_string(), $crate::Value::from($val));
+    };
+}
