@@ -10,6 +10,8 @@
 //! csj explain --b b.csjb --a a.csjb --eps 1 \
 //!             --method ex-minmax                join + kernel telemetry report
 //! csj truth --b b.csjb --a a.csjb --eps 1       brute-force ground truth
+//! csj serve-sim --qps 200 --duration-ms 2000    open-loop overload soak against
+//!                                               the admission-controlled service
 //! ```
 //!
 //! Files ending in `.csv` use the text format, anything else the compact
@@ -21,7 +23,10 @@ use std::path::{Path, PathBuf};
 
 use csj_core::prepared::{ap_minmax_between, ex_minmax_between};
 use csj_core::{run, Community, CsjMethod, CsjOptions, MatcherKind, PreparedCommunity};
-use csj_data::io::{read_binary, read_csv, read_prepared, write_binary, write_csv, write_prepared};
+use csj_data::io::{
+    read_binary, read_binary_quarantine, read_csv, read_csv_quarantine, read_prepared,
+    write_binary, write_csv, write_prepared,
+};
 use csj_data::pairs::{build_couple, BuildOptions, Dataset};
 use csj_data::spec::COUPLES;
 use csj_data::stats::summarize;
@@ -95,6 +100,12 @@ pub enum Command {
         /// Similarity threshold for the sweep that feeds the metrics.
         threshold: f64,
         format: StatsFormat,
+        /// Route the sweep through the overload-safe service and merge
+        /// its `csj_service_*` series into the output.
+        via_service: bool,
+        /// Load community files in quarantine mode: malformed records
+        /// are skipped and counted in `csj_data_quarantined_total`.
+        quarantine: bool,
     },
     /// Run a top-k query over community files (first file is the
     /// anchor) and dump the flight recorder's span traces.
@@ -107,9 +118,43 @@ pub enum Command {
         /// How many of the most recent traces to print.
         last: usize,
         json: bool,
+        /// Route the query through the overload-safe service and print
+        /// its request traces (fate, retries, degradation attributes)
+        /// instead of the engine's query spans.
+        via_service: bool,
+        /// Load community files in quarantine mode (see `stats`).
+        quarantine: bool,
     },
     /// Brute-force ground truth of a pair.
     Truth { b: PathBuf, a: PathBuf, eps: u32 },
+    /// Open-loop load soak against the overload-safe service: submit a
+    /// mixed query stream over synthetic communities at a fixed rate,
+    /// then report admission/shed/degrade/breaker behaviour, latency
+    /// quantiles and the service invariants. Exits non-zero when an
+    /// invariant is violated.
+    ServeSim {
+        /// Target submission rate, requests per second.
+        qps: u64,
+        /// Load-generation window, milliseconds.
+        duration_ms: u64,
+        workers: usize,
+        /// Admission queue capacity (the shed point).
+        queue: usize,
+        /// Number of synthetic communities to register.
+        communities: usize,
+        /// Users per synthetic community.
+        scale: u32,
+        eps: u32,
+        seed: u64,
+        /// Per-request deadline; 0 disables deadlines (and with them
+        /// the deadline-triggered degradation rung).
+        deadline_ms: u64,
+        /// Inject faults (a healing panic burst plus one pathologically
+        /// slow community); needs the `chaos` cargo feature.
+        chaos: bool,
+        /// Write the final merged Prometheus exposition here.
+        metrics_out: Option<PathBuf>,
+    },
 }
 
 /// Output format of `csj stats`.
@@ -169,9 +214,11 @@ usage:
   csj join --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P] [--json] [--pairs N]
   csj explain --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P]
   csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N]
-  csj stats --communities F1,F2,... --eps E [--threshold T] [--format prom|json|text]
-  csj trace --communities F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N] [--last N] [--json]
+  csj stats --communities F1,F2,... --eps E [--threshold T] [--format prom|json|text] [--via-service] [--quarantine]
+  csj trace --communities F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N] [--last N] [--json] [--via-service] [--quarantine]
   csj truth --b FILE --a FILE --eps E
+  csj serve-sim [--qps N] [--duration-ms MS] [--workers W] [--queue Q] [--communities M] [--scale U]
+                [--eps E] [--seed S] [--deadline-ms MS] [--chaos] [--metrics-out FILE]
 formats: *.csv is text, *.csjp is a prepared index, anything else the CSJB binary format";
 
 /// Parse raw arguments (without the program name).
@@ -318,6 +365,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .unwrap_or("prom")
                     .parse()
                     .map_err(CliError::Usage)?,
+                via_service: has("--via-service"),
+                quarantine: has("--quarantine"),
             })
         }
         "trace" => {
@@ -343,6 +392,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .transpose()?,
                 last: get("--last").map_or(Ok(1), |v| parse_num("--last", v))? as usize,
                 json: has("--json"),
+                via_service: has("--via-service"),
+                quarantine: has("--quarantine"),
             })
         }
         "truth" => Ok(Command::Truth {
@@ -350,6 +401,32 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             a: PathBuf::from(require("--a")?),
             eps: parse_num("--eps", require("--eps")?)? as u32,
         }),
+        "serve-sim" => {
+            let communities =
+                get("--communities").map_or(Ok(6), |v| parse_num("--communities", v))? as usize;
+            if communities < 2 {
+                return Err(CliError::Usage("--communities must be >= 2".into()));
+            }
+            let qps = get("--qps").map_or(Ok(100), |v| parse_num("--qps", v))?;
+            if qps == 0 {
+                return Err(CliError::Usage("--qps must be >= 1".into()));
+            }
+            Ok(Command::ServeSim {
+                qps,
+                duration_ms: get("--duration-ms")
+                    .map_or(Ok(2_000), |v| parse_num("--duration-ms", v))?,
+                workers: get("--workers").map_or(Ok(2), |v| parse_num("--workers", v))? as usize,
+                queue: get("--queue").map_or(Ok(8), |v| parse_num("--queue", v))? as usize,
+                communities,
+                scale: get("--scale").map_or(Ok(240), |v| parse_num("--scale", v))? as u32,
+                eps: get("--eps").map_or(Ok(1), |v| parse_num("--eps", v))? as u32,
+                seed: get("--seed").map_or(Ok(42), |v| parse_num("--seed", v))?,
+                deadline_ms: get("--deadline-ms")
+                    .map_or(Ok(100), |v| parse_num("--deadline-ms", v))?,
+                chaos: has("--chaos"),
+                metrics_out: get("--metrics-out").map(PathBuf::from),
+            })
+        }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -446,20 +523,51 @@ fn load_and_join(
     Ok((lb, la, outcome))
 }
 
+/// Load one community in quarantine mode: malformed records are skipped
+/// and returned as a count instead of failing the whole load. Prepared
+/// `.csjp` indexes have no record-level failure mode and load as-is.
+fn load_quarantine(path: &Path) -> Result<(Community, u64), CliError> {
+    if path.extension().is_some_and(|e| e == "csjp") {
+        return load_any(path).map(|l| match l {
+            Loaded::Plain(c) => (c, 0),
+            Loaded::Prepared(p) => (p.into_community(), 0),
+        });
+    }
+    let file =
+        std::fs::File::open(path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    let parsed = if path.extension().is_some_and(|e| e == "csv") {
+        read_csv_quarantine(file)
+    } else {
+        read_binary_quarantine(file)
+    };
+    let (c, quarantined) = parsed.map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    Ok((c, quarantined.len() as u64))
+}
+
 /// Load community files and register them all in one fresh engine; the
 /// first file's dimensionality sets the engine's. Used by the
-/// observability subcommands (`stats`, `trace`).
+/// observability subcommands (`stats`, `trace`) and the service paths.
+/// With `quarantine` set, malformed records are skipped and folded into
+/// the engine's `csj_data_quarantined_total` metric.
 fn load_engine(
     files: &[PathBuf],
     eps: u32,
+    quarantine: bool,
 ) -> Result<(csj_engine::CsjEngine, Vec<csj_engine::CommunityHandle>), CliError> {
     use csj_engine::{CsjEngine, EngineConfig};
     let mut engine: Option<CsjEngine> = None;
     let mut handles = Vec::new();
+    let mut quarantined_total = 0u64;
     for path in files {
-        let c = match load_any(path)? {
-            Loaded::Plain(c) => c,
-            Loaded::Prepared(p) => p.into_community(),
+        let c = if quarantine {
+            let (c, quarantined) = load_quarantine(path)?;
+            quarantined_total += quarantined;
+            c
+        } else {
+            match load_any(path)? {
+                Loaded::Plain(c) => c,
+                Loaded::Prepared(p) => p.into_community(),
+            }
         };
         let engine = engine.get_or_insert_with(|| CsjEngine::new(c.d(), EngineConfig::new(eps)));
         handles.push(
@@ -469,6 +577,7 @@ fn load_engine(
         );
     }
     let engine = engine.ok_or_else(|| CliError::Usage("no community files given".into()))?;
+    engine.note_quarantined(quarantined_total);
     Ok((engine, handles))
 }
 
@@ -737,8 +846,40 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             eps,
             threshold,
             format,
+            via_service,
+            quarantine,
         } => {
-            let (mut engine, _handles) = load_engine(&communities, eps)?;
+            let (engine, _handles) = load_engine(&communities, eps, quarantine)?;
+            if via_service {
+                use csj_service::{CsjService, Request, ServiceConfig};
+                let service = CsjService::start(engine, ServiceConfig::default());
+                service
+                    .call(Request::PairsAbove { threshold })
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                let snap = service.metrics_snapshot();
+                return Ok(match format {
+                    StatsFormat::Prometheus => snap.to_prometheus(),
+                    StatsFormat::Json => format!("{}\n", snap.to_json()),
+                    StatsFormat::Text => {
+                        let submitted = snap.counter_value("csj_service_submitted_total", &[]);
+                        let shed = snap.counter_value("csj_service_shed_total", &[]);
+                        let answered = snap.counter_value(
+                            "csj_service_completed_total",
+                            &[("outcome", "answered")],
+                        );
+                        let degraded = snap.counter_value(
+                            "csj_service_completed_total",
+                            &[("outcome", "degraded")],
+                        );
+                        let engine = service.shutdown();
+                        format!(
+                            "{}service: submitted={submitted} shed={shed} answered={answered} \
+                             degraded={degraded}\n",
+                            engine.stats()
+                        )
+                    }
+                });
+            }
             engine
                 .pairs_above(threshold)
                 .map_err(|e| CliError::Io(e.to_string()))?;
@@ -756,20 +897,42 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             max_joins,
             last,
             json,
+            via_service,
+            quarantine,
         } => {
             use csj_engine::Budget;
-            let (mut engine, handles) = load_engine(&communities, eps)?;
-            let mut budget = Budget::unlimited();
-            if let Some(ms) = deadline_ms {
-                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
-            }
-            if let Some(max) = max_joins {
-                budget = budget.with_max_joins(max);
-            }
-            engine
-                .top_k_similar_with_budget(handles[0], k, &budget)
-                .map_err(|e| CliError::Io(e.to_string()))?;
-            let traces = engine.traces(last);
+            let (engine, handles) = load_engine(&communities, eps, quarantine)?;
+            let traces = if via_service {
+                use csj_service::{CsjService, Request, ServiceConfig};
+                if max_joins.is_some() {
+                    return Err(CliError::Usage(
+                        "--max-joins is not available with --via-service \
+                         (the service budgets by deadline; use --deadline-ms)"
+                            .into(),
+                    ));
+                }
+                let config = ServiceConfig {
+                    default_deadline: deadline_ms.map(std::time::Duration::from_millis),
+                    ..ServiceConfig::default()
+                };
+                let service = CsjService::start(engine, config);
+                service
+                    .call(Request::TopK { x: handles[0], k })
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                service.service_traces(last)
+            } else {
+                let mut budget = Budget::unlimited();
+                if let Some(ms) = deadline_ms {
+                    budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+                }
+                if let Some(max) = max_joins {
+                    budget = budget.with_max_joins(max);
+                }
+                engine
+                    .top_k_similar_with_budget(handles[0], k, &budget)
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                engine.traces(last)
+            };
             if json {
                 let items: Vec<String> = traces.iter().map(|t| t.to_json()).collect();
                 Ok(format!("[{}]\n", items.join(",")))
@@ -781,6 +944,31 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 Ok(out)
             }
         }
+        Command::ServeSim {
+            qps,
+            duration_ms,
+            workers,
+            queue,
+            communities,
+            scale,
+            eps,
+            seed,
+            deadline_ms,
+            chaos,
+            metrics_out,
+        } => serve_sim(SimArgs {
+            qps,
+            duration_ms,
+            workers,
+            queue,
+            communities,
+            scale,
+            eps,
+            seed,
+            deadline_ms,
+            chaos,
+            metrics_out,
+        }),
         Command::Truth { b, a, eps } => {
             let cb = load(&b)?;
             let ca = load(&a)?;
@@ -798,6 +986,271 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             ))
         }
     }
+}
+
+/// Arguments of [`Command::ServeSim`], bundled so the driver stays one
+/// call.
+struct SimArgs {
+    qps: u64,
+    duration_ms: u64,
+    workers: usize,
+    queue: usize,
+    communities: usize,
+    scale: u32,
+    eps: u32,
+    seed: u64,
+    deadline_ms: u64,
+    chaos: bool,
+    metrics_out: Option<PathBuf>,
+}
+
+/// Upper bound (milliseconds) of the histogram bucket holding quantile
+/// `q`; `None` with no observations, infinity in the overflow bucket.
+fn quantile_bound_ms(bounds_us: &[u64], buckets: &[u64], count: u64, q: f64) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cumulative += b;
+        if cumulative >= rank {
+            return Some(
+                bounds_us
+                    .get(i)
+                    .map_or(f64::INFINITY, |&b| b as f64 / 1000.0),
+            );
+        }
+    }
+    None
+}
+
+/// The open-loop soak behind `csj serve-sim`: register synthetic
+/// communities, start the overload-safe service, submit a mixed query
+/// stream at the target rate (never blocking on responses, so overload
+/// actually sheds), then drain every ticket and reconcile the local
+/// tallies against the `csj_service_*` metrics. Violated invariants
+/// turn into a non-zero exit.
+fn serve_sim(args: SimArgs) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    use std::time::{Duration, Instant};
+
+    use csj_engine::{CsjEngine, EngineConfig};
+    use csj_service::{BreakerConfig, CsjService, Request, ServiceConfig, ServiceError, Ticket};
+
+    #[cfg(not(feature = "chaos"))]
+    if args.chaos {
+        return Err(CliError::Usage(
+            "--chaos needs the fault-injection build: cargo run -p csj-cli --features chaos".into(),
+        ));
+    }
+
+    // Synthetic communities: dense deterministic counter patterns so
+    // exact joins do real matching work without any input files.
+    const D: usize = 8;
+    let mut engine = CsjEngine::new(D, EngineConfig::new(args.eps));
+    let mut handles = Vec::new();
+    for m in 0..args.communities {
+        let salt = args.seed.wrapping_add(m as u64);
+        let rows: Vec<(u64, Vec<u32>)> = (0..u64::from(args.scale.max(2)))
+            .map(|i| {
+                let counters = (0..D as u64)
+                    .map(|j| ((i * (7 + j) + salt * 13) % 97) as u32)
+                    .collect();
+                (i + 1, counters)
+            })
+            .collect();
+        let c = Community::from_rows(format!("sim-{m}"), D, rows)
+            .map_err(|e| CliError::Io(format!("synthetic community: {e}")))?;
+        handles.push(
+            engine
+                .register(c)
+                .map_err(|e| CliError::Io(e.to_string()))?,
+        );
+    }
+    #[cfg(feature = "chaos")]
+    if args.chaos {
+        use csj_engine::fault::FaultPlan;
+        // One community panics three times then heals (exactly the
+        // breaker's failure threshold below, so the exact breaker trips
+        // and later recovers through half-open probes), and one is
+        // pathologically slow (capacity collapses, so admission control
+        // sheds and deadlines force degradation).
+        engine.inject_faults(
+            FaultPlan::new()
+                .panic_n_times(handles[0].0, 3)
+                .slow_on(handles[1].0, Duration::from_millis(25)),
+        );
+    }
+
+    // Injected panics are caught by the engine's isolation boundary,
+    // but the default panic hook would still spray backtraces over the
+    // report; keep the soak output readable (restored after the drain).
+    // Escapes are still visible as `panics-escaped` and the `failed`
+    // tally.
+    let previous_hook = args.chaos.then(|| {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        hook
+    });
+    let deadline = (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms));
+    let service = CsjService::start(
+        engine,
+        ServiceConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            default_deadline: deadline,
+            breaker: BreakerConfig {
+                window: 8,
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(200),
+                probes: 2,
+            },
+            flight_capacity: 256,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Open-loop generation: each request has a fixed due time derived
+    // from the rate; falling behind never slows submission down.
+    let total = (args.qps * args.duration_ms / 1_000).max(1);
+    let interval_ns = 1_000_000_000 / args.qps;
+    let started = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(total as usize);
+    let mut shed_local = 0u64;
+    for i in 0..total {
+        let due = started + Duration::from_nanos(i * interval_ns);
+        if let Some(ahead) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(ahead);
+        }
+        let request = match i % 5 {
+            3 => Request::TopK {
+                x: handles[i as usize % args.communities],
+                k: 3,
+            },
+            4 => Request::PairsAbove { threshold: 0.2 },
+            _ => Request::Similarity {
+                x: handles[0],
+                y: handles[1 + i as usize % (args.communities - 1)],
+                method: Some(CsjMethod::ExMinMax),
+            },
+        };
+        match service.submit(request) {
+            Ok(t) => tickets.push(t),
+            Err(ServiceError::Overloaded { .. }) => shed_local += 1,
+            Err(e) => return Err(CliError::Io(format!("submit failed: {e}"))),
+        }
+    }
+
+    // Drain: every admitted request must resolve to exactly one fate.
+    let (mut answered, mut degraded, mut failed, mut panics_escaped) = (0u64, 0u64, 0u64, 0u64);
+    for t in tickets {
+        match t.wait() {
+            Ok(r) if r.degraded => degraded += 1,
+            Ok(_) => answered += 1,
+            Err(ServiceError::Internal { .. }) => {
+                failed += 1;
+                panics_escaped += 1;
+            }
+            Err(_) => failed += 1,
+        }
+    }
+
+    if let Some(hook) = previous_hook {
+        std::panic::set_hook(hook);
+    }
+
+    let final_breaker = service.breaker_state(CsjMethod::ExMinMax);
+    let snap = service.metrics_snapshot();
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, snap.to_prometheus())
+            .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    }
+    let counter = |name: &str, labels: &[(&str, &str)]| snap.counter_value(name, labels);
+    let submitted = counter("csj_service_submitted_total", &[]);
+    let admitted = counter("csj_service_admitted_total", &[]);
+    let shed = counter("csj_service_shed_total", &[]);
+    let retries = counter("csj_service_retries_total", &[]);
+    let deg_breaker = counter("csj_service_degraded_total", &[("trigger", "breaker")]);
+    let deg_deadline = counter("csj_service_degraded_total", &[("trigger", "deadline")]);
+    let breaker_to = |to: &str| {
+        counter(
+            "csj_service_breaker_transitions_total",
+            &[("method", "ex-minmax"), ("to", to)],
+        )
+    };
+    let (p50, p99) = match snap
+        .find("csj_service_request_seconds", &[])
+        .map(|s| &s.value)
+    {
+        Some(csj_obs::SampleValue::Histogram {
+            bounds_us,
+            buckets,
+            count,
+            ..
+        }) => (
+            quantile_bound_ms(bounds_us, buckets, *count, 0.50),
+            quantile_bound_ms(bounds_us, buckets, *count, 0.99),
+        ),
+        _ => (None, None),
+    };
+    let fmt_ms = |q: Option<f64>| q.map_or("n/a".to_string(), |ms| format!("{ms}ms"));
+
+    let identity_ok = submitted == total && submitted == admitted + shed && shed == shed_local;
+    let resolution_ok = answered + degraded + failed == admitted
+        && counter("csj_service_completed_total", &[("outcome", "answered")]) == answered
+        && counter("csj_service_completed_total", &[("outcome", "degraded")]) == degraded
+        && counter("csj_service_completed_total", &[("outcome", "failed")]) == failed;
+    let verdict = |ok: bool| if ok { "ok" } else { "VIOLATED" };
+
+    let mut out = format!(
+        "serve-sim: qps={} duration-ms={} workers={} queue={} communities={} scale={} \
+         eps={} deadline-ms={} chaos={} seed={}\n",
+        args.qps,
+        args.duration_ms,
+        args.workers,
+        args.queue,
+        args.communities,
+        args.scale,
+        args.eps,
+        args.deadline_ms,
+        if args.chaos { "on" } else { "off" },
+        args.seed
+    );
+    let _ = writeln!(out, "submitted={submitted} admitted={admitted} shed={shed}");
+    let _ = writeln!(
+        out,
+        "answered={answered} degraded={degraded} failed={failed}"
+    );
+    let _ = writeln!(
+        out,
+        "degraded-by-trigger: breaker={deg_breaker} deadline={deg_deadline}"
+    );
+    let _ = writeln!(out, "retries={retries}");
+    let _ = writeln!(
+        out,
+        "breaker ex-minmax transitions: open={} half_open={} closed={} (final={})",
+        breaker_to("open"),
+        breaker_to("half_open"),
+        breaker_to("closed"),
+        final_breaker.label()
+    );
+    let _ = writeln!(out, "latency: p50<={} p99<={}", fmt_ms(p50), fmt_ms(p99));
+    let _ = writeln!(out, "panics-escaped={panics_escaped}");
+    let _ = writeln!(
+        out,
+        "invariant submitted == admitted + shed: {}",
+        verdict(identity_ok)
+    );
+    let _ = writeln!(
+        out,
+        "invariant every admitted request resolved exactly once: {}",
+        verdict(resolution_ok)
+    );
+    if !(identity_ok && resolution_ok) {
+        return Err(CliError::Io(format!("serve-sim invariant violated\n{out}")));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1233,11 +1686,15 @@ mod tests {
                 eps,
                 threshold,
                 format,
+                via_service,
+                quarantine,
             } => {
                 assert_eq!(communities.len(), 2);
                 assert_eq!(eps, 1);
                 assert!((threshold - 0.3).abs() < 1e-9);
                 assert_eq!(format, StatsFormat::Json);
+                assert!(!via_service, "--via-service defaults off");
+                assert!(!quarantine, "--quarantine defaults off");
             }
             other => panic!("parsed {other:?}"),
         }
@@ -1307,6 +1764,8 @@ mod tests {
             eps: 1,
             threshold: 0.0,
             format: StatsFormat::Prometheus,
+            via_service: false,
+            quarantine: false,
         })
         .unwrap();
         assert!(prom.contains("# TYPE csj_joins_total counter"), "{prom}");
@@ -1320,6 +1779,8 @@ mod tests {
             eps: 1,
             threshold: 0.0,
             format: StatsFormat::Json,
+            via_service: false,
+            quarantine: false,
         })
         .unwrap();
         let _parsed: serde_json::Value =
@@ -1330,6 +1791,8 @@ mod tests {
             eps: 1,
             threshold: 0.0,
             format: StatsFormat::Text,
+            via_service: false,
+            quarantine: false,
         })
         .unwrap();
         assert!(text.contains("communities:"), "{text}");
@@ -1347,6 +1810,8 @@ mod tests {
             max_joins: Some(0),
             last: 1,
             json: true,
+            via_service: false,
+            quarantine: false,
         })
         .unwrap();
         assert!(json.contains("\"kind\":\"top_k\""), "{json}");
@@ -1363,6 +1828,8 @@ mod tests {
             max_joins: None,
             last: 1,
             json: false,
+            via_service: false,
+            quarantine: false,
         })
         .unwrap();
         assert!(text.contains("top_k outcome=completed"), "{text}");
@@ -1377,5 +1844,301 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn parse_serve_sim_defaults_and_flags() {
+        match parse(&argv("serve-sim")).unwrap() {
+            Command::ServeSim {
+                qps,
+                duration_ms,
+                workers,
+                queue,
+                communities,
+                deadline_ms,
+                chaos,
+                metrics_out,
+                ..
+            } => {
+                assert_eq!(qps, 100);
+                assert_eq!(duration_ms, 2_000);
+                assert_eq!(workers, 2);
+                assert_eq!(queue, 8);
+                assert_eq!(communities, 6);
+                assert_eq!(deadline_ms, 100);
+                assert!(!chaos);
+                assert_eq!(metrics_out, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv(
+            "serve-sim --qps 300 --duration-ms 500 --workers 1 --queue 2 --communities 3 \
+             --scale 50 --eps 2 --seed 9 --deadline-ms 0 --chaos --metrics-out /tmp/m.prom",
+        ))
+        .unwrap()
+        {
+            Command::ServeSim {
+                qps,
+                duration_ms,
+                workers,
+                queue,
+                communities,
+                scale,
+                eps,
+                seed,
+                deadline_ms,
+                chaos,
+                metrics_out,
+            } => {
+                assert_eq!(qps, 300);
+                assert_eq!(duration_ms, 500);
+                assert_eq!(workers, 1);
+                assert_eq!(queue, 2);
+                assert_eq!(communities, 3);
+                assert_eq!(scale, 50);
+                assert_eq!(eps, 2);
+                assert_eq!(seed, 9);
+                assert_eq!(deadline_ms, 0);
+                assert!(chaos);
+                assert_eq!(metrics_out, Some(PathBuf::from("/tmp/m.prom")));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("serve-sim --communities 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("serve-sim --qps 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_service_and_quarantine_flags() {
+        match parse(&argv(
+            "stats --communities a,b --eps 1 --via-service --quarantine",
+        ))
+        .unwrap()
+        {
+            Command::Stats {
+                via_service,
+                quarantine,
+                ..
+            } => {
+                assert!(via_service);
+                assert!(quarantine);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("trace --communities a,b --eps 1 --via-service")).unwrap() {
+            Command::Trace {
+                via_service,
+                quarantine,
+                ..
+            } => {
+                assert!(via_service);
+                assert!(!quarantine);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    /// One token of the `key=value` soak report, parsed as a number.
+    fn report_field(out: &str, key: &str) -> u64 {
+        out.split_whitespace()
+            .filter_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .find_map(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no numeric field {key}= in report:\n{out}"))
+    }
+
+    #[test]
+    fn serve_sim_smoke_upholds_the_invariants() {
+        let out = execute(Command::ServeSim {
+            qps: 40,
+            duration_ms: 500,
+            workers: 2,
+            queue: 16,
+            communities: 3,
+            scale: 60,
+            eps: 1,
+            seed: 7,
+            deadline_ms: 250,
+            chaos: false,
+            metrics_out: None,
+        })
+        .unwrap();
+        assert_eq!(report_field(&out, "submitted"), 20, "{out}");
+        assert_eq!(report_field(&out, "panics-escaped"), 0, "{out}");
+        assert!(
+            out.contains("invariant submitted == admitted + shed: ok"),
+            "{out}"
+        );
+        assert!(
+            out.contains("invariant every admitted request resolved exactly once: ok"),
+            "{out}"
+        );
+        assert_eq!(
+            report_field(&out, "submitted"),
+            report_field(&out, "admitted") + report_field(&out, "shed"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn stats_via_service_merges_engine_and_service_series() {
+        let (b, a) = generated_pair("csj_cli_stats_service_test", 5);
+        let prom = execute(Command::Stats {
+            communities: vec![b.clone(), a.clone()],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Prometheus,
+            via_service: true,
+            quarantine: false,
+        })
+        .unwrap();
+        assert!(
+            prom.contains("csj_queries_total{kind=\"pairs_above\"} 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("csj_service_submitted_total 1"), "{prom}");
+        assert!(
+            prom.contains("# TYPE csj_service_request_seconds histogram"),
+            "{prom}"
+        );
+
+        let text = execute(Command::Stats {
+            communities: vec![b, a],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Text,
+            via_service: true,
+            quarantine: false,
+        })
+        .unwrap();
+        assert!(text.contains("communities:"), "{text}");
+        assert!(text.contains("service: submitted=1"), "{text}");
+    }
+
+    #[test]
+    fn trace_via_service_surfaces_degradation_attributes() {
+        let (b, a) = generated_pair("csj_cli_trace_service_test", 6);
+        // A zero deadline forces the exact top-k onto the approximate
+        // rung; the service trace must say so.
+        let text = execute(Command::Trace {
+            communities: vec![b.clone(), a.clone()],
+            eps: 1,
+            k: 2,
+            deadline_ms: Some(0),
+            max_joins: None,
+            last: 1,
+            json: false,
+            via_service: true,
+            quarantine: false,
+        })
+        .unwrap();
+        assert!(text.contains("outcome=degraded"), "{text}");
+        assert!(text.contains("fate=degraded"), "{text}");
+        assert!(text.contains("degrade_trigger=deadline"), "{text}");
+
+        let err = execute(Command::Trace {
+            communities: vec![b, a],
+            eps: 1,
+            k: 2,
+            deadline_ms: None,
+            max_joins: Some(5),
+            last: 1,
+            json: false,
+            via_service: true,
+            quarantine: false,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn stats_quarantine_skips_bad_rows_and_counts_them() {
+        let dir = std::env::temp_dir().join("csj_cli_quarantine_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.csv");
+        let dirty = dir.join("dirty.csv");
+        std::fs::write(
+            &good,
+            "# community: Good\n# d: 2\nuser_id,c0,c1\n1,1,2\n2,3,4\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &dirty,
+            "# community: Dirty\n# d: 2\nuser_id,c0,c1\n1,1,2\nnot-an-id,9,9\n3,7\n4,5,6\n",
+        )
+        .unwrap();
+        // Without quarantine the dirty file fails the whole load...
+        let err = execute(Command::Stats {
+            communities: vec![good.clone(), dirty.clone()],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Prometheus,
+            via_service: false,
+            quarantine: false,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+        // ...with quarantine the bad rows are skipped and counted.
+        let prom = execute(Command::Stats {
+            communities: vec![good, dirty],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Prometheus,
+            via_service: false,
+            quarantine: true,
+        })
+        .unwrap();
+        assert!(prom.contains("csj_data_quarantined_total 2"), "{prom}");
+        assert!(prom.contains("csj_communities 2"), "{prom}");
+    }
+
+    /// The full chaos soak: fault injection makes the service shed,
+    /// degrade, trip the exact breaker and recover — all while the
+    /// resolution invariants hold. Mirrors the CI soak step.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn serve_sim_chaos_sheds_degrades_and_recovers_the_breaker() {
+        let metrics = std::env::temp_dir().join("csj_cli_serve_sim_chaos.prom");
+        let out = execute(Command::ServeSim {
+            qps: 150,
+            duration_ms: 1_500,
+            workers: 2,
+            queue: 4,
+            communities: 5,
+            scale: 120,
+            eps: 1,
+            seed: 11,
+            deadline_ms: 100,
+            chaos: true,
+            metrics_out: Some(metrics.clone()),
+        })
+        .unwrap();
+        assert!(report_field(&out, "shed") > 0, "{out}");
+        assert!(report_field(&out, "degraded") > 0, "{out}");
+        assert!(report_field(&out, "open") >= 1, "breaker must trip: {out}");
+        assert!(
+            report_field(&out, "closed") >= 1,
+            "breaker must recover: {out}"
+        );
+        assert_eq!(report_field(&out, "panics-escaped"), 0, "{out}");
+        assert!(
+            out.contains("invariant submitted == admitted + shed: ok"),
+            "{out}"
+        );
+        assert!(
+            out.contains("invariant every admitted request resolved exactly once: ok"),
+            "{out}"
+        );
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("csj_service_shed_total"), "{prom}");
+        assert!(
+            prom.contains("csj_service_breaker_transitions_total"),
+            "{prom}"
+        );
     }
 }

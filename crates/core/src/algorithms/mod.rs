@@ -89,6 +89,23 @@ impl CsjMethod {
         )
     }
 
+    /// The approximate counterpart of this method: each Ex-* variant
+    /// maps to the Ap-* variant of the same family (Section 5's ladder);
+    /// Ap-* methods map to themselves. Because approximate CSJ never
+    /// over-counts and greedy maximal matchings reach at least half the
+    /// maximum, the counterpart's score is a lower bound on the exact
+    /// score and is within a factor of two of it — the property that
+    /// makes exact→approximate degradation sound.
+    pub fn ap_counterpart(self) -> CsjMethod {
+        match self {
+            CsjMethod::ExBaseline => CsjMethod::ApBaseline,
+            CsjMethod::ExMinMax => CsjMethod::ApMinMax,
+            CsjMethod::ExSuperEgo => CsjMethod::ApSuperEgo,
+            CsjMethod::ExHybrid => CsjMethod::ApHybrid,
+            ap => ap,
+        }
+    }
+
     /// Stable name used in reports and CLI flags.
     pub fn name(self) -> &'static str {
         match self {

@@ -20,7 +20,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use bytes::{Buf, BufMut, BytesMut};
 use csj_core::Community;
 
-use super::IoError;
+use super::{IoError, QuarantinedRecord, RecordLocation};
 
 const MAGIC: &[u8; 4] = b"CSJB";
 const VERSION: u16 = 1;
@@ -60,10 +60,29 @@ pub fn write_binary<W: Write>(community: &Community, writer: W) -> Result<(), Io
 pub fn read_binary<R: Read>(reader: R) -> Result<Community, IoError> {
     let mut r = BufReader::new(reader);
     let community = read_binary_embedded(&mut r)?;
-    // Trailing garbage is a format violation for a standalone file.
+    reject_trailing(&mut r)?;
+    Ok(community)
+}
+
+/// Read a community from binary form in *quarantine* mode: records the
+/// format can represent but the corpus cannot accept — duplicate user
+/// ids — are skipped and reported (0-based record index) instead of
+/// silently kept. Structural problems (bad magic, truncation, bad
+/// header fields) still abort the load.
+pub fn read_binary_quarantine<R: Read>(
+    reader: R,
+) -> Result<(Community, Vec<QuarantinedRecord>), IoError> {
+    let mut r = BufReader::new(reader);
+    let out = read_binary_inner(&mut r, true)?;
+    reject_trailing(&mut r)?;
+    Ok(out)
+}
+
+/// Trailing garbage is a format violation for a standalone file.
+fn reject_trailing<R: Read>(r: &mut R) -> Result<(), IoError> {
     let mut trailing = [0u8; 1];
     match r.read(&mut trailing)? {
-        0 => Ok(community),
+        0 => Ok(()),
         _ => Err(IoError::Format(
             "trailing bytes after community data".into(),
         )),
@@ -72,7 +91,14 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Community, IoError> {
 
 /// Read one embedded community record, leaving the reader positioned
 /// right after it (used by composite formats such as `.csjp`).
-pub(crate) fn read_binary_embedded<R: Read>(mut r: &mut R) -> Result<Community, IoError> {
+pub(crate) fn read_binary_embedded<R: Read>(r: &mut R) -> Result<Community, IoError> {
+    Ok(read_binary_inner(r, false)?.0)
+}
+
+fn read_binary_inner<R: Read>(
+    mut r: &mut R,
+    quarantine: bool,
+) -> Result<(Community, Vec<QuarantinedRecord>), IoError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -112,19 +138,31 @@ pub(crate) fn read_binary_embedded<R: Read>(mut r: &mut R) -> Result<Community, 
     }
     let data_bytes = read_exact_chunked(&mut r, data_len * 4)?;
     let mut community = Community::with_capacity(name, d, n);
+    let mut quarantined = Vec::new();
     {
+        // Linear-time duplicate detection for quarantine mode (the
+        // strict path keeps the historical keep-every-record behavior).
+        let mut seen = std::collections::HashSet::new();
         let mut cursor = &data_bytes[..];
         let mut row = vec![0u32; d];
-        for &id in &ids {
+        for (index, &id) in ids.iter().enumerate() {
             for v in row.iter_mut() {
                 *v = cursor.get_u32_le();
             }
-            community
-                .push(id, &row)
-                .map_err(|e| IoError::Format(e.to_string()))?;
+            if quarantine && !seen.insert(id) {
+                quarantined.push(QuarantinedRecord {
+                    location: RecordLocation::Record(index as u64),
+                    reason: format!("duplicate user id {id}"),
+                });
+                continue;
+            }
+            community.push(id, &row).map_err(|e| IoError::BadRecord {
+                location: RecordLocation::Record(index as u64),
+                reason: e.to_string(),
+            })?;
         }
     }
-    Ok(community)
+    Ok((community, quarantined))
 }
 
 /// Read exactly `len` bytes, growing the buffer in bounded chunks so a
@@ -218,6 +256,33 @@ mod tests {
         write_binary(&sample(), &mut buf).unwrap();
         buf[4] = 99;
         assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn quarantine_skips_duplicate_ids() {
+        let mut c = Community::new("Dup", 2);
+        c.push(1, &[1, 1]).unwrap();
+        c.push(2, &[2, 2]).unwrap();
+        c.push(1, &[9, 9]).unwrap(); // duplicate of record 0
+        let mut buf = Vec::new();
+        write_binary(&c, &mut buf).unwrap();
+        // Strict read keeps all three (historical behavior)…
+        assert_eq!(read_binary(&buf[..]).unwrap().len(), 3);
+        // …quarantine keeps the first occurrence and reports the dup.
+        let (clean, quarantined) = read_binary_quarantine(&buf[..]).unwrap();
+        assert_eq!(clean.len(), 2);
+        assert_eq!(clean.user_ids(), &[1, 2]);
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].location, RecordLocation::Record(2));
+        assert!(quarantined[0].reason.contains("duplicate user id 1"));
+    }
+
+    #[test]
+    fn quarantine_still_rejects_structural_corruption() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary_quarantine(&buf[..]).is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 use csj_core::Community;
 
-use super::IoError;
+use super::{IoError, QuarantinedRecord, RecordLocation};
 
 /// Write a community in CSV form.
 pub fn write_csv<W: Write>(community: &Community, writer: W) -> Result<(), IoError> {
@@ -37,8 +37,55 @@ pub fn write_csv<W: Write>(community: &Community, writer: W) -> Result<(), IoErr
     Ok(())
 }
 
-/// Read a community from CSV form.
+/// Read a community from CSV form. Strict: the first malformed row
+/// aborts the load with [`IoError::BadRecord`] naming its line.
 pub fn read_csv<R: Read>(reader: R) -> Result<Community, IoError> {
+    let (community, _) = read_csv_inner(reader, false)?;
+    Ok(community)
+}
+
+/// Read a community from CSV form in *quarantine* mode: malformed rows
+/// are skipped and reported instead of aborting the load. Container-
+/// level problems (missing/bad headers, I/O failures) still error —
+/// quarantine only forgives individual records.
+pub fn read_csv_quarantine<R: Read>(
+    reader: R,
+) -> Result<(Community, Vec<QuarantinedRecord>), IoError> {
+    read_csv_inner(reader, true)
+}
+
+/// Parse one data row (`user_id,c0,...`) into `(id, counters)`;
+/// `lineno` is the 1-based line number used in error locations.
+fn parse_csv_row(line: &str, d: usize, lineno: u64, row: &mut Vec<u32>) -> Result<u64, IoError> {
+    let bad = |reason: String| IoError::BadRecord {
+        location: RecordLocation::Line(lineno),
+        reason,
+    };
+    let mut fields = line.split(',');
+    let id: u64 = fields
+        .next()
+        .ok_or_else(|| bad("empty row".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| bad(format!("bad user id: {e}")))?;
+    row.clear();
+    for f in fields {
+        let v: u32 = f
+            .trim()
+            .parse()
+            .map_err(|e| bad(format!("bad counter: {e}")))?;
+        row.push(v);
+    }
+    if row.len() != d {
+        return Err(bad(format!("expected {d} counters, got {}", row.len())));
+    }
+    Ok(id)
+}
+
+fn read_csv_inner<R: Read>(
+    reader: R,
+    quarantine: bool,
+) -> Result<(Community, Vec<QuarantinedRecord>), IoError> {
     let mut lines = BufReader::new(reader).lines();
     let name_line = lines
         .next()
@@ -70,39 +117,29 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Community, IoError> {
     }
 
     let mut community = Community::new(name, d);
+    let mut quarantined = Vec::new();
     let mut row = Vec::with_capacity(d);
     for (lineno, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let mut fields = line.split(',');
-        let id: u64 = fields
-            .next()
-            .ok_or_else(|| IoError::Format(format!("line {}: empty", lineno + 4)))?
-            .trim()
-            .parse()
-            .map_err(|e| IoError::Format(format!("line {}: bad user id: {e}", lineno + 4)))?;
-        row.clear();
-        for f in fields {
-            let v: u32 = f
-                .trim()
-                .parse()
-                .map_err(|e| IoError::Format(format!("line {}: bad counter: {e}", lineno + 4)))?;
-            row.push(v);
+        let lineno = lineno as u64 + 4; // 3 header lines, 1-based
+        let pushed = parse_csv_row(&line, d, lineno, &mut row).and_then(|id| {
+            community.push(id, &row).map_err(|e| IoError::BadRecord {
+                location: RecordLocation::Line(lineno),
+                reason: e.to_string(),
+            })
+        });
+        match pushed {
+            Ok(()) => {}
+            Err(e) if quarantine => {
+                quarantined.push(e.as_quarantined().expect("row errors are BadRecord"));
+            }
+            Err(e) => return Err(e),
         }
-        if row.len() != d {
-            return Err(IoError::Format(format!(
-                "line {}: expected {d} counters, got {}",
-                lineno + 4,
-                row.len()
-            )));
-        }
-        community
-            .push(id, &row)
-            .map_err(|e| IoError::Format(e.to_string()))?;
     }
-    Ok(community)
+    Ok((community, quarantined))
 }
 
 #[cfg(test)]
@@ -136,10 +173,42 @@ mod tests {
     }
 
     #[test]
-    fn rejects_ragged_rows() {
+    fn rejects_ragged_rows_with_line_number() {
         let text = "# community: X\n# d: 3\nuser_id,c0,c1,c2\n1,2,3\n";
         let err = read_csv(text.as_bytes()).unwrap_err();
-        assert!(matches!(err, IoError::Format(_)));
+        assert!(
+            matches!(
+                err,
+                IoError::BadRecord {
+                    location: RecordLocation::Line(4),
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_skips_bad_rows_and_reports_them() {
+        let text = "# community: X\n# d: 2\nuser_id,c0,c1\n\
+                    1,2,3\nbogus,2,3\n2,9\n3,4,5\n4,-1,0\n";
+        let (c, quarantined) = read_csv_quarantine(text.as_bytes()).unwrap();
+        assert_eq!(c.len(), 2, "rows 1 and 3 survive");
+        assert_eq!(c.user_ids(), &[1, 3]);
+        assert_eq!(quarantined.len(), 3);
+        assert_eq!(quarantined[0].location, RecordLocation::Line(5));
+        assert!(quarantined[0].reason.contains("bad user id"));
+        assert_eq!(quarantined[1].location, RecordLocation::Line(6));
+        assert!(quarantined[1].reason.contains("expected 2 counters"));
+        assert_eq!(quarantined[2].location, RecordLocation::Line(8));
+        assert!(quarantined[2].reason.contains("bad counter"));
+        assert!(quarantined[2].to_string().starts_with("line 8: "));
+    }
+
+    #[test]
+    fn quarantine_still_rejects_broken_headers() {
+        assert!(read_csv_quarantine("# community: X\n# dee: 3\n".as_bytes()).is_err());
     }
 
     #[test]

@@ -5,17 +5,75 @@ mod binary;
 mod csv;
 mod prepared;
 
-pub use binary::{read_binary, write_binary};
-pub use csv::{read_csv, write_csv};
+pub use binary::{read_binary, read_binary_quarantine, write_binary};
+pub use csv::{read_csv, read_csv_quarantine, write_csv};
 pub use prepared::{prepare_with, read_prepared, write_prepared};
+
+/// Where a malformed record sits in its source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordLocation {
+    /// 1-based line number of a text (CSV) source.
+    Line(u64),
+    /// 0-based record index of a binary source.
+    Record(u64),
+}
+
+impl std::fmt::Display for RecordLocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordLocation::Line(n) => write!(f, "line {n}"),
+            RecordLocation::Record(n) => write!(f, "record {n}"),
+        }
+    }
+}
+
+/// One record skipped by a quarantine-mode load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRecord {
+    /// Where the record sits in its source.
+    pub location: RecordLocation,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for QuarantinedRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.location, self.reason)
+    }
+}
 
 /// Errors raised by the dataset I/O layer.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// The input violates the format (message describes the problem).
+    /// The input violates the format at the container level — bad
+    /// magic/headers, truncation — so no per-record recovery is
+    /// possible (message describes the problem).
     Format(String),
+    /// One record is malformed. Strict loads abort with this error;
+    /// quarantine-mode loads collect the same information as
+    /// [`QuarantinedRecord`]s and keep going.
+    BadRecord {
+        /// Where the record sits in its source.
+        location: RecordLocation,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl IoError {
+    /// View a [`IoError::BadRecord`] as the quarantine report entry it
+    /// would become; `None` for container-level errors.
+    pub fn as_quarantined(&self) -> Option<QuarantinedRecord> {
+        match self {
+            IoError::BadRecord { location, reason } => Some(QuarantinedRecord {
+                location: *location,
+                reason: reason.clone(),
+            }),
+            _ => None,
+        }
+    }
 }
 
 impl From<std::io::Error> for IoError {
@@ -29,6 +87,9 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Format(msg) => write!(f, "format error: {msg}"),
+            IoError::BadRecord { location, reason } => {
+                write!(f, "bad record at {location}: {reason}")
+            }
         }
     }
 }
@@ -37,7 +98,7 @@ impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IoError::Io(e) => Some(e),
-            IoError::Format(_) => None,
+            IoError::Format(_) | IoError::BadRecord { .. } => None,
         }
     }
 }

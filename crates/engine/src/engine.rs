@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity};
 use csj_core::{
@@ -160,8 +160,9 @@ struct Registered {
     version: u64,
     /// Prepared MinMax encodings for the engine's (eps, parts); rebuilt
     /// lazily after mutations. `Arc` so parallel screening workers can
-    /// share it without cloning the buffers.
-    prepared: Option<Arc<PreparedCommunity>>,
+    /// share it without cloning the buffers, `Mutex` so concurrent
+    /// `&self` queries can build it lazily.
+    prepared: Mutex<Option<Arc<PreparedCommunity>>>,
 }
 
 /// Per-candidate result of a screening worker.
@@ -172,8 +173,11 @@ enum Screened {
     Failed(EngineError),
 }
 
-/// The multi-community CSJ engine. Not `Sync`-shared; wrap in a lock for
-/// concurrent callers (queries fan out internally already).
+/// The multi-community CSJ engine. Queries take `&self`, so an
+/// `Arc<CsjEngine>` can serve concurrent callers directly (this is what
+/// `csj-service` does); registry *mutations* (`register`, `upsert_user`,
+/// `remove_user`) still take `&mut self` and therefore require exclusive
+/// access.
 ///
 /// ```
 /// use csj_core::Community;
@@ -193,15 +197,16 @@ pub struct CsjEngine {
     d: usize,
     entries: Vec<Registered>,
     names: HashMap<String, u32>,
-    /// Exact-similarity cache keyed by (smaller handle, larger handle).
-    cache: HashMap<(u32, u32), CacheEntry>,
+    /// Exact-similarity cache keyed by (smaller handle, larger handle);
+    /// `Mutex` so concurrent `&self` queries share it.
+    cache: Mutex<HashMap<(u32, u32), CacheEntry>>,
     joins_executed: AtomicU64,
-    cache_hits: u64,
+    cache_hits: AtomicU64,
     /// Aggregated kernel telemetry; a `Mutex` (not per-field atomics) so
     /// parallel screening workers merge whole [`JoinTelemetry`] blocks
     /// consistently — histograms and maxima don't decompose into
     /// independent atomic adds.
-    telemetry: std::sync::Mutex<JoinTelemetry>,
+    telemetry: Mutex<JoinTelemetry>,
     /// Metrics registry + flight recorder (see [`ObsConfig`]).
     obs: EngineObs,
     #[cfg(feature = "fault-injection")]
@@ -219,10 +224,10 @@ impl CsjEngine {
             obs,
             entries: Vec::new(),
             names: HashMap::new(),
-            cache: HashMap::new(),
+            cache: Mutex::new(HashMap::new()),
             joins_executed: AtomicU64::new(0),
-            cache_hits: 0,
-            telemetry: std::sync::Mutex::new(JoinTelemetry::default()),
+            cache_hits: AtomicU64::new(0),
+            telemetry: Mutex::new(JoinTelemetry::default()),
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -249,7 +254,7 @@ impl CsjEngine {
         self.entries.push(Registered {
             community: Arc::new(community),
             version: 0,
-            prepared: None,
+            prepared: Mutex::new(None),
         });
         Ok(CommunityHandle(handle))
     }
@@ -275,16 +280,20 @@ impl CsjEngine {
     /// Get (building if stale) the prepared MinMax encoding of a
     /// community. Encodings are shared (`Arc`) with in-flight queries,
     /// and share the community rows with the registry rather than
-    /// cloning them.
-    fn prepared(&mut self, handle: u32) -> Arc<PreparedCommunity> {
-        let entry = &mut self.entries[handle as usize];
-        if entry.prepared.is_none() {
-            entry.prepared = Some(Arc::new(PreparedCommunity::from_shared(
-                Arc::clone(&entry.community),
-                &self.config.options,
-            )));
+    /// cloning them. Building happens under the slot's lock, so
+    /// concurrent queries racing on a cold slot prepare it exactly once.
+    fn prepared(&self, handle: u32) -> Arc<PreparedCommunity> {
+        let entry = &self.entries[handle as usize];
+        let mut slot = entry.prepared.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(prepared) = slot.as_ref() {
+            return Arc::clone(prepared);
         }
-        entry.prepared.clone().expect("just built")
+        let built = Arc::new(PreparedCommunity::from_shared(
+            Arc::clone(&entry.community),
+            &self.config.options,
+        ));
+        *slot = Some(Arc::clone(&built));
+        built
     }
 
     /// Join an oriented prepared pair with `method`, using the prepared
@@ -376,7 +385,7 @@ impl CsjEngine {
         // Drop the prepared encoding first: it shares the community Arc,
         // and releasing it lets make_mut edit in place (refcount 1)
         // instead of deep-copying the rows.
-        entry.prepared = None;
+        *entry.prepared.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
         let community = Arc::make_mut(&mut entry.community);
         match community.find_user(user) {
             Some(i) => community.set_vector(i, vector)?,
@@ -397,7 +406,8 @@ impl CsjEngine {
             .entries
             .get_mut(idx)
             .ok_or(EngineError::UnknownCommunity(handle.0))?;
-        entry.prepared = None; // release the shared Arc before make_mut
+        // Release the shared Arc before make_mut.
+        *entry.prepared.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
         let community = Arc::make_mut(&mut entry.community);
         let i = community
             .find_user(user)
@@ -410,8 +420,12 @@ impl CsjEngine {
     fn bump_version(&mut self, handle: u32) {
         let entry = &mut self.entries[handle as usize];
         entry.version += 1;
-        entry.prepared = None; // encodings are stale now
-        self.cache.retain(|&(x, y), _| x != handle && y != handle);
+        // Encodings are stale now.
+        *entry.prepared.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
+        self.cache
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|&(x, y), _| x != handle && y != handle);
     }
 
     /// Orient a pair as (smaller B, larger A) with their handles; equal
@@ -426,22 +440,25 @@ impl CsjEngine {
         })
     }
 
-    /// Whether the cache holds a fresh exact similarity for the oriented
-    /// pair `(b, a)`.
-    fn cache_fresh(&self, b: u32, a: u32) -> bool {
+    /// The cached exact similarity of the oriented pair `(b, a)`, if the
+    /// cache holds one that is still fresh (neither community changed
+    /// since the cached join).
+    fn cached_similarity(&self, b: u32, a: u32) -> Option<Similarity> {
         self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .get(&(b, a))
-            .map(|e| {
+            .filter(|e| {
                 e.version_x == self.entries[b as usize].version
                     && e.version_y == self.entries[a as usize].version
             })
-            .unwrap_or(false)
+            .map(|e| e.similarity)
     }
 
     /// Exact similarity of a pair, cached. Recomputes only when either
     /// community changed since the cached join.
     pub fn similarity(
-        &mut self,
+        &self,
         x: CommunityHandle,
         y: CommunityHandle,
     ) -> Result<Similarity, EngineError> {
@@ -460,12 +477,62 @@ impl CsjEngine {
         result
     }
 
+    /// Similarity of a pair computed with an explicit `method` instead
+    /// of the configured refine method. The engine's configured refine
+    /// method delegates to [`similarity`](CsjEngine::similarity) and
+    /// uses the cache; any other method runs one uncached join, so a
+    /// degraded (Ap-*) answer never pollutes the exact-similarity
+    /// cache. This is the `similarity` rung of the service's
+    /// exact→approximate degradation ladder: per
+    /// [`CsjMethod::ap_counterpart`], an Ap-* score is a lower bound
+    /// within a factor of two of its Ex-* counterpart.
+    pub fn similarity_with(
+        &self,
+        x: CommunityHandle,
+        y: CommunityHandle,
+        method: CsjMethod,
+    ) -> Result<Similarity, EngineError> {
+        if method == self.config.refine_method {
+            return self.similarity(x, y);
+        }
+        let qopts = self.config.options.clone();
+        let rec = QueryRecorder::start("similarity", self.obs.enabled());
+        self.obs.on_query("similarity");
+        let result = (|| {
+            let (b, a) = self.oriented(x, y)?;
+            let pb = self.prepared(b);
+            let pa = self.prepared(a);
+            match catch_unwind(AssertUnwindSafe(|| {
+                self.fault_hook(b)?;
+                self.fault_hook(a)?;
+                self.join_prepared(method, &pb, &pa, &qopts, Some(&rec))
+            })) {
+                Ok(joined) => joined,
+                Err(payload) => {
+                    self.obs.on_join_panicked();
+                    Err(EngineError::JoinPanicked {
+                        handle: y.0,
+                        message: panic_message(payload),
+                    })
+                }
+            }
+        })();
+        let outcome = match &result {
+            Ok(_) => "completed".to_string(),
+            Err(e) => format!("failed:{e}"),
+        };
+        if let Some(trace) = rec.finish(outcome) {
+            self.obs.record_trace(trace);
+        }
+        result
+    }
+
     /// Exact (refined) similarity of one pair under `qopts`, cached.
     /// The refine join runs inside a panic-isolation boundary: a panic
     /// surfaces as [`EngineError::JoinPanicked`] naming `y`, never an
     /// abort. Increments `joins` when a join actually runs.
     fn refine_pair(
-        &mut self,
+        &self,
         x: CommunityHandle,
         y: CommunityHandle,
         qopts: &CsjOptions,
@@ -473,10 +540,10 @@ impl CsjEngine {
         rec: Option<&QueryRecorder>,
     ) -> Result<Similarity, EngineError> {
         let (b, a) = self.oriented(x, y)?;
-        if self.cache_fresh(b, a) {
-            self.cache_hits += 1;
+        if let Some(similarity) = self.cached_similarity(b, a) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.obs.on_cache_hit();
-            return Ok(self.cache[&(b, a)].similarity);
+            return Ok(similarity);
         }
         let pb = self.prepared(b);
         let pa = self.prepared(a);
@@ -497,7 +564,7 @@ impl CsjEngine {
             }
         };
         joins.fetch_add(1, Ordering::Relaxed);
-        self.cache.insert(
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).insert(
             (b, a),
             CacheEntry {
                 similarity,
@@ -514,7 +581,7 @@ impl CsjEngine {
     /// join panics lands in [`ScreenOutcome::failed`] while the others
     /// complete.
     pub fn screen(
-        &mut self,
+        &self,
         x: CommunityHandle,
         candidates: &[CommunityHandle],
     ) -> Result<ScreenOutcome, EngineError> {
@@ -527,7 +594,7 @@ impl CsjEngine {
     /// budget never admitted land in [`ScreenOutcome::skipped`] and the
     /// returned [`Partial`] carries the exhaustion marker.
     pub fn screen_with_budget(
-        &mut self,
+        &self,
         x: CommunityHandle,
         candidates: &[CommunityHandle],
         budget: &Budget,
@@ -573,7 +640,7 @@ impl CsjEngine {
     /// outcome plus (candidates processed, candidates skipped); `joins`
     /// accumulates this query's join count across phases.
     fn screen_budgeted(
-        &mut self,
+        &self,
         x: CommunityHandle,
         candidates: &[CommunityHandle],
         budget: &Budget,
@@ -695,7 +762,7 @@ impl CsjEngine {
     /// [`screen_with_budget`](CsjEngine::screen_with_budget) to see
     /// them); the query itself never aborts on a per-candidate panic.
     pub fn screen_and_refine(
-        &mut self,
+        &self,
         x: CommunityHandle,
         candidates: &[CommunityHandle],
     ) -> Result<Vec<PairScore>, EngineError> {
@@ -708,7 +775,7 @@ impl CsjEngine {
     /// [`Budget`] shared across both phases. On exhaustion the refined
     /// ranking covers only the shortlist prefix the budget admitted.
     pub fn screen_and_refine_with_budget(
-        &mut self,
+        &self,
         x: CommunityHandle,
         candidates: &[CommunityHandle],
         budget: &Budget,
@@ -721,7 +788,7 @@ impl CsjEngine {
     /// and [`top_k_similar_with_budget`](CsjEngine::top_k_similar_with_budget);
     /// `kind` labels the query in metrics and its flight-recorder trace.
     fn ranked_query(
-        &mut self,
+        &self,
         kind: &'static str,
         x: CommunityHandle,
         candidates: &[CommunityHandle],
@@ -785,7 +852,7 @@ impl CsjEngine {
     /// The `k` registered communities most similar to `x` (exact scores,
     /// via screen-and-refine over everything admissible).
     pub fn top_k_similar(
-        &mut self,
+        &self,
         x: CommunityHandle,
         k: usize,
     ) -> Result<Vec<PairScore>, EngineError> {
@@ -798,7 +865,7 @@ impl CsjEngine {
     /// on exhaustion the result is the best `k` of whatever was scored
     /// in time.
     pub fn top_k_similar_with_budget(
-        &mut self,
+        &self,
         x: CommunityHandle,
         k: usize,
         budget: &Budget,
@@ -824,7 +891,7 @@ impl CsjEngine {
     /// surfaced as its error. Use
     /// [`pairs_above_with_budget`](CsjEngine::pairs_above_with_budget)
     /// for deadline-bounded, degradable sweeps.
-    pub fn pairs_above(&mut self, threshold: f64) -> Result<Vec<PairScore>, EngineError> {
+    pub fn pairs_above(&self, threshold: f64) -> Result<Vec<PairScore>, EngineError> {
         let swept = self
             .pairs_above_with_budget(threshold, &Budget::unlimited(), None)?
             .into_value();
@@ -842,10 +909,42 @@ impl CsjEngine {
     /// refined are served from the cache. Pairs whose join panicked or
     /// faulted land in [`PairsSweep::failed`] and the sweep carries on.
     pub fn pairs_above_with_budget(
-        &mut self,
+        &self,
         threshold: f64,
         budget: &Budget,
         resume: Option<PairsCursor>,
+    ) -> Result<Partial<PairsSweep>, EngineError> {
+        self.sweep_budgeted(threshold, budget, resume, false)
+    }
+
+    /// Degraded broadcast sweep: *approximate only*. Each admissible
+    /// pair gets one join with the screening (Ap-*) method and is
+    /// reported when its approximate similarity reaches `threshold`;
+    /// no exact refinement runs and the exact-similarity cache is
+    /// neither consulted nor written. Because approximate CSJ never
+    /// over-counts, every returned pair truly clears the threshold —
+    /// the sweep can only *miss* pairs whose exact similarity is
+    /// between `threshold` and `2 * threshold` of the reported bound
+    /// (greedy maximal matchings reach at least half the maximum).
+    /// This is the `pairs_above` rung of the service's degradation
+    /// ladder; [`PairScore::similarity`] carries the Ap lower bound.
+    pub fn pairs_above_approx_with_budget(
+        &self,
+        threshold: f64,
+        budget: &Budget,
+        resume: Option<PairsCursor>,
+    ) -> Result<Partial<PairsSweep>, EngineError> {
+        self.sweep_budgeted(threshold, budget, resume, true)
+    }
+
+    /// Sweep core shared by the exact and approximate (degraded)
+    /// broadcast entry points.
+    fn sweep_budgeted(
+        &self,
+        threshold: f64,
+        budget: &Budget,
+        resume: Option<PairsCursor>,
+        approx: bool,
     ) -> Result<Partial<PairsSweep>, EngineError> {
         let n = self.entries.len() as u32;
         let joins = AtomicU64::new(0);
@@ -874,7 +973,7 @@ impl CsjEngine {
                     break 'outer;
                 }
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    self.sweep_pair(x, y, threshold, &qopts, &joins, Some(&rec))
+                    self.sweep_pair(x, y, threshold, &qopts, &joins, Some(&rec), approx)
                 }));
                 match outcome {
                     Err(payload) => {
@@ -925,14 +1024,18 @@ impl CsjEngine {
 
     /// One pair of the broadcast sweep: admissibility, cheap screen with
     /// the safe `threshold / 2` skip bound, then cached exact refine.
+    /// With `approx` the screen join *is* the answer (degraded mode):
+    /// accept on the approximate score, skip refinement and the cache.
+    #[allow(clippy::too_many_arguments)]
     fn sweep_pair(
-        &mut self,
+        &self,
         x: CommunityHandle,
         y: CommunityHandle,
         threshold: f64,
         qopts: &CsjOptions,
         joins: &AtomicU64,
         rec: Option<&QueryRecorder>,
+        approx: bool,
     ) -> Result<Option<PairScore>, EngineError> {
         let (b, a) = self.oriented(x, y)?;
         if csj_core::validate_sizes(
@@ -943,8 +1046,21 @@ impl CsjEngine {
         {
             return Ok(None);
         }
+        if approx {
+            self.fault_hook(b)?;
+            self.fault_hook(a)?;
+            let pb = self.prepared(b);
+            let pa = self.prepared(a);
+            let screened = self.join_prepared(self.config.screen_method, &pb, &pa, qopts, rec)?;
+            joins.fetch_add(1, Ordering::Relaxed);
+            return Ok((screened.ratio() >= threshold).then_some(PairScore {
+                x,
+                y,
+                similarity: screened,
+            }));
+        }
         // Phase 1: cheap screen (unless already cached exactly).
-        if !self.cache_fresh(b, a) {
+        if self.cached_similarity(b, a).is_none() {
             self.fault_hook(b)?;
             self.fault_hook(a)?;
             let pb = self.prepared(b);
@@ -980,7 +1096,16 @@ impl CsjEngine {
     /// [`MetricsSnapshot::to_prometheus`] or
     /// [`MetricsSnapshot::to_json`].
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.obs.snapshot(self.entries.len(), self.cache.len())
+        let cached = self.cache.lock().unwrap_or_else(|e| e.into_inner()).len();
+        self.obs.snapshot(self.entries.len(), cached)
+    }
+
+    /// Count `n` records quarantined by a data loader in the
+    /// `csj_data_quarantined_total` metric. The loaders themselves are
+    /// observability-free (they return a quarantine report); callers
+    /// that loaded data *for this engine* fold the report in here.
+    pub fn note_quarantined(&self, n: u64) {
+        self.obs.on_quarantined(n);
     }
 
     /// The `n` most recent query traces from the flight recorder,
@@ -993,9 +1118,9 @@ impl CsjEngine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             communities: self.entries.len(),
-            cached_pairs: self.cache.len(),
+            cached_pairs: self.cache.lock().unwrap_or_else(|e| e.into_inner()).len(),
             joins_executed: self.joins_executed.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
             telemetry: *self.telemetry.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
@@ -1122,7 +1247,7 @@ mod tests {
 
     #[test]
     fn similarity_is_cached_and_symmetric() {
-        let (mut engine, a, n, _) = engine_with_three();
+        let (engine, a, n, _) = engine_with_three();
         let s1 = engine.similarity(a, n).unwrap();
         assert_eq!(s1.matched, 3);
         let before = engine.stats().joins_executed;
@@ -1199,7 +1324,7 @@ mod tests {
 
     #[test]
     fn screening_partitions_candidates() {
-        let (mut engine, a, n, f) = engine_with_three();
+        let (engine, a, n, f) = engine_with_three();
         let outcome = engine.screen(a, &[n, f]).unwrap();
         assert_eq!(outcome.shortlisted.len(), 1);
         assert_eq!(outcome.shortlisted[0].0, n);
@@ -1222,7 +1347,7 @@ mod tests {
 
     #[test]
     fn top_k_ranks_by_exact_similarity() {
-        let (mut engine, a, n, _) = engine_with_three();
+        let (engine, a, n, _) = engine_with_three();
         let top = engine.top_k_similar(a, 5).unwrap();
         assert_eq!(top.len(), 1, "only 'near' clears the screen threshold");
         assert_eq!(top[0].y, n);
@@ -1231,7 +1356,7 @@ mod tests {
 
     #[test]
     fn pairs_above_sweeps_all_admissible_pairs() {
-        let (mut engine, a, n, f) = engine_with_three();
+        let (engine, a, n, f) = engine_with_three();
         let pairs = engine.pairs_above(0.5).unwrap();
         assert_eq!(pairs.len(), 1);
         let p = pairs[0];
@@ -1253,7 +1378,7 @@ mod tests {
 
     #[test]
     fn zero_join_budget_skips_all_candidates() {
-        let (mut engine, a, n, f) = engine_with_three();
+        let (engine, a, n, f) = engine_with_three();
         let budget = Budget::unlimited().with_max_joins(0);
         let partial = engine.screen_with_budget(a, &[n, f], &budget).unwrap();
         assert!(partial.value.shortlisted.is_empty());
@@ -1267,7 +1392,7 @@ mod tests {
 
     #[test]
     fn max_joins_budget_truncates_refinement() {
-        let (mut engine, a, n, f) = engine_with_three();
+        let (engine, a, n, f) = engine_with_three();
         // Two screen joins exhaust the budget before refinement starts.
         let budget = Budget::unlimited().with_max_joins(2);
         let partial = engine
@@ -1282,7 +1407,7 @@ mod tests {
 
     #[test]
     fn zero_deadline_sweep_degrades_and_resumes() {
-        let (mut engine, _a, _n, _f) = engine_with_three();
+        let (engine, _a, _n, _f) = engine_with_three();
         let spent = Budget::unlimited().with_deadline(Duration::ZERO);
         let partial = engine.pairs_above_with_budget(0.5, &spent, None).unwrap();
         assert!(partial.value.pairs.is_empty());
@@ -1306,7 +1431,7 @@ mod tests {
 
     #[test]
     fn pre_cancelled_budget_reports_cancelled() {
-        let (mut engine, a, n, f) = engine_with_three();
+        let (engine, a, n, f) = engine_with_three();
         let budget = Budget::unlimited();
         budget.cancel();
         let partial = engine.screen_with_budget(a, &[n, f], &budget).unwrap();
@@ -1344,6 +1469,81 @@ mod tests {
                 assert_eq!(*slot.as_ref().unwrap(), i as u32 * 2);
             }
         }
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CsjEngine>();
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_engine() {
+        let (engine, a, n, f) = engine_with_three();
+        let expected = engine.similarity(a, n).unwrap();
+        let engine = Arc::new(engine);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    assert_eq!(engine.similarity(a, n).unwrap(), expected);
+                    let top = engine.top_k_similar(a, 5).unwrap();
+                    assert_eq!(top[0].y, n);
+                    let _ = engine.pairs_above(0.5).unwrap();
+                    let _ = f;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.communities, 3);
+        assert!(stats.cache_hits > 0, "cached pair must be reused");
+    }
+
+    #[test]
+    fn similarity_with_counterpart_matches_and_skips_cache() {
+        let (engine, a, n, _) = engine_with_three();
+        let exact = engine.similarity_with(a, n, CsjMethod::ExMinMax).unwrap();
+        assert_eq!(exact.matched, 3);
+        assert_eq!(engine.stats().cached_pairs, 1, "exact path is cached");
+        let ap = engine.similarity_with(a, n, CsjMethod::ApMinMax).unwrap();
+        assert!(
+            ap.matched <= exact.matched,
+            "Ap never over-counts: {ap:?} vs {exact:?}"
+        );
+        assert!(
+            2 * ap.matched >= exact.matched,
+            "greedy matching is within 2x: {ap:?} vs {exact:?}"
+        );
+        assert_eq!(
+            engine.stats().cached_pairs,
+            1,
+            "degraded join must not touch the exact cache"
+        );
+    }
+
+    #[test]
+    fn approx_sweep_is_a_sound_lower_bound() {
+        let (engine, a, n, _) = engine_with_three();
+        let approx = engine
+            .pairs_above_approx_with_budget(0.5, &Budget::unlimited(), None)
+            .unwrap();
+        assert!(approx.is_complete());
+        let exact = engine.pairs_above(0.5).unwrap();
+        // Every pair the degraded sweep reports truly clears the
+        // threshold (no false positives).
+        for p in &approx.value.pairs {
+            assert!(exact
+                .iter()
+                .any(|q| (q.x == p.x && q.y == p.y) || (q.x == p.y && q.y == p.x)));
+            assert!(p.similarity.ratio() >= 0.5);
+        }
+        // On this dataset the Ap score finds the one similar pair too.
+        assert_eq!(approx.value.pairs.len(), 1);
+        let _ = (a, n);
     }
 
     #[test]

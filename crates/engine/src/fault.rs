@@ -17,16 +17,25 @@
 //! ```
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::EngineError;
 
 /// Which faults to inject, keyed by the raw id of the community handle
 /// a join is about to touch. A handle may appear in several sets; slow
-/// applies first, then error, then panic.
+/// applies first, then error, then panic (bounded panic budgets before
+/// unconditional panics).
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     panic_on: HashSet<u32>,
+    /// Transient panic budgets: the handle panics while its counter is
+    /// positive, then behaves normally. `Arc` so clones of the plan
+    /// (and the engine's installed copy) share one budget — this is
+    /// what lets a circuit breaker observe a fault that *heals*, and
+    /// therefore recover.
+    panic_budget: HashMap<u32, Arc<AtomicU64>>,
     error_on: HashSet<u32>,
     slow_on: HashMap<u32, Duration>,
 }
@@ -40,6 +49,17 @@ impl FaultPlan {
     /// Panic (as a buggy join kernel would) when a join touches `handle`.
     pub fn panic_on(mut self, handle: u32) -> Self {
         self.panic_on.insert(handle);
+        self
+    }
+
+    /// Panic on the first `n` joins touching `handle`, then heal: later
+    /// joins run normally. The budget is shared across clones of the
+    /// plan, so installing the plan into an engine does not reset it.
+    /// This models the transient fault a circuit breaker is designed
+    /// for — trip while the handle is broken, recover once it heals.
+    pub fn panic_n_times(mut self, handle: u32, n: u64) -> Self {
+        self.panic_budget
+            .insert(handle, Arc::new(AtomicU64::new(n)));
         self
     }
 
@@ -64,6 +84,22 @@ impl FaultPlan {
         }
         if self.error_on.contains(&handle) {
             return Err(EngineError::Faulted { handle });
+        }
+        if let Some(budget) = self.panic_budget.get(&handle) {
+            // Decrement-if-positive; the CAS loop keeps concurrent
+            // workers from panicking more than `n` times in total.
+            let mut left = budget.load(Ordering::Relaxed);
+            while left > 0 {
+                match budget.compare_exchange_weak(
+                    left,
+                    left - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => panic!("injected fault: transient panic on community handle {handle}"),
+                    Err(now) => left = now,
+                }
+            }
         }
         if self.panic_on.contains(&handle) {
             panic!("injected fault: panic on community handle {handle}");
@@ -93,6 +129,17 @@ mod tests {
         let plan = FaultPlan::new().panic_on(5);
         let caught = std::panic::catch_unwind(|| plan.apply(5));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn panic_budget_heals_after_n_fires() {
+        let plan = FaultPlan::new().panic_n_times(2, 3);
+        let installed = plan.clone(); // engines get a clone; budget is shared
+        for _ in 0..3 {
+            assert!(std::panic::catch_unwind(|| installed.apply(2)).is_err());
+        }
+        assert_eq!(installed.apply(2), Ok(()), "budget spent: handle healed");
+        assert_eq!(plan.apply(2), Ok(()), "clones share the budget");
     }
 
     #[test]

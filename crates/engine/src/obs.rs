@@ -87,6 +87,7 @@ pub(crate) struct EngineObs {
     join_panics: Arc<Counter>,
     faults: Arc<Counter>,
     cache_hits: Arc<Counter>,
+    quarantined: Arc<Counter>,
     rows_driven: Arc<Counter>,
     candidates_streamed: Arc<Counter>,
     prune_min: Arc<Counter>,
@@ -180,6 +181,11 @@ impl EngineObs {
             cache_hits: registry.counter(
                 "csj_cache_hits_total",
                 "Exact-similarity queries served from the cache.",
+                vec![],
+            ),
+            quarantined: registry.counter(
+                "csj_data_quarantined_total",
+                "Malformed records skipped by quarantine-mode data loads.",
                 vec![],
             ),
             rows_driven: registry.counter(
@@ -323,6 +329,12 @@ impl EngineObs {
     pub(crate) fn on_cache_hit(&self) {
         if self.enabled {
             self.cache_hits.inc();
+        }
+    }
+
+    pub(crate) fn on_quarantined(&self, n: u64) {
+        if self.enabled {
+            self.quarantined.add(n);
         }
     }
 

@@ -55,7 +55,7 @@ proptest! {
             .pairs_above(threshold)
             .expect("unbounded sweep succeeds");
 
-        let mut engine = build_engine(d, &communities);
+        let engine = build_engine(d, &communities);
         let budget = Budget::unlimited().with_max_joins(cap);
         let first = engine
             .pairs_above_with_budget(threshold, &budget, None)
@@ -106,7 +106,7 @@ proptest! {
             .pairs_above(threshold)
             .expect("unbounded sweep succeeds");
 
-        let mut engine = build_engine(d, &communities);
+        let engine = build_engine(d, &communities);
         let spent = Budget::unlimited().with_deadline(Duration::ZERO);
         let first = engine
             .pairs_above_with_budget(threshold, &spent, None)

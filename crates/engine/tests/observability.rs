@@ -31,7 +31,7 @@ fn engine_with_three() -> (
 
 #[test]
 fn queries_populate_the_metrics_registry() {
-    let (mut engine, a, n, f) = engine_with_three();
+    let (engine, a, n, f) = engine_with_three();
     engine.top_k_similar(a, 5).unwrap();
     engine.similarity(a, n).unwrap();
     engine.similarity(n, a).unwrap(); // cache hit
@@ -74,7 +74,7 @@ fn queries_populate_the_metrics_registry() {
 
 #[test]
 fn budget_exhaustion_is_counted_and_traced() {
-    let (mut engine, a, n, f) = engine_with_three();
+    let (engine, a, n, f) = engine_with_three();
     let budget = Budget::unlimited().with_max_joins(0);
     let partial = engine.screen_with_budget(a, &[n, f], &budget).unwrap();
     assert_eq!(
@@ -106,7 +106,7 @@ fn budget_exhaustion_is_counted_and_traced() {
 
 #[test]
 fn flight_recorder_keeps_the_most_recent_queries() {
-    let (mut engine, a, n, _) = engine_with_three();
+    let (engine, a, n, _) = engine_with_three();
     for _ in 0..3 {
         engine.similarity(a, n).unwrap();
     }
@@ -122,7 +122,7 @@ fn flight_recorder_keeps_the_most_recent_queries() {
 
 #[test]
 fn top_k_trace_has_screen_and_refine_phases_with_join_spans() {
-    let (mut engine, a, _, _) = engine_with_three();
+    let (engine, a, _, _) = engine_with_three();
     engine.top_k_similar(a, 5).unwrap();
     let traces = engine.traces(1);
     let trace = &traces[0];
@@ -165,7 +165,7 @@ fn disabled_observability_records_nothing() {
 
 #[test]
 fn engine_stats_display_is_human_readable() {
-    let (mut engine, a, n, _) = engine_with_three();
+    let (engine, a, n, _) = engine_with_three();
     engine.similarity(a, n).unwrap();
     let text = engine.stats().to_string();
     assert!(text.contains("communities:     3"));

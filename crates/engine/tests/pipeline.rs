@@ -53,7 +53,7 @@ fn populated_engine() -> (CsjEngine, CommunityHandle, Vec<(CommunityHandle, f64)
 
 #[test]
 fn top_k_recovers_the_planted_ordering() {
-    let (mut engine, anchor, candidates) = populated_engine();
+    let (engine, anchor, candidates) = populated_engine();
     let top = engine.top_k_similar(anchor, 10).expect("valid query");
     // The 0.05 candidate is screened out (threshold 0.15); the rest come
     // back in descending planted order.
@@ -74,7 +74,7 @@ fn top_k_recovers_the_planted_ordering() {
 
 #[test]
 fn refined_scores_match_direct_exact_joins() {
-    let (mut engine, anchor, candidates) = populated_engine();
+    let (engine, anchor, candidates) = populated_engine();
     let ranked = engine
         .screen_and_refine(
             anchor,
@@ -93,7 +93,7 @@ fn refined_scores_match_direct_exact_joins() {
 
 #[test]
 fn screening_is_cheaper_than_refining() {
-    let (mut engine, anchor, candidates) = populated_engine();
+    let (engine, anchor, candidates) = populated_engine();
     let handles: Vec<_> = candidates.iter().map(|&(h, _)| h).collect();
     let outcome = engine.screen(anchor, &handles).expect("valid");
     // Screening must have looked at every candidate exactly once.

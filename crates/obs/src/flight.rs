@@ -38,7 +38,7 @@ impl FlightRecorder {
 
     /// Number of traces currently retained.
     pub fn len(&self) -> usize {
-        self.ring.lock().unwrap().len()
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether no trace has been retained yet.
@@ -54,7 +54,10 @@ impl FlightRecorder {
     /// Store a completed trace, assigning it the next sequence id
     /// (returned). Evicts the oldest trace when full.
     pub fn record(&self, mut trace: QueryTrace) -> u64 {
-        let mut ring = self.ring.lock().unwrap();
+        // Recover from poisoning: the ring is always structurally sound
+        // (push/pop are panic-free), so a panicked recorder elsewhere
+        // must not take the flight recorder down with it.
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         // Id assignment happens under the ring lock so retained traces
         // are always in id order even under concurrent recording.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -69,7 +72,7 @@ impl FlightRecorder {
     /// The most recent `n` traces, oldest first. `n` larger than the
     /// retained count returns everything.
     pub fn last(&self, n: usize) -> Vec<QueryTrace> {
-        let ring = self.ring.lock().unwrap();
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         let skip = ring.len().saturating_sub(n);
         ring.iter().skip(skip).cloned().collect()
     }
@@ -136,6 +139,23 @@ mod tests {
         rec.record(t);
         let out: Vec<String> = rec.last(2).into_iter().map(|t| t.outcome).collect();
         assert_eq!(out, vec!["failed:join panicked", "exhausted:deadline"]);
+    }
+
+    #[test]
+    fn poisoned_ring_recovers() {
+        let rec = std::sync::Arc::new(FlightRecorder::new(4));
+        rec.record(trace("similarity"));
+        let rec2 = std::sync::Arc::clone(&rec);
+        let _ = std::thread::spawn(move || {
+            let _ring = rec2.ring.lock().unwrap();
+            panic!("poison the ring");
+        })
+        .join();
+        // Recording and reads still work after the poisoning panic.
+        let id = rec.record(trace("top_k"));
+        assert_eq!(id, 2);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.last(2).len(), 2);
     }
 
     #[test]

@@ -142,15 +142,20 @@ pub struct LogHistogramCell {
 
 impl LogHistogramCell {
     /// Fold a per-join histogram (and the corresponding sum of its
-    /// observations) into the cell.
+    /// observations) into the cell. Recovers from a poisoned lock: the
+    /// histogram is plain-old-data, so a panicked holder cannot leave it
+    /// half-updated in a way that matters more than a lost sample.
     pub fn merge(&self, other: &LogHistogram, sum_delta: u64) {
-        self.hist.lock().unwrap().merge(other);
+        self.hist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(other);
         self.sum.fetch_add(sum_delta, Ordering::Relaxed);
     }
 
     /// Copy out the current histogram.
     pub fn load(&self) -> LogHistogram {
-        *self.hist.lock().unwrap()
+        *self.hist.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Sum of all merged observations.
@@ -189,7 +194,10 @@ impl MetricsRegistry {
     }
 
     fn register(&self, entry: MetricEntry) {
-        self.entries.lock().unwrap().push(entry);
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(entry);
     }
 
     /// Register a counter time series.
@@ -261,9 +269,12 @@ impl MetricsRegistry {
         h
     }
 
-    /// A point-in-time copy of every registered time series.
+    /// A point-in-time copy of every registered time series. Like every
+    /// registry operation this recovers from a poisoned lock, so one
+    /// panicked worker can never cascade a stats panic into every later
+    /// scrape.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         MetricsSnapshot {
             metrics: entries
                 .iter()
@@ -716,6 +727,32 @@ mod tests {
             json.matches('}').count(),
             "{json}"
         );
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let cell = reg.log_histogram("csj_depth", "depth", vec![]);
+        // Poison both the registry's entry list and the histogram cell
+        // by panicking while holding their locks.
+        let reg2 = Arc::clone(&reg);
+        let cell2 = Arc::clone(&cell);
+        let _ = std::thread::spawn(move || {
+            let _entries = reg2.entries.lock().unwrap();
+            let _hist = cell2.hist.lock().unwrap();
+            panic!("poison both locks");
+        })
+        .join();
+        // Every later operation still works.
+        let mut h = LogHistogram::default();
+        h.record(2);
+        cell.merge(&h, 2);
+        assert_eq!(cell.load().count(), 1);
+        let c = reg.counter("csj_after_total", "registered after poison", vec![]);
+        c.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("csj_after_total", &[]), 1);
+        assert!(snap.find("csj_depth", &[]).is_some());
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Deterministic capped, jittered exponential backoff.
+//!
+//! Delays double per retry up to a cap, then shrink by a jitter factor
+//! drawn from `[1 - jitter, 1]` via a seeded xorshift — deterministic
+//! given `(seed, attempt)` so tests and the `serve-sim` soak replay
+//! identically, while distinct request ids still decorrelate their
+//! retry storms.
+
+use std::time::Duration;
+
+use crate::config::RetryPolicy;
+
+/// One step of xorshift64*: a full-period, statistically decent PRNG in
+/// three shifts and a multiply (Vigna 2016), plenty for jitter.
+fn xorshift64star(mut x: u64) -> u64 {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Uniform draw in `[0, 1)` from a seed/attempt pair.
+fn unit(seed: u64, attempt: u32) -> f64 {
+    // Fold the attempt in so successive retries of one request jitter
+    // independently; the odd constant keeps seed 0 non-degenerate.
+    let mixed = xorshift64star(seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Delay before retry number `attempt` (0-based: the delay between the
+/// first failure and the second attempt is `attempt = 0`).
+pub fn delay_for(policy: &RetryPolicy, attempt: u32, seed: u64) -> Duration {
+    let exp = policy
+        .base_delay
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(policy.max_delay);
+    let jitter = policy.jitter.clamp(0.0, 1.0);
+    let factor = 1.0 - jitter * unit(seed, attempt);
+    exp.mul_f64(factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(jitter: f64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter,
+        }
+    }
+
+    #[test]
+    fn no_jitter_doubles_then_caps() {
+        let p = policy(0.0);
+        assert_eq!(delay_for(&p, 0, 1), Duration::from_millis(10));
+        assert_eq!(delay_for(&p, 1, 1), Duration::from_millis(20));
+        assert_eq!(delay_for(&p, 2, 1), Duration::from_millis(40));
+        assert_eq!(delay_for(&p, 3, 1), Duration::from_millis(80));
+        assert_eq!(delay_for(&p, 4, 1), Duration::from_millis(100));
+        assert_eq!(delay_for(&p, 60, 1), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_deterministic() {
+        let p = policy(0.5);
+        for attempt in 0..6 {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let d = delay_for(&p, attempt, seed);
+                let full = delay_for(&policy(0.0), attempt, seed);
+                assert!(d <= full, "jitter never lengthens");
+                assert!(d >= full.mul_f64(0.5), "jitter bounded by the fraction");
+                assert_eq!(d, delay_for(&p, attempt, seed), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let p = policy(0.9);
+        let a = delay_for(&p, 0, 7);
+        let b = delay_for(&p, 0, 8);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Service tuning knobs: worker pool and admission queue sizing, retry
+//! policy, circuit-breaker thresholds and the degradation ladder.
+
+use std::time::Duration;
+
+/// Top-level service configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads draining the admission queue. Each worker runs one
+    /// query at a time, so this is also the concurrency cap.
+    pub workers: usize,
+    /// Admission queue capacity. A submit that finds the queue full is
+    /// *shed* immediately with [`ServiceError::Overloaded`] instead of
+    /// blocking the caller.
+    ///
+    /// [`ServiceError::Overloaded`]: crate::ServiceError::Overloaded
+    pub queue_capacity: usize,
+    /// Wall-clock deadline applied to every request (measured from
+    /// submission, so time spent queued counts). `None` means requests
+    /// run unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Retry policy for transient failures (injected faults).
+    pub retry: RetryPolicy,
+    /// Per-method circuit breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Exact→approximate degradation ladder.
+    pub degrade: DegradeConfig,
+    /// Flight-recorder depth for service-level request traces.
+    pub flight_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            degrade: DegradeConfig::default(),
+            flight_capacity: 128,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Normalise degenerate values (zero workers/capacity) to 1.
+    pub(crate) fn sanitized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.queue_capacity = self.queue_capacity.max(1);
+        self.flight_capacity = self.flight_capacity.max(1);
+        self
+    }
+}
+
+/// Capped, jittered exponential backoff for transient failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a
+    /// deterministic factor drawn from `[1 - jitter, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+            jitter: 0.5,
+        }
+    }
+}
+
+/// Per-method circuit-breaker thresholds (closed → open → half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding window of recent outcomes tracked per method.
+    pub window: usize,
+    /// Failures within the window that trip the breaker open.
+    pub failure_threshold: usize,
+    /// How long an open breaker rejects before allowing probes.
+    pub cooldown: Duration,
+    /// Consecutive probe successes in half-open that close the breaker
+    /// (also the cap on concurrent probes).
+    pub probes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(250),
+            probes: 2,
+        }
+    }
+}
+
+/// Exact→approximate degradation ladder settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeConfig {
+    /// Whether Ex-* requests may degrade to their Ap-* counterpart at
+    /// all. With this off, an open breaker rejects with
+    /// [`ServiceError::BreakerOpen`] and deadline pressure simply runs
+    /// the exact query with whatever budget is left.
+    ///
+    /// [`ServiceError::BreakerOpen`]: crate::ServiceError::BreakerOpen
+    pub enabled: bool,
+    /// Fraction of the remaining deadline granted to the exact attempt;
+    /// the rest is held in reserve so an approximate fallback can still
+    /// answer in time. Clamped to `[0.1, 1.0]`.
+    pub exact_fraction: f64,
+    /// Below this much remaining deadline an exact attempt is hopeless:
+    /// skip straight to the approximate rung (trigger `deadline`).
+    pub min_exact_slack: Duration,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            exact_fraction: 0.6,
+            min_exact_slack: Duration::from_millis(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_clamps_zeroes() {
+        let c = ServiceConfig {
+            workers: 0,
+            queue_capacity: 0,
+            flight_capacity: 0,
+            ..ServiceConfig::default()
+        }
+        .sanitized();
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.queue_capacity, 1);
+        assert_eq!(c.flight_capacity, 1);
+    }
+}

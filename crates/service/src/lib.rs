@@ -1,0 +1,43 @@
+//! # csj-service — overload-safe serving of CSJ queries
+//!
+//! The engine answers one query correctly; this crate keeps a *stream*
+//! of queries from taking the system down. The paper's online scenarios
+//! (partner search, broadcast recommendation) imply a service under
+//! open-loop load, and an overloaded exact-CSJ service has a uniquely
+//! good escape hatch the paper itself supplies: every Ex-* method has
+//! an Ap-* counterpart whose score is a **sound lower bound within a
+//! factor of two** (approximate CSJ never over-counts; greedy maximal
+//! matching reaches at least half the maximum). Degrading under
+//! pressure is therefore not a lie to the caller — it is a documented,
+//! bounded approximation.
+//!
+//! The pieces, each its own module:
+//!
+//! * [`BoundedQueue`] — admission control: a full queue sheds instantly
+//!   with [`ServiceError::Overloaded`] and a `retry_after` hint.
+//! * [`CircuitBreaker`] — per-method closed → open → half-open breaker
+//!   fed by `JoinPanicked` outcomes; open breakers route Ex-* requests
+//!   to their Ap-* rung instead.
+//! * [`backoff`](mod@backoff) — deterministic capped, jittered
+//!   exponential backoff for transient (injected-fault) failures.
+//! * [`CsjService`] — the worker pool tying it together; every request
+//!   resolves to exactly one of {answered, degraded-answered, shed,
+//!   failed-typed}, and no panic escapes.
+//! * [`ServiceObs`] — `csj_service_*` metrics plus a request-level
+//!   flight recorder; merged with the engine's snapshot by
+//!   [`CsjService::metrics_snapshot`].
+
+pub mod backoff;
+mod breaker;
+mod config;
+mod obs;
+mod queue;
+mod request;
+mod service;
+
+pub use breaker::{Admission, BreakerState, CircuitBreaker, Transition};
+pub use config::{BreakerConfig, DegradeConfig, RetryPolicy, ServiceConfig};
+pub use obs::{DegradeTrigger, ServiceObs};
+pub use queue::{BoundedQueue, PushError};
+pub use request::{Fate, Request, Response, ResponseValue, ServiceError};
+pub use service::{CsjService, Ticket};

@@ -1,0 +1,205 @@
+//! Bounded MPMC admission queue.
+//!
+//! `Mutex<VecDeque>` + `Condvar`, hand-rolled so the service has no
+//! dependency beyond std. Producers never block: [`BoundedQueue::try_push`]
+//! is the admission-control point and a full queue is an immediate,
+//! typed rejection. Consumers block in [`BoundedQueue::pop`] until an
+//! item arrives or the queue is closed *and drained* — shutdown
+//! therefore finishes queued work instead of dropping it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// Rejected push: the queue was full (the item comes back) with the
+/// observed depth, or the queue was closed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// Queue at capacity; admission control says shed.
+    Full(T),
+    /// Queue closed; the service is shutting down.
+    Closed(T),
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push. Returns the depth *after* the push on
+    /// success; a full or closed queue returns the item to the caller.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop. Returns `None` only once the queue is closed *and*
+    /// fully drained, so no admitted item is ever lost.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: future pushes fail, poppers drain what remains
+    /// and then observe the close.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A worker that panics inside pop()'s critical section would
+        // poison the queue; recover — the VecDeque is always sound.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_and_returns_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut pushed = 0u32;
+        let mut shed = 0u32;
+        for i in 0..1000u32 {
+            match q.try_push(i) {
+                Ok(_) => pushed += 1,
+                Err(PushError::Full(_)) => shed += 1,
+                Err(PushError::Closed(_)) => unreachable!(),
+            }
+        }
+        // Give consumers a moment to drain, then close.
+        while !q.is_empty() {
+            thread::yield_now();
+        }
+        q.close();
+        let consumed: usize = consumers.into_iter().map(|h| h.join().unwrap().len()).sum();
+        assert_eq!(consumed as u32, pushed);
+        assert_eq!(pushed + shed, 1000);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(9), Ok(1));
+        assert!(matches!(q.try_push(10), Err(PushError::Full(10))));
+    }
+}

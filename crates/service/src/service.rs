@@ -1,0 +1,622 @@
+//! The overload-safe query service.
+//!
+//! [`CsjService`] wraps an `Arc<CsjEngine>` behind a fixed worker pool
+//! fed from a bounded admission queue:
+//!
+//! ```text
+//! submit ──► admission queue ──► workers ──► engine
+//!    │            (bounded)         │
+//!    └─ full? shed with             ├─ breaker gate (per exact method)
+//!       Overloaded{retry_after}     ├─ deadline pressure → Ap rung
+//!                                   ├─ transient fault → retry+backoff
+//!                                   └─ catch_unwind (no panic escapes)
+//! ```
+//!
+//! Every submitted request resolves to exactly one of four fates —
+//! answered, degraded-answered, shed, or failed-typed — and every
+//! decision on the way (admit/shed/retry/degrade/trip/reset) is counted
+//! in a `csj_service_*` metric and stamped on the request's
+//! flight-recorder trace.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use csj_core::CsjMethod;
+use csj_engine::{
+    Budget, CsjEngine, EngineError, ExhaustReason, MetricsSnapshot, PairScore, QueryTrace,
+};
+use csj_obs::Span;
+
+use crate::backoff;
+use crate::breaker::{Admission, BreakerState, CircuitBreaker};
+use crate::config::ServiceConfig;
+use crate::obs::{DegradeTrigger, ServiceObs};
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{Fate, Request, Response, ResponseValue, ServiceError};
+
+/// State shared between the front-end and the workers.
+struct Shared {
+    config: ServiceConfig,
+    queue: BoundedQueue<Job>,
+    breaker: CircuitBreaker,
+    obs: ServiceObs,
+    /// EWMA of per-request service time, microseconds (0 = no data yet).
+    ewma_us: AtomicU64,
+    inflight: AtomicU64,
+}
+
+/// One queued request.
+struct Job {
+    id: u64,
+    request: Request,
+    submitted_at: Instant,
+    deadline: Option<Instant>,
+    respond: mpsc::Sender<Result<Response, ServiceError>>,
+}
+
+/// Handle to one in-flight request; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    /// Service-assigned request id (also the retry-jitter seed).
+    pub id: u64,
+    rx: mpsc::Receiver<Result<Response, ServiceError>>,
+}
+
+impl Ticket {
+    /// Block until the request resolves. A service torn down mid-flight
+    /// yields [`ServiceError::Shutdown`].
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+}
+
+/// Overload-safe query service over a shared [`CsjEngine`].
+pub struct CsjService {
+    engine: Arc<CsjEngine>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl CsjService {
+    /// Take ownership of an engine (inject faults *before* handing it
+    /// over — mutation needs `&mut`), wrap it in an `Arc` and spin up
+    /// the worker pool.
+    pub fn start(engine: CsjEngine, config: ServiceConfig) -> Self {
+        let config = config.sanitized();
+        let engine = Arc::new(engine);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            breaker: CircuitBreaker::new(config.breaker),
+            obs: ServiceObs::new(config.flight_capacity),
+            ewma_us: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("csj-service-{i}"))
+                    .spawn(move || worker_loop(&engine, &shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self {
+            engine,
+            shared,
+            workers,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The wrapped engine (shareable; queries take `&self`).
+    pub fn engine(&self) -> &Arc<CsjEngine> {
+        &self.engine
+    }
+
+    /// The (sanitized) configuration the service runs with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// Submit a request. Returns a [`Ticket`] when admitted; a full
+    /// queue sheds immediately with [`ServiceError::Overloaded`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServiceError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let job = Job {
+            id,
+            request,
+            submitted_at: now,
+            deadline: self
+                .shared
+                .config
+                .default_deadline
+                .and_then(|d| now.checked_add(d)),
+            respond: tx,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(depth) => {
+                self.shared.obs.on_submitted();
+                self.shared.obs.on_admitted(depth);
+                Ok(Ticket { id, rx })
+            }
+            Err(PushError::Full(job)) => {
+                self.shared.obs.on_submitted();
+                self.shared.obs.on_shed();
+                let retry_after = self.retry_after_hint();
+                self.shared.obs.record_trace(shed_trace(&job, retry_after));
+                Err(ServiceError::Overloaded { retry_after })
+            }
+            // Closed queue: the service is down; nothing is counted so
+            // the submitted == admitted + shed identity holds for the
+            // service's lifetime.
+            Err(PushError::Closed(_)) => Err(ServiceError::Shutdown),
+        }
+    }
+
+    /// Submit and wait: the synchronous convenience wrapper.
+    pub fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Current breaker state for one method.
+    pub fn breaker_state(&self, method: CsjMethod) -> BreakerState {
+        self.shared.breaker.state(method)
+    }
+
+    /// Merged point-in-time snapshot: every engine `csj_*` series plus
+    /// the service's `csj_service_*` series.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.engine.metrics_snapshot();
+        snap.metrics.extend(self.service_metrics().metrics);
+        snap
+    }
+
+    /// Just the service's own `csj_service_*` series.
+    pub fn service_metrics(&self) -> MetricsSnapshot {
+        self.shared
+            .obs
+            .on_inflight(self.shared.inflight.load(Ordering::Relaxed));
+        self.shared.obs.snapshot()
+    }
+
+    /// The most recent `n` service request traces, oldest first.
+    pub fn service_traces(&self, n: usize) -> Vec<QueryTrace> {
+        self.shared.obs.traces(n)
+    }
+
+    /// The most recent `n` engine-level query traces, oldest first.
+    pub fn engine_traces(&self, n: usize) -> Vec<QueryTrace> {
+        self.engine.traces(n)
+    }
+
+    /// Estimated wait until capacity frees up: EWMA service time ×
+    /// backlog / workers, clamped to `[1ms, 5s]`.
+    fn retry_after_hint(&self) -> Duration {
+        let ewma = self.shared.ewma_us.load(Ordering::Relaxed).max(1_000);
+        let backlog =
+            self.shared.queue.len() as u64 + self.shared.inflight.load(Ordering::Relaxed) + 1;
+        let us = ewma
+            .saturating_mul(backlog)
+            .checked_div(self.shared.config.workers as u64)
+            .unwrap_or(u64::MAX);
+        Duration::from_micros(us.clamp(1_000, 5_000_000))
+    }
+
+    /// Drain the queue (admitted requests still get answers), stop the
+    /// workers and hand the engine back.
+    pub fn shutdown(mut self) -> Arc<CsjEngine> {
+        self.shutdown_inner();
+        Arc::clone(&self.engine)
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CsjService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(engine: &CsjEngine, shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let wait = job.submitted_at.elapsed();
+        shared.obs.on_dequeued(shared.queue.len(), wait);
+        let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.obs.on_inflight(inflight);
+        let started = Instant::now();
+        // Engine joins are already panic-isolated; this boundary exists
+        // so that even a bug in the service itself resolves the request
+        // instead of killing the worker.
+        let result = catch_unwind(AssertUnwindSafe(|| execute(engine, shared, &job)))
+            .unwrap_or_else(|payload| {
+                Err(ServiceError::Internal {
+                    message: panic_message(payload),
+                })
+            });
+        update_ewma(&shared.ewma_us, started.elapsed());
+        let fate = Fate::of(&result);
+        shared.obs.on_completed(fate, job.submitted_at.elapsed());
+        shared
+            .obs
+            .record_trace(request_trace(&job, &result, fate, wait));
+        let _ = job.respond.send(result);
+        let inflight = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+        shared.obs.on_inflight(inflight);
+    }
+}
+
+/// Run one admitted request through the breaker gate, the degradation
+/// ladder and the retry loop. Called under the worker's panic boundary.
+fn execute(engine: &CsjEngine, shared: &Shared, job: &Job) -> Result<Response, ServiceError> {
+    let refine = engine.config().refine_method;
+    let method = job.request.primary_method(refine);
+    let mut retries = 0u32;
+
+    // Breaker gate — only exact methods are gated (the Ap rungs are
+    // what open breakers degrade *to*).
+    let (admission, transition) = if method.is_exact() {
+        shared.breaker.admit(method)
+    } else {
+        (Admission::Allow, None)
+    };
+    if let Some(t) = transition {
+        shared.obs.on_transition(t);
+    }
+    if admission == Admission::Reject {
+        if shared.config.degrade.enabled {
+            return degrade(
+                engine,
+                shared,
+                job,
+                method,
+                DegradeTrigger::Breaker,
+                &mut retries,
+            );
+        }
+        return Err(ServiceError::BreakerOpen {
+            method,
+            retry_after: shared.config.breaker.cooldown,
+        });
+    }
+    let was_probe = admission == Admission::Probe;
+    // The breaker outcome must be recorded exactly once per request
+    // (probes reserve quota at admission).
+    let record_breaker = |failure: bool| {
+        if method.is_exact() {
+            if let Some(t) = shared.breaker.record(method, was_probe, failure) {
+                shared.obs.on_transition(t);
+            }
+        }
+    };
+
+    // Deadline pressure: when an exact attempt cannot possibly finish
+    // in the remaining slack, skip straight to the approximate rung.
+    // Probes are exempt — a probe exists to test the exact path.
+    if !was_probe
+        && method.is_exact()
+        && shared.config.degrade.enabled
+        && job
+            .deadline
+            .is_some_and(|d| remaining(d) < shared.config.degrade.min_exact_slack)
+    {
+        record_breaker(false);
+        return degrade(
+            engine,
+            shared,
+            job,
+            method,
+            DegradeTrigger::Deadline,
+            &mut retries,
+        );
+    }
+
+    loop {
+        let budget = primary_budget(shared, job.deadline);
+        match run_primary(engine, &job.request, method, &budget) {
+            Ok((value, exhausted, had_panics)) => {
+                if let Some(reason) = exhausted {
+                    // Budget exhaustion with slack remaining: retry (the
+                    // exact pass resumes warm from the cache).
+                    if can_retry(shared, job, retries) {
+                        shared.obs.on_retry();
+                        std::thread::sleep(backoff::delay_for(
+                            &shared.config.retry,
+                            retries,
+                            job.id,
+                        ));
+                        retries += 1;
+                        continue;
+                    }
+                    record_breaker(had_panics);
+                    if shared.config.degrade.enabled && method.is_exact() {
+                        return degrade(
+                            engine,
+                            shared,
+                            job,
+                            method,
+                            DegradeTrigger::Deadline,
+                            &mut retries,
+                        );
+                    }
+                    return Ok(Response {
+                        value,
+                        degraded: false,
+                        degrade_trigger: None,
+                        degrade_note: None,
+                        retries,
+                        exhausted: Some(reason),
+                    });
+                }
+                record_breaker(had_panics);
+                return Ok(Response {
+                    value,
+                    degraded: false,
+                    degrade_trigger: None,
+                    degrade_note: None,
+                    retries,
+                    exhausted: None,
+                });
+            }
+            Err(EngineError::Faulted { .. }) if can_retry(shared, job, retries) => {
+                shared.obs.on_retry();
+                std::thread::sleep(backoff::delay_for(&shared.config.retry, retries, job.id));
+                retries += 1;
+            }
+            Err(e) => {
+                record_breaker(matches!(
+                    e,
+                    EngineError::JoinPanicked { .. } | EngineError::Faulted { .. }
+                ));
+                return Err(ServiceError::Engine(e));
+            }
+        }
+    }
+}
+
+/// One primary (non-degraded) pass: `(value, exhaustion, had_panics)`.
+type Primary = (ResponseValue, Option<ExhaustReason>, bool);
+
+fn run_primary(
+    engine: &CsjEngine,
+    request: &Request,
+    method: CsjMethod,
+    budget: &Budget,
+) -> Result<Primary, EngineError> {
+    match request {
+        Request::Similarity { x, y, .. } => {
+            let s = engine.similarity_with(*x, *y, method)?;
+            Ok((ResponseValue::Similarity(s), None, false))
+        }
+        Request::TopK { x, k } => {
+            let partial = engine.top_k_similar_with_budget(*x, *k, budget)?;
+            Ok((
+                ResponseValue::Ranking(partial.value),
+                partial.exhausted.map(|m| m.reason),
+                false,
+            ))
+        }
+        Request::PairsAbove { threshold } => {
+            let partial = engine.pairs_above_with_budget(*threshold, budget, None)?;
+            let had_panics = partial
+                .value
+                .failed
+                .iter()
+                .any(|(_, _, e)| matches!(e, EngineError::JoinPanicked { .. }));
+            Ok((
+                ResponseValue::Pairs(partial.value.pairs),
+                partial.exhausted.map(|m| m.reason),
+                had_panics,
+            ))
+        }
+    }
+}
+
+/// Serve the request on the approximate rung. The answer is always a
+/// *sound lower bound*: approximate CSJ never over-counts, and greedy
+/// maximal matching reaches at least half the maximum, so the exact
+/// score lies in `[ap, 2·ap]`.
+fn degrade(
+    engine: &CsjEngine,
+    shared: &Shared,
+    job: &Job,
+    method: CsjMethod,
+    trigger: DegradeTrigger,
+    retries: &mut u32,
+) -> Result<Response, ServiceError> {
+    shared.obs.on_degraded(trigger);
+    let ap = method.ap_counterpart();
+    let note = format!(
+        "served by {} (trigger: {}): approximate CSJ never over-counts and greedy \
+         maximal matching is at least half of maximum, so the exact score is within \
+         [score, 2*score]",
+        ap.name(),
+        trigger.label()
+    );
+    let respond = |value: ResponseValue, exhausted: Option<ExhaustReason>, retries: u32| Response {
+        value,
+        degraded: true,
+        degrade_trigger: Some(trigger.label()),
+        degrade_note: Some(note.clone()),
+        retries,
+        exhausted,
+    };
+    match &job.request {
+        Request::Similarity { x, y, .. } => loop {
+            match engine.similarity_with(*x, *y, ap) {
+                Ok(s) => {
+                    return Ok(respond(ResponseValue::Similarity(s), None, *retries));
+                }
+                Err(EngineError::Faulted { .. }) if can_retry(shared, job, *retries) => {
+                    shared.obs.on_retry();
+                    std::thread::sleep(backoff::delay_for(&shared.config.retry, *retries, job.id));
+                    *retries += 1;
+                }
+                Err(e) => return Err(ServiceError::Engine(e)),
+            }
+        },
+        Request::TopK { x, k } => {
+            let candidates: Vec<_> = engine.handles().filter(|&h| h != *x).collect();
+            let partial = engine
+                .screen_with_budget(*x, &candidates, &full_budget(job.deadline))
+                .map_err(ServiceError::Engine)?;
+            // Top-k is not thresholded: rank *every* screened candidate
+            // by its approximate score, not just the shortlist.
+            let mut ranked: Vec<PairScore> = partial
+                .value
+                .shortlisted
+                .iter()
+                .chain(partial.value.rejected.iter())
+                .map(|&(y, similarity)| PairScore {
+                    x: *x,
+                    y,
+                    similarity,
+                })
+                .collect();
+            ranked.sort_by(|p, q| q.similarity.ratio().total_cmp(&p.similarity.ratio()));
+            ranked.truncate(*k);
+            Ok(respond(
+                ResponseValue::Ranking(ranked),
+                partial.exhausted.map(|m| m.reason),
+                *retries,
+            ))
+        }
+        Request::PairsAbove { threshold } => {
+            let partial = engine
+                .pairs_above_approx_with_budget(*threshold, &full_budget(job.deadline), None)
+                .map_err(ServiceError::Engine)?;
+            Ok(respond(
+                ResponseValue::Pairs(partial.value.pairs),
+                partial.exhausted.map(|m| m.reason),
+                *retries,
+            ))
+        }
+    }
+}
+
+fn remaining(deadline: Instant) -> Duration {
+    deadline.saturating_duration_since(Instant::now())
+}
+
+/// Budget slice for the primary attempt: with degradation on, only
+/// `exact_fraction` of the remaining deadline — the rest is reserve for
+/// the approximate fallback.
+fn primary_budget(shared: &Shared, deadline: Option<Instant>) -> Budget {
+    match deadline {
+        None => Budget::unlimited(),
+        Some(d) => {
+            let rem = remaining(d);
+            let slice = if shared.config.degrade.enabled {
+                rem.mul_f64(shared.config.degrade.exact_fraction.clamp(0.1, 1.0))
+            } else {
+                rem
+            };
+            Budget::unlimited().with_deadline(slice)
+        }
+    }
+}
+
+/// Whatever deadline is left, undivided (degraded rung, last resort).
+fn full_budget(deadline: Option<Instant>) -> Budget {
+    match deadline {
+        None => Budget::unlimited(),
+        Some(d) => Budget::unlimited().with_deadline(remaining(d)),
+    }
+}
+
+/// Retries are bounded by the policy *and* the deadline: a retry whose
+/// backoff sleep would eat the remaining slack is pointless.
+fn can_retry(shared: &Shared, job: &Job, retries: u32) -> bool {
+    if retries >= shared.config.retry.max_retries {
+        return false;
+    }
+    job.deadline.is_none_or(|d| {
+        let delay = backoff::delay_for(&shared.config.retry, retries, job.id);
+        remaining(d) > delay + shared.config.degrade.min_exact_slack
+    })
+}
+
+fn update_ewma(cell: &AtomicU64, sample: Duration) {
+    let s = sample.as_micros() as u64;
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 { s } else { (old * 4 + s) / 5 };
+    cell.store(new, Ordering::Relaxed);
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
+fn shed_trace(job: &Job, retry_after: Duration) -> QueryTrace {
+    QueryTrace {
+        id: 0,
+        kind: job.request.kind(),
+        outcome: "shed".to_string(),
+        root: Span::new("request")
+            .attr("kind", job.request.kind())
+            .attr("fate", "shed")
+            .attr("retry_after_us", retry_after.as_micros() as u64),
+    }
+}
+
+fn request_trace(
+    job: &Job,
+    result: &Result<Response, ServiceError>,
+    fate: Fate,
+    wait: Duration,
+) -> QueryTrace {
+    let elapsed_us = job.submitted_at.elapsed().as_micros() as u64;
+    let mut root = Span::new("request")
+        .at(0, elapsed_us)
+        .attr("kind", job.request.kind())
+        .attr("fate", fate.label())
+        .attr("queue_wait_us", wait.as_micros() as u64);
+    let outcome = match result {
+        Ok(r) => {
+            root = root
+                .attr("retries", u64::from(r.retries))
+                .attr("degraded", u64::from(r.degraded));
+            if let Some(trigger) = r.degrade_trigger {
+                root = root.attr("degrade_trigger", trigger);
+            }
+            if let Some(note) = &r.degrade_note {
+                root = root.attr("degrade_note", note.clone());
+            }
+            match (r.degraded, r.exhausted) {
+                (true, _) => "degraded".to_string(),
+                (false, Some(reason)) => format!("exhausted:{reason}"),
+                (false, None) => "completed".to_string(),
+            }
+        }
+        Err(e) => format!("failed:{e}"),
+    };
+    QueryTrace {
+        id: 0,
+        kind: job.request.kind(),
+        outcome,
+        root,
+    }
+}

