@@ -8,7 +8,6 @@
 //! Writes Markdown and JSON per table under `EXPERIMENTS-data/` (created
 //! next to the current directory) and prints the Markdown to stdout.
 
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use csj_bench::runner::RunConfig;
@@ -96,15 +95,13 @@ fn main() {
             }
         };
         println!("{markdown}");
+        // Atomic writes: a run killed mid-write leaves the previous
+        // report intact, never a torn artifact.
         let md_path = out_dir.join(format!("{name}.md"));
-        std::fs::File::create(&md_path)
-            .and_then(|mut f| f.write_all(markdown.as_bytes()))
-            .expect("write markdown report");
+        csj_bench::report::write_report_atomic(&md_path, &markdown).expect("write markdown report");
         if let Some(json) = json {
             let json_path = out_dir.join(format!("{name}.json"));
-            std::fs::File::create(&json_path)
-                .and_then(|mut f| f.write_all(json.as_bytes()))
-                .expect("write json report");
+            csj_bench::report::write_report_atomic(&json_path, &json).expect("write json report");
         }
         eprintln!(
             "[tables] {name} done in {:.1} s -> {}",
@@ -131,7 +128,7 @@ fn write_bench_profile(out_dir: &std::path::Path, cfg: &RunConfig) {
         cfg.seed,
         csj_bench::runner::bench_obs().snapshot().to_json()
     );
-    match std::fs::write(&path, body) {
+    match csj_bench::report::write_report_atomic(&path, &body) {
         Ok(()) => eprintln!("[tables] wrote join-latency profile {}", path.display()),
         Err(e) => eprintln!("[tables] could not write {}: {e}", path.display()),
     }
@@ -173,5 +170,5 @@ fn write_index(out_dir: &std::path::Path) {
             n
         ));
     }
-    let _ = std::fs::write(out_dir.join("index.md"), index);
+    let _ = csj_bench::report::write_report_atomic(&out_dir.join("index.md"), &index);
 }

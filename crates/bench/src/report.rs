@@ -108,6 +108,14 @@ impl TableReport {
     }
 }
 
+/// Crash-safe report persistence: write through a same-directory temp
+/// file, fsync, and rename, so a benchmark killed mid-write never
+/// leaves a torn `BENCH_*.json` / `.md` artifact for CI (or a human)
+/// to misread as a complete run.
+pub fn write_report_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    csj_durability::atomic::write_atomic(path, contents.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +159,21 @@ mod tests {
         let back: TableReport = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(back.rows.len(), 1);
         assert_eq!(back.rows[0].cells[0].method, "ap-minmax");
+    }
+
+    #[test]
+    fn atomic_report_write_replaces_without_droppings() {
+        let dir = std::env::temp_dir().join(format!("csj-bench-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table3.json");
+        write_report_atomic(&path, &sample().to_json()).unwrap();
+        write_report_atomic(&path, "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "no temp files left behind"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

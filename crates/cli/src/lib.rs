@@ -154,7 +154,28 @@ pub enum Command {
         chaos: bool,
         /// Write the final merged Prometheus exposition here.
         metrics_out: Option<PathBuf>,
+        /// Run the ingest phase through the crash-consistent registry
+        /// (WAL + snapshots) and assert replay convergence before the
+        /// query soak.
+        durable: bool,
+        /// Directory for the WAL and snapshots; a scratch directory
+        /// when omitted.
+        durable_dir: Option<PathBuf>,
+        /// Kill the durable ingest after this many WAL bytes (torn
+        /// write at the budget boundary), then recover and assert the
+        /// recovered state equals the acked prefix. Needs the `chaos`
+        /// cargo feature.
+        crash_after: Option<u64>,
+        /// WAL fsync policy for the durable ingest.
+        fsync: csj_durability::FsyncPolicy,
     },
+    /// Write a checksummed snapshot of a durable registry directory and
+    /// truncate its WAL.
+    Snapshot { dir: PathBuf },
+    /// Rebuild a registry from a durable directory (read-only) and
+    /// print the typed recovery report. With `verify`, re-run recovery
+    /// and check registry invariants, exiting non-zero on any breach.
+    Recover { dir: PathBuf, verify: bool },
 }
 
 /// Output format of `csj stats`.
@@ -219,7 +240,25 @@ usage:
   csj truth --b FILE --a FILE --eps E
   csj serve-sim [--qps N] [--duration-ms MS] [--workers W] [--queue Q] [--communities M] [--scale U]
                 [--eps E] [--seed S] [--deadline-ms MS] [--chaos] [--metrics-out FILE]
+                [--durable] [--durable-dir DIR] [--crash-after BYTES] [--fsync always|interval:N]
+  csj snapshot --dir DIR
+  csj recover --dir DIR [--verify]
 formats: *.csv is text, *.csjp is a prepared index, anything else the CSJB binary format";
+
+fn parse_fsync(v: &str) -> Result<csj_durability::FsyncPolicy, CliError> {
+    if v == "always" {
+        return Ok(csj_durability::FsyncPolicy::Always);
+    }
+    if let Some(n) = v.strip_prefix("interval:") {
+        let n: u32 = n
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--fsync interval expects a count, got {v:?}")))?;
+        return Ok(csj_durability::FsyncPolicy::Interval(n));
+    }
+    Err(CliError::Usage(format!(
+        "--fsync expects always|interval:N, got {v:?}"
+    )))
+}
 
 /// Parse raw arguments (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
@@ -425,8 +464,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_or(Ok(100), |v| parse_num("--deadline-ms", v))?,
                 chaos: has("--chaos"),
                 metrics_out: get("--metrics-out").map(PathBuf::from),
+                durable: has("--durable") || has("--durable-dir") || has("--crash-after"),
+                durable_dir: get("--durable-dir").map(PathBuf::from),
+                crash_after: get("--crash-after")
+                    .map(|v| parse_num("--crash-after", v))
+                    .transpose()?,
+                fsync: get("--fsync")
+                    .map_or(Ok(csj_durability::FsyncPolicy::Always), parse_fsync)?,
             })
         }
+        "snapshot" => Ok(Command::Snapshot {
+            dir: PathBuf::from(require("--dir")?),
+        }),
+        "recover" => Ok(Command::Recover {
+            dir: PathBuf::from(require("--dir")?),
+            verify: has("--verify"),
+        }),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -956,6 +1009,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             deadline_ms,
             chaos,
             metrics_out,
+            durable,
+            durable_dir,
+            crash_after,
+            fsync,
         } => serve_sim(SimArgs {
             qps,
             duration_ms,
@@ -968,7 +1025,107 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             deadline_ms,
             chaos,
             metrics_out,
+            durable,
+            durable_dir,
+            crash_after,
+            fsync,
         }),
+        Command::Snapshot { dir } => {
+            use csj_durability::{DurabilityConfig, DurableEngine};
+            let mut dur = DurableEngine::open(
+                &dir,
+                8,
+                csj_engine::EngineConfig::new(1),
+                DurabilityConfig::default(),
+            )
+            .map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
+            let recovery = dur.report().summary();
+            let entries = dur.engine().handles().count();
+            let out = dur
+                .snapshot()
+                .map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
+            Ok(format!(
+                "recovery: {recovery}\nsnapshot: {} (seq {}, {entries} entries, {} pruned)\n\
+                 wal truncated; appends continue at seq {}\n",
+                out.path.display(),
+                out.seq,
+                out.pruned,
+                out.seq + 1,
+            ))
+        }
+        Command::Recover { dir, verify } => {
+            use csj_durability::{fingerprint_engine, recover_dir};
+            let (engine, report) = recover_dir(&dir, 8, csj_engine::EngineConfig::new(1))
+                .map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
+            let fp = fingerprint_engine(&engine);
+            let users: usize = engine
+                .handles()
+                .map(|h| engine.community(h).map_or(0, |c| c.len()))
+                .sum();
+            use std::fmt::Write as _;
+            let mut out = format!(
+                "recovery: {}\ncommunities={} users={users} fingerprint={fp:#018x}\n",
+                report.summary(),
+                engine.handles().count(),
+            );
+            if verify {
+                let mut breaches: Vec<String> = Vec::new();
+                // Determinism: a second recovery over the same files
+                // must rebuild the identical state.
+                match recover_dir(&dir, 8, csj_engine::EngineConfig::new(1)) {
+                    Ok((again, report2)) => {
+                        if fingerprint_engine(&again) != fp {
+                            breaches.push("second recovery diverged from the first".into());
+                        }
+                        if report2 != report {
+                            breaches.push("second recovery report differs".into());
+                        }
+                    }
+                    Err(e) => breaches.push(format!("second recovery failed: {e}")),
+                }
+                // Registry invariants over the recovered state.
+                for h in engine.handles() {
+                    match engine.community(h) {
+                        Ok(c) => {
+                            if c.d() != engine.d() {
+                                breaches.push(format!(
+                                    "community {:?} has d={} in a d={} engine",
+                                    c.name(),
+                                    c.d(),
+                                    engine.d()
+                                ));
+                            }
+                            if engine.find(c.name()) != Some(h) {
+                                breaches.push(format!(
+                                    "name {:?} does not resolve back to its handle",
+                                    c.name()
+                                ));
+                            }
+                        }
+                        Err(e) => breaches.push(format!("dangling handle {}: {e}", h.0)),
+                    }
+                }
+                // The WAL accounting must cover the file exactly.
+                let wal_len = std::fs::metadata(dir.join(csj_durability::WAL_FILE))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                if report.wal_valid_bytes + report.bytes_discarded != wal_len {
+                    breaches.push(format!(
+                        "WAL accounting mismatch: {} valid + {} discarded != {} on disk",
+                        report.wal_valid_bytes, report.bytes_discarded, wal_len
+                    ));
+                }
+                if breaches.is_empty() {
+                    let _ = writeln!(out, "verify: ok");
+                } else {
+                    for b in &breaches {
+                        let _ = writeln!(out, "verify: BREACH: {b}");
+                    }
+                    return Err(CliError::Io(format!("recovery verification failed\n{out}")));
+                }
+            }
+            Ok(out)
+        }
         Command::Truth { b, a, eps } => {
             let cb = load(&b)?;
             let ca = load(&a)?;
@@ -1002,6 +1159,206 @@ struct SimArgs {
     deadline_ms: u64,
     chaos: bool,
     metrics_out: Option<PathBuf>,
+    durable: bool,
+    durable_dir: Option<PathBuf>,
+    crash_after: Option<u64>,
+    fsync: csj_durability::FsyncPolicy,
+}
+
+/// One scripted ingest mutation of the durable serve-sim phase; the
+/// script is deterministic in the sim arguments so a crashed run can
+/// resume from the exact op that tore.
+#[derive(Debug, Clone, Copy)]
+enum SimOp {
+    Register(usize),
+    Upsert(usize, u64),
+    Remove(usize, u64),
+}
+
+/// What the durable ingest phase concluded.
+struct DurableOutcome {
+    engine: csj_engine::CsjEngine,
+    report_lines: String,
+    converged: bool,
+    metrics: csj_obs::MetricsSnapshot,
+}
+
+/// Apply one scripted op through the durable engine. Returns whether it
+/// was acked (ops made redundant by an earlier run against the same
+/// directory — an existing registration, an already-removed user — are
+/// skipped, not errors).
+fn apply_sim_op(
+    dur: &mut csj_durability::DurableEngine,
+    communities: &[Community],
+    op: SimOp,
+) -> Result<bool, csj_durability::DurabilityError> {
+    let find = |dur: &csj_durability::DurableEngine, m: usize| {
+        dur.engine()
+            .find(communities[m].name())
+            .expect("register op precedes every upsert/remove in the script")
+    };
+    match op {
+        SimOp::Register(m) => {
+            if dur.engine().find(communities[m].name()).is_some() {
+                return Ok(false);
+            }
+            dur.register(communities[m].clone()).map(|_| true)
+        }
+        SimOp::Upsert(m, user) => {
+            let h = find(dur, m);
+            let d = communities[m].d();
+            let vector: Vec<u32> = (0..d as u64)
+                .map(|j| ((user * 31 + j * 7) % 97) as u32)
+                .collect();
+            dur.upsert_user(h, user, &vector).map(|_| true)
+        }
+        SimOp::Remove(m, user) => {
+            let h = find(dur, m);
+            match dur.remove_user(h, user) {
+                Ok(_) => Ok(true),
+                Err(csj_durability::DurabilityError::Engine(
+                    csj_engine::EngineError::UnknownUser(_),
+                )) => Ok(false),
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+/// The durable ingest phase of `csj serve-sim --durable`: run the
+/// scripted mutations through the WAL-backed registry (optionally
+/// tearing the log mid-write at `--crash-after` bytes), recover, assert
+/// the recovered state is exactly the acked prefix, finish the script,
+/// snapshot, re-verify, and hand the engine over for the query soak.
+fn durable_ingest(args: &SimArgs, communities: &[Community]) -> Result<DurableOutcome, CliError> {
+    use csj_durability::{
+        fingerprint_engine, recover_dir, DurabilityConfig, DurabilityError, DurableEngine,
+    };
+    use csj_engine::EngineConfig;
+    use std::fmt::Write as _;
+
+    let dir = args.durable_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "csj-serve-sim-durable-{}-{}",
+            std::process::id(),
+            args.seed
+        ))
+    });
+    let d = communities.first().map_or(8, |c| c.d());
+    let config = DurabilityConfig {
+        fsync: args.fsync,
+        keep_snapshots: 2,
+    };
+    let io_err = |e: DurabilityError| CliError::Io(format!("{}: {e}", dir.display()));
+    let open =
+        |dir: &Path| DurableEngine::open(dir, d, EngineConfig::new(args.eps), config.clone());
+
+    // The deterministic mutation script: register each community, then
+    // churn a handful of extra users so the WAL sees all three ops.
+    let mut script: Vec<SimOp> = Vec::new();
+    for m in 0..communities.len() {
+        script.push(SimOp::Register(m));
+        let base = u64::from(args.scale) + 1;
+        for u in 0..6 {
+            script.push(SimOp::Upsert(m, base + u));
+        }
+        script.push(SimOp::Remove(m, base));
+        script.push(SimOp::Remove(m, base + 1));
+    }
+
+    let mut dur = open(&dir).map_err(io_err)?;
+    let mut lines = format!(
+        "durable: dir={} fsync={} crash-after={}\n",
+        dir.display(),
+        args.fsync,
+        args.crash_after
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "none".into()),
+    );
+    let _ = writeln!(lines, "durable-open-recovery: {}", dur.report().summary());
+
+    #[cfg(feature = "chaos")]
+    if let Some(budget) = args.crash_after {
+        dur.inject_fs_faults(
+            csj_durability::fault::FsFaultPlan::new().crash_after_wal_bytes(budget),
+        );
+    }
+
+    let mut acked_fp = dur.fingerprint();
+    let mut resume_from = script.len();
+    let mut crashed = false;
+    for (i, &op) in script.iter().enumerate() {
+        match apply_sim_op(&mut dur, communities, op) {
+            Ok(true) => acked_fp = dur.fingerprint(),
+            Ok(false) => {}
+            Err(DurabilityError::InjectedCrash) => {
+                crashed = true;
+                resume_from = i;
+                break;
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    if !crashed {
+        // Interval fsync batches acks; make the tail durable before the
+        // convergence check treats it as the contract.
+        dur.sync().map_err(io_err)?;
+        resume_from = script.len();
+    }
+    drop(dur);
+
+    // Crash (or clean shutdown) happened here. Recover read-only and
+    // check the core contract: recovered state == the acked prefix.
+    let (recovered, rec_report) =
+        recover_dir(&dir, d, EngineConfig::new(args.eps)).map_err(io_err)?;
+    let converged = fingerprint_engine(&recovered) == acked_fp;
+    if crashed {
+        let _ = writeln!(
+            lines,
+            "durable-crash: injected mid-write at script op {resume_from}"
+        );
+    }
+    let _ = writeln!(lines, "durable-recovery: {}", rec_report.summary());
+    let _ = writeln!(
+        lines,
+        "durable-replayed={} durable-discarded-bytes={}",
+        rec_report.records_replayed, rec_report.bytes_discarded
+    );
+    let _ = writeln!(
+        lines,
+        "durable-converged={}",
+        if converged { "ok" } else { "VIOLATED" }
+    );
+
+    // Reopen read-write (repairing the torn tail), finish the script,
+    // snapshot, and re-verify that snapshot + WAL still reproduce the
+    // live state bit-identically.
+    let mut dur = open(&dir).map_err(io_err)?;
+    for &op in &script[resume_from..] {
+        apply_sim_op(&mut dur, communities, op).map_err(io_err)?;
+    }
+    let snap_out = dur.snapshot().map_err(io_err)?;
+    let _ = writeln!(
+        lines,
+        "durable-snapshot: seq={} ({} pruned)",
+        snap_out.seq, snap_out.pruned
+    );
+    let live_fp = dur.fingerprint();
+    let (reverified, _) = recover_dir(&dir, d, EngineConfig::new(args.eps)).map_err(io_err)?;
+    let final_ok = fingerprint_engine(&reverified) == live_fp;
+    let _ = writeln!(
+        lines,
+        "durable-final-recovery-converged={}",
+        if final_ok { "ok" } else { "VIOLATED" }
+    );
+    let metrics = dur.durability_metrics();
+    let engine = dur.into_engine().map_err(io_err)?;
+    Ok(DurableOutcome {
+        engine,
+        report_lines: lines,
+        converged: converged && final_ok,
+        metrics,
+    })
 }
 
 /// Upper bound (milliseconds) of the histogram bucket holding quantile
@@ -1044,12 +1401,23 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
             "--chaos needs the fault-injection build: cargo run -p csj-cli --features chaos".into(),
         ));
     }
+    #[cfg(not(feature = "chaos"))]
+    if args.crash_after.is_some() {
+        return Err(CliError::Usage(
+            "--crash-after needs the fault-injection build: cargo run -p csj-cli --features chaos"
+                .into(),
+        ));
+    }
+    if args.crash_after.is_some() && !args.durable {
+        return Err(CliError::Usage(
+            "--crash-after only makes sense with --durable".into(),
+        ));
+    }
 
     // Synthetic communities: dense deterministic counter patterns so
     // exact joins do real matching work without any input files.
     const D: usize = 8;
-    let mut engine = CsjEngine::new(D, EngineConfig::new(args.eps));
-    let mut handles = Vec::new();
+    let mut communities = Vec::with_capacity(args.communities);
     for m in 0..args.communities {
         let salt = args.seed.wrapping_add(m as u64);
         let rows: Vec<(u64, Vec<u32>)> = (0..u64::from(args.scale.max(2)))
@@ -1060,14 +1428,45 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
                 (i + 1, counters)
             })
             .collect();
-        let c = Community::from_rows(format!("sim-{m}"), D, rows)
-            .map_err(|e| CliError::Io(format!("synthetic community: {e}")))?;
-        handles.push(
-            engine
-                .register(c)
-                .map_err(|e| CliError::Io(e.to_string()))?,
+        communities.push(
+            Community::from_rows(format!("sim-{m}"), D, rows)
+                .map_err(|e| CliError::Io(format!("synthetic community: {e}")))?,
         );
     }
+
+    // Ingest: directly into a fresh engine, or — with --durable —
+    // through the WAL-backed registry with crash/recovery checking.
+    let (mut engine, durable_outcome) = if args.durable {
+        let outcome = durable_ingest(&args, &communities)?;
+        (None, Some(outcome))
+    } else {
+        let mut engine = CsjEngine::new(D, EngineConfig::new(args.eps));
+        for c in communities.drain(..) {
+            engine
+                .register(c)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+        }
+        (Some(engine), None)
+    };
+    let (durable_lines, durable_ok, durable_metrics) = match durable_outcome {
+        Some(o) => {
+            engine = Some(o.engine);
+            (o.report_lines, o.converged, Some(o.metrics))
+        }
+        None => (String::new(), true, None),
+    };
+    let engine = engine.expect("one ingest path ran");
+    // Registration order is deterministic, but a reused --durable-dir
+    // may hold more than this run's communities: resolve by name.
+    let handles: Vec<csj_engine::CommunityHandle> = (0..args.communities)
+        .map(|m| {
+            engine
+                .find(&format!("sim-{m}"))
+                .ok_or_else(|| CliError::Io(format!("sim-{m} missing after ingest")))
+        })
+        .collect::<Result<_, _>>()?;
+    #[cfg_attr(not(feature = "chaos"), allow(unused_mut))]
+    let mut engine = engine;
     #[cfg(feature = "chaos")]
     if args.chaos {
         use csj_engine::fault::FaultPlan;
@@ -1161,9 +1560,14 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
     }
 
     let final_breaker = service.breaker_state(CsjMethod::ExMinMax);
-    let snap = service.metrics_snapshot();
+    let mut snap = service.metrics_snapshot();
+    if let Some(dm) = durable_metrics {
+        snap.metrics.extend(dm.metrics);
+    }
     if let Some(path) = &args.metrics_out {
-        std::fs::write(path, snap.to_prometheus())
+        // Crash-safe: the exposition appears atomically or not at all,
+        // so a reader never sees a torn half-written file.
+        csj_durability::atomic::write_atomic(path, snap.to_prometheus().as_bytes())
             .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
     }
     let counter = |name: &str, labels: &[(&str, &str)]| snap.counter_value(name, labels);
@@ -1237,6 +1641,7 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "latency: p50<={} p99<={}", fmt_ms(p50), fmt_ms(p99));
     let _ = writeln!(out, "panics-escaped={panics_escaped}");
+    out.push_str(&durable_lines);
     let _ = writeln!(
         out,
         "invariant submitted == admitted + shed: {}",
@@ -1247,7 +1652,7 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
         "invariant every admitted request resolved exactly once: {}",
         verdict(resolution_ok)
     );
-    if !(identity_ok && resolution_ok) {
+    if !(identity_ok && resolution_ok && durable_ok) {
         return Err(CliError::Io(format!("serve-sim invariant violated\n{out}")));
     }
     Ok(out)
@@ -1889,8 +2294,16 @@ mod tests {
                 deadline_ms,
                 chaos,
                 metrics_out,
+                durable,
+                durable_dir,
+                crash_after,
+                fsync,
             } => {
                 assert_eq!(qps, 300);
+                assert!(!durable);
+                assert_eq!(durable_dir, None);
+                assert_eq!(crash_after, None);
+                assert_eq!(fsync, csj_durability::FsyncPolicy::Always);
                 assert_eq!(duration_ms, 500);
                 assert_eq!(workers, 1);
                 assert_eq!(queue, 2);
@@ -1966,6 +2379,10 @@ mod tests {
             deadline_ms: 250,
             chaos: false,
             metrics_out: None,
+            durable: false,
+            durable_dir: None,
+            crash_after: None,
+            fsync: csj_durability::FsyncPolicy::Always,
         })
         .unwrap();
         assert_eq!(report_field(&out, "submitted"), 20, "{out}");
@@ -1983,6 +2400,199 @@ mod tests {
             report_field(&out, "admitted") + report_field(&out, "shed"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn parse_durable_flags() {
+        match parse(&argv(
+            "serve-sim --durable --durable-dir /tmp/d --fsync interval:8",
+        ))
+        .unwrap()
+        {
+            Command::ServeSim {
+                durable,
+                durable_dir,
+                fsync,
+                crash_after,
+                ..
+            } => {
+                assert!(durable);
+                assert_eq!(durable_dir, Some(PathBuf::from("/tmp/d")));
+                assert_eq!(fsync, csj_durability::FsyncPolicy::Interval(8));
+                assert_eq!(crash_after, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // --durable-dir / --crash-after imply --durable.
+        match parse(&argv("serve-sim --crash-after 4096")).unwrap() {
+            Command::ServeSim {
+                durable,
+                crash_after,
+                ..
+            } => {
+                assert!(durable);
+                assert_eq!(crash_after, Some(4096));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("serve-sim --fsync sometimes")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("serve-sim --fsync interval:x")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_snapshot_and_recover() {
+        assert_eq!(
+            parse(&argv("snapshot --dir /tmp/reg")).unwrap(),
+            Command::Snapshot {
+                dir: PathBuf::from("/tmp/reg")
+            }
+        );
+        assert_eq!(
+            parse(&argv("recover --dir /tmp/reg --verify")).unwrap(),
+            Command::Recover {
+                dir: PathBuf::from("/tmp/reg"),
+                verify: true
+            }
+        );
+        assert_eq!(
+            parse(&argv("recover --dir /tmp/reg")).unwrap(),
+            Command::Recover {
+                dir: PathBuf::from("/tmp/reg"),
+                verify: false
+            }
+        );
+        assert!(matches!(parse(&argv("recover")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("snapshot")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_sim_durable_converges_and_snapshot_recover_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("csj_cli_durable_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = execute(Command::ServeSim {
+            qps: 40,
+            duration_ms: 300,
+            workers: 2,
+            queue: 16,
+            communities: 3,
+            scale: 40,
+            eps: 1,
+            seed: 11,
+            deadline_ms: 250,
+            chaos: false,
+            metrics_out: Some(dir.join("metrics.prom")),
+            durable: true,
+            durable_dir: Some(dir.join("reg")),
+            crash_after: None,
+            fsync: csj_durability::FsyncPolicy::Always,
+        })
+        .unwrap();
+        assert!(out.contains("durable-converged=ok"), "{out}");
+        assert!(out.contains("durable-final-recovery-converged=ok"), "{out}");
+        assert!(out.contains("durable-snapshot: seq="), "{out}");
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("csj_wal_appends_total"), "{prom}");
+        assert!(prom.contains("csj_recovery_replayed_total"), "{prom}");
+        assert!(prom.contains("csj_service_submitted_total"), "{prom}");
+
+        // The registry directory persists: snapshot + verified recovery
+        // keep working against it.
+        let snap_msg = execute(Command::Snapshot {
+            dir: dir.join("reg"),
+        })
+        .unwrap();
+        assert!(snap_msg.contains("snapshot:"), "{snap_msg}");
+        let rec = execute(Command::Recover {
+            dir: dir.join("reg"),
+            verify: true,
+        })
+        .unwrap();
+        assert!(rec.contains("verify: ok"), "{rec}");
+        assert!(rec.contains("communities=3"), "{rec}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_on_empty_dir_reports_nothing_to_do() {
+        let dir =
+            std::env::temp_dir().join(format!("csj_cli_recover_empty_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = execute(Command::Recover {
+            dir: dir.clone(),
+            verify: true,
+        })
+        .unwrap();
+        assert!(rec.contains("snapshot-seq=none"), "{rec}");
+        assert!(rec.contains("communities=0"), "{rec}");
+        assert!(rec.contains("verify: ok"), "{rec}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn serve_sim_crash_after_still_converges() {
+        let dir =
+            std::env::temp_dir().join(format!("csj_cli_crash_after_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = execute(Command::ServeSim {
+            qps: 40,
+            duration_ms: 300,
+            workers: 2,
+            queue: 16,
+            communities: 3,
+            scale: 40,
+            eps: 1,
+            seed: 13,
+            deadline_ms: 250,
+            chaos: false,
+            metrics_out: None,
+            durable: true,
+            durable_dir: Some(dir.join("reg")),
+            crash_after: Some(2_000),
+            fsync: csj_durability::FsyncPolicy::Always,
+        })
+        .unwrap();
+        assert!(out.contains("durable-crash: injected"), "{out}");
+        assert!(out.contains("durable-converged=ok"), "{out}");
+        assert!(out.contains("durable-final-recovery-converged=ok"), "{out}");
+        let rec = execute(Command::Recover {
+            dir: dir.join("reg"),
+            verify: true,
+        })
+        .unwrap();
+        assert!(rec.contains("verify: ok"), "{rec}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[test]
+    fn crash_after_without_chaos_feature_is_an_error() {
+        let err = execute(Command::ServeSim {
+            qps: 10,
+            duration_ms: 100,
+            workers: 1,
+            queue: 4,
+            communities: 2,
+            scale: 10,
+            eps: 1,
+            seed: 1,
+            deadline_ms: 0,
+            chaos: false,
+            metrics_out: None,
+            durable: true,
+            durable_dir: None,
+            crash_after: Some(100),
+            fsync: csj_durability::FsyncPolicy::Always,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]
@@ -2116,6 +2726,10 @@ mod tests {
             deadline_ms: 100,
             chaos: true,
             metrics_out: Some(metrics.clone()),
+            durable: false,
+            durable_dir: None,
+            crash_after: None,
+            fsync: csj_durability::FsyncPolicy::Always,
         })
         .unwrap();
         assert!(report_field(&out, "shed") > 0, "{out}");

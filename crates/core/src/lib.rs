@@ -52,6 +52,7 @@
 
 pub mod algorithms;
 pub mod cancel;
+pub mod checksum;
 pub mod community;
 pub mod encoding;
 pub mod error;

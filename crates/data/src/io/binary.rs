@@ -4,30 +4,40 @@
 //!
 //! ```text
 //! magic    "CSJB"            4 bytes
-//! version  u16               currently 1
+//! version  u16               currently 2
 //! name_len u16, name bytes   UTF-8
 //! d        u32
 //! n        u64
 //! ids      n * u64
 //! data     n * d * u32
+//! crc32    u32               version >= 2: CRC32 of every byte above
 //! ```
 //!
 //! At the paper's full scale (7.8M users x 27 dims) this is ~0.9 GB —
 //! ~4x smaller than CSV and loadable with two bulk reads.
+//!
+//! Version 2 appends a CRC32 (IEEE) footer over the entire record —
+//! magic through data — so silent on-disk damage surfaces as a typed
+//! [`IoError::ChecksumMismatch`] instead of a plausible-looking corpus.
+//! Version 1 files (no footer) still load; writers always emit v2.
 
 use std::io::{BufReader, BufWriter, Read, Write};
 
 use bytes::{Buf, BufMut, BytesMut};
+use csj_core::checksum::Crc32;
 use csj_core::Community;
 
 use super::{IoError, QuarantinedRecord, RecordLocation};
 
 const MAGIC: &[u8; 4] = b"CSJB";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Version 1 lacked the CRC32 footer; still accepted on read.
+const VERSION_NO_FOOTER: u16 = 1;
 
-/// Write a community in binary form.
+/// Write a community in binary form (version 2: CRC32 footer).
 pub fn write_binary<W: Write>(community: &Community, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
+    let mut crc = Crc32::new();
     let mut header = BytesMut::with_capacity(64);
     header.put_slice(MAGIC);
     header.put_u16_le(VERSION);
@@ -39,19 +49,23 @@ pub fn write_binary<W: Write>(community: &Community, writer: W) -> Result<(), Io
     header.put_slice(name);
     header.put_u32_le(community.d() as u32);
     header.put_u64_le(community.len() as u64);
+    crc.update(&header);
     w.write_all(&header)?;
 
     let mut buf = BytesMut::with_capacity(community.len() * 8);
     for &id in community.user_ids() {
         buf.put_u64_le(id);
     }
+    crc.update(&buf);
     w.write_all(&buf)?;
     buf.clear();
     buf.reserve(community.raw_data().len() * 4);
     for &v in community.raw_data() {
         buf.put_u32_le(v);
     }
+    crc.update(&buf);
     w.write_all(&buf)?;
+    w.write_all(&crc.finish().to_le_bytes())?;
     w.flush()?;
     Ok(())
 }
@@ -96,28 +110,34 @@ pub(crate) fn read_binary_embedded<R: Read>(r: &mut R) -> Result<Community, IoEr
 }
 
 fn read_binary_inner<R: Read>(
-    mut r: &mut R,
+    r: &mut R,
     quarantine: bool,
 ) -> Result<(Community, Vec<QuarantinedRecord>), IoError> {
+    // Everything up to the footer is read through the hashing wrapper so
+    // the v2 checksum covers exactly the bytes the writer hashed.
+    let mut hr = HashingReader {
+        inner: r,
+        crc: Crc32::new(),
+    };
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    hr.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(IoError::Format("bad magic (not a CSJB file)".into()));
     }
-    let version = read_u16(&mut r)?;
-    if version != VERSION {
+    let version = read_u16(&mut hr)?;
+    if version != VERSION && version != VERSION_NO_FOOTER {
         return Err(IoError::Format(format!("unsupported version {version}")));
     }
-    let name_len = read_u16(&mut r)? as usize;
+    let name_len = read_u16(&mut hr)? as usize;
     let mut name_bytes = vec![0u8; name_len];
-    r.read_exact(&mut name_bytes)?;
+    hr.read_exact(&mut name_bytes)?;
     let name = String::from_utf8(name_bytes)
         .map_err(|e| IoError::Format(format!("community name not UTF-8: {e}")))?;
-    let d = read_u32(&mut r)? as usize;
+    let d = read_u32(&mut hr)? as usize;
     if d == 0 {
         return Err(IoError::Format("d must be positive".into()));
     }
-    let n = read_u64(&mut r)? as usize;
+    let n = read_u64(&mut hr)? as usize;
     let data_len = n
         .checked_mul(d)
         .ok_or_else(|| IoError::Format("n * d overflows".into()))?;
@@ -128,7 +148,7 @@ fn read_binary_inner<R: Read>(
 
     // A corrupted header can claim an absurd n; read in bounded chunks so
     // a short file errors out instead of attempting a giant allocation.
-    let id_bytes = read_exact_chunked(&mut r, n * 8)?;
+    let id_bytes = read_exact_chunked(&mut hr, n * 8)?;
     let mut ids = Vec::with_capacity(n);
     {
         let mut cursor = &id_bytes[..];
@@ -136,7 +156,16 @@ fn read_binary_inner<R: Read>(
             ids.push(cursor.get_u64_le());
         }
     }
-    let data_bytes = read_exact_chunked(&mut r, data_len * 4)?;
+    let data_bytes = read_exact_chunked(&mut hr, data_len * 4)?;
+    if version >= VERSION {
+        // Footer sits outside the hashed region: read it from the
+        // underlying reader.
+        let got = hr.crc.finish();
+        let expected = read_u32(hr.inner)?;
+        if expected != got {
+            return Err(IoError::ChecksumMismatch { expected, got });
+        }
+    }
     let mut community = Community::with_capacity(name, d, n);
     let mut quarantined = Vec::new();
     {
@@ -163,6 +192,21 @@ fn read_binary_inner<R: Read>(
         }
     }
     Ok((community, quarantined))
+}
+
+/// A reader that folds every byte it yields into a running CRC32, so
+/// the footer check covers exactly what was parsed.
+struct HashingReader<'a, R: Read> {
+    inner: &'a mut R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
 }
 
 /// Read exactly `len` bytes, growing the buffer in bounded chunks so a
@@ -256,6 +300,52 @@ mod tests {
         write_binary(&sample(), &mut buf).unwrap();
         buf[4] = 99;
         assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn detects_payload_corruption() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        // Flip one bit in the data region (past the header, before the
+        // footer) — must surface as a typed checksum mismatch.
+        let i = buf.len() - 10;
+        buf[i] ^= 0x40;
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, IoError::ChecksumMismatch { .. }), "got {err}");
+        // Quarantine mode aborts too: corruption is container-level.
+        let err = read_binary_quarantine(&buf[..]).unwrap_err();
+        assert!(matches!(err, IoError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn detects_footer_corruption() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        assert!(matches!(
+            read_binary(&buf[..]).unwrap_err(),
+            IoError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_legacy_v1_without_footer() {
+        let c = sample();
+        let mut buf = Vec::new();
+        write_binary(&c, &mut buf).unwrap();
+        // Rewrite as a v1 file: patch the version, drop the footer.
+        buf[4] = 1;
+        buf.truncate(buf.len() - 4);
+        assert_eq!(read_binary(&buf[..]).unwrap(), c);
+    }
+
+    #[test]
+    fn truncated_footer_is_an_error() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 4); // v2 with footer sheared off
+        assert!(matches!(read_binary(&buf[..]).unwrap_err(), IoError::Io(_)));
     }
 
     #[test]

@@ -60,6 +60,18 @@ pub enum IoError {
         /// Why it was rejected.
         reason: String,
     },
+    /// The file's CRC32 footer does not match its contents: the bytes
+    /// were damaged after writing (bit rot, torn copy). Distinct from
+    /// [`IoError::Format`] so quarantine-aware callers can report
+    /// "verified corrupt" rather than "unrecognised", but still a
+    /// container-level error — no per-record recovery is attempted,
+    /// because the damage could be anywhere.
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        got: u32,
+    },
 }
 
 impl IoError {
@@ -90,6 +102,12 @@ impl std::fmt::Display for IoError {
             IoError::BadRecord { location, reason } => {
                 write!(f, "bad record at {location}: {reason}")
             }
+            IoError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: footer says {expected:#010x}, contents hash to {got:#010x}"
+                )
+            }
         }
     }
 }
@@ -98,7 +116,9 @@ impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IoError::Io(e) => Some(e),
-            IoError::Format(_) | IoError::BadRecord { .. } => None,
+            IoError::Format(_) | IoError::BadRecord { .. } | IoError::ChecksumMismatch { .. } => {
+                None
+            }
         }
     }
 }

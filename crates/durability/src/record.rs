@@ -1,0 +1,361 @@
+//! WAL record payloads: the four mutation operations and their
+//! little-endian wire form.
+//!
+//! A payload is `seq: u64 | tag: u8 | body`; the frame around it (length
+//! prefix + CRC32) lives in [`crate::wal`]. Decoding is fully checked —
+//! a truncated or nonsensical payload returns a typed reason, never
+//! panics — because recovery feeds it bytes that survived a crash.
+
+use csj_core::Community;
+
+/// One durable mutation (or marker) in the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Register a new community. Handles are assigned in registration
+    /// order, so replay reproduces them without logging them.
+    Register {
+        /// The full community at registration time.
+        community: Community,
+    },
+    /// Insert or overwrite one user's profile vector.
+    UpsertUser {
+        /// Raw id of the community handle.
+        handle: u32,
+        /// The user id.
+        user: u64,
+        /// The profile vector (`d` counters).
+        vector: Vec<u32>,
+    },
+    /// Remove one user.
+    RemoveUser {
+        /// Raw id of the community handle.
+        handle: u32,
+        /// The user id.
+        user: u64,
+    },
+    /// The registry was snapshotted at exactly this record's sequence
+    /// number. State no-op; lets an un-truncated WAL be cross-checked
+    /// against the snapshot files.
+    SnapshotMark,
+}
+
+/// A sequenced WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotonically increasing sequence number (1-based, +1 per
+    /// record, markers included).
+    pub seq: u64,
+    /// The operation.
+    pub op: WalOp,
+}
+
+const TAG_REGISTER: u8 = 1;
+const TAG_UPSERT: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+const TAG_SNAPSHOT_MARK: u8 = 4;
+
+/// Why a payload failed to decode. Recovery maps this to "stop here,
+/// the tail is torn/corrupt".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the structure it promised.
+    Truncated,
+    /// Unknown operation tag.
+    BadTag(u8),
+    /// A community name was not UTF-8.
+    BadName,
+    /// A structural field is impossible (d = 0, n * d overflow, length
+    /// disagreement).
+    BadStructure(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown op tag {t}"),
+            DecodeError::BadName => write!(f, "community name not UTF-8"),
+            DecodeError::BadStructure(msg) => write!(f, "bad structure: {msg}"),
+        }
+    }
+}
+
+/// Append the record's payload bytes (seq + tag + body) to `out`.
+pub fn encode_record(record: &WalRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&record.seq.to_le_bytes());
+    match &record.op {
+        WalOp::Register { community } => {
+            out.push(TAG_REGISTER);
+            encode_community(community, out);
+        }
+        WalOp::UpsertUser {
+            handle,
+            user,
+            vector,
+        } => {
+            out.push(TAG_UPSERT);
+            out.extend_from_slice(&handle.to_le_bytes());
+            out.extend_from_slice(&user.to_le_bytes());
+            out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+            for &v in vector {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        WalOp::RemoveUser { handle, user } => {
+            out.push(TAG_REMOVE);
+            out.extend_from_slice(&handle.to_le_bytes());
+            out.extend_from_slice(&user.to_le_bytes());
+        }
+        WalOp::SnapshotMark => out.push(TAG_SNAPSHOT_MARK),
+    }
+}
+
+/// Decode one payload. The payload must be consumed exactly — spare
+/// bytes mean the frame length lied.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, DecodeError> {
+    let mut c = Cursor::new(payload);
+    let seq = c.u64()?;
+    let op = match c.u8()? {
+        TAG_REGISTER => WalOp::Register {
+            community: decode_community(&mut c)?,
+        },
+        TAG_UPSERT => {
+            let handle = c.u32()?;
+            let user = c.u64()?;
+            let len = c.u32()? as usize;
+            let mut vector = Vec::with_capacity(len.min(Cursor::MAX_PREALLOC));
+            for _ in 0..len {
+                vector.push(c.u32()?);
+            }
+            WalOp::UpsertUser {
+                handle,
+                user,
+                vector,
+            }
+        }
+        TAG_REMOVE => WalOp::RemoveUser {
+            handle: c.u32()?,
+            user: c.u64()?,
+        },
+        TAG_SNAPSHOT_MARK => WalOp::SnapshotMark,
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    if !c.is_empty() {
+        return Err(DecodeError::BadStructure(format!(
+            "{} spare bytes after op",
+            c.remaining()
+        )));
+    }
+    Ok(WalRecord { seq, op })
+}
+
+/// Append a community's wire form: `name_len u16 | name | version-free
+/// header (d u32, n u64) | ids | data`. Shared by WAL records and
+/// snapshot entries.
+pub(crate) fn encode_community(community: &Community, out: &mut Vec<u8>) {
+    let name = community.name().as_bytes();
+    debug_assert!(name.len() <= u16::MAX as usize, "validated at register");
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(community.d() as u32).to_le_bytes());
+    out.extend_from_slice(&(community.len() as u64).to_le_bytes());
+    for &id in community.user_ids() {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    for &v in community.raw_data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+pub(crate) fn decode_community(c: &mut Cursor<'_>) -> Result<Community, DecodeError> {
+    let name_len = c.u16()? as usize;
+    let name = String::from_utf8(c.bytes(name_len)?.to_vec()).map_err(|_| DecodeError::BadName)?;
+    let d = c.u32()? as usize;
+    if d == 0 {
+        return Err(DecodeError::BadStructure("d must be positive".into()));
+    }
+    let n = c.u64()? as usize;
+    n.checked_mul(d)
+        .and_then(|v| v.checked_mul(4))
+        .and_then(|v| v.checked_add(n.checked_mul(8)?))
+        .ok_or_else(|| DecodeError::BadStructure("n * d overflows".into()))?;
+    let mut ids = Vec::with_capacity(n.min(Cursor::MAX_PREALLOC));
+    for _ in 0..n {
+        ids.push(c.u64()?);
+    }
+    let mut community = Community::with_capacity(name, d, n.min(Cursor::MAX_PREALLOC));
+    let mut row = vec![0u32; d];
+    for (index, &id) in ids.iter().enumerate() {
+        for v in row.iter_mut() {
+            *v = c.u32()?;
+        }
+        community
+            .push(id, &row)
+            .map_err(|e| DecodeError::BadStructure(format!("record {index}: {e}")))?;
+    }
+    Ok(community)
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    /// Never pre-allocate more than this many elements from a length
+    /// field: a corrupt length then fails with `Truncated` instead of
+    /// an OOM-sized `Vec::with_capacity`.
+    pub(crate) const MAX_PREALLOC: usize = 1 << 16;
+
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_community() -> Community {
+        Community::from_rows(
+            "alpha",
+            3,
+            vec![(1u64, vec![1u32, 2, 3]), (u64::MAX, vec![0, u32::MAX, 9])],
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(record: WalRecord) {
+        let mut buf = Vec::new();
+        encode_record(&record, &mut buf);
+        assert_eq!(decode_record(&buf).unwrap(), record);
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        roundtrip(WalRecord {
+            seq: 1,
+            op: WalOp::Register {
+                community: sample_community(),
+            },
+        });
+        roundtrip(WalRecord {
+            seq: u64::MAX,
+            op: WalOp::UpsertUser {
+                handle: 3,
+                user: 42,
+                vector: vec![7, 8, 9],
+            },
+        });
+        roundtrip(WalRecord {
+            seq: 2,
+            op: WalOp::UpsertUser {
+                handle: 0,
+                user: 0,
+                vector: vec![],
+            },
+        });
+        roundtrip(WalRecord {
+            seq: 3,
+            op: WalOp::RemoveUser { handle: 1, user: 5 },
+        });
+        roundtrip(WalRecord {
+            seq: 4,
+            op: WalOp::SnapshotMark,
+        });
+    }
+
+    #[test]
+    fn rejects_bad_tag() {
+        let mut buf = Vec::new();
+        encode_record(
+            &WalRecord {
+                seq: 9,
+                op: WalOp::SnapshotMark,
+            },
+            &mut buf,
+        );
+        buf[8] = 200;
+        assert_eq!(decode_record(&buf), Err(DecodeError::BadTag(200)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_cut() {
+        let mut buf = Vec::new();
+        encode_record(
+            &WalRecord {
+                seq: 5,
+                op: WalOp::Register {
+                    community: sample_community(),
+                },
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert!(decode_record(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_spare_bytes() {
+        let mut buf = Vec::new();
+        encode_record(
+            &WalRecord {
+                seq: 1,
+                op: WalOp::RemoveUser { handle: 0, user: 1 },
+            },
+            &mut buf,
+        );
+        buf.push(0);
+        assert!(matches!(
+            decode_record(&buf),
+            Err(DecodeError::BadStructure(_))
+        ));
+    }
+
+    #[test]
+    fn lying_length_fields_fail_without_huge_allocation() {
+        // An upsert claiming a 4-billion-element vector in a 30-byte
+        // payload must fail fast with Truncated.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(2); // TAG_UPSERT
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_record(&buf), Err(DecodeError::Truncated));
+    }
+}

@@ -259,6 +259,56 @@ impl CsjEngine {
         Ok(CommunityHandle(handle))
     }
 
+    /// Register a community with an explicit entry version — the
+    /// durability layer's recovery hook. Restoring a snapshot must
+    /// reproduce the registry *bit-identically*, including the per-entry
+    /// versions that key cache freshness, so replaying the WAL tail on
+    /// top of the restored image continues the exact version sequence
+    /// the live engine had. Identical validation to [`Self::register`];
+    /// handles are assigned in call order, so restoring entries in
+    /// snapshot order reproduces the original handles too.
+    pub fn restore(
+        &mut self,
+        community: Community,
+        version: u64,
+    ) -> Result<CommunityHandle, EngineError> {
+        let handle = self.register(community)?;
+        self.entries[handle.0 as usize].version = version;
+        Ok(handle)
+    }
+
+    /// The mutation version of a registered community: 0 at
+    /// registration, bumped once per applied mutation. Exposed so the
+    /// durability layer can fingerprint and snapshot the registry
+    /// (cache entries are keyed by these versions).
+    pub fn community_version(&self, handle: CommunityHandle) -> Result<u64, EngineError> {
+        self.entries
+            .get(handle.0 as usize)
+            .map(|e| e.version)
+            .ok_or(EngineError::UnknownCommunity(handle.0))
+    }
+
+    /// Whether a fresh prepared encoding is currently cached for
+    /// `handle`. Observability for tests and the durability layer: a
+    /// *failed* mutation must not evict a still-valid encoding.
+    pub fn has_prepared(&self, handle: CommunityHandle) -> bool {
+        self.entries
+            .get(handle.0 as usize)
+            .map(|e| {
+                e.prepared
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .is_some()
+            })
+            .unwrap_or(false)
+    }
+
+    /// The engine's dimensionality — every registered community shares
+    /// it.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
     /// Look up a community by name.
     pub fn find(&self, name: &str) -> Option<CommunityHandle> {
         self.names.get(name).map(|&h| CommunityHandle(h))
@@ -382,9 +432,18 @@ impl CsjEngine {
             .entries
             .get_mut(idx)
             .ok_or(EngineError::UnknownCommunity(handle.0))?;
-        // Drop the prepared encoding first: it shares the community Arc,
-        // and releasing it lets make_mut edit in place (refcount 1)
-        // instead of deep-copying the rows.
+        // Validate before touching any state: a rejected vector must
+        // leave the still-valid prepared encoding (and the version, and
+        // therefore every cache entry) untouched.
+        if vector.len() != entry.community.d() {
+            return Err(EngineError::Csj(CsjError::VectorLength {
+                expected: entry.community.d(),
+                got: vector.len(),
+            }));
+        }
+        // Drop the prepared encoding only once the mutation is certain:
+        // it shares the community Arc, and releasing it lets make_mut
+        // edit in place (refcount 1) instead of deep-copying the rows.
         *entry.prepared.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
         let community = Arc::make_mut(&mut entry.community);
         match community.find_user(user) {
@@ -406,13 +465,15 @@ impl CsjEngine {
             .entries
             .get_mut(idx)
             .ok_or(EngineError::UnknownCommunity(handle.0))?;
-        // Release the shared Arc before make_mut.
-        *entry.prepared.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
-        let community = Arc::make_mut(&mut entry.community);
-        let i = community
+        // Resolve the user before invalidating anything: an unknown user
+        // must not cost the community its prepared encoding.
+        let i = entry
+            .community
             .find_user(user)
             .ok_or(EngineError::UnknownUser(user))?;
-        community.swap_remove_user(i);
+        // Release the shared Arc before make_mut.
+        *entry.prepared.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
+        Arc::make_mut(&mut entry.community).swap_remove_user(i);
         self.bump_version(handle.0);
         Ok(())
     }
@@ -1304,6 +1365,66 @@ mod tests {
         let (mut engine, a, _, _) = engine_with_three();
         engine.upsert_user(a, 999, &[2, 2]).unwrap();
         assert_eq!(engine.community(a).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn failed_upsert_keeps_prepared_encoding_and_version() {
+        let (mut engine, a, n, _) = engine_with_three();
+        engine.similarity(a, n).unwrap(); // warms both encodings + cache
+        assert!(engine.has_prepared(n));
+        let version = engine.community_version(n).unwrap();
+
+        // Wrong-length vector: rejected, and the rejection must not
+        // evict the still-valid encoding, bump the version, or drop the
+        // cached similarity.
+        let err = engine.upsert_user(n, 0, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Csj(CsjError::VectorLength { .. })
+        ));
+        assert!(engine.has_prepared(n), "failed upsert evicted the encoding");
+        assert_eq!(engine.community_version(n).unwrap(), version);
+        let joins = engine.stats().joins_executed;
+        engine.similarity(a, n).unwrap();
+        assert_eq!(engine.stats().joins_executed, joins, "cache must survive");
+    }
+
+    #[test]
+    fn failed_remove_keeps_prepared_encoding_and_version() {
+        let (mut engine, a, n, _) = engine_with_three();
+        engine.similarity(a, n).unwrap();
+        let version = engine.community_version(n).unwrap();
+        assert_eq!(
+            engine.remove_user(n, 424242).unwrap_err(),
+            EngineError::UnknownUser(424242)
+        );
+        assert!(engine.has_prepared(n), "failed remove evicted the encoding");
+        assert_eq!(engine.community_version(n).unwrap(), version);
+    }
+
+    #[test]
+    fn restore_reproduces_handles_and_versions() {
+        let (mut engine, _, n, _) = engine_with_three();
+        engine.upsert_user(n, 0, &[7, 7]).unwrap();
+        engine.remove_user(n, 1).unwrap();
+        assert_eq!(engine.community_version(n).unwrap(), 2);
+
+        let mut restored = CsjEngine::new(2, EngineConfig::new(1));
+        for h in engine.handles() {
+            let c = engine.community(h).unwrap().clone();
+            let v = engine.community_version(h).unwrap();
+            assert_eq!(restored.restore(c, v).unwrap(), h, "handle order");
+        }
+        for h in engine.handles() {
+            assert_eq!(
+                restored.community_version(h).unwrap(),
+                engine.community_version(h).unwrap()
+            );
+            assert_eq!(
+                restored.community(h).unwrap().user_ids(),
+                engine.community(h).unwrap().user_ids()
+            );
+        }
     }
 
     #[test]
