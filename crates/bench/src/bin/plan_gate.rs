@@ -1,0 +1,181 @@
+//! `plan_gate` — assert the cost-based planner picks near-optimal
+//! methods on the paper's Section 6 couple shapes.
+//!
+//! For each gate shape the four exact methods are measured (best of N
+//! rounds), a cost table is fitted from those measurements
+//! ([`csj_core::plan::fit`]) and the planner resolves `Auto` for the
+//! shape. The gate passes when the planner's pick costs at most 1.10x
+//! the best fixed method (plus a small absolute floor for timer noise
+//! on scaled-down workloads) on *every* shape.
+//!
+//! ```text
+//! cargo run -p csj-bench --release --bin plan_gate -- [--scale N] [--rounds R]
+//! ```
+//!
+//! Exits non-zero when the planner misses the envelope on any shape,
+//! so CI can gate on it.
+
+use std::time::Duration;
+
+use csj_core::plan::{fit, CostSample, CostTable, Exactness, PlanInput};
+use csj_core::{run, CsjMethod, CsjOptions};
+use csj_data::pairs::{build_couple, BuildOptions, CouplePair, Dataset};
+use csj_data::COUPLES;
+
+/// The candidate pool the gate ranks: every exact method.
+const EXACT: [CsjMethod; 4] = [
+    CsjMethod::ExBaseline,
+    CsjMethod::ExMinMax,
+    CsjMethod::ExSuperEgo,
+    CsjMethod::ExHybrid,
+];
+
+/// Couples spanning Section 6's size spectrum (indices into COUPLES).
+const GATE_COUPLES: [usize; 3] = [0, 7, 14];
+
+fn usage() -> ! {
+    eprintln!("usage: plan_gate [--scale N] [--rounds R]");
+    std::process::exit(2)
+}
+
+struct Shape {
+    label: String,
+    pair: CouplePair,
+    input: PlanInput,
+}
+
+fn shape(couple_idx: usize, scale: u32, seed: u64) -> Shape {
+    let spec = &COUPLES[couple_idx];
+    let pair = build_couple(spec, Dataset::VkLike, BuildOptions { scale, seed });
+    let input = PlanInput::new(
+        pair.b.len(),
+        pair.a.len(),
+        pair.b.d(),
+        pair.eps,
+        Exactness::Exact,
+    );
+    Shape {
+        label: format!("cid {} /{}", spec.cid, scale),
+        pair,
+        input,
+    }
+}
+
+/// Best-of-`rounds` wall-clock of one exact method on one shape.
+fn measure(shape: &Shape, method: CsjMethod, rounds: u32) -> Duration {
+    let opts = CsjOptions::new(shape.pair.eps);
+    (0..rounds)
+        .map(|_| {
+            run(method, &shape.pair.b, &shape.pair.a, &opts)
+                .expect("gate join")
+                .timings
+                .total()
+        })
+        .min()
+        .expect("at least one round")
+}
+
+fn main() {
+    let mut scale = 64u32;
+    let mut rounds = 3u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let seed = 0xC5A0_2024u64;
+
+    // Gate shapes plus extra small-instance calibration shapes, so the
+    // fit sees both sides of the crossover.
+    let gate_shapes: Vec<Shape> = GATE_COUPLES
+        .iter()
+        .map(|&i| shape(i, scale, seed))
+        .collect();
+    let calib_shapes: Vec<Shape> = GATE_COUPLES
+        .iter()
+        .map(|&i| shape(i, scale.saturating_mul(8), seed))
+        .collect();
+
+    // Warm-up: one pass of every method on the smallest shape.
+    for &m in &EXACT {
+        measure(&calib_shapes[0], m, 1);
+    }
+
+    // Measure every (shape, method) once, best of `rounds`; the same
+    // measurements feed the fit and the gate.
+    let mut samples: Vec<CostSample> = Vec::new();
+    let mut gate_times: Vec<Vec<(CsjMethod, Duration)>> = Vec::new();
+    for (shapes, is_gate) in [(&calib_shapes, false), (&gate_shapes, true)] {
+        for s in shapes.iter() {
+            let mut per_method = Vec::new();
+            for &m in &EXACT {
+                let best = measure(s, m, rounds);
+                samples.push(CostSample {
+                    method: m,
+                    input: s.input,
+                    actual_us: (best.as_secs_f64() * 1e6).max(1.0),
+                });
+                per_method.push((m, best));
+            }
+            if is_gate {
+                gate_times.push(per_method);
+            }
+        }
+    }
+    let table = fit(&samples, &CostTable::seeded());
+
+    let mut failed = false;
+    for (s, per_method) in gate_shapes.iter().zip(&gate_times) {
+        let chosen = table.plan(&s.input).chosen;
+        let auto_time = per_method
+            .iter()
+            .find(|(m, _)| *m == chosen)
+            .expect("planner picks an exact method under Exactness::Exact")
+            .1;
+        let (best_method, best_time) = per_method
+            .iter()
+            .min_by_key(|(_, t)| *t)
+            .copied()
+            .expect("non-empty pool");
+        // 10% relative envelope plus 2 ms absolute slack for timer
+        // jitter on tiny scaled-down shapes.
+        let limit = best_time.as_secs_f64() * 1.10 + 0.002;
+        let verdict = if auto_time.as_secs_f64() > limit {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "plan_gate: {} |B|={} |A|={} -> auto={} {:.3} ms, best={} {:.3} ms [{verdict}]",
+            s.label,
+            s.input.nb,
+            s.input.na,
+            chosen.name(),
+            auto_time.as_secs_f64() * 1e3,
+            best_method.name(),
+            best_time.as_secs_f64() * 1e3,
+        );
+    }
+
+    if failed {
+        eprintln!("plan_gate: FAIL — the planner missed the 1.10x + 2 ms envelope");
+        std::process::exit(1);
+    }
+    println!("plan_gate: OK (Auto within 1.10x of the best fixed exact method on every shape)");
+}

@@ -8,7 +8,10 @@
 //! csj join --b b.csjb --a a.csjb --eps 1 \
 //!          --method ex-minmax [--json]          run one CSJ method
 //! csj explain --b b.csjb --a a.csjb --eps 1 \
-//!             --method ex-minmax                join + kernel telemetry report
+//!             --method auto                     join + plan + kernel telemetry
+//! csj plan --show --nb 400 --na 4000            what would the planner pick?
+//! csj plan --calibrate --out cost-table.txt     measure this machine's method
+//!                                               costs, write a cost table
 //! csj truth --b b.csjb --a a.csjb --eps 1       brute-force ground truth
 //! csj serve-sim --qps 200 --duration-ms 2000    open-loop overload soak against
 //!                                               the admission-controlled service
@@ -70,7 +73,9 @@ pub enum Command {
     },
     /// Join two community files and print the kernel telemetry report
     /// (per-phase timings, prune histograms, candidate-stream depth,
-    /// matcher flush counts) instead of the result summary.
+    /// matcher flush counts) plus the cost-based plan for the pair
+    /// (chosen method, estimated vs actual cost, rejected
+    /// alternatives) instead of the result summary.
     Explain {
         b: PathBuf,
         a: PathBuf,
@@ -78,6 +83,32 @@ pub enum Command {
         method: CsjMethod,
         matcher: MatcherKind,
         parts: usize,
+        /// Plan against a calibrated `csj-cost-table` file instead of
+        /// the built-in seeded coefficients.
+        cost_table: Option<PathBuf>,
+    },
+    /// Calibrate the planner's cost model on this machine: measure
+    /// every method over generated couple shapes, fit the cost table
+    /// and write it atomically.
+    PlanCalibrate {
+        /// Couple-size divisor for the calibration shapes (as in
+        /// `generate --scale`: larger divisor, smaller communities).
+        scale: u32,
+        seed: u64,
+        /// Best-of rounds per (shape, method) measurement.
+        rounds: u32,
+        out: PathBuf,
+    },
+    /// Resolve the cost-based plan for a hypothetical instance without
+    /// running a join.
+    PlanShow {
+        nb: usize,
+        na: usize,
+        d: usize,
+        eps: u32,
+        exactness: csj_core::Exactness,
+        /// Plan against a calibrated cost table (default: seeded).
+        cost_table: Option<PathBuf>,
     },
     /// Rank candidate community files against an anchor (two-phase
     /// screen-then-refine pipeline).
@@ -233,7 +264,9 @@ usage:
   csj info <FILE>
   csj prepare --input FILE --eps E [--parts P] --out FILE.csjp
   csj join --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P] [--json] [--pairs N]
-  csj explain --b FILE --a FILE --eps E [--method M] [--matcher K] [--parts P]
+  csj explain --b FILE --a FILE --eps E [--method M|auto] [--matcher K] [--parts P] [--cost-table FILE]
+  csj plan --show --nb N --na N [--d D] [--eps E] [--exact|--approx] [--cost-table FILE]
+  csj plan --calibrate [--scale N] [--seed S] [--rounds R] [--out FILE]
   csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N]
   csj stats --communities F1,F2,... --eps E [--threshold T] [--format prom|json|text] [--via-service] [--quarantine]
   csj trace --communities F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N] [--last N] [--json] [--via-service] [--quarantine]
@@ -355,7 +388,48 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .parse()
                 .map_err(CliError::Usage)?,
             parts: get("--parts").map_or(Ok(4), |v| parse_num("--parts", v))? as usize,
+            cost_table: get("--cost-table").map(PathBuf::from),
         }),
+        "plan" => {
+            if has("--calibrate") {
+                return Ok(Command::PlanCalibrate {
+                    scale: get("--scale").map_or(Ok(1024), |v| parse_num("--scale", v))? as u32,
+                    seed: get("--seed").map_or(Ok(0xC5A0_2024), |v| parse_num("--seed", v))?,
+                    rounds: get("--rounds")
+                        .map_or(Ok(2), |v| parse_num("--rounds", v))?
+                        .max(1) as u32,
+                    out: PathBuf::from(get("--out").unwrap_or("csj-cost-table.txt")),
+                });
+            }
+            if !has("--show") {
+                return Err(CliError::Usage("plan expects --show or --calibrate".into()));
+            }
+            if has("--exact") && has("--approx") {
+                return Err(CliError::Usage(
+                    "--exact and --approx are mutually exclusive".into(),
+                ));
+            }
+            let exactness = if has("--exact") {
+                csj_core::Exactness::Exact
+            } else if has("--approx") {
+                csj_core::Exactness::Approximate
+            } else {
+                csj_core::Exactness::Any
+            };
+            let nb = parse_num("--nb", require("--nb")?)? as usize;
+            let na = parse_num("--na", require("--na")?)? as usize;
+            if nb == 0 || na == 0 {
+                return Err(CliError::Usage("--nb and --na must be >= 1".into()));
+            }
+            Ok(Command::PlanShow {
+                nb,
+                na,
+                d: get("--d").map_or(Ok(2), |v| parse_num("--d", v))? as usize,
+                eps: get("--eps").map_or(Ok(1), |v| parse_num("--eps", v))? as u32,
+                exactness,
+                cost_table: get("--cost-table").map(PathBuf::from),
+            })
+        }
         "topk" => {
             let anchor = PathBuf::from(require("--anchor")?);
             let candidates: Vec<PathBuf> = require("--candidates")?
@@ -523,6 +597,16 @@ fn load(path: &Path) -> Result<Community, CliError> {
     parsed.map_err(|e| CliError::Io(format!("{}: {e}", path.display())))
 }
 
+/// Orient two loaded communities smaller-first (the CSJ convention:
+/// `B` is the smaller side).
+fn orient(lb: Loaded, la: Loaded) -> (Loaded, Loaded) {
+    if lb.community().len() <= la.community().len() {
+        (lb, la)
+    } else {
+        (la, lb)
+    }
+}
+
 /// Load both sides, orient them smaller-first, and run `method` under
 /// `opts` — through the persisted encodings when both sides carry a
 /// compatible `.csjp` index and the method has a prepared fast path.
@@ -533,13 +617,17 @@ fn load_and_join(
     method: CsjMethod,
     opts: &CsjOptions,
 ) -> Result<(Loaded, Loaded, csj_core::JoinOutcome), CliError> {
-    let lb = load_any(b)?;
-    let la = load_any(a)?;
-    let (lb, la) = if lb.community().len() <= la.community().len() {
-        (lb, la)
-    } else {
-        (la, lb)
-    };
+    let (lb, la) = orient(load_any(b)?, load_any(a)?);
+    join_loaded(lb, la, method, opts)
+}
+
+/// Join two already-loaded, already-oriented communities.
+fn join_loaded(
+    lb: Loaded,
+    la: Loaded,
+    method: CsjMethod,
+    opts: &CsjOptions,
+) -> Result<(Loaded, Loaded, csj_core::JoinOutcome), CliError> {
     let prepared_path = match (&lb, &la) {
         (Loaded::Prepared(pb), Loaded::Prepared(pa))
             if pb.eps() == opts.eps
@@ -632,6 +720,86 @@ fn load_engine(
     let engine = engine.ok_or_else(|| CliError::Usage("no community files given".into()))?;
     engine.note_quarantined(quarantined_total);
     Ok((engine, handles))
+}
+
+/// Load a `csj-cost-table` file, or the built-in seeded coefficients
+/// when no path is given.
+fn load_cost_table(path: Option<&Path>) -> Result<csj_core::CostTable, CliError> {
+    match path {
+        None => Ok(csj_core::CostTable::seeded()),
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| CliError::Io(format!("{}: {e}", p.display())))?;
+            csj_core::CostTable::from_text(&text)
+                .map_err(|e| CliError::Io(format!("{}: {e}", p.display())))
+        }
+    }
+}
+
+/// Measure every method over a spread of generated couple shapes, fit
+/// the cost model ([`csj_core::plan::fit`]) and write the table
+/// atomically (tmp file + rename, so readers never see a torn table).
+fn plan_calibrate(scale: u32, seed: u64, rounds: u32, out: &Path) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    // A spread of couple shapes (different |B|/|A| ratios) at two
+    // scales, so the fit sees both sides of the method crossover. The
+    // scale is a size *divisor*: `scale * 8` gives the small-instance
+    // shapes, `scale` the large ones.
+    let shapes: Vec<(u8, u32)> = [1u8, 8, 15]
+        .iter()
+        .flat_map(|&cid| [(cid, scale.saturating_mul(8)), (cid, scale)])
+        .collect();
+    let mut samples = Vec::new();
+    let mut report = String::new();
+    for &(cid, shape_scale) in &shapes {
+        let spec = csj_data::spec::couple(cid);
+        let pair = build_couple(
+            spec,
+            Dataset::Uniform,
+            BuildOptions {
+                scale: shape_scale,
+                seed,
+            },
+        );
+        let (b, a) = if pair.b.len() <= pair.a.len() {
+            (&pair.b, &pair.a)
+        } else {
+            (&pair.a, &pair.b)
+        };
+        let opts = CsjOptions::new(pair.eps);
+        let input =
+            csj_core::PlanInput::new(b.len(), a.len(), b.d(), pair.eps, csj_core::Exactness::Any);
+        for method in CsjMethod::ALL {
+            let mut best = f64::INFINITY;
+            for _ in 0..rounds {
+                let outcome = run(method, b, a, &opts).map_err(CliError::Csj)?;
+                best = best.min(outcome.timings.total().as_secs_f64() * 1e6);
+            }
+            samples.push(csj_core::CostSample {
+                method,
+                input,
+                actual_us: best.max(1.0),
+            });
+        }
+        let _ = writeln!(
+            report,
+            "  cid {cid} x{shape_scale}: |B| = {}, |A| = {}, eps = {}",
+            b.len(),
+            a.len(),
+            pair.eps
+        );
+    }
+    let fitted = csj_core::plan::fit(&samples, &csj_core::CostTable::seeded());
+    let tmp = out.with_extension("tmp");
+    std::fs::write(&tmp, fitted.to_text())
+        .map_err(|e| CliError::Io(format!("{}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, out).map_err(|e| CliError::Io(format!("{}: {e}", out.display())))?;
+    Ok(format!(
+        "calibrated over {} shapes ({} samples, best of {rounds}):\n{report}cost table written to {}\n",
+        shapes.len(),
+        samples.len(),
+        out.display()
+    ))
 }
 
 fn store(community: &Community, path: &Path) -> Result<(), CliError> {
@@ -758,7 +926,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             };
             if json {
                 let value = serde_json::json!({
-                    "method": method.name(),
+                    "method": outcome.method.name(),
                     "eps": eps,
                     "matcher": matcher.name(),
                     "b": {"name": cb.name(), "size": cb.len()},
@@ -777,7 +945,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 let mut out = format!(
                     "{} | {} vs {} | eps = {eps}\nsimilarity: {} ({} of {} B-users matched)\n\
                      time: {:.3} s\nevents: {}\n",
-                    method.name(),
+                    outcome.method.name(),
                     cb.name(),
                     ca.name(),
                     outcome.similarity,
@@ -802,15 +970,48 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             method,
             matcher,
             parts,
+            cost_table,
         } => {
             let opts = CsjOptions::new(eps).with_matcher(matcher).with_parts(parts);
-            let (lb, la, outcome) = load_and_join(&b, &a, method, &opts)?;
+            let table = load_cost_table(cost_table.as_deref())?;
+            let (lb, la) = orient(load_any(&b)?, load_any(&a)?);
+            let input = csj_core::PlanInput::new(
+                lb.community().len(),
+                la.community().len(),
+                lb.community().d(),
+                eps,
+                csj_core::Exactness::Any,
+            );
+            let plan = table.plan(&input);
+            let run_method = if method == CsjMethod::Auto {
+                plan.chosen
+            } else {
+                method
+            };
+            let (lb, la, outcome) = join_loaded(lb, la, run_method, &opts)?;
             let t = outcome.timings;
+            let plan_line = if method == CsjMethod::Auto {
+                format!("requested auto -> chosen {}", plan.chosen.name())
+            } else if method == plan.chosen {
+                format!(
+                    "requested {} (pinned; also the planner's choice)",
+                    method.name()
+                )
+            } else {
+                format!(
+                    "requested {} (pinned; planner would pick {})",
+                    method.name(),
+                    plan.chosen.name()
+                )
+            };
             Ok(format!(
                 "{} | {} vs {} | eps = {eps}\n\
                  similarity: {} ({} of {} B-users matched)\n\
-                 phases: setup {:.3} s | pairing {:.3} s | matching {:.3} s (total {:.3} s)\n{}",
-                method.name(),
+                 phases: setup {:.3} s | pairing {:.3} s | matching {:.3} s (total {:.3} s)\n\
+                 plan: {plan_line}\n\
+                 plan cost: estimated {:.0} us, actual {:.0} us (cost table v{}, {})\n\
+                 plan alternatives: {}\n{}",
+                run_method.name(),
                 lb.community().name(),
                 la.community().name(),
                 outcome.similarity,
@@ -820,7 +1021,42 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 t.pairing.as_secs_f64(),
                 t.matching.as_secs_f64(),
                 t.total().as_secs_f64(),
+                table.estimate(run_method, &input),
+                t.total().as_secs_f64() * 1e6,
+                plan.table_version,
+                plan.table_source,
+                plan.rejected_summary(),
                 outcome.telemetry,
+            ))
+        }
+        Command::PlanCalibrate {
+            scale,
+            seed,
+            rounds,
+            out,
+        } => plan_calibrate(scale, seed, rounds, &out),
+        Command::PlanShow {
+            nb,
+            na,
+            d,
+            eps,
+            exactness,
+            cost_table,
+        } => {
+            let table = load_cost_table(cost_table.as_deref())?;
+            let input = csj_core::PlanInput::new(nb, na, d, eps, exactness);
+            let plan = table.plan(&input);
+            Ok(format!(
+                "plan for |B| = {nb}, |A| = {na}, d = {d}, eps = {eps} ({})\n\
+                 cost table: v{} ({})\n\
+                 chosen: {} (estimated {:.0} us)\n\
+                 alternatives: {}\n",
+                exactness.label(),
+                plan.table_version,
+                plan.table_source,
+                plan.chosen.name(),
+                plan.estimated_us,
+                plan.rejected_summary(),
             ))
         }
         Command::TopK {
@@ -1749,6 +1985,56 @@ mod tests {
     }
 
     #[test]
+    fn parse_plan_flags() {
+        let cmd = parse(&argv("plan --show --nb 400 --na 4000 --d 27 --exact")).unwrap();
+        match cmd {
+            Command::PlanShow {
+                nb,
+                na,
+                d,
+                eps,
+                exactness,
+                cost_table,
+            } => {
+                assert_eq!((nb, na, d, eps), (400, 4000, 27, 1));
+                assert_eq!(exactness, csj_core::Exactness::Exact);
+                assert_eq!(cost_table, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let cmd = parse(&argv(
+            "plan --calibrate --scale 8 --rounds 3 --out /tmp/ct.txt",
+        ))
+        .unwrap();
+        match cmd {
+            Command::PlanCalibrate {
+                scale, rounds, out, ..
+            } => {
+                assert_eq!((scale, rounds), (8, 3));
+                assert_eq!(out, PathBuf::from("/tmp/ct.txt"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // --method auto reaches the join/explain commands.
+        assert!(matches!(
+            parse(&argv("join --b b.csv --a a.csv --eps 1 --method auto")).unwrap(),
+            Command::Join {
+                method: CsjMethod::Auto,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("plan --show --nb 0 --na 4")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("plan --show --nb 4 --na 4 --exact --approx")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&argv("plan")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(matches!(parse(&argv("")), Err(CliError::Usage(_))));
         assert!(matches!(
@@ -1920,12 +2206,13 @@ mod tests {
         })
         .unwrap();
         let out = execute(Command::Explain {
-            b,
-            a,
+            b: b.clone(),
+            a: a.clone(),
             eps: 1,
             method: CsjMethod::ExMinMax,
             matcher: MatcherKind::Csf,
             parts: 4,
+            cost_table: None,
         })
         .unwrap();
         assert!(out.contains("similarity:"), "explain output was: {out}");
@@ -1937,6 +2224,81 @@ mod tests {
         );
         assert!(out.contains("matcher:"), "explain output was: {out}");
         assert!(out.contains("cancel polls:"), "explain output was: {out}");
+        // The plan section: requested vs chosen, estimated vs actual,
+        // rejected alternatives and table provenance.
+        assert!(
+            out.contains("plan: requested ex-minmax (pinned"),
+            "explain output was: {out}"
+        );
+        assert!(out.contains("plan cost: estimated"), "{out}");
+        assert!(out.contains("cost table v1, seeded"), "{out}");
+        assert!(out.contains("plan alternatives:"), "{out}");
+
+        // `--method auto` resolves through the planner and reports it.
+        let auto_out = execute(Command::Explain {
+            b,
+            a,
+            eps: 1,
+            method: CsjMethod::Auto,
+            matcher: MatcherKind::Csf,
+            parts: 4,
+            cost_table: None,
+        })
+        .unwrap();
+        assert!(
+            auto_out.contains("plan: requested auto -> chosen "),
+            "explain output was: {auto_out}"
+        );
+        assert!(!auto_out.starts_with("auto |"), "{auto_out}");
+    }
+
+    #[test]
+    fn plan_show_ranks_methods_and_respects_exactness() {
+        let out = execute(Command::PlanShow {
+            nb: 400,
+            na: 4000,
+            d: 27,
+            eps: 2,
+            exactness: csj_core::Exactness::Exact,
+            cost_table: None,
+        })
+        .unwrap();
+        assert!(out.contains("chosen: ex-"), "plan output was: {out}");
+        assert!(!out.contains("chosen: ap-"), "plan output was: {out}");
+        assert!(out.contains("cost table: v1 (seeded)"), "{out}");
+        assert!(out.contains("alternatives:"), "{out}");
+    }
+
+    #[test]
+    fn plan_calibrate_writes_a_loadable_table() {
+        let dir = std::env::temp_dir().join("csj_cli_plan_calibrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("cost-table.txt");
+        let out = execute(Command::PlanCalibrate {
+            scale: 4096,
+            seed: 7,
+            rounds: 1,
+            out: out_path.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("cost table written"), "{out}");
+        // The written table round-trips and plans with calibrated
+        // provenance.
+        let table =
+            csj_core::CostTable::from_text(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(table.source, "calibrated");
+        let show = execute(Command::PlanShow {
+            nb: 64,
+            na: 640,
+            d: 2,
+            eps: 1,
+            exactness: csj_core::Exactness::Any,
+            cost_table: Some(out_path),
+        })
+        .unwrap();
+        assert!(show.contains("(calibrated)"), "{show}");
+        // No torn tmp file left behind.
+        assert!(!dir.join("cost-table.tmp").exists());
     }
 
     #[test]

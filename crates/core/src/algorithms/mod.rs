@@ -52,6 +52,13 @@ pub enum CsjMethod {
     /// Exact MinMax–SuperEGO hybrid: integer recursion, encoded all-pairs
     /// leaf, one matcher call.
     ExHybrid,
+    /// Delegate method selection to the cost-based planner (the paper's
+    /// §6.2 "combined algorithm"): [`run`] resolves this to the cheapest
+    /// concrete method for the instance via [`crate::plan::CostTable`],
+    /// and engine callers resolve it through their calibrated planner.
+    /// Never appears in [`CsjMethod::ALL`] — every plan produces one of
+    /// the eight concrete methods above.
+    Auto,
 }
 
 impl CsjMethod {
@@ -78,31 +85,42 @@ impl CsjMethod {
     ];
 
     /// Whether the method is exact (gathers all candidates and matches
-    /// one-to-one optimally w.r.t. its matcher).
+    /// one-to-one optimally w.r.t. its matcher). [`CsjMethod::Auto`] is
+    /// not exact: the planner may legally resolve it to an approximate
+    /// method, so callers that *require* exactness must not rely on it.
     pub fn is_exact(self) -> bool {
-        matches!(
-            self,
+        match self {
             CsjMethod::ExBaseline
-                | CsjMethod::ExMinMax
-                | CsjMethod::ExSuperEgo
-                | CsjMethod::ExHybrid
-        )
+            | CsjMethod::ExMinMax
+            | CsjMethod::ExSuperEgo
+            | CsjMethod::ExHybrid => true,
+            CsjMethod::ApBaseline
+            | CsjMethod::ApMinMax
+            | CsjMethod::ApSuperEgo
+            | CsjMethod::ApHybrid
+            | CsjMethod::Auto => false,
+        }
     }
 
     /// The approximate counterpart of this method: each Ex-* variant
     /// maps to the Ap-* variant of the same family (Section 5's ladder);
-    /// Ap-* methods map to themselves. Because approximate CSJ never
-    /// over-counts and greedy maximal matchings reach at least half the
-    /// maximum, the counterpart's score is a lower bound on the exact
-    /// score and is within a factor of two of it — the property that
-    /// makes exact→approximate degradation sound.
-    pub fn ap_counterpart(self) -> CsjMethod {
+    /// Ap-* methods map to themselves, and [`CsjMethod::Auto`] stays
+    /// delegated. Because approximate CSJ never over-counts and greedy
+    /// maximal matchings reach at least half the maximum, the
+    /// counterpart's score is a lower bound on the exact score and is
+    /// within a factor of two of it — the property that makes
+    /// exact→approximate degradation sound.
+    pub fn approximate_counterpart(self) -> CsjMethod {
         match self {
             CsjMethod::ExBaseline => CsjMethod::ApBaseline,
             CsjMethod::ExMinMax => CsjMethod::ApMinMax,
             CsjMethod::ExSuperEgo => CsjMethod::ApSuperEgo,
             CsjMethod::ExHybrid => CsjMethod::ApHybrid,
-            ap => ap,
+            CsjMethod::ApBaseline => CsjMethod::ApBaseline,
+            CsjMethod::ApMinMax => CsjMethod::ApMinMax,
+            CsjMethod::ApSuperEgo => CsjMethod::ApSuperEgo,
+            CsjMethod::ApHybrid => CsjMethod::ApHybrid,
+            CsjMethod::Auto => CsjMethod::Auto,
         }
     }
 
@@ -117,6 +135,7 @@ impl CsjMethod {
             CsjMethod::ExSuperEgo => "ex-superego",
             CsjMethod::ApHybrid => "ap-hybrid",
             CsjMethod::ExHybrid => "ex-hybrid",
+            CsjMethod::Auto => "auto",
         }
     }
 }
@@ -125,6 +144,9 @@ impl std::str::FromStr for CsjMethod {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "auto" {
+            return Ok(CsjMethod::Auto);
+        }
         CsjMethod::ALL
             .into_iter()
             .find(|m| m.name() == s)
@@ -364,6 +386,23 @@ pub fn run(
         ));
     }
 
+    // Resolve delegated selection before dispatch so JoinOutcome::method
+    // is always a concrete method. Standalone `run` has no latency
+    // history, so the seeded table decides; engine callers resolve Auto
+    // through their calibrated planner before reaching this point.
+    let method = if method == CsjMethod::Auto {
+        let input = crate::plan::PlanInput::new(
+            b.len(),
+            a.len(),
+            b.d(),
+            opts.eps,
+            crate::plan::Exactness::Any,
+        );
+        crate::plan::CostTable::seeded().plan(&input).chosen
+    } else {
+        method
+    };
+
     let start = Instant::now();
     let raw = match method {
         CsjMethod::ApBaseline => ap_baseline(b, a, opts),
@@ -374,6 +413,7 @@ pub fn run(
         CsjMethod::ExSuperEgo => ex_superego(b, a, opts),
         CsjMethod::ApHybrid => ap_hybrid(b, a, opts),
         CsjMethod::ExHybrid => ex_hybrid(b, a, opts),
+        CsjMethod::Auto => unreachable!("Auto resolved above"),
     };
     let elapsed = start.elapsed();
 
@@ -409,6 +449,8 @@ mod tests {
             let parsed: CsjMethod = m.name().parse().unwrap();
             assert_eq!(parsed, m);
         }
+        assert_eq!("auto".parse::<CsjMethod>().unwrap(), CsjMethod::Auto);
+        assert_eq!(CsjMethod::Auto.name(), "auto");
         assert!("bogus".parse::<CsjMethod>().is_err());
     }
 
@@ -418,6 +460,46 @@ mod tests {
         assert!(CsjMethod::ExBaseline.is_exact());
         assert!(CsjMethod::ExHybrid.is_exact());
         assert!(!CsjMethod::ApHybrid.is_exact());
+        // Auto may resolve to an approximate method, so it must never
+        // count as exact (breaker gating, refine caching rely on this).
+        assert!(!CsjMethod::Auto.is_exact());
+    }
+
+    #[test]
+    fn approximate_counterpart_is_exhaustive() {
+        use CsjMethod::*;
+        let expected = [
+            (ApBaseline, ApBaseline),
+            (ApMinMax, ApMinMax),
+            (ApSuperEgo, ApSuperEgo),
+            (ApHybrid, ApHybrid),
+            (ExBaseline, ApBaseline),
+            (ExMinMax, ApMinMax),
+            (ExSuperEgo, ApSuperEgo),
+            (ExHybrid, ApHybrid),
+            (Auto, Auto),
+        ];
+        for (m, want) in expected {
+            assert_eq!(m.approximate_counterpart(), want, "{m}");
+        }
+        // Every concrete counterpart is approximate and idempotent.
+        for m in CsjMethod::ALL {
+            let ap = m.approximate_counterpart();
+            assert!(!ap.is_exact(), "{m}");
+            assert_eq!(ap.approximate_counterpart(), ap, "{m}");
+        }
+    }
+
+    #[test]
+    fn auto_is_not_listed_but_resolves_to_a_concrete_method() {
+        assert!(!CsjMethod::ALL.contains(&CsjMethod::Auto));
+        assert!(!CsjMethod::PAPER.contains(&CsjMethod::Auto));
+        let b = tiny("B", &[&[3, 4, 2], &[2, 2, 3]]);
+        let a = tiny("A", &[&[2, 3, 5], &[2, 3, 1], &[3, 3, 3]]);
+        let out = run(CsjMethod::Auto, &b, &a, &CsjOptions::new(1).with_parts(3)).unwrap();
+        assert_ne!(out.method, CsjMethod::Auto);
+        assert!(CsjMethod::ALL.contains(&out.method));
+        assert!(out.similarity.matched >= 1);
     }
 
     #[test]

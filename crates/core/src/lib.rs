@@ -57,6 +57,7 @@ pub mod community;
 pub mod encoding;
 pub mod error;
 pub mod events;
+pub mod plan;
 pub mod prepared;
 pub mod similarity;
 pub mod telemetry;
@@ -68,6 +69,7 @@ pub use community::{Community, UserId};
 pub use encoding::{encode_a, encode_b, part_bounds, EncodedA, EncodedB, EncodingParams};
 pub use error::CsjError;
 pub use events::{Event, EventCounters};
+pub use plan::{CostSample, CostTable, Exactness, PlanInput, QueryPlan};
 pub use prepared::PreparedCommunity;
 pub use similarity::Similarity;
 pub use telemetry::{JoinTelemetry, LogHistogram};

@@ -48,6 +48,9 @@ mod reference {
             CsjMethod::ExSuperEgo => ex_superego(b, a, opts),
             CsjMethod::ApHybrid => ap_hybrid(b, a, opts),
             CsjMethod::ExHybrid => ex_hybrid(b, a, opts),
+            // The parity suite pins the eight concrete kernels; Auto is
+            // planner sugar that resolves to one of them before dispatch.
+            CsjMethod::Auto => unreachable!("parity runs concrete methods only"),
         }
     }
 

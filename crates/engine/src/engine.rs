@@ -14,6 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use csj_core::plan::{Exactness, PlanInput, QueryPlan};
 use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity};
 use csj_core::{
     run, Community, CsjError, CsjMethod, CsjOptions, JoinTelemetry, Similarity, UserId,
@@ -25,6 +26,7 @@ use crate::error::EngineError;
 #[cfg(feature = "fault-injection")]
 use crate::fault::FaultPlan;
 use crate::obs::{outcome_label, EngineObs, ObsConfig, QueryRecorder};
+use crate::plan::{PlanSource, Planner, PlannerConfig};
 
 /// Stable handle to a registered community.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,6 +50,9 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Observability: span recording, metrics, flight-recorder depth.
     pub obs: ObsConfig,
+    /// Cost-based planner: resolves [`CsjMethod::Auto`], ranks the
+    /// degradation ladder, refines estimates from measured latencies.
+    pub planner: PlannerConfig,
 }
 
 impl EngineConfig {
@@ -62,6 +67,7 @@ impl EngineConfig {
             screen_threshold: 0.15,
             threads: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
             obs: ObsConfig::default(),
+            planner: PlannerConfig::default(),
         }
     }
 }
@@ -209,6 +215,9 @@ pub struct CsjEngine {
     telemetry: Mutex<JoinTelemetry>,
     /// Metrics registry + flight recorder (see [`ObsConfig`]).
     obs: EngineObs,
+    /// Cost-based planner (Auto resolution, degradation ladders,
+    /// online latency feedback). See [`PlannerConfig`].
+    planner: Planner,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
 }
@@ -218,10 +227,12 @@ impl CsjEngine {
     pub fn new(d: usize, config: EngineConfig) -> Self {
         assert!(d > 0, "dimensionality must be positive");
         let obs = EngineObs::new(&config.obs);
+        let planner = Planner::new(config.planner.clone());
         Self {
             config,
             d,
             obs,
+            planner,
             entries: Vec::new(),
             names: HashMap::new(),
             cache: Mutex::new(HashMap::new()),
@@ -351,15 +362,27 @@ impl CsjEngine {
     /// carry a query budget's cancellation token); a join truncated by
     /// cancellation reports [`EngineError::Cancelled`] rather than an
     /// under-counted similarity.
+    ///
+    /// This is the planner stage: [`CsjMethod::Auto`] is resolved to a
+    /// concrete method *here*, before kernel dispatch, under the
+    /// caller's `exactness` requirement (refinement demands an exact
+    /// method even when the configured refine method is `Auto`, so the
+    /// exact-similarity cache stays exact). Every join — planned or
+    /// pinned — feeds its measured latency back to the planner.
     fn join_prepared(
         &self,
         method: CsjMethod,
+        exactness: Exactness,
         b: &PreparedCommunity,
         a: &PreparedCommunity,
         opts: &CsjOptions,
         rec: Option<&QueryRecorder>,
     ) -> Result<Similarity, EngineError> {
         csj_core::validate_sizes(b.len(), a.len()).map_err(EngineError::Csj)?;
+        let input = PlanInput::from_prepared(b, a, exactness);
+        let planned: Option<(QueryPlan, PlanSource)> =
+            (method == CsjMethod::Auto).then(|| self.planner.plan(&input));
+        let method = planned.as_ref().map_or(method, |(p, _)| p.chosen);
         self.joins_executed.fetch_add(1, Ordering::Relaxed);
         let start_us = rec.map_or(0, QueryRecorder::now_us);
         let (matched, cancelled, telemetry, timings) = match method {
@@ -381,12 +404,28 @@ impl CsjEngine {
                 )
             }
         };
+        let actual_us = timings.total().as_micros().min(u128::from(u64::MAX)) as u64;
+        // Close the feedback loop (a cancelled join under-reports its
+        // true cost, so it must not drag the model down).
+        if !cancelled {
+            self.planner.observe(
+                method,
+                self.planner.base_estimate(method, &input),
+                actual_us as f64,
+            );
+        }
         self.telemetry
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .merge(&telemetry);
         self.obs.on_join(method, &telemetry, &timings, cancelled);
+        if let Some((plan, source)) = &planned {
+            self.obs.on_plan(plan, *source, actual_us);
+        }
         if let Some(rec) = rec {
+            if let Some((plan, source)) = &planned {
+                rec.record_plan(plan, *source, actual_us, start_us);
+            }
             let outcome = if cancelled { "cancelled" } else { "ok" };
             rec.record_join(method, b.len(), a.len(), &timings, outcome, start_us);
         }
@@ -545,8 +584,8 @@ impl CsjEngine {
     /// degraded (Ap-*) answer never pollutes the exact-similarity
     /// cache. This is the `similarity` rung of the service's
     /// exact→approximate degradation ladder: per
-    /// [`CsjMethod::ap_counterpart`], an Ap-* score is a lower bound
-    /// within a factor of two of its Ex-* counterpart.
+    /// [`CsjMethod::approximate_counterpart`], an Ap-* score is a lower
+    /// bound within a factor of two of its Ex-* counterpart.
     pub fn similarity_with(
         &self,
         x: CommunityHandle,
@@ -566,7 +605,7 @@ impl CsjEngine {
             match catch_unwind(AssertUnwindSafe(|| {
                 self.fault_hook(b)?;
                 self.fault_hook(a)?;
-                self.join_prepared(method, &pb, &pa, &qopts, Some(&rec))
+                self.join_prepared(method, Exactness::Any, &pb, &pa, &qopts, Some(&rec))
             })) {
                 Ok(joined) => joined,
                 Err(payload) => {
@@ -612,7 +651,9 @@ impl CsjEngine {
         let result = catch_unwind(AssertUnwindSafe(|| {
             self.fault_hook(b)?;
             self.fault_hook(a)?;
-            self.join_prepared(method, &pb, &pa, qopts, rec)
+            // The result lands in the exact-similarity cache, so an
+            // `Auto` refine method must resolve among exact methods.
+            self.join_prepared(method, Exactness::Exact, &pb, &pa, qopts, rec)
         }));
         let similarity = match result {
             Ok(joined) => joined?,
@@ -740,7 +781,14 @@ impl CsjEngine {
             } else {
                 (py, &px)
             };
-            match self.join_prepared(self.config.screen_method, b, a, &qopts, rec) {
+            match self.join_prepared(
+                self.config.screen_method,
+                Exactness::Approximate,
+                b,
+                a,
+                &qopts,
+                rec,
+            ) {
                 Ok(similarity) => {
                     joins.fetch_add(1, Ordering::Relaxed);
                     (*cand, Screened::Scored(similarity))
@@ -1112,7 +1160,14 @@ impl CsjEngine {
             self.fault_hook(a)?;
             let pb = self.prepared(b);
             let pa = self.prepared(a);
-            let screened = self.join_prepared(self.config.screen_method, &pb, &pa, qopts, rec)?;
+            let screened = self.join_prepared(
+                self.config.screen_method,
+                Exactness::Approximate,
+                &pb,
+                &pa,
+                qopts,
+                rec,
+            )?;
             joins.fetch_add(1, Ordering::Relaxed);
             return Ok((screened.ratio() >= threshold).then_some(PairScore {
                 x,
@@ -1126,7 +1181,14 @@ impl CsjEngine {
             self.fault_hook(a)?;
             let pb = self.prepared(b);
             let pa = self.prepared(a);
-            let screened = self.join_prepared(self.config.screen_method, &pb, &pa, qopts, rec)?;
+            let screened = self.join_prepared(
+                self.config.screen_method,
+                Exactness::Approximate,
+                &pb,
+                &pa,
+                qopts,
+                rec,
+            )?;
             joins.fetch_add(1, Ordering::Relaxed);
             // Maximal matchings reach at least half the maximum, so a
             // screened ratio below threshold/2 proves the exact ratio is
@@ -1150,6 +1212,56 @@ impl CsjEngine {
         let n = u64::from(n);
         let rest = n.saturating_sub(u64::from(cursor.i) + 1);
         n.saturating_sub(u64::from(cursor.j)) + rest.saturating_sub(1) * rest / 2
+    }
+
+    /// Resolve the cost-based plan for one pair without running a join:
+    /// which method the planner would pick under `exactness`, its cost
+    /// estimate and the ranked alternatives. This is what `csj explain`
+    /// surfaces, and what an `Auto` join of the pair would execute
+    /// (modulo feedback accumulated in between).
+    pub fn plan_pair(
+        &self,
+        x: CommunityHandle,
+        y: CommunityHandle,
+        exactness: Exactness,
+    ) -> Result<QueryPlan, EngineError> {
+        let (b, a) = self.oriented(x, y)?;
+        let pb = self.prepared(b);
+        let pa = self.prepared(a);
+        let input = PlanInput::from_prepared(&pb, &pa, exactness);
+        Ok(self.planner.plan(&input).0)
+    }
+
+    /// The planner-ranked degradation ladder for an exact `primary`
+    /// method: *fastest-exact → hybrid → approximate*, always ending on
+    /// [`CsjMethod::approximate_counterpart`] (the documented 2x-sound
+    /// rung). With a `pair` the ladder is costed on that instance;
+    /// without one it is costed on a registry-average instance (the
+    /// broadcast-query case). Non-exact primaries get a single-rung
+    /// ladder of their own counterpart.
+    pub fn degradation_ladder_for(
+        &self,
+        primary: CsjMethod,
+        pair: Option<(CommunityHandle, CommunityHandle)>,
+    ) -> Vec<CsjMethod> {
+        let input = pair
+            .and_then(|(x, y)| {
+                let (b, a) = self.oriented(x, y).ok()?;
+                let pb = self.prepared(b);
+                let pa = self.prepared(a);
+                Some(PlanInput::from_prepared(&pb, &pa, Exactness::Any))
+            })
+            .unwrap_or_else(|| self.average_plan_input());
+        self.planner.ladder(primary, &input)
+    }
+
+    /// A representative [`PlanInput`] when no concrete pair is in play:
+    /// mean registered community size, the engine's `d` and eps, the
+    /// default density.
+    fn average_plan_input(&self) -> PlanInput {
+        let total: usize = self.entries.iter().map(|e| e.community.len()).sum();
+        let mean = total.checked_div(self.entries.len()).unwrap_or(1).max(1);
+        PlanInput::new(mean, mean, self.d, self.config.options.eps, Exactness::Any)
     }
 
     /// Point-in-time snapshot of every `csj_*` metric (counters,

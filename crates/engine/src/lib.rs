@@ -38,9 +38,11 @@ mod error;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 mod obs;
+mod plan;
 mod tracked;
 
 pub use budget::{Budget, BudgetExhausted, CancelToken, ExhaustReason, Partial};
+pub use csj_core::plan::{CostTable, Exactness, PlanInput, QueryPlan};
 pub use csj_obs::{MetricsSnapshot, QueryTrace};
 pub use engine::{
     CommunityHandle, CsjEngine, EngineConfig, EngineStats, PairScore, PairsCursor, PairsSweep,
@@ -48,6 +50,7 @@ pub use engine::{
 };
 pub use error::EngineError;
 pub use obs::ObsConfig;
+pub use plan::{PlanSource, PlannerConfig, PlannerMode};
 pub use tracked::{Side, TrackedPair};
 
 #[cfg(test)]

@@ -21,7 +21,10 @@ use csj_obs::{
     MetricsSnapshot, QueryTrace, Span,
 };
 
+use csj_core::plan::QueryPlan;
+
 use crate::budget::ExhaustReason;
+use crate::plan::PlanSource;
 
 /// Observability configuration, part of
 /// [`EngineConfig`](crate::EngineConfig).
@@ -83,6 +86,10 @@ pub(crate) struct EngineObs {
     latency: Vec<Arc<LatencyHistogram>>,
     queries: Vec<Arc<Counter>>,
     budget_exhausted: Vec<Arc<Counter>>,
+    plan_selected: Vec<Arc<Counter>>,
+    plan_source: [Arc<Counter>; 2],
+    plan_estimated_us: Arc<Counter>,
+    plan_actual_us: Arc<Counter>,
     joins_cancelled: Arc<Counter>,
     join_panics: Arc<Counter>,
     faults: Arc<Counter>,
@@ -156,6 +163,28 @@ impl EngineObs {
                 )
             })
             .collect();
+        let plan_selected = CsjMethod::ALL
+            .iter()
+            .map(|m| {
+                registry.counter(
+                    "csj_plan_selected_total",
+                    "Auto plans resolved by the planner, by chosen method.",
+                    vec![("method", m.name().to_string())],
+                )
+            })
+            .collect();
+        let plan_source = [
+            registry.counter(
+                "csj_plan_source_total",
+                "Auto plans by estimate source (static table vs latency-refined).",
+                vec![("source", "static".to_string())],
+            ),
+            registry.counter(
+                "csj_plan_source_total",
+                "Auto plans by estimate source (static table vs latency-refined).",
+                vec![("source", "refined".to_string())],
+            ),
+        ];
         Self {
             enabled: config.enabled,
             flight: FlightRecorder::new(config.flight_capacity),
@@ -163,6 +192,18 @@ impl EngineObs {
             latency,
             queries,
             budget_exhausted,
+            plan_selected,
+            plan_source,
+            plan_estimated_us: registry.counter(
+                "csj_plan_estimated_us_total",
+                "Sum of the planner's cost estimates for resolved Auto plans, microseconds.",
+                vec![],
+            ),
+            plan_actual_us: registry.counter(
+                "csj_plan_actual_us_total",
+                "Sum of measured join latencies for resolved Auto plans, microseconds.",
+                vec![],
+            ),
             joins_cancelled: registry.counter(
                 "csj_joins_cancelled_total",
                 "Joins truncated mid-flight by cooperative cancellation.",
@@ -302,6 +343,24 @@ impl EngineObs {
         );
     }
 
+    /// Count one resolved `Auto` plan: the chosen method, whether the
+    /// estimates were static or latency-refined, and the estimated vs
+    /// actual cost totals (their ratio is the model's live accuracy).
+    pub(crate) fn on_plan(&self, plan: &QueryPlan, source: PlanSource, actual_us: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.plan_selected[method_index(plan.chosen)].inc();
+        let source_idx = match source {
+            PlanSource::Static => 0,
+            PlanSource::Refined => 1,
+        };
+        self.plan_source[source_idx].inc();
+        self.plan_estimated_us
+            .add(plan.estimated_us.max(0.0) as u64);
+        self.plan_actual_us.add(actual_us);
+    }
+
     pub(crate) fn on_query(&self, kind: &'static str) {
         if !self.enabled {
             return;
@@ -435,6 +494,38 @@ impl QueryRecorder {
             }
             offset += us;
         }
+        joins.push(span);
+    }
+
+    /// Record one resolved `Auto` plan as a span next to its join:
+    /// chosen method, estimated vs actual cost, the rejected
+    /// alternatives with their estimates, and the cost-table provenance.
+    pub(crate) fn record_plan(
+        &self,
+        plan: &QueryPlan,
+        source: PlanSource,
+        actual_us: u64,
+        start_us: u64,
+    ) {
+        if !self.on {
+            return;
+        }
+        let mut joins = self.join_spans.lock().unwrap_or_else(|e| e.into_inner());
+        if joins.len() >= MAX_JOIN_SPANS {
+            self.joins_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let span = Span::new("plan")
+            .at(start_us, 0)
+            .attr("method", plan.chosen.name())
+            .attr("source", source.label())
+            .attr("estimated_us", plan.estimated_us as u64)
+            .attr("actual_us", actual_us)
+            .attr("alternatives", plan.rejected_summary())
+            .attr(
+                "cost_table",
+                format!("v{} ({})", plan.table_version, plan.table_source),
+            );
         joins.push(span);
     }
 

@@ -1,0 +1,206 @@
+//! End-to-end planner behaviour: `Auto` resolution across every query
+//! kind, cold-start and frozen determinism, plan metrics and traces.
+
+use csj_core::plan::CostTable;
+use csj_core::{Community, CsjMethod};
+use csj_engine::{CsjEngine, EngineConfig, Exactness, PlanInput, PlannerConfig, PlannerMode};
+
+fn community(name: &str, rows: &[[u32; 2]]) -> Community {
+    Community::from_rows(
+        name,
+        2,
+        rows.iter().enumerate().map(|(i, v)| (i as u64, v.to_vec())),
+    )
+    .expect("well-formed")
+}
+
+/// An engine whose screening *and* refinement both delegate to the
+/// planner.
+fn auto_engine() -> (
+    CsjEngine,
+    csj_engine::CommunityHandle,
+    csj_engine::CommunityHandle,
+    csj_engine::CommunityHandle,
+) {
+    let mut config = EngineConfig::new(1);
+    config.screen_method = CsjMethod::Auto;
+    config.refine_method = CsjMethod::Auto;
+    let mut engine = CsjEngine::new(2, config);
+    let anchor = community("anchor", &[[1, 1], [5, 5], [9, 9], [13, 13]]);
+    let near = community("near", &[[1, 2], [5, 5], [9, 8], [100, 100]]);
+    let far = community("far", &[[50, 0], [60, 0], [70, 0], [80, 0]]);
+    let a = engine.register(anchor).unwrap();
+    let n = engine.register(near).unwrap();
+    let f = engine.register(far).unwrap();
+    (engine, a, n, f)
+}
+
+#[test]
+fn auto_resolves_on_every_query_kind() {
+    let (engine, a, n, f) = auto_engine();
+
+    // All five query kinds run with both methods delegated.
+    let sim = engine.similarity(a, n).unwrap();
+    assert!(sim.ratio() > 0.0);
+    let screen = engine.screen(a, &[n, f]).unwrap();
+    assert_eq!(screen.shortlisted.len() + screen.rejected.len(), 2);
+    let ranked = engine.screen_and_refine(a, &[n, f]).unwrap();
+    assert!(!ranked.is_empty());
+    let top = engine.top_k_similar(a, 2).unwrap();
+    assert!(!top.is_empty());
+    let pairs = engine.pairs_above(0.5).unwrap();
+    assert!(!pairs.is_empty());
+
+    let snap = engine.metrics_snapshot();
+    // Every join the planner resolved is counted under a concrete
+    // method — `auto` never reaches the kernel or the metrics.
+    let planned: u64 = CsjMethod::ALL
+        .iter()
+        .map(|m| snap.counter_value("csj_plan_selected_total", &[("method", m.name())]))
+        .sum();
+    assert!(planned > 0, "Auto plans must be counted");
+    let joins: u64 = CsjMethod::ALL
+        .iter()
+        .map(|m| snap.counter_value("csj_joins_total", &[("method", m.name())]))
+        .sum();
+    assert_eq!(joins, planned, "every join here went through the planner");
+    let static_plans = snap.counter_value("csj_plan_source_total", &[("source", "static")]);
+    let refined_plans = snap.counter_value("csj_plan_source_total", &[("source", "refined")]);
+    assert_eq!(static_plans + refined_plans, planned);
+    assert!(snap.counter_value("csj_plan_actual_us_total", &[]) > 0);
+
+    // The metrics flow through the Prometheus exposition too.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("csj_plan_selected_total"));
+    assert!(prom.contains("csj_plan_source_total{source=\"static\"}"));
+}
+
+#[test]
+fn plan_traces_carry_estimates_and_alternatives() {
+    let (engine, a, n, _) = auto_engine();
+    engine.similarity(a, n).unwrap();
+    let traces = engine.traces(4);
+    let trace = traces.last().expect("similarity trace recorded");
+    let plan = trace.root.find("plan").expect("plan span");
+    assert!(plan.get_attr("method").is_some());
+    assert!(plan.get_attr("estimated_us").is_some());
+    assert!(plan.get_attr("actual_us").is_some());
+    assert!(plan.get_attr("alternatives").is_some());
+    assert!(plan.get_attr("cost_table").is_some());
+}
+
+#[test]
+fn cold_start_plans_match_the_static_table() {
+    // An engine with empty latency history must plan exactly like the
+    // bare seeded cost table, deterministically.
+    let (engine, a, n, _) = auto_engine();
+    let plan = engine.plan_pair(a, n, Exactness::Exact).unwrap();
+    assert!(plan.chosen.is_exact());
+    // Reproduce the input and check against the static table: the
+    // engine-side density estimate is deterministic, so the estimate
+    // must agree bit-for-bit.
+    let again = engine.plan_pair(a, n, Exactness::Exact).unwrap();
+    assert_eq!(plan, again);
+    let seeded = CostTable::seeded();
+    assert_eq!(plan.table_source, "seeded");
+    assert_eq!(plan.estimated_us, seeded.estimate(plan.chosen, &plan.input));
+}
+
+#[test]
+fn frozen_engines_plan_identically_across_instances() {
+    let frozen = || {
+        let mut config = EngineConfig::new(1);
+        config.refine_method = CsjMethod::Auto;
+        config.planner = PlannerConfig {
+            mode: PlannerMode::Frozen,
+            ..PlannerConfig::default()
+        };
+        let mut engine = CsjEngine::new(2, config);
+        let x = engine
+            .register(community("x", &[[1, 1], [5, 5], [9, 9], [13, 13]]))
+            .unwrap();
+        let y = engine
+            .register(community("y", &[[1, 2], [5, 5], [9, 8], [100, 100]]))
+            .unwrap();
+        (engine, x, y)
+    };
+    let (e1, x1, y1) = frozen();
+    let (e2, x2, y2) = frozen();
+    // Warm one engine with queries; frozen mode must ignore the
+    // latency observations entirely.
+    for _ in 0..5 {
+        e1.similarity_with(x1, y1, CsjMethod::ExBaseline).unwrap();
+    }
+    let p1 = e1.plan_pair(x1, y1, Exactness::Any).unwrap();
+    let p2 = e2.plan_pair(x2, y2, Exactness::Any).unwrap();
+    assert_eq!(p1, p2, "frozen plans are byte-identical across engines");
+    assert_eq!(format!("{p1:?}"), format!("{p2:?}"));
+}
+
+#[test]
+fn degradation_ladder_is_planner_ranked() {
+    let (engine, a, n, _) = auto_engine();
+    let ladder = engine.degradation_ladder_for(CsjMethod::ExMinMax, Some((a, n)));
+    assert!(!ladder.is_empty());
+    assert!(!ladder.contains(&CsjMethod::ExMinMax));
+    assert_eq!(*ladder.last().unwrap(), CsjMethod::ApMinMax);
+    assert!(ladder[0].is_exact(), "first rung preserves exactness");
+    // Registry-average fallback (no pair) still produces a full ladder.
+    let broad = engine.degradation_ladder_for(CsjMethod::ExSuperEgo, None);
+    assert_eq!(*broad.last().unwrap(), CsjMethod::ApSuperEgo);
+    // Approximate primaries degrade to themselves.
+    assert_eq!(
+        engine.degradation_ladder_for(CsjMethod::ApMinMax, None),
+        vec![CsjMethod::ApMinMax]
+    );
+}
+
+#[test]
+fn explicit_methods_bypass_the_planner() {
+    let mut config = EngineConfig::new(1);
+    // Default config: concrete screen/refine methods.
+    config.planner = PlannerConfig::default();
+    let mut engine = CsjEngine::new(2, config);
+    let x = engine.register(community("x", &[[1, 1], [5, 5]])).unwrap();
+    let y = engine.register(community("y", &[[1, 2], [5, 5]])).unwrap();
+    engine.similarity(x, y).unwrap();
+    engine.similarity_with(x, y, CsjMethod::ExBaseline).unwrap();
+    let snap = engine.metrics_snapshot();
+    let planned: u64 = CsjMethod::ALL
+        .iter()
+        .map(|m| snap.counter_value("csj_plan_selected_total", &[("method", m.name())]))
+        .sum();
+    assert_eq!(planned, 0, "no Auto in play -> no plans recorded");
+}
+
+#[test]
+fn auto_refinement_feeds_the_exact_cache() {
+    let (engine, a, n, _) = auto_engine();
+    let first = engine.similarity(a, n).unwrap();
+    let stats_before = engine.stats();
+    let second = engine.similarity(a, n).unwrap();
+    let stats_after = engine.stats();
+    assert_eq!(first, second);
+    assert_eq!(
+        stats_after.cache_hits,
+        stats_before.cache_hits + 1,
+        "planned exact refinement is cacheable"
+    );
+}
+
+#[test]
+fn plan_input_from_engine_is_well_formed() {
+    let (engine, a, n, _) = auto_engine();
+    let plan = engine.plan_pair(a, n, Exactness::Any).unwrap();
+    let input: PlanInput = plan.input;
+    assert_eq!(input.nb, 4);
+    assert_eq!(input.na, 4);
+    assert_eq!(input.d, 2);
+    assert_eq!(input.eps, 1);
+    assert!(input.density > 0.0 && input.density <= 1.0);
+    assert_eq!(plan.candidates.len(), 8);
+    assert!(plan
+        .candidates
+        .windows(2)
+        .all(|w| w[0].estimated_us <= w[1].estimated_us));
+}

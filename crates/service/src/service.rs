@@ -429,10 +429,13 @@ fn run_primary(
     }
 }
 
-/// Serve the request on the approximate rung. The answer is always a
-/// *sound lower bound*: approximate CSJ never over-counts, and greedy
-/// maximal matching reaches at least half the maximum, so the exact
-/// score lies in `[ap, 2·ap]`.
+/// Serve the request off the planner-ranked degradation ladder
+/// ([`CsjEngine::degradation_ladder_for`]): cheaper exact siblings
+/// first (each behind its own breaker gate), the approximate
+/// counterpart as the guaranteed last resort. A rung that serves an
+/// `Ap-*` method is always a *sound lower bound*: approximate CSJ
+/// never over-counts, and greedy maximal matching reaches at least
+/// half the maximum, so the exact score lies in `[ap, 2·ap]`.
 fn degrade(
     engine: &CsjEngine,
     shared: &Shared,
@@ -442,37 +445,113 @@ fn degrade(
     retries: &mut u32,
 ) -> Result<Response, ServiceError> {
     shared.obs.on_degraded(trigger);
-    let ap = method.ap_counterpart();
-    let note = format!(
-        "served by {} (trigger: {}): approximate CSJ never over-counts and greedy \
-         maximal matching is at least half of maximum, so the exact score is within \
-         [score, 2*score]",
-        ap.name(),
-        trigger.label()
-    );
-    let respond = |value: ResponseValue, exhausted: Option<ExhaustReason>, retries: u32| Response {
+    let pair = match &job.request {
+        Request::Similarity { x, y, .. } => Some((*x, *y)),
+        _ => None,
+    };
+    let mut ladder = engine.degradation_ladder_for(method, pair);
+    if ladder.is_empty() {
+        ladder.push(method.approximate_counterpart());
+    }
+    let note_for = |rung: CsjMethod| {
+        if rung.is_exact() {
+            format!(
+                "served by {} (trigger: {}): exact result from a planner-ranked \
+                 sibling method, no approximation involved",
+                rung.name(),
+                trigger.label()
+            )
+        } else {
+            format!(
+                "served by {} (trigger: {}): approximate CSJ never over-counts and greedy \
+                 maximal matching is at least half of maximum, so the exact score is within \
+                 [score, 2*score]",
+                rung.name(),
+                trigger.label()
+            )
+        }
+    };
+    let respond = |rung: CsjMethod,
+                   value: ResponseValue,
+                   exhausted: Option<ExhaustReason>,
+                   retries: u32| Response {
         value,
         degraded: true,
         degrade_trigger: Some(trigger.label()),
-        degrade_note: Some(note.clone()),
+        degrade_note: Some(note_for(rung)),
         retries,
         exhausted,
     };
     match &job.request {
-        Request::Similarity { x, y, .. } => loop {
-            match engine.similarity_with(*x, *y, ap) {
-                Ok(s) => {
-                    return Ok(respond(ResponseValue::Similarity(s), None, *retries));
+        Request::Similarity { x, y, .. } => {
+            let last = *ladder.last().expect("ladder is non-empty");
+            for &rung in &ladder {
+                // Deadline pressure means an exact pass already failed
+                // to fit the slack — exact siblings cost the same order
+                // of work, so jump straight to the approximate rungs.
+                if rung.is_exact() && trigger == DegradeTrigger::Deadline {
+                    continue;
                 }
-                Err(EngineError::Faulted { .. }) if can_retry(shared, job, *retries) => {
-                    shared.obs.on_retry();
-                    std::thread::sleep(backoff::delay_for(&shared.config.retry, *retries, job.id));
-                    *retries += 1;
+                // Exact rungs pass through their own breaker gate; an
+                // open sibling breaker just skips the rung.
+                let mut was_probe = false;
+                if rung.is_exact() {
+                    let (admission, transition) = shared.breaker.admit(rung);
+                    if let Some(t) = transition {
+                        shared.obs.on_transition(t);
+                    }
+                    if admission == Admission::Reject {
+                        continue;
+                    }
+                    was_probe = admission == Admission::Probe;
                 }
-                Err(e) => return Err(ServiceError::Engine(e)),
+                let record_rung = |failure: bool| {
+                    if rung.is_exact() {
+                        if let Some(t) = shared.breaker.record(rung, was_probe, failure) {
+                            shared.obs.on_transition(t);
+                        }
+                    }
+                };
+                loop {
+                    match engine.similarity_with(*x, *y, rung) {
+                        Ok(s) => {
+                            record_rung(false);
+                            return Ok(respond(rung, ResponseValue::Similarity(s), None, *retries));
+                        }
+                        Err(EngineError::Faulted { .. }) if can_retry(shared, job, *retries) => {
+                            shared.obs.on_retry();
+                            std::thread::sleep(backoff::delay_for(
+                                &shared.config.retry,
+                                *retries,
+                                job.id,
+                            ));
+                            *retries += 1;
+                        }
+                        Err(e) if rung != last => {
+                            // A failed rung feeds its breaker and the
+                            // walk moves down the ladder.
+                            record_rung(matches!(
+                                e,
+                                EngineError::JoinPanicked { .. } | EngineError::Faulted { .. }
+                            ));
+                            break;
+                        }
+                        Err(e) => {
+                            record_rung(matches!(
+                                e,
+                                EngineError::JoinPanicked { .. } | EngineError::Faulted { .. }
+                            ));
+                            return Err(ServiceError::Engine(e));
+                        }
+                    }
+                }
             }
-        },
+            // The last rung is never exact (the ladder always ends on
+            // the approximate counterpart), so the walk above returned.
+            unreachable!("degradation ladder always terminates on its last rung")
+        }
         Request::TopK { x, k } => {
+            let rung = *ladder.last().expect("ladder is non-empty");
             let candidates: Vec<_> = engine.handles().filter(|&h| h != *x).collect();
             let partial = engine
                 .screen_with_budget(*x, &candidates, &full_budget(job.deadline))
@@ -493,16 +572,19 @@ fn degrade(
             ranked.sort_by(|p, q| q.similarity.ratio().total_cmp(&p.similarity.ratio()));
             ranked.truncate(*k);
             Ok(respond(
+                rung,
                 ResponseValue::Ranking(ranked),
                 partial.exhausted.map(|m| m.reason),
                 *retries,
             ))
         }
         Request::PairsAbove { threshold } => {
+            let rung = *ladder.last().expect("ladder is non-empty");
             let partial = engine
                 .pairs_above_approx_with_budget(*threshold, &full_budget(job.deadline), None)
                 .map_err(ServiceError::Engine)?;
             Ok(respond(
+                rung,
                 ResponseValue::Pairs(partial.value.pairs),
                 partial.exhausted.map(|m| m.reason),
                 *retries,

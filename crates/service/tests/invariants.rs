@@ -7,8 +7,9 @@
 //!     load never sheds;
 //! (c) an open breaker stops routing to the broken method and half-open
 //!     probes eventually reset it (chaos tests, `fault-injection`);
-//! (d) degraded answers are always valid Ap-* results: sound lower
-//!     bounds within a factor of two of the exact score.
+//! (d) degraded answers come off the planner-ranked ladder: either an
+//!     exact sibling rung (no approximation) or a valid Ap-* result —
+//!     a sound lower bound within a factor of two of the exact score.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -208,7 +209,9 @@ fn deadline_pressure_degrades_to_a_sound_lower_bound() {
     assert!(response.degraded);
     assert_eq!(response.degrade_trigger, Some("deadline"));
     let note = response.degrade_note.as_deref().unwrap();
-    assert!(note.contains("ap-minmax"), "{note}");
+    // Deadline pressure skips the exact rungs, so the serving rung is
+    // whichever approximate method the planner ranked cheapest.
+    assert!(note.contains("served by ap-"), "{note}");
     assert!(note.contains("2*score"), "{note}");
 
     // Soundness: ap <= exact <= 2 * ap.
