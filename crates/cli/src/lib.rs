@@ -2224,6 +2224,10 @@ mod tests {
         );
         assert!(out.contains("matcher:"), "explain output was: {out}");
         assert!(out.contains("cancel polls:"), "explain output was: {out}");
+        // The quantized-kernel section: which counter lane the kernel
+        // selected and how many L1 tiles the blocked scan walked.
+        assert!(out.contains("encoding:"), "explain output was: {out}");
+        assert!(out.contains("a-tiles"), "explain output was: {out}");
         // The plan section: requested vs chosen, estimated vs actual,
         // rejected alternatives and table provenance.
         assert!(
@@ -2231,7 +2235,7 @@ mod tests {
             "explain output was: {out}"
         );
         assert!(out.contains("plan cost: estimated"), "{out}");
-        assert!(out.contains("cost table v1, seeded"), "{out}");
+        assert!(out.contains("cost table v2, seeded"), "{out}");
         assert!(out.contains("plan alternatives:"), "{out}");
 
         // `--method auto` resolves through the planner and reports it.
@@ -2265,7 +2269,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("chosen: ex-"), "plan output was: {out}");
         assert!(!out.contains("chosen: ap-"), "plan output was: {out}");
-        assert!(out.contains("cost table: v1 (seeded)"), "{out}");
+        assert!(out.contains("cost table: v2 (seeded)"), "{out}");
         assert!(out.contains("alternatives:"), "{out}");
     }
 

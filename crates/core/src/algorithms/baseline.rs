@@ -9,23 +9,46 @@
 //!   edge and the one-to-one matcher (the paper's CSF) runs **once**.
 
 use crate::algorithms::kernel::{
-    drive_baseline, join_worker, CollectSink, DriveCtx, EdgeListSink, GreedySink, PairSink,
-    PrefixPruner,
+    drive_baseline, drive_baseline_blocked, join_worker, CollectSink, DriveCtx, EdgeListSink,
+    GreedySink, PairSink, PrefixPruner,
 };
 use crate::algorithms::{CsjOptions, RawJoin};
 use crate::community::Community;
+use crate::quant::{LaneView, QuantizedCommunity};
+
+/// Quantize both sides when the fast path is on (the scalar view needs
+/// no side tables). Returned by value so the entry points can borrow
+/// views out of it for the drive's lifetime.
+fn quantize(
+    b: &Community,
+    a: &Community,
+    opts: &CsjOptions,
+) -> Option<(QuantizedCommunity, QuantizedCommunity)> {
+    opts.quant
+        .enabled()
+        .then(|| (QuantizedCommunity::build(b), QuantizedCommunity::build(a)))
+}
 
 /// Approximate Baseline: nested-loop substrate × greedy sink.
 pub fn ap_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let nb = b.len();
     let na = a.len();
+    let quant = quantize(b, a, opts);
+    let view = LaneView::select(
+        opts.quant,
+        b,
+        a,
+        quant.as_ref().map(|q| &q.0),
+        quant.as_ref().map(|q| &q.1),
+        opts.eps,
+    );
     let mut out = RawJoin::default();
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
     let mut sink = GreedySink::new(nb, na);
     // Section 5.1: "skip and offset are used similarly to Ap-MinMax for
     // the faster processing of the nested loop join".
     let mut pruner = PrefixPruner::new(opts.offset_pruning);
-    drive_baseline(b, a, 0..nb, opts.eps, &mut pruner, &mut ctx, &mut sink);
+    drive_baseline(&view, 0..nb, na, &mut pruner, &mut ctx, &mut sink);
     out.pairs = sink.finish(&mut ctx);
     out.timings = ctx.phase_timings();
     out.cancelled = ctx.cancelled;
@@ -46,17 +69,41 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let na = a.len();
     let threads = opts.threads.max(1).min(nb.max(1));
     let mut out = RawJoin::default();
+    let quant = quantize(b, a, opts);
+    let view = LaneView::select(
+        opts.quant,
+        b,
+        a,
+        quant.as_ref().map(|q| &q.0),
+        quant.as_ref().map(|q| &q.1),
+        opts.eps,
+    );
+    // The exact scan is unconditional (every row and column is wanted,
+    // nothing is consumed mid-scan), so the cache-blocked drive emits
+    // the identical edge list and telemetry; `Off` keeps the serial
+    // scalar scan as the benchmark baseline.
+    let blocked = opts.quant.enabled();
 
     let cancel = opts.cancel.as_ref();
     let mut ctx = DriveCtx::new(cancel);
     // Exact mode never consumes during the scan, so prefix pruning is a
     // no-op; keep it disabled to preserve full comparison counts.
     let mut sink = CollectSink::whole(nb, na, opts.matcher, true);
+    let drive_range = |ctx: &mut DriveCtx, range: std::ops::Range<usize>| -> Vec<(u32, u32)> {
+        if blocked {
+            let mut edges = Vec::new();
+            drive_baseline_blocked(&view, range, na, ctx, &mut edges);
+            edges
+        } else {
+            let mut pruner = PrefixPruner::new(false);
+            let mut edges = EdgeListSink::new();
+            drive_baseline(&view, range, na, &mut pruner, ctx, &mut edges);
+            edges.into_edges()
+        }
+    };
     if threads <= 1 {
-        let mut pruner = PrefixPruner::new(false);
-        let mut edges = EdgeListSink::new();
-        drive_baseline(b, a, 0..nb, opts.eps, &mut pruner, &mut ctx, &mut edges);
-        sink.absorb_edges(&edges.into_edges());
+        let edges = drive_range(&mut ctx, 0..nb);
+        sink.absorb_edges(&edges);
     } else {
         let chunk = nb.div_ceil(threads);
         let ranges: Vec<std::ops::Range<usize>> = (0..threads)
@@ -66,12 +113,11 @@ pub fn ex_baseline(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
             let handles: Vec<_> = ranges
                 .into_iter()
                 .map(|r| {
+                    let drive_range = &drive_range;
                     scope.spawn(move || {
                         let mut ctx = DriveCtx::new(cancel);
-                        let mut pruner = PrefixPruner::new(false);
-                        let mut edges = EdgeListSink::new();
-                        drive_baseline(b, a, r, opts.eps, &mut pruner, &mut ctx, &mut edges);
-                        (ctx.telemetry, ctx.cancelled, edges.into_edges())
+                        let edges = drive_range(&mut ctx, r);
+                        (ctx.telemetry, ctx.cancelled, edges)
                     })
                 })
                 .collect();

@@ -31,7 +31,7 @@ use crate::algorithms::kernel::{
 use crate::algorithms::{CsjOptions, RawJoin};
 use crate::community::Community;
 use crate::encoding::{encode_vector_a, encode_vector_b, part_bounds};
-use crate::vectors_match;
+use crate::quant::{LaneView, QuantizedCommunity};
 
 /// Per-user encodings addressable by community index (unsorted — the EGO
 /// order provides the traversal; the encodings only filter).
@@ -99,16 +99,14 @@ fn prepare(b: &Community, a: &Community, eps: u32) -> (PointSet<u32>, PointSet<u
 }
 
 /// The leaf judgement shared by both hybrid modes: encoding filters in
-/// front of each full comparison. Positions here are EGO point-set
-/// positions, translated to community indices via the point ids.
-#[allow(clippy::too_many_arguments)]
+/// front of each full comparison (run on the pair's resolved
+/// [`LaneView`]). Positions here are EGO point-set positions, translated
+/// to community indices via the point ids.
 fn hybrid_judgement(
     index: &HybridIndex,
-    b: &Community,
-    a: &Community,
+    view: &LaneView,
     ps_b: &PointSet<u32>,
     ps_a: &PointSet<u32>,
-    eps: u32,
     i: usize,
     j: usize,
 ) -> Judgement {
@@ -117,11 +115,22 @@ fn hybrid_judgement(
     if !index.passes_filters(bi, aj) {
         return Judgement::NoOverlap;
     }
-    if vectors_match(b.vector(bi), a.vector(aj), eps) {
+    if view.matches(bi, aj) {
         Judgement::Match
     } else {
         Judgement::NoMatch
     }
+}
+
+/// Quantized side tables for the leaf comparisons (`Off` skips them).
+fn quantize(
+    b: &Community,
+    a: &Community,
+    opts: &CsjOptions,
+) -> Option<(QuantizedCommunity, QuantizedCommunity)> {
+    opts.quant
+        .enabled()
+        .then(|| (QuantizedCommunity::build(b), QuantizedCommunity::build(a)))
 }
 
 /// Approximate hybrid: EGO recursion × greedy sink with the encoding
@@ -130,18 +139,28 @@ pub fn ap_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let setup = std::time::Instant::now();
     let (ps_b, ps_a) = prepare(b, a, opts.eps);
     let index = HybridIndex::build(b, a, opts.eps, opts.encoding.effective_parts(b.d()));
+    let quant = quantize(b, a, opts);
+    let view = LaneView::select(
+        opts.quant,
+        b,
+        a,
+        quant.as_ref().map(|q| &q.0),
+        quant.as_ref().map(|q| &q.1),
+        opts.eps,
+    );
     let setup = setup.elapsed();
     let params = SuperEgoParams { t: opts.superego.t };
     let mut stats = EgoStats::default();
     let mut out = RawJoin::default();
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    ctx.telemetry.lane_bits = view.lane_bits();
     let mut sink = GreedySink::new(b.len(), a.len());
     drive_ego(
         &ps_b,
         &ps_a,
         params,
         &mut stats,
-        &mut |i, j| hybrid_judgement(&index, b, a, &ps_b, &ps_a, opts.eps, i, j),
+        &mut |i, j| hybrid_judgement(&index, &view, &ps_b, &ps_a, i, j),
         &mut ctx,
         &mut sink,
     );
@@ -160,11 +179,21 @@ pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let setup = std::time::Instant::now();
     let (ps_b, ps_a) = prepare(b, a, opts.eps);
     let index = HybridIndex::build(b, a, opts.eps, opts.encoding.effective_parts(b.d()));
+    let quant = quantize(b, a, opts);
+    let view = LaneView::select(
+        opts.quant,
+        b,
+        a,
+        quant.as_ref().map(|q| &q.0),
+        quant.as_ref().map(|q| &q.1),
+        opts.eps,
+    );
     let setup = setup.elapsed();
     let params = SuperEgoParams { t: opts.superego.t };
     let mut stats = EgoStats::default();
     let mut out = RawJoin::default();
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    ctx.telemetry.lane_bits = view.lane_bits();
     // Honour cancellation before paying for the matcher: the empty
     // matching is trivially valid and the flag tells the caller why.
     let mut sink = CollectSink::whole(b.len(), a.len(), opts.matcher, false);
@@ -173,7 +202,7 @@ pub fn ex_hybrid(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
         &ps_a,
         params,
         &mut stats,
-        &mut |i, j| hybrid_judgement(&index, b, a, &ps_b, &ps_a, opts.eps, i, j),
+        &mut |i, j| hybrid_judgement(&index, &view, &ps_b, &ps_a, i, j),
         &mut ctx,
         &mut sink,
     );
@@ -193,6 +222,7 @@ mod tests {
     use crate::algorithms::baseline::ex_baseline;
     use crate::algorithms::minmax::ex_minmax;
     use crate::algorithms::CsjOptions;
+    use crate::vectors_match;
 
     fn community(name: &str, rows: &[Vec<u32>]) -> Community {
         let mut c = Community::new(name, rows[0].len());

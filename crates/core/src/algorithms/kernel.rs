@@ -24,10 +24,9 @@ use csj_ego::{super_ego_join, EgoStats, PointSet, Scalar, SuperEgoParams};
 use csj_matching::{run_matcher, GraphBuilder, MatchGraph, MatcherKind};
 
 use crate::cancel::CancelToken;
-use crate::community::Community;
 use crate::events::Event;
+use crate::quant::LaneView;
 use crate::telemetry::JoinTelemetry;
-use crate::vectors_match;
 
 /// Verdict of the substrate's filters plus (when they pass) the full
 /// d-dimensional comparison for one candidate pair.
@@ -180,6 +179,21 @@ impl<'t> DriveCtx<'t> {
         if let Some(tape) = self.tape.as_deref_mut() {
             tape.flush(edges);
         }
+    }
+
+    /// Bulk bookkeeping for one fully-scanned row of the unconditional
+    /// all-pairs scan: `candidates` pairs judged, `matched` of them
+    /// matches. Produces exactly the counters the per-pair
+    /// `begin_row`/`candidate`/`event`/`end_row` sequence would, in
+    /// O(1) instead of O(candidates).
+    #[inline]
+    pub(crate) fn bulk_row(&mut self, candidates: u64, matched: u64) {
+        self.begin_row();
+        self.telemetry.candidates_streamed += candidates;
+        self.row_candidates = candidates;
+        self.telemetry.events.matches += matched;
+        self.telemetry.events.no_match += candidates - matched;
+        self.end_row();
     }
 }
 
@@ -575,17 +589,19 @@ pub(crate) fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T 
 
 /// Drive the Baseline substrate: scan `A` for each `B` row in `rows`.
 /// The one nested loop behind both Ap- and Ex-Baseline (and their
-/// parallel row-range workers).
+/// parallel row-range workers). The full d-dimensional comparison goes
+/// through the pair's resolved [`LaneView`], so the scan order —
+/// and with it every consumption/pruning decision — is untouched by
+/// the compact encodings.
 pub(crate) fn drive_baseline<S: PairSink>(
-    b: &Community,
-    a: &Community,
+    view: &LaneView,
     rows: Range<usize>,
-    eps: u32,
+    na: usize,
     pruner: &mut PrefixPruner,
     ctx: &mut DriveCtx,
     sink: &mut S,
 ) {
-    let na = a.len();
+    ctx.telemetry.lane_bits = ctx.telemetry.lane_bits.max(view.lane_bits());
     for i in rows {
         if ctx.poll_cancel() {
             break;
@@ -594,7 +610,6 @@ pub(crate) fn drive_baseline<S: PairSink>(
             continue;
         }
         ctx.begin_row();
-        let bv = b.vector(i);
         let mut j = pruner.begin_row();
         while j < na {
             if !sink.wants_a(j as u32) {
@@ -604,7 +619,7 @@ pub(crate) fn drive_baseline<S: PairSink>(
             }
             pruner.touch();
             ctx.candidate();
-            if vectors_match(bv, a.vector(j), eps) {
+            if view.matches(i, j) {
                 ctx.event(Event::Match, i, j);
                 if sink.on_match(ctx, i as u32, j as u32, 0) {
                     break;
@@ -616,6 +631,72 @@ pub(crate) fn drive_baseline<S: PairSink>(
         }
         ctx.end_row();
         sink.row_end(ctx, None);
+    }
+}
+
+/// Cache-blocked drive of the **unconditional** all-pairs scan: the
+/// Ex-Baseline fast path, where the sink wants every row and column,
+/// nothing is consumed mid-scan and no tape is attached.
+///
+/// The scan processes a block of `B` rows against one `A` tile at a
+/// time (tile sized by [`crate::quant::tile_geometry`] so its columns
+/// stay resident in L1), buffering matches per row and re-emitting them
+/// row-major — so the edge list, every telemetry counter and the
+/// uncancelled cancel-poll count (one per row) are identical to
+/// [`drive_baseline`] over an [`EdgeListSink`]. Cancellation is polled
+/// once per row at block granularity: a tripped token aborts before the
+/// block is scanned, exactly like the serial scan aborts before a row.
+pub(crate) fn drive_baseline_blocked(
+    view: &LaneView,
+    rows: Range<usize>,
+    na: usize,
+    ctx: &mut DriveCtx,
+    edges: &mut Vec<(u32, u32)>,
+) {
+    /// `B` rows per block: enough to amortise each `A` tile sweep,
+    /// small enough that the block's rows stay cache-resident too.
+    const B_BLOCK: usize = 8;
+    let (tile_rows, tile_count) = crate::quant::tile_geometry(na, view.d(), view.lane_bytes());
+    ctx.telemetry.lane_bits = ctx.telemetry.lane_bits.max(view.lane_bits());
+    ctx.telemetry.a_tiles = ctx.telemetry.a_tiles.max(tile_count as u64);
+    let mut row_hits: Vec<Vec<u32>> = vec![Vec::new(); B_BLOCK];
+    let mut block = rows.start;
+    while block < rows.end {
+        let block_rows = (rows.end - block).min(B_BLOCK);
+        // One poll per row keeps the uncancelled poll count identical
+        // to the serial scan's row-granular polling.
+        let mut tripped = false;
+        for _ in 0..block_rows {
+            if ctx.poll_cancel() {
+                tripped = true;
+                break;
+            }
+        }
+        if tripped {
+            break;
+        }
+        for buf in row_hits.iter_mut().take(block_rows) {
+            buf.clear();
+        }
+        let mut tile = 0usize;
+        while tile < na {
+            let tile_end = (tile + tile_rows).min(na);
+            for (bi, buf) in row_hits.iter_mut().enumerate().take(block_rows) {
+                let i = block + bi;
+                for j in tile..tile_end {
+                    if view.matches(i, j) {
+                        buf.push(j as u32);
+                    }
+                }
+            }
+            tile = tile_end;
+        }
+        for (bi, buf) in row_hits.iter().enumerate().take(block_rows) {
+            let i = block + bi;
+            ctx.bulk_row(na as u64, buf.len() as u64);
+            edges.extend(buf.iter().map(|&j| (i as u32, j)));
+        }
+        block += block_rows;
     }
 }
 

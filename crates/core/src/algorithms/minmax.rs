@@ -43,7 +43,7 @@ use crate::algorithms::{CsjOptions, RawJoin};
 use crate::community::Community;
 use crate::encoding::{encode_a, encode_b, EncodedA, EncodedB};
 use crate::events::Event;
-use crate::vectors_match;
+use crate::quant::{LaneView, QuantizedCommunity};
 
 /// Supplies [`Judgement`]s for candidate pairs whose encoded ID passed the
 /// Min/Max window. Production code uses [`RealOracle`]; the figure tests
@@ -53,13 +53,13 @@ pub(crate) trait MinMaxOracle {
 }
 
 /// The production oracle: part/range filter, then strict per-dimension
-/// comparison through the encoded buffers' "real ID" indirection.
+/// comparison through the encoded buffers' "real ID" indirection. The
+/// full comparison runs on the pair's resolved [`LaneView`] — narrow
+/// quantized lanes when the counters and `eps` permit.
 pub(crate) struct RealOracle<'x> {
-    pub b: &'x Community,
-    pub a: &'x Community,
+    pub view: LaneView<'x>,
     pub eb: &'x EncodedB,
     pub ea: &'x EncodedA,
-    pub eps: u32,
 }
 
 impl MinMaxOracle for RealOracle<'_> {
@@ -68,9 +68,9 @@ impl MinMaxOracle for RealOracle<'_> {
         if !self.ea.parts_overlap(a_pos, self.eb.parts_of(b_pos)) {
             return Judgement::NoOverlap;
         }
-        let bv = self.b.vector(self.eb.user_idx[b_pos] as usize);
-        let av = self.a.vector(self.ea.user_idx[a_pos] as usize);
-        if vectors_match(bv, av, self.eps) {
+        let bi = self.eb.user_idx[b_pos] as usize;
+        let aj = self.ea.user_idx[a_pos] as usize;
+        if self.view.matches(bi, aj) {
             Judgement::Match
         } else {
             Judgement::NoMatch
@@ -141,13 +141,34 @@ pub(crate) fn drive_minmax<O: MinMaxOracle, S: PairSink>(
     }
 }
 
+/// Build the quantized side tables the fast path wants (no-op in `Off`
+/// mode — the scalar view reads the raw data directly).
+fn quantize(
+    b: &Community,
+    a: &Community,
+    opts: &CsjOptions,
+) -> Option<(QuantizedCommunity, QuantizedCommunity)> {
+    opts.quant
+        .enabled()
+        .then(|| (QuantizedCommunity::build(b), QuantizedCommunity::build(a)))
+}
+
 /// Approximate MinMax (Algorithm Ap-MinMax).
 pub fn ap_minmax(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let setup = std::time::Instant::now();
     let eb = encode_b(b, opts.encoding);
     let ea = encode_a(a, opts.eps, opts.encoding);
+    let quant = quantize(b, a, opts);
     let setup = setup.elapsed();
-    let mut raw = ap_minmax_prepared(b, a, &eb, &ea, opts);
+    let mut raw = ap_minmax_prepared(
+        b,
+        a,
+        &eb,
+        &ea,
+        quant.as_ref().map(|q| &q.0),
+        quant.as_ref().map(|q| &q.1),
+        opts,
+    );
     raw.timings.setup = setup;
     raw
 }
@@ -158,17 +179,15 @@ pub(crate) fn ap_minmax_prepared(
     a: &Community,
     eb: &EncodedB,
     ea: &EncodedA,
+    qb: Option<&QuantizedCommunity>,
+    qa: Option<&QuantizedCommunity>,
     opts: &CsjOptions,
 ) -> RawJoin {
     let mut out = RawJoin::default();
-    let mut oracle = RealOracle {
-        b,
-        a,
-        eb,
-        ea,
-        eps: opts.eps,
-    };
+    let view = LaneView::select(opts.quant, b, a, qb, qa, opts.eps);
+    let mut oracle = RealOracle { view, eb, ea };
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    ctx.telemetry.lane_bits = view.lane_bits();
     let mut sink = GreedySink::new(eb.encd_ids.len(), ea.encd_mins.len());
     drive_minmax(
         &eb.encd_ids,
@@ -192,8 +211,17 @@ pub fn ex_minmax(b: &Community, a: &Community, opts: &CsjOptions) -> RawJoin {
     let setup = std::time::Instant::now();
     let eb = encode_b(b, opts.encoding);
     let ea = encode_a(a, opts.eps, opts.encoding);
+    let quant = quantize(b, a, opts);
     let setup = setup.elapsed();
-    let mut raw = ex_minmax_prepared(b, a, &eb, &ea, opts);
+    let mut raw = ex_minmax_prepared(
+        b,
+        a,
+        &eb,
+        &ea,
+        quant.as_ref().map(|q| &q.0),
+        quant.as_ref().map(|q| &q.1),
+        opts,
+    );
     raw.timings.setup = setup;
     raw
 }
@@ -207,17 +235,15 @@ pub(crate) fn ex_minmax_prepared(
     a: &Community,
     eb: &EncodedB,
     ea: &EncodedA,
+    qb: Option<&QuantizedCommunity>,
+    qa: Option<&QuantizedCommunity>,
     opts: &CsjOptions,
 ) -> RawJoin {
     let mut out = RawJoin::default();
-    let mut oracle = RealOracle {
-        b,
-        a,
-        eb,
-        ea,
-        eps: opts.eps,
-    };
+    let view = LaneView::select(opts.quant, b, a, qb, qa, opts.eps);
+    let mut oracle = RealOracle { view, eb, ea };
     let mut ctx = DriveCtx::new(opts.cancel.as_ref());
+    ctx.telemetry.lane_bits = view.lane_bits();
     let mut sink = CollectSink::segmented(ea.encd_mins.len(), opts.matcher);
     drive_minmax(
         &eb.encd_ids,
@@ -250,6 +276,7 @@ mod tests {
     use crate::algorithms::baseline::{ap_baseline, ex_baseline};
     use crate::algorithms::kernel::Tape as TapeHook;
     use crate::algorithms::CsjOptions;
+    use crate::vectors_match;
     use csj_matching::MatcherKind;
 
     /// Scripted oracle for the figure walkthroughs.

@@ -27,6 +27,7 @@ use crate::community::Community;
 use crate::encoding::EncodingParams;
 use crate::error::CsjError;
 use crate::events::EventCounters;
+use crate::quant::QuantMode;
 use crate::similarity::Similarity;
 use crate::telemetry::JoinTelemetry;
 use crate::validate_sizes;
@@ -218,6 +219,12 @@ pub struct CsjOptions {
     /// truncated result is reported via [`JoinOutcome::cancelled`].
     /// `None` (the default) runs to completion.
     pub cancel: Option<CancelToken>,
+    /// Quantized fast-path control: `Auto`/`On` let the integer-domain
+    /// kernels run on the narrowest lossless lane (`u8`/`u16`/`u32`)
+    /// with cache-blocked tiling where the scan order permits; `Off`
+    /// forces the pre-quantization scalar kernels. Results are
+    /// identical in every mode (see `crate::quant`).
+    pub quant: QuantMode,
 }
 
 impl CsjOptions {
@@ -233,6 +240,7 @@ impl CsjOptions {
             offset_pruning: true,
             threads: 1,
             cancel: None,
+            quant: QuantMode::default(),
         }
     }
 
@@ -251,6 +259,12 @@ impl CsjOptions {
     /// Builder-style: attach a cancellation token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Builder-style: set the quantized fast-path mode.
+    pub fn with_quant(mut self, quant: QuantMode) -> Self {
+        self.quant = quant;
         self
     }
 

@@ -59,6 +59,7 @@ pub mod error;
 pub mod events;
 pub mod plan;
 pub mod prepared;
+pub mod quant;
 pub mod similarity;
 pub mod telemetry;
 pub mod verify;
@@ -71,6 +72,7 @@ pub use error::CsjError;
 pub use events::{Event, EventCounters};
 pub use plan::{CostSample, CostTable, Exactness, PlanInput, QueryPlan};
 pub use prepared::PreparedCommunity;
+pub use quant::{pair_lane, tile_geometry, LaneKind, QuantMode, QuantizedCommunity};
 pub use similarity::Similarity;
 pub use telemetry::{JoinTelemetry, LogHistogram};
 
@@ -95,10 +97,15 @@ pub fn validate_sizes(nb: usize, na: usize) -> Result<(), CsjError> {
 
 /// Check that a `(b, a)` pair satisfies the strict per-dimension epsilon
 /// condition — the heart of CSJ.
+///
+/// Routed through the one chunked lane primitive
+/// ([`csj_ego::lanes::all_within`]) that every scalar match path in the
+/// workspace shares; [`quant::QuantMode::Off`] selects the short-circuit
+/// reference instead.
 #[inline]
 pub fn vectors_match(b: &[u32], a: &[u32], eps: u32) -> bool {
     debug_assert_eq!(b.len(), a.len());
-    b.iter().zip(a.iter()).all(|(&x, &y)| x.abs_diff(y) <= eps)
+    csj_ego::lanes::all_within(b, a, eps)
 }
 
 #[cfg(test)]

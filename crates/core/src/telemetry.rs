@@ -121,6 +121,14 @@ pub struct JoinTelemetry {
     pub matcher_edges: u64,
     /// Edge count of the largest single flush.
     pub largest_flush_edges: u64,
+    /// Compare-lane width in bits the kernel ran on (8/16/32 for the
+    /// quantized chunked kernels, 0 for the scalar reference path).
+    /// Merges as a max: the widest lane any merged join used.
+    pub lane_bits: u64,
+    /// `A`-side cache tiles swept by the blocked all-pairs scan (0 when
+    /// the drive was not tiled). Merges as a max — parallel workers of
+    /// one join share the same tile geometry.
+    pub a_tiles: u64,
 }
 
 impl JoinTelemetry {
@@ -137,6 +145,8 @@ impl JoinTelemetry {
         self.matcher_flushes += other.matcher_flushes;
         self.matcher_edges += other.matcher_edges;
         self.largest_flush_edges = self.largest_flush_edges.max(other.largest_flush_edges);
+        self.lane_bits = self.lane_bits.max(other.lane_bits);
+        self.a_tiles = self.a_tiles.max(other.a_tiles);
     }
 
     /// Mean candidates streamed per driven row.
@@ -175,6 +185,11 @@ impl std::fmt::Display for JoinTelemetry {
             "matcher: {} flushes, {} edges (largest flush {})",
             self.matcher_flushes, self.matcher_edges, self.largest_flush_edges
         )?;
+        let lane = match self.lane_bits {
+            0 => "scalar u32".to_string(),
+            bits => format!("u{bits} lanes"),
+        };
+        writeln!(f, "encoding: {lane}, {} a-tiles", self.a_tiles)?;
         writeln!(f, "cancel polls: {}", self.cancel_polls)
     }
 }
@@ -306,6 +321,7 @@ mod tests {
             "stream depth",
             "prune events",
             "matcher:",
+            "encoding:",
             "cancel polls:",
         ] {
             assert!(r.contains(key), "missing {key} in {r}");

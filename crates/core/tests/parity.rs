@@ -609,6 +609,72 @@ fn parity_on_sparse_and_dense_extremes() {
     }
 }
 
+/// Run one method under every quantization mode and demand bit-identical
+/// pairs and event counters: the narrow-lane fast path is an *encoding*
+/// of the same booleans, never a semantic change. (Telemetry's
+/// `lane_bits`/`a_tiles` fields legitimately differ between modes — they
+/// describe the encoding — so this compares results, not the whole
+/// telemetry block.)
+fn assert_quant_parity(b: &Community, a: &Community, opts: &CsjOptions) {
+    use csj_core::QuantMode;
+    for method in CsjMethod::ALL {
+        let off = run(method, b, a, &opts.clone().with_quant(QuantMode::Off))
+            .expect("valid parity instance");
+        for mode in [QuantMode::On, QuantMode::Auto] {
+            let fast = run(method, b, a, &opts.clone().with_quant(mode)).expect("valid instance");
+            assert_eq!(
+                off.pairs, fast.pairs,
+                "{method} under {mode:?}: quantized pairs diverged from scalar\nB = {b:?}\nA = {a:?}"
+            );
+            assert_eq!(
+                off.events, fast.events,
+                "{method} under {mode:?}: quantized events diverged from scalar\nB = {b:?}\nA = {a:?}"
+            );
+            assert_eq!(off.similarity, fast.similarity, "{method} under {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn quantization_modes_are_bit_identical_on_u8_data() {
+    // Counters < 10 with small eps: every pair runs on u8 lanes.
+    for seed in 100..110u64 {
+        let (b, a) = random_pair(seed, 3, 11, 10);
+        assert_quant_parity(&b, &a, &CsjOptions::new((seed % 3) as u32).with_parts(2));
+    }
+}
+
+#[test]
+fn quantization_modes_are_bit_identical_on_u16_data() {
+    // Counters up to 40_000: u8 overflows, u16 lanes carry the pair.
+    for seed in 110..116u64 {
+        let (b, a) = random_pair(seed, 2, 9, 40_000);
+        assert_quant_parity(&b, &a, &CsjOptions::new(500).with_parts(2));
+    }
+}
+
+#[test]
+fn quantization_modes_are_bit_identical_on_u32_data() {
+    // Counters past u16::MAX force the validated widening fallback: the
+    // "quantized" path must degrade to chunked u32 and still agree.
+    for seed in 116..122u64 {
+        let (b, a) = random_pair(seed, 2, 9, 1_000_000);
+        assert_quant_parity(&b, &a, &CsjOptions::new(75_000).with_parts(2));
+    }
+}
+
+#[test]
+fn quantization_modes_agree_with_the_frozen_reference() {
+    // The scalar reference from the pre-kernel era must match the
+    // quantized kernel too, not just the Off path.
+    for seed in 0..8u64 {
+        let (b, a) = random_pair(seed.wrapping_mul(0x51D), 3, 10, 12);
+        let opts = CsjOptions::new(1).with_parts(2);
+        assert_parity(&b, &a, &opts); // default = Auto
+        assert_quant_parity(&b, &a, &opts);
+    }
+}
+
 /// Golden vector: the paper's Section 3 worked example.
 ///
 /// `B = {(3,4,2), (2,2,3)}`, `A = {(2,3,5), (2,3,1), (3,3,3)}`, eps 1.
@@ -704,6 +770,38 @@ mod prop {
         fn kernel_matches_frozen_reference((b, a, eps, parts) in instances()) {
             let opts = CsjOptions::new(eps).with_parts(parts);
             assert_parity(&b, &a, &opts);
+        }
+
+        /// The widening fallback triggers *exactly* when a counter or
+        /// `eps` exceeds the narrow lane's range: the selected lane is
+        /// the narrowest integer type that holds both sides' maximum
+        /// counter and the threshold, never narrower (lossy) and never
+        /// needlessly wider (slow).
+        #[test]
+        fn widening_triggers_exactly_on_range_overflow(
+            max_b in 0u32..200_000,
+            max_a in 0u32..200_000,
+            eps in 0u32..200_000,
+        ) {
+            use csj_core::{pair_lane, LaneKind, QuantizedCommunity};
+            let one_row = |name: &str, top: u32| {
+                Community::from_rows(name, 2, vec![(1u64, vec![top, top / 2])])
+                    .expect("well-formed")
+            };
+            let qb = QuantizedCommunity::build(&one_row("B", max_b));
+            let qa = QuantizedCommunity::build(&one_row("A", max_a));
+            let limit = max_b.max(max_a).max(eps);
+            let expected = if limit <= u32::from(u8::MAX) {
+                LaneKind::U8
+            } else if limit <= u32::from(u16::MAX) {
+                LaneKind::U16
+            } else {
+                LaneKind::U32
+            };
+            prop_assert_eq!(pair_lane(&qb, &qa, eps), expected);
+            // The narrow side tables exist exactly when the counters fit.
+            prop_assert_eq!(qb.fits(LaneKind::U8), max_b <= u32::from(u8::MAX));
+            prop_assert_eq!(qb.fits(LaneKind::U16), max_b <= u32::from(u16::MAX));
         }
     }
 }

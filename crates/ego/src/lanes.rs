@@ -1,0 +1,155 @@
+//! Chunked, vectorization-friendly evaluation of the per-dimension
+//! epsilon condition — the one seam every scalar match path in the
+//! workspace routes through.
+//!
+//! The short-circuited form (`iter().zip().all(...)`) compiles to a
+//! branch per dimension, which defeats auto-vectorization. The kernels
+//! here instead evaluate a fixed-width chunk of dimensions branchlessly
+//! (`ok &= within` per lane) and only branch once per chunk, which LLVM
+//! lowers to SIMD compares on every target with vector units. Chunk
+//! geometry:
+//!
+//! * default build — 8 lanes for every scalar, a shape that
+//!   auto-vectorizes to 128-bit (SSE2/NEON) operations;
+//! * `--features simd` — full register geometry per element width
+//!   (`u8`×32, `u16`×16, `u32`/`f32`×8, i.e. the `u16x16`/`u32x8`-style
+//!   lanes of wider vector units), letting LLVM use 256-bit registers
+//!   where available.
+//!
+//! Both variants return exactly the same booleans as the scalar
+//! reference ([`all_within_scalar`]), so callers can swap freely between
+//! them without changing results.
+
+use crate::scalar::Scalar;
+
+/// Lane count used by [`all_within`] for an element of `BYTES` size.
+#[inline]
+#[must_use]
+pub const fn lane_width(bytes: usize) -> usize {
+    if cfg!(feature = "simd") {
+        // 256-bit register geometry, floored at 8 lanes.
+        let w = 32 / bytes;
+        if w < 8 {
+            8
+        } else {
+            w
+        }
+    } else {
+        8
+    }
+}
+
+/// Branchless evaluation of one `W`-wide chunk.
+#[inline]
+fn chunk_within<S: Scalar, const W: usize>(b: &[S], a: &[S], eps: S) -> bool {
+    let mut ok = true;
+    for k in 0..W {
+        ok &= b[k].within(a[k], eps);
+    }
+    ok
+}
+
+#[inline]
+fn all_within_w<S: Scalar, const W: usize>(b: &[S], a: &[S], eps: S) -> bool {
+    let mut bc = b.chunks_exact(W);
+    let mut ac = a.chunks_exact(W);
+    for (bk, ak) in bc.by_ref().zip(ac.by_ref()) {
+        if !chunk_within::<S, W>(bk, ak, eps) {
+            return false;
+        }
+    }
+    let rb = bc.remainder();
+    let ra = ac.remainder();
+    // Step a wide tail down through the 8-lane kernel instead of a
+    // scalar loop: a 27-dim profile under a 32-wide chunk otherwise
+    // produces zero full chunks and never vectorizes at all.
+    if W > 8 && rb.len() >= 8 {
+        return all_within_w::<S, 8>(rb, ra, eps);
+    }
+    rb.iter().zip(ra).all(|(&x, &y)| x.within(y, eps))
+}
+
+/// `|b_i - a_i| <= eps` for every dimension, evaluated chunk-at-a-time.
+///
+/// Equivalent to [`all_within_scalar`] but vectorization-friendly; the
+/// chunk width follows [`lane_width`] for the scalar's size.
+#[inline]
+#[must_use]
+pub fn all_within<S: Scalar>(b: &[S], a: &[S], eps: S) -> bool {
+    debug_assert_eq!(b.len(), a.len());
+    match lane_width(std::mem::size_of::<S>()) {
+        32 => all_within_w::<S, 32>(b, a, eps),
+        16 => all_within_w::<S, 16>(b, a, eps),
+        _ => all_within_w::<S, 8>(b, a, eps),
+    }
+}
+
+/// The scalar short-circuit reference: one branch per dimension.
+///
+/// Kept as the explicit "legacy" path so benchmarks (and the
+/// quantization kill-switch in `csj-core`) can compare against the
+/// exact pre-vectorization behaviour.
+#[inline]
+#[must_use]
+pub fn all_within_scalar<S: Scalar>(b: &[S], a: &[S], eps: S) -> bool {
+    debug_assert_eq!(b.len(), a.len());
+    b.iter().zip(a.iter()).all(|(&x, &y)| x.within(y, eps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_matches_scalar_u32() {
+        // Lengths around every chunk boundary, mismatch in every position.
+        for d in [0usize, 1, 7, 8, 9, 15, 16, 17, 27, 32, 33, 40] {
+            let b: Vec<u32> = (0..d as u32).collect();
+            for bad in 0..d {
+                let mut a = b.clone();
+                a[bad] = a[bad].wrapping_add(10);
+                assert!(!all_within(&b, &a, 3), "d={d} bad={bad}");
+                assert_eq!(
+                    all_within(&b, &a, 3),
+                    all_within_scalar(&b, &a, 3),
+                    "d={d} bad={bad}"
+                );
+            }
+            let a = b.clone();
+            assert!(all_within(&b, &a, 0), "d={d} equal");
+        }
+    }
+
+    #[test]
+    fn chunked_matches_scalar_narrow_lanes() {
+        let d = 27usize;
+        let b: Vec<u8> = (0..d as u8).map(|v| v.wrapping_mul(7)).collect();
+        let mut a = b.clone();
+        a[13] = a[13].wrapping_add(50);
+        assert_eq!(all_within(&b, &a, 4u8), all_within_scalar(&b, &a, 4u8));
+        let b16: Vec<u16> = b.iter().map(|&v| v as u16 * 300).collect();
+        let a16: Vec<u16> = a.iter().map(|&v| v as u16 * 300).collect();
+        assert_eq!(
+            all_within(&b16, &a16, 1000u16),
+            all_within_scalar(&b16, &a16, 1000u16)
+        );
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        assert!(all_within(&[5u32; 9], &[7u32; 9], 2));
+        assert!(!all_within(&[5u32; 9], &[8u32; 9], 2));
+    }
+
+    #[test]
+    fn float_lanes_match_scalar() {
+        let b: Vec<f32> = (0..20).map(|i| i as f32 * 0.05).collect();
+        let mut a = b.clone();
+        a[19] += 0.5;
+        assert_eq!(
+            all_within(&b, &a, 0.1f32),
+            all_within_scalar(&b, &a, 0.1f32)
+        );
+        assert!(!all_within(&b, &a, 0.1f32));
+    }
+}

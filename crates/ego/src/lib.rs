@@ -32,6 +32,7 @@
 //!   that enumerate all joinable pairs (what the *exact* CSJ methods need).
 
 mod join;
+pub mod lanes;
 mod order;
 mod points;
 mod predicate;
@@ -40,6 +41,7 @@ mod scalar;
 mod strategy;
 
 pub use join::{collect_pairs, collect_pairs_parallel, super_ego_join, EgoStats, SuperEgoParams};
+pub use lanes::{all_within, all_within_scalar};
 pub use order::ego_sort_order;
 pub use points::PointSet;
 pub use predicate::JoinPredicate;

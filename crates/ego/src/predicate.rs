@@ -43,9 +43,7 @@ impl<S: Scalar> JoinPredicate<S> {
     pub fn matches(&self, b: &[S], a: &[S]) -> bool {
         debug_assert_eq!(b.len(), a.len());
         match *self {
-            JoinPredicate::PerDim { eps } => {
-                b.iter().zip(a.iter()).all(|(&x, &y)| x.within(y, eps))
-            }
+            JoinPredicate::PerDim { eps } => crate::lanes::all_within(b, a, eps),
             JoinPredicate::L1 { eps_sum } => {
                 let mut acc = 0.0f64;
                 for (&x, &y) in b.iter().zip(a.iter()) {

@@ -427,7 +427,15 @@ impl CsjEngine {
                 rec.record_plan(plan, *source, actual_us, start_us);
             }
             let outcome = if cancelled { "cancelled" } else { "ok" };
-            rec.record_join(method, b.len(), a.len(), &timings, outcome, start_us);
+            rec.record_join(
+                method,
+                b.len(),
+                a.len(),
+                &telemetry,
+                &timings,
+                outcome,
+                start_us,
+            );
         }
         if cancelled {
             return Err(EngineError::Cancelled);

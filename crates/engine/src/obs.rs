@@ -105,6 +105,8 @@ pub(crate) struct EngineObs {
     matcher_flushes: Arc<Counter>,
     matcher_edges: Arc<Counter>,
     cancel_polls: Arc<Counter>,
+    encode_lane: [Arc<Counter>; 4],
+    encode_tiles: Arc<Counter>,
     stream_depth: Arc<LogHistogramCell>,
     prune_depth: Arc<LogHistogramCell>,
     communities: Arc<Gauge>,
@@ -279,6 +281,18 @@ impl EngineObs {
                 "Cooperative cancellation polls performed by the kernel.",
                 vec![],
             ),
+            encode_lane: ["scalar", "u8", "u16", "u32"].map(|lane| {
+                registry.counter(
+                    "csj_encode_lane_total",
+                    "Joins by the counter lane the quantized kernel selected.",
+                    vec![("lane", lane.to_string())],
+                )
+            }),
+            encode_tiles: registry.counter(
+                "csj_encode_tiles_total",
+                "L1-sized A tiles walked by cache-blocked kernel scans.",
+                vec![],
+            ),
             stream_depth: registry.log_histogram(
                 "csj_candidate_stream_depth",
                 "Distribution of candidates streamed per driven B row (log2 buckets).",
@@ -335,6 +349,14 @@ impl EngineObs {
         self.matcher_flushes.add(telemetry.matcher_flushes);
         self.matcher_edges.add(telemetry.matcher_edges);
         self.cancel_polls.add(telemetry.cancel_polls);
+        let lane_idx = match telemetry.lane_bits {
+            8 => 1,
+            16 => 2,
+            32 => 3,
+            _ => 0,
+        };
+        self.encode_lane[lane_idx].inc();
+        self.encode_tiles.add(telemetry.a_tiles);
         self.stream_depth
             .merge(&telemetry.stream_depth_hist, telemetry.candidates_streamed);
         self.prune_depth.merge(
@@ -464,6 +486,7 @@ impl QueryRecorder {
         method: CsjMethod,
         b_size: usize,
         a_size: usize,
+        telemetry: &JoinTelemetry,
         timings: &PhaseTimings,
         outcome: &str,
         start_us: u64,
@@ -476,11 +499,17 @@ impl QueryRecorder {
             self.joins_dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        let encoding = match telemetry.lane_bits {
+            0 => "scalar".to_string(),
+            bits => format!("u{bits}"),
+        };
         let mut span = Span::new("join")
             .at(start_us, timings.total().as_micros() as u64)
             .attr("method", method.name())
             .attr("b_size", b_size)
             .attr("a_size", a_size)
+            .attr("encoding", encoding)
+            .attr("a_tiles", telemetry.a_tiles)
             .attr("outcome", outcome);
         let mut offset = start_us;
         for (name, d) in [
@@ -594,7 +623,15 @@ mod tests {
     #[test]
     fn disabled_recorder_produces_nothing() {
         let rec = QueryRecorder::start("similarity", false);
-        rec.record_join(CsjMethod::ApMinMax, 4, 8, &PhaseTimings::default(), "ok", 0);
+        rec.record_join(
+            CsjMethod::ApMinMax,
+            4,
+            8,
+            &JoinTelemetry::default(),
+            &PhaseTimings::default(),
+            "ok",
+            0,
+        );
         rec.end_phase("screen", 0);
         assert!(rec.finish("completed".into()).is_none());
     }
@@ -607,10 +644,11 @@ mod tests {
             pairing: Duration::from_micros(11),
             matching: Duration::from_micros(7),
         };
-        rec.record_join(CsjMethod::ApMinMax, 4, 8, &timings, "ok", 1);
-        rec.record_join(CsjMethod::ApMinMax, 4, 6, &timings, "ok", 20);
+        let tel = JoinTelemetry::default();
+        rec.record_join(CsjMethod::ApMinMax, 4, 8, &tel, &timings, "ok", 1);
+        rec.record_join(CsjMethod::ApMinMax, 4, 6, &tel, &timings, "ok", 20);
         rec.end_phase("screen", 0);
-        rec.record_join(CsjMethod::ExMinMax, 4, 8, &timings, "ok", 40);
+        rec.record_join(CsjMethod::ExMinMax, 4, 8, &tel, &timings, "ok", 40);
         rec.end_phase("refine", 40);
         let trace = rec.finish("completed".into()).expect("recording on");
         assert_eq!(trace.kind, "top_k");
@@ -634,6 +672,7 @@ mod tests {
                 CsjMethod::ApMinMax,
                 1,
                 1,
+                &JoinTelemetry::default(),
                 &PhaseTimings::default(),
                 "ok",
                 i as u64,
