@@ -7,7 +7,7 @@
 //! absolute floor for timer noise on sub-millisecond workloads).
 //!
 //! ```text
-//! cargo run -p csj-bench --release --bin obs_overhead -- [--scale N] [--rounds R]
+//! cargo run -p csj-bench --release --bin obs_overhead -- [--scale N] [--rounds R] [--forensics]
 //! ```
 //!
 //! Exits non-zero when the overhead exceeds the envelope, so CI can
@@ -22,16 +22,21 @@ use csj_engine::{CsjEngine, EngineConfig};
 const QUERIES_PER_ROUND: usize = 8;
 
 fn usage() -> ! {
-    eprintln!("usage: obs_overhead [--scale N] [--rounds R]");
+    eprintln!("usage: obs_overhead [--scale N] [--rounds R] [--forensics]");
     std::process::exit(2)
 }
 
 /// One full workload pass: register the couple's communities, screen,
 /// rank, and answer point similarity queries (cache hits included).
-fn workload(enabled: bool, scale: u32, seed: u64) -> Duration {
+fn workload(enabled: bool, forensics: bool, scale: u32, seed: u64) -> Duration {
     let pair = build_couple(&COUPLES[0], Dataset::VkLike, BuildOptions { scale, seed });
     let mut config = EngineConfig::new(pair.eps);
     config.obs.enabled = enabled;
+    if enabled && forensics {
+        // Worst case for the slow-query log: a zero threshold captures
+        // (and clones) every single trace.
+        config.obs.slow_threshold_us = 0;
+    }
     let mut engine = CsjEngine::new(pair.b.d(), config);
     let b = engine.register(pair.b).expect("register b");
     let a = engine.register(pair.a).expect("register a");
@@ -45,9 +50,9 @@ fn workload(enabled: bool, scale: u32, seed: u64) -> Duration {
     start.elapsed()
 }
 
-fn best_of(rounds: u32, enabled: bool, scale: u32) -> Duration {
+fn best_of(rounds: u32, enabled: bool, forensics: bool, scale: u32) -> Duration {
     (0..rounds)
-        .map(|r| workload(enabled, scale, 0xC5A0_2024 ^ u64::from(r)))
+        .map(|r| workload(enabled, forensics, scale, 0xC5A0_2024 ^ u64::from(r)))
         .min()
         .expect("at least one round")
 }
@@ -55,6 +60,7 @@ fn best_of(rounds: u32, enabled: bool, scale: u32) -> Duration {
 fn main() {
     let mut scale = 64u32;
     let mut rounds = 5u32;
+    let mut forensics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -72,20 +78,22 @@ fn main() {
                     .filter(|&r| r > 0)
                     .unwrap_or_else(|| usage());
             }
+            "--forensics" => forensics = true,
             _ => usage(),
         }
     }
 
     // Warm up both configurations once, then interleave-measure.
-    workload(false, scale, 1);
-    workload(true, scale, 1);
-    let off = best_of(rounds, false, scale);
-    let on = best_of(rounds, true, scale);
+    workload(false, forensics, scale, 1);
+    workload(true, forensics, scale, 1);
+    let off = best_of(rounds, false, forensics, scale);
+    let on = best_of(rounds, true, forensics, scale);
 
     let ratio = on.as_secs_f64() / off.as_secs_f64().max(f64::EPSILON);
     println!(
-        "obs_overhead: disabled {:.3} ms, enabled {:.3} ms, ratio {:.4}",
+        "obs_overhead: disabled {:.3} ms, enabled{} {:.3} ms, ratio {:.4}",
         off.as_secs_f64() * 1e3,
+        if forensics { "+forensics" } else { "" },
         on.as_secs_f64() * 1e3,
         ratio
     );

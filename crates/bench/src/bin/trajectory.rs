@@ -1,0 +1,298 @@
+//! `trajectory` — the committed, append-only performance trajectory.
+//!
+//! Every PR that claims a perf-relevant change appends one record to
+//! `EXPERIMENTS-data/BENCH_trajectory.json` (`--append LABEL`), and CI
+//! re-measures and asserts the trajectory never regresses
+//! (`--check`). The gated metrics are the **deterministic work
+//! counters** of a fixed seeded workload — rows driven, candidates
+//! streamed, matcher edges — not wall-clock: counters are identical
+//! across machines, so a >10% jump is an algorithmic regression, never
+//! scheduler noise. Wall-clock per join rides along as informational
+//! context only.
+//!
+//! ```text
+//! cargo run -p csj-bench --release --bin trajectory -- --check
+//! cargo run -p csj-bench --release --bin trajectory -- --append pr9
+//! cargo run -p csj-bench --release --bin trajectory -- --print
+//! ```
+//!
+//! The file is an object `{"records":[…]}`; records are only ever
+//! appended (atomically: tmp + rename), so `git log` on the file reads
+//! as the project's perf history.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use csj_bench::report::write_report_atomic;
+use csj_core::{run, CsjMethod, CsjOptions};
+use csj_data::pairs::{build_couple, BuildOptions, Dataset};
+use csj_data::COUPLES;
+
+const DEFAULT_FILE: &str = "EXPERIMENTS-data/BENCH_trajectory.json";
+const DEFAULT_SCALE: u32 = 64;
+const DEFAULT_SEED: u64 = 0xC5A0_2024;
+
+/// Metrics the regression gate enforces. All are "higher is worse"
+/// work counters, deterministic for a fixed (couple, scale, seed).
+const GATED: [&str; 5] = [
+    "exact_rows_driven",
+    "exact_candidates_streamed",
+    "exact_matcher_edges",
+    "approx_rows_driven",
+    "approx_candidates_streamed",
+];
+
+/// Allowed growth of a gated metric between consecutive records.
+const MAX_REGRESSION: f64 = 0.10;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trajectory (--check | --append LABEL | --print) \
+         [--file PATH] [--scale N] [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+/// One measured record: (key, value) pairs in a stable order.
+struct Record {
+    label: String,
+    scale: u32,
+    seed: u64,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+impl Record {
+    fn get(&self, key: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Render as one JSON object (hand-rolled: keys are static
+    /// identifiers and values are finite numbers).
+    fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"label\":\"{}\",\"scale\":{},\"seed\":{},\"metrics\":{{",
+            self.label, self.scale, self.seed
+        );
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Run the fixed workload and collect the trajectory metrics.
+fn measure(scale: u32, seed: u64) -> Record {
+    let pair = build_couple(&COUPLES[0], Dataset::VkLike, BuildOptions { scale, seed });
+    let opts = CsjOptions::new(pair.eps);
+    let exact = run(CsjMethod::ExMinMax, &pair.b, &pair.a, &opts).expect("exact join");
+    let approx = run(CsjMethod::ApMinMax, &pair.b, &pair.a, &opts).expect("approx join");
+    // Wall-clock informational pass: best of 3 so the numbers are
+    // readable in the committed file, but never gated.
+    let best_ms = |method: CsjMethod| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                run(method, &pair.b, &pair.a, &opts).expect("timed join");
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let exact_ms = best_ms(CsjMethod::ExMinMax);
+    let approx_ms = best_ms(CsjMethod::ApMinMax);
+    Record {
+        label: String::new(),
+        scale,
+        seed,
+        metrics: vec![
+            ("exact_rows_driven", exact.telemetry.rows_driven as f64),
+            (
+                "exact_candidates_streamed",
+                exact.telemetry.candidates_streamed as f64,
+            ),
+            ("exact_matcher_edges", exact.telemetry.matcher_edges as f64),
+            ("approx_rows_driven", approx.telemetry.rows_driven as f64),
+            (
+                "approx_candidates_streamed",
+                approx.telemetry.candidates_streamed as f64,
+            ),
+            ("exact_matched", exact.pairs.len() as f64),
+            ("approx_matched", approx.pairs.len() as f64),
+            ("info_exact_ms", exact_ms),
+            ("info_approx_ms", approx_ms),
+        ],
+    }
+}
+
+/// The last committed record's gated metrics, plus where it sits in
+/// the file.
+struct LastRecord {
+    index: usize,
+    label: String,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Parse the committed trajectory file into the last record's gated
+/// metrics (plus the record count). Returns `None` when the file does
+/// not exist yet.
+fn read_last(path: &std::path::Path) -> Option<LastRecord> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("trajectory: {} is not valid JSON: {e}", path.display());
+        std::process::exit(2)
+    });
+    let records = &v["records"];
+    let mut n = 0;
+    while records[n]["metrics"]["exact_rows_driven"]
+        .as_f64()
+        .is_some()
+    {
+        n += 1;
+    }
+    if n == 0 {
+        return None;
+    }
+    let last = &records[n - 1];
+    let label = last["label"].as_str().unwrap_or("?").to_string();
+    let mut metrics = Vec::new();
+    for key in GATED {
+        if let Some(val) = last["metrics"][key].as_f64() {
+            metrics.push((key.to_string(), val));
+        }
+    }
+    Some(LastRecord {
+        index: n,
+        label,
+        metrics,
+    })
+}
+
+/// Re-render every existing record verbatim (via the JSON value, so
+/// the rewrite is format-stable) and return them as JSON strings.
+fn existing_records(path: &std::path::Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let v: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(_) => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    let mut i = 0;
+    while v["records"][i]["metrics"]["exact_rows_driven"]
+        .as_f64()
+        .is_some()
+    {
+        out.push(serde_json::to_string(&v["records"][i]).expect("re-render record"));
+        i += 1;
+    }
+    out
+}
+
+/// Compare `current` against the last committed record; returns the
+/// regression report lines (empty = clean).
+fn regressions(current: &Record, last: &[(String, f64)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (key, old) in last {
+        let Some(new) = current.get(key) else {
+            continue;
+        };
+        if *old > 0.0 && new > old * (1.0 + MAX_REGRESSION) {
+            out.push(format!(
+                "{key}: {old:.0} -> {new:.0} (+{:.1}%, limit +{:.0}%)",
+                (new / old - 1.0) * 100.0,
+                MAX_REGRESSION * 100.0
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut file = PathBuf::from(DEFAULT_FILE);
+    let mut scale = DEFAULT_SCALE;
+    let mut seed = DEFAULT_SEED;
+    let mut check = false;
+    let mut print = false;
+    let mut append: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--print" => print = true,
+            "--append" => append = Some(args.next().unwrap_or_else(|| usage())),
+            "--file" => file = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    if !check && !print && append.is_none() {
+        usage();
+    }
+
+    let mut current = measure(scale, seed);
+    println!("trajectory: measured couple[0] at scale {scale} seed {seed}:");
+    for (k, v) in &current.metrics {
+        println!("  {k} = {v}");
+    }
+    if print {
+        return;
+    }
+
+    if let Some(last) = read_last(&file) {
+        let (n, label) = (last.index, &last.label);
+        let bad = regressions(&current, &last.metrics);
+        if bad.is_empty() {
+            println!(
+                "trajectory: no gated metric regressed >{:.0}% vs record #{n} ({label})",
+                MAX_REGRESSION * 100.0
+            );
+        } else {
+            eprintln!("trajectory: FAIL — regression vs record #{n} ({label}):");
+            for line in &bad {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "trajectory: {} has no records yet; nothing to gate against",
+            file.display()
+        );
+    }
+
+    if let Some(label) = append {
+        current.label = label;
+        let mut records = existing_records(&file);
+        records.push(current.to_json());
+        let body = format!("{{\"records\":[\n{}\n]}}\n", records.join(",\n"));
+        write_report_atomic(&file, &body).unwrap_or_else(|e| {
+            eprintln!("trajectory: cannot write {}: {e}", file.display());
+            std::process::exit(2)
+        });
+        println!(
+            "trajectory: appended record #{} ({}) to {}",
+            records.len(),
+            current.label,
+            file.display()
+        );
+    }
+}

@@ -155,6 +155,52 @@ pub enum Command {
         via_service: bool,
         /// Load community files in quarantine mode (see `stats`).
         quarantine: bool,
+        /// Export the traces for external tooling instead of dumping
+        /// them: `chrome` (Chrome `trace_event` JSON, loadable in
+        /// `chrome://tracing` and Perfetto) or `jsonl` (one JSON trace
+        /// per line).
+        export: Option<String>,
+        /// Write the export atomically to this file instead of stdout.
+        out: Option<PathBuf>,
+    },
+    /// Run a budgeted top-k query over community files (first file is
+    /// the anchor) and print the engine's slow-query forensic log:
+    /// every captured record carries the query's full artifact set —
+    /// plan provenance, rolled-up join telemetry, budget state and the
+    /// whole span tree — so a pathological query can be reconstructed
+    /// after the fact.
+    Slow {
+        communities: Vec<PathBuf>,
+        eps: u32,
+        k: usize,
+        deadline_ms: Option<u64>,
+        max_joins: Option<u64>,
+        /// Capture threshold in microseconds: completed queries slower
+        /// than this (and every non-completed query) are captured.
+        /// 0 captures everything the workload produces.
+        slow_threshold_us: u64,
+        /// How many of the most recent forensic records to print.
+        last: usize,
+        json: bool,
+        /// Also persist the rendered records atomically to this file.
+        out: Option<PathBuf>,
+        /// Load community files in quarantine mode (see `stats`).
+        quarantine: bool,
+    },
+    /// Run a broadcast sweep plus a budgeted top-k over community
+    /// files, then evaluate the engine's declarative SLOs — multi-window
+    /// burn rates computed from the `csj_*` series — and print the
+    /// per-(objective, window) verdicts.
+    Slo {
+        communities: Vec<PathBuf>,
+        eps: u32,
+        /// Similarity threshold for the sweep that feeds the metrics.
+        threshold: f64,
+        deadline_ms: Option<u64>,
+        max_joins: Option<u64>,
+        json: bool,
+        /// Load community files in quarantine mode (see `stats`).
+        quarantine: bool,
     },
     /// Brute-force ground truth of a pair.
     Truth { b: PathBuf, a: PathBuf, eps: u32 },
@@ -199,6 +245,11 @@ pub enum Command {
         crash_after: Option<u64>,
         /// WAL fsync policy for the durable ingest.
         fsync: csj_durability::FsyncPolicy,
+        /// Evaluate the service SLOs (multi-window burn rates) after
+        /// the soak and self-check every verdict against the fate
+        /// counters; a breach the fate counters cannot back is an
+        /// invariant violation (exit 2).
+        slo: bool,
     },
     /// Write a checksummed snapshot of a durable registry directory and
     /// truncate its WAL.
@@ -270,9 +321,12 @@ usage:
   csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N]
   csj stats --communities F1,F2,... --eps E [--threshold T] [--format prom|json|text] [--via-service] [--quarantine]
   csj trace --communities F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N] [--last N] [--json] [--via-service] [--quarantine]
+            [--export chrome|jsonl] [--out FILE]
+  csj slow --communities F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N] [--slow-threshold-us T] [--last N] [--json] [--out FILE] [--quarantine]
+  csj slo --communities F1,F2,... --eps E [--threshold T] [--deadline-ms MS] [--max-joins N] [--json] [--quarantine]
   csj truth --b FILE --a FILE --eps E
   csj serve-sim [--qps N] [--duration-ms MS] [--workers W] [--queue Q] [--communities M] [--scale U]
-                [--eps E] [--seed S] [--deadline-ms MS] [--chaos] [--metrics-out FILE]
+                [--eps E] [--seed S] [--deadline-ms MS] [--chaos] [--metrics-out FILE] [--slo]
                 [--durable] [--durable-dir DIR] [--crash-after BYTES] [--fsync always|interval:N]
   csj snapshot --dir DIR
   csj recover --dir DIR [--verify]
@@ -312,6 +366,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let parse_num = |flag: &str, v: &str| -> Result<u64, CliError> {
         v.parse()
             .map_err(|_| CliError::Usage(format!("{flag} expects a number, got {v:?}")))
+    };
+    let community_list = || -> Result<Vec<PathBuf>, CliError> {
+        let files: Vec<PathBuf> = require("--communities")?
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(PathBuf::from)
+            .collect();
+        if files.len() < 2 {
+            return Err(CliError::Usage(
+                "--communities expects at least two comma-separated files".into(),
+            ));
+        }
+        Ok(files)
     };
 
     match sub {
@@ -456,16 +523,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "stats" => {
-            let communities: Vec<PathBuf> = require("--communities")?
-                .split(',')
-                .filter(|s| !s.is_empty())
-                .map(PathBuf::from)
-                .collect();
-            if communities.len() < 2 {
-                return Err(CliError::Usage(
-                    "--communities expects at least two comma-separated files".into(),
-                ));
-            }
+            let communities = community_list()?;
             let threshold = get("--threshold").map_or(Ok(0.15), |v| {
                 v.parse::<f64>()
                     .map_err(|_| CliError::Usage(format!("--threshold expects a ratio, got {v:?}")))
@@ -483,15 +541,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "trace" => {
-            let communities: Vec<PathBuf> = require("--communities")?
-                .split(',')
-                .filter(|s| !s.is_empty())
-                .map(PathBuf::from)
-                .collect();
-            if communities.len() < 2 {
-                return Err(CliError::Usage(
-                    "--communities expects at least two comma-separated files".into(),
-                ));
+            let communities = community_list()?;
+            let export = get("--export").map(str::to_string);
+            if let Some(fmt) = &export {
+                if fmt != "chrome" && fmt != "jsonl" {
+                    return Err(CliError::Usage(format!(
+                        "--export expects chrome|jsonl, got {fmt:?}"
+                    )));
+                }
+            }
+            let out = get("--out").map(PathBuf::from);
+            if out.is_some() && export.is_none() {
+                return Err(CliError::Usage("--out needs --export".into()));
             }
             Ok(Command::Trace {
                 communities,
@@ -506,6 +567,45 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 last: get("--last").map_or(Ok(1), |v| parse_num("--last", v))? as usize,
                 json: has("--json"),
                 via_service: has("--via-service"),
+                quarantine: has("--quarantine"),
+                export,
+                out,
+            })
+        }
+        "slow" => Ok(Command::Slow {
+            communities: community_list()?,
+            eps: parse_num("--eps", require("--eps")?)? as u32,
+            k: get("--k").map_or(Ok(3), |v| parse_num("--k", v))? as usize,
+            deadline_ms: get("--deadline-ms")
+                .map(|v| parse_num("--deadline-ms", v))
+                .transpose()?,
+            max_joins: get("--max-joins")
+                .map(|v| parse_num("--max-joins", v))
+                .transpose()?,
+            slow_threshold_us: get("--slow-threshold-us")
+                .map_or(Ok(0), |v| parse_num("--slow-threshold-us", v))?,
+            last: get("--last").map_or(Ok(8), |v| parse_num("--last", v))? as usize,
+            json: has("--json"),
+            out: get("--out").map(PathBuf::from),
+            quarantine: has("--quarantine"),
+        }),
+        "slo" => {
+            let communities = community_list()?;
+            let threshold = get("--threshold").map_or(Ok(0.15), |v| {
+                v.parse::<f64>()
+                    .map_err(|_| CliError::Usage(format!("--threshold expects a ratio, got {v:?}")))
+            })?;
+            Ok(Command::Slo {
+                communities,
+                eps: parse_num("--eps", require("--eps")?)? as u32,
+                threshold,
+                deadline_ms: get("--deadline-ms")
+                    .map(|v| parse_num("--deadline-ms", v))
+                    .transpose()?,
+                max_joins: get("--max-joins")
+                    .map(|v| parse_num("--max-joins", v))
+                    .transpose()?,
+                json: has("--json"),
                 quarantine: has("--quarantine"),
             })
         }
@@ -545,6 +645,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .transpose()?,
                 fsync: get("--fsync")
                     .map_or(Ok(csj_durability::FsyncPolicy::Always), parse_fsync)?,
+                slo: has("--slo"),
             })
         }
         "snapshot" => Ok(Command::Snapshot {
@@ -694,6 +795,7 @@ fn load_engine(
     files: &[PathBuf],
     eps: u32,
     quarantine: bool,
+    slow_threshold_us: Option<u64>,
 ) -> Result<(csj_engine::CsjEngine, Vec<csj_engine::CommunityHandle>), CliError> {
     use csj_engine::{CsjEngine, EngineConfig};
     let mut engine: Option<CsjEngine> = None;
@@ -710,7 +812,13 @@ fn load_engine(
                 Loaded::Prepared(p) => p.into_community(),
             }
         };
-        let engine = engine.get_or_insert_with(|| CsjEngine::new(c.d(), EngineConfig::new(eps)));
+        let engine = engine.get_or_insert_with(|| {
+            let mut config = EngineConfig::new(eps);
+            if let Some(t) = slow_threshold_us {
+                config.obs.slow_threshold_us = t;
+            }
+            CsjEngine::new(c.d(), config)
+        });
         handles.push(
             engine
                 .register(c)
@@ -720,6 +828,65 @@ fn load_engine(
     let engine = engine.ok_or_else(|| CliError::Usage("no community files given".into()))?;
     engine.note_quarantined(quarantined_total);
     Ok((engine, handles))
+}
+
+/// Nominal evaluation instant for one-shot CLI SLO evaluations. The
+/// SLO engine runs on a caller-supplied clock; a CLI run brackets its
+/// whole workload between `observe(0, ..)` and `observe(SLO_EVAL_US, ..)`,
+/// so both default windows clip to the run's full span and the burn
+/// rates describe exactly the traffic the command generated.
+const SLO_EVAL_US: u64 = 60_000_000;
+
+/// The engine-side SLO preset for `csj slo` and `csj stats`: burn
+/// rates declared over the engine's own `csj_*` series, no extra
+/// instrumentation.
+///
+/// * `join_latency` — ≤1% of joins slower than 100ms;
+/// * `exhausted_fraction` — ≤5% of queries running out of budget.
+fn engine_slos() -> Vec<csj_obs::Objective> {
+    use csj_obs::{CounterSelector, Objective, SloSource};
+    vec![
+        Objective {
+            name: "join_latency".into(),
+            target: 0.01,
+            source: SloSource::LatencyAbove {
+                histogram: "csj_join_latency_seconds".into(),
+                labels: vec![],
+                threshold_us: 100_000,
+            },
+        },
+        Objective {
+            name: "exhausted_fraction".into(),
+            target: 0.05,
+            source: SloSource::CounterFraction {
+                bad: CounterSelector::new("csj_budget_exhausted_total", &[]),
+                total: CounterSelector::new("csj_queries_total", &[]),
+            },
+        },
+    ]
+}
+
+/// Render SLO statuses as a JSON array (hand-rolled: the statuses are
+/// flat and the field set is stable).
+fn slo_statuses_json(statuses: &[csj_obs::SloStatus]) -> String {
+    let items: Vec<String> = statuses
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"objective\":\"{}\",\"window\":\"{}\",\"target\":{},\"bad\":{},\
+                 \"total\":{},\"bad_fraction\":{},\"burn_rate\":{},\"breached\":{}}}",
+                s.objective,
+                s.window,
+                s.target,
+                s.bad,
+                s.total,
+                s.bad_fraction,
+                s.burn_rate,
+                s.breached
+            )
+        })
+        .collect();
+    format!("[{}]\n", items.join(","))
 }
 
 /// Load a `csj-cost-table` file, or the built-in seeded coefficients
@@ -1138,14 +1305,26 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             via_service,
             quarantine,
         } => {
-            let (engine, _handles) = load_engine(&communities, eps, quarantine)?;
+            use csj_obs::{default_windows, SloEngine};
+            let (engine, _handles) = load_engine(&communities, eps, quarantine, None)?;
             if via_service {
-                use csj_service::{CsjService, Request, ServiceConfig};
+                use csj_service::{service_slos, CsjService, Request, ServiceConfig};
+                let slo = SloEngine::new(
+                    engine_slos()
+                        .into_iter()
+                        .chain(service_slos(250_000))
+                        .collect(),
+                    default_windows(),
+                );
                 let service = CsjService::start(engine, ServiceConfig::default());
+                slo.observe(0, &service.metrics_snapshot());
                 service
                     .call(Request::PairsAbove { threshold })
                     .map_err(|e| CliError::Io(e.to_string()))?;
-                let snap = service.metrics_snapshot();
+                let mut snap = service.metrics_snapshot();
+                slo.observe(SLO_EVAL_US, &snap);
+                slo.evaluate(SLO_EVAL_US);
+                snap.metrics.extend(slo.snapshot().metrics);
                 return Ok(match format {
                     StatsFormat::Prometheus => snap.to_prometheus(),
                     StatsFormat::Json => format!("{}\n", snap.to_json()),
@@ -1169,12 +1348,18 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     }
                 });
             }
+            let slo = SloEngine::new(engine_slos(), default_windows());
+            slo.observe(0, &engine.metrics_snapshot());
             engine
                 .pairs_above(threshold)
                 .map_err(|e| CliError::Io(e.to_string()))?;
+            let mut snap = engine.metrics_snapshot();
+            slo.observe(SLO_EVAL_US, &snap);
+            slo.evaluate(SLO_EVAL_US);
+            snap.metrics.extend(slo.snapshot().metrics);
             Ok(match format {
-                StatsFormat::Prometheus => engine.metrics_snapshot().to_prometheus(),
-                StatsFormat::Json => format!("{}\n", engine.metrics_snapshot().to_json()),
+                StatsFormat::Prometheus => snap.to_prometheus(),
+                StatsFormat::Json => format!("{}\n", snap.to_json()),
                 StatsFormat::Text => engine.stats().to_string(),
             })
         }
@@ -1188,9 +1373,11 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             json,
             via_service,
             quarantine,
+            export,
+            out,
         } => {
             use csj_engine::Budget;
-            let (engine, handles) = load_engine(&communities, eps, quarantine)?;
+            let (engine, handles) = load_engine(&communities, eps, quarantine, None)?;
             let traces = if via_service {
                 use csj_service::{CsjService, Request, ServiceConfig};
                 if max_joins.is_some() {
@@ -1222,6 +1409,24 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     .map_err(|e| CliError::Io(e.to_string()))?;
                 engine.traces(last)
             };
+            if let Some(fmt) = export {
+                let body = match fmt.as_str() {
+                    "chrome" => csj_obs::traces_to_chrome(&traces),
+                    _ => csj_obs::traces_to_jsonl(&traces),
+                };
+                return match out {
+                    Some(path) => {
+                        csj_durability::atomic::write_atomic(&path, body.as_bytes())
+                            .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+                        Ok(format!(
+                            "exported {} traces ({fmt}) to {}\n",
+                            traces.len(),
+                            path.display()
+                        ))
+                    }
+                    None => Ok(body),
+                };
+            }
             if json {
                 let items: Vec<String> = traces.iter().map(|t| t.to_json()).collect();
                 Ok(format!("[{}]\n", items.join(",")))
@@ -1231,6 +1436,120 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     out.push_str(&t.to_text());
                 }
                 Ok(out)
+            }
+        }
+        Command::Slow {
+            communities,
+            eps,
+            k,
+            deadline_ms,
+            max_joins,
+            slow_threshold_us,
+            last,
+            json,
+            out,
+            quarantine,
+        } => {
+            use csj_engine::Budget;
+            let (engine, handles) =
+                load_engine(&communities, eps, quarantine, Some(slow_threshold_us))?;
+            let mut budget = Budget::unlimited();
+            if let Some(ms) = deadline_ms {
+                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            if let Some(max) = max_joins {
+                budget = budget.with_max_joins(max);
+            }
+            engine
+                .top_k_similar_with_budget(handles[0], k, &budget)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            let records = engine.slow_queries(last);
+            let (offered, captured, threshold_us) = engine.slow_query_stats();
+            let body = if json {
+                let items: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+                format!("[{}]\n", items.join(","))
+            } else {
+                use std::fmt::Write as _;
+                let mut s = format!(
+                    "slow-query log: {} shown of {captured} captured \
+                     ({offered} offered, threshold {threshold_us}us)\n",
+                    records.len()
+                );
+                if records.is_empty() {
+                    let _ = writeln!(
+                        s,
+                        "  (nothing captured; lower --slow-threshold-us or \
+                         tighten --deadline-ms/--max-joins)"
+                    );
+                }
+                for r in &records {
+                    s.push_str(&r.to_text());
+                }
+                s
+            };
+            match out {
+                Some(path) => {
+                    // The persisted artifact is always the JSON records
+                    // (machine-readable evidence); --json only switches
+                    // the stdout rendering.
+                    let items: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+                    let artifact = format!("[{}]\n", items.join(","));
+                    csj_durability::atomic::write_atomic(&path, artifact.as_bytes())
+                        .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+                    Ok(format!(
+                        "wrote {} forensic records to {}\n",
+                        records.len(),
+                        path.display()
+                    ))
+                }
+                None => Ok(body),
+            }
+        }
+        Command::Slo {
+            communities,
+            eps,
+            threshold,
+            deadline_ms,
+            max_joins,
+            json,
+            quarantine,
+        } => {
+            use csj_engine::Budget;
+            use csj_obs::{default_windows, SloEngine};
+            let (engine, handles) = load_engine(&communities, eps, quarantine, None)?;
+            let slo = SloEngine::new(engine_slos(), default_windows());
+            slo.observe(0, &engine.metrics_snapshot());
+            let mut budget = Budget::unlimited();
+            if let Some(ms) = deadline_ms {
+                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            if let Some(max) = max_joins {
+                budget = budget.with_max_joins(max);
+            }
+            engine
+                .pairs_above(threshold)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            engine
+                .top_k_similar_with_budget(handles[0], 3, &budget)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            slo.observe(SLO_EVAL_US, &engine.metrics_snapshot());
+            let statuses = slo.evaluate(SLO_EVAL_US);
+            if json {
+                Ok(slo_statuses_json(&statuses))
+            } else {
+                use std::fmt::Write as _;
+                let mut s = String::new();
+                for status in &statuses {
+                    let _ = writeln!(s, "slo {status}");
+                }
+                let breached = statuses.iter().filter(|st| st.breached).count();
+                let _ = writeln!(
+                    s,
+                    "objectives={} windows={} breached={breached}",
+                    statuses.len() / slo.windows().len().max(1),
+                    slo.windows().len()
+                );
+                Ok(s)
             }
         }
         Command::ServeSim {
@@ -1249,6 +1568,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             durable_dir,
             crash_after,
             fsync,
+            slo,
         } => serve_sim(SimArgs {
             qps,
             duration_ms,
@@ -1265,6 +1585,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             durable_dir,
             crash_after,
             fsync,
+            slo,
         }),
         Command::Snapshot { dir } => {
             use csj_durability::{DurabilityConfig, DurableEngine};
@@ -1399,6 +1720,7 @@ struct SimArgs {
     durable_dir: Option<PathBuf>,
     crash_after: Option<u64>,
     fsync: csj_durability::FsyncPolicy,
+    slo: bool,
 }
 
 /// One scripted ingest mutation of the durable serve-sim phase; the
@@ -1745,6 +2067,22 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
             ..ServiceConfig::default()
         },
     );
+    // The SLO engine samples the same snapshots the report reconciles,
+    // so its burn rates are definitionally traceable to fate counters;
+    // the self-check below catches any drift in that plumbing.
+    let slo = args.slo.then(|| {
+        let threshold_us = if args.deadline_ms > 0 {
+            args.deadline_ms.saturating_mul(1_000)
+        } else {
+            250_000
+        };
+        let engine = csj_obs::SloEngine::new(
+            csj_service::service_slos(threshold_us),
+            csj_obs::default_windows(),
+        );
+        engine.observe(0, &service.metrics_snapshot());
+        engine
+    });
 
     // Open-loop generation: each request has a fixed due time derived
     // from the rate; falling behind never slows submission down.
@@ -1799,6 +2137,47 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
     let mut snap = service.metrics_snapshot();
     if let Some(dm) = durable_metrics {
         snap.metrics.extend(dm.metrics);
+    }
+    let mut slo_lines = String::new();
+    let mut slo_ok = true;
+    if let Some(slo) = &slo {
+        let elapsed_us = (started.elapsed().as_micros() as u64).max(1);
+        slo.observe(elapsed_us, &snap);
+        let statuses = slo.evaluate(elapsed_us);
+        let shed_c = snap.counter_value("csj_service_shed_total", &[]);
+        let submitted_c = snap.counter_value("csj_service_submitted_total", &[]);
+        let degraded_c =
+            snap.counter_value("csj_service_completed_total", &[("outcome", "degraded")]);
+        let completed_c = degraded_c
+            + snap.counter_value("csj_service_completed_total", &[("outcome", "answered")])
+            + snap.counter_value("csj_service_completed_total", &[("outcome", "failed")]);
+        for s in &statuses {
+            let _ = writeln!(slo_lines, "slo {s}");
+            // Every burn rate must be derivable from the same fate
+            // counters the four-fates identities constrain: both soak
+            // windows clip to the run's lifetime, so the window deltas
+            // equal the final counter values exactly.
+            let reconciled = match s.objective.as_str() {
+                "shed_fraction" => s.bad as u64 == shed_c && s.total as u64 == submitted_c,
+                "degraded_fraction" => s.bad as u64 == degraded_c && s.total as u64 == completed_c,
+                "request_latency" => s.total as u64 == completed_c,
+                _ => true,
+            };
+            // A breach without nonzero bad events (and, for the fate
+            // fractions, a nonzero matching fate counter) means the SLO
+            // plumbing invented traffic.
+            let backed = !s.breached
+                || (s.bad > 0.0
+                    && match s.objective.as_str() {
+                        "shed_fraction" => shed_c > 0,
+                        "degraded_fraction" => degraded_c > 0,
+                        _ => true,
+                    });
+            slo_ok &= reconciled && backed;
+        }
+        // The `csj_slo_*` gauges ride the same exposition as the fate
+        // counters they summarise.
+        snap.metrics.extend(slo.snapshot().metrics);
     }
     if let Some(path) = &args.metrics_out {
         // Crash-safe: the exposition appears atomically or not at all,
@@ -1878,6 +2257,7 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
     let _ = writeln!(out, "latency: p50<={} p99<={}", fmt_ms(p50), fmt_ms(p99));
     let _ = writeln!(out, "panics-escaped={panics_escaped}");
     out.push_str(&durable_lines);
+    out.push_str(&slo_lines);
     let _ = writeln!(
         out,
         "invariant submitted == admitted + shed: {}",
@@ -1888,7 +2268,14 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
         "invariant every admitted request resolved exactly once: {}",
         verdict(resolution_ok)
     );
-    if !(identity_ok && resolution_ok && durable_ok) {
+    if args.slo {
+        let _ = writeln!(
+            out,
+            "invariant slo burn rates reconcile with fate counters: {}",
+            verdict(slo_ok)
+        );
+    }
+    if !(identity_ok && resolution_ok && durable_ok && slo_ok) {
         return Err(CliError::Io(format!("serve-sim invariant violated\n{out}")));
     }
     Ok(out)
@@ -2583,6 +2970,8 @@ mod tests {
             json: true,
             via_service: false,
             quarantine: false,
+            export: None,
+            out: None,
         })
         .unwrap();
         assert!(json.contains("\"kind\":\"top_k\""), "{json}");
@@ -2601,6 +2990,8 @@ mod tests {
             json: false,
             via_service: false,
             quarantine: false,
+            export: None,
+            out: None,
         })
         .unwrap();
         assert!(text.contains("top_k outcome=completed"), "{text}");
@@ -2664,9 +3055,11 @@ mod tests {
                 durable_dir,
                 crash_after,
                 fsync,
+                slo,
             } => {
                 assert_eq!(qps, 300);
                 assert!(!durable);
+                assert!(!slo, "--slo defaults off");
                 assert_eq!(durable_dir, None);
                 assert_eq!(crash_after, None);
                 assert_eq!(fsync, csj_durability::FsyncPolicy::Always);
@@ -2749,6 +3142,7 @@ mod tests {
             durable_dir: None,
             crash_after: None,
             fsync: csj_durability::FsyncPolicy::Always,
+            slo: false,
         })
         .unwrap();
         assert_eq!(report_field(&out, "submitted"), 20, "{out}");
@@ -2857,6 +3251,7 @@ mod tests {
             durable_dir: Some(dir.join("reg")),
             crash_after: None,
             fsync: csj_durability::FsyncPolicy::Always,
+            slo: false,
         })
         .unwrap();
         assert!(out.contains("durable-converged=ok"), "{out}");
@@ -2923,6 +3318,7 @@ mod tests {
             durable_dir: Some(dir.join("reg")),
             crash_after: Some(2_000),
             fsync: csj_durability::FsyncPolicy::Always,
+            slo: false,
         })
         .unwrap();
         assert!(out.contains("durable-crash: injected"), "{out}");
@@ -2956,6 +3352,7 @@ mod tests {
             durable_dir: None,
             crash_after: Some(100),
             fsync: csj_durability::FsyncPolicy::Always,
+            slo: false,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
@@ -3011,6 +3408,8 @@ mod tests {
             json: false,
             via_service: true,
             quarantine: false,
+            export: None,
+            out: None,
         })
         .unwrap();
         assert!(text.contains("outcome=degraded"), "{text}");
@@ -3027,6 +3426,8 @@ mod tests {
             json: false,
             via_service: true,
             quarantine: false,
+            export: None,
+            out: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
@@ -3096,6 +3497,7 @@ mod tests {
             durable_dir: None,
             crash_after: None,
             fsync: csj_durability::FsyncPolicy::Always,
+            slo: false,
         })
         .unwrap();
         assert!(report_field(&out, "shed") > 0, "{out}");
@@ -3120,5 +3522,343 @@ mod tests {
             prom.contains("csj_service_breaker_transitions_total"),
             "{prom}"
         );
+    }
+
+    #[test]
+    fn parse_slow_slo_and_export_flags() {
+        match parse(&argv(
+            "slow --communities a,b --eps 1 --max-joins 1 --slow-threshold-us 5000 \
+             --last 2 --json --out /tmp/f.json",
+        ))
+        .unwrap()
+        {
+            Command::Slow {
+                communities,
+                eps,
+                max_joins,
+                slow_threshold_us,
+                last,
+                json,
+                out,
+                ..
+            } => {
+                assert_eq!(communities.len(), 2);
+                assert_eq!(eps, 1);
+                assert_eq!(max_joins, Some(1));
+                assert_eq!(slow_threshold_us, 5_000);
+                assert_eq!(last, 2);
+                assert!(json);
+                assert_eq!(out, Some(PathBuf::from("/tmp/f.json")));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("slow --communities a,b --eps 1")).unwrap() {
+            Command::Slow {
+                slow_threshold_us,
+                last,
+                json,
+                out,
+                ..
+            } => {
+                assert_eq!(slow_threshold_us, 0, "default captures everything");
+                assert_eq!(last, 8);
+                assert!(!json);
+                assert_eq!(out, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv(
+            "slo --communities a,b --eps 1 --threshold 0.3 --max-joins 0 --json",
+        ))
+        .unwrap()
+        {
+            Command::Slo {
+                threshold,
+                max_joins,
+                json,
+                ..
+            } => {
+                assert!((threshold - 0.3).abs() < 1e-9);
+                assert_eq!(max_joins, Some(0));
+                assert!(json);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv(
+            "trace --communities a,b --eps 1 --export chrome --out /tmp/t.json",
+        ))
+        .unwrap()
+        {
+            Command::Trace { export, out, .. } => {
+                assert_eq!(export.as_deref(), Some("chrome"));
+                assert_eq!(out, Some(PathBuf::from("/tmp/t.json")));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("serve-sim --slo")).unwrap() {
+            Command::ServeSim { slo, .. } => assert!(slo),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("trace --communities a,b --eps 1 --export svg")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("trace --communities a,b --eps 1 --out /tmp/t.json")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("slow --communities solo --eps 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("slo --communities a,b --eps 1 --threshold lots")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn slow_reproduces_pathological_queries_with_plan_and_telemetry() {
+        let (b, a) = generated_pair("csj_cli_slow_test", 7);
+        // An unbudgeted run with threshold 0: the completed top-k is
+        // captured for latency, and the record carries the rolled-up
+        // join telemetry plus the full span tree.
+        let json = execute(Command::Slow {
+            communities: vec![b.clone(), a.clone()],
+            eps: 1,
+            k: 3,
+            deadline_ms: None,
+            max_joins: None,
+            slow_threshold_us: 0,
+            last: 4,
+            json: true,
+            out: None,
+            quarantine: false,
+        })
+        .unwrap();
+        assert!(json.contains("\"cause\":\"latency>0us\""), "{json}");
+        assert!(json.contains("\"joins\":1"), "{json}");
+        assert!(json.contains("\"rows_driven\""), "{json}");
+        assert!(json.contains("\"matcher_edges\""), "{json}");
+        assert!(json.contains("\"screen\""), "{json}");
+        let _parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("slow --json emits valid JSON");
+
+        // A zero-deadline run exhausts before any join: the trace lands
+        // in the log for its outcome, with the budget state attached.
+        // --out persists the JSON records even when stdout is text.
+        let dir = std::env::temp_dir().join("csj_cli_slow_test");
+        let out_path = dir.join("forensics.json");
+        let msg = execute(Command::Slow {
+            communities: vec![b, a],
+            eps: 1,
+            k: 3,
+            deadline_ms: Some(0),
+            max_joins: None,
+            slow_threshold_us: 1_000_000_000,
+            last: 4,
+            json: false,
+            out: Some(out_path.clone()),
+            quarantine: false,
+        })
+        .unwrap();
+        assert!(msg.contains("wrote 1 forensic records"), "{msg}");
+        let artifact = std::fs::read_to_string(&out_path).unwrap();
+        assert!(
+            artifact.contains("\"cause\":\"outcome:exhausted:deadline\""),
+            "{artifact}"
+        );
+        assert!(artifact.contains("budget_reason"), "{artifact}");
+        assert!(artifact.contains("top_k"), "{artifact}");
+        let _parsed: serde_json::Value =
+            serde_json::from_str(&artifact).expect("slow --out persists valid JSON");
+        assert!(!dir.join("forensics.json.tmp").exists(), "atomic write");
+    }
+
+    #[test]
+    fn trace_export_chrome_round_trips() {
+        let (b, a) = generated_pair("csj_cli_export_test", 9);
+        let run = |export: &str, out: Option<PathBuf>| {
+            execute(Command::Trace {
+                communities: vec![b.clone(), a.clone()],
+                eps: 1,
+                k: 2,
+                deadline_ms: None,
+                max_joins: None,
+                last: 1,
+                json: false,
+                via_service: false,
+                quarantine: false,
+                export: Some(export.to_string()),
+                out,
+            })
+            .unwrap()
+        };
+        let chrome = run("chrome", None);
+        let v: serde_json::Value =
+            serde_json::from_str(&chrome).expect("chrome export is valid JSON");
+        assert_eq!(v["displayTimeUnit"].as_str(), Some("ms"));
+        let events = &v["traceEvents"];
+        let (mut complete, mut meta, mut i) = (0, 0, 0);
+        loop {
+            let e = &events[i];
+            match e["ph"].as_str() {
+                Some("X") => {
+                    complete += 1;
+                    assert!(e["name"].as_str().is_some(), "{chrome}");
+                    assert_eq!(e["pid"].as_u64(), Some(1), "{chrome}");
+                    assert!(
+                        e["ts"].as_f64().is_some() && e["dur"].as_f64().is_some(),
+                        "{chrome}"
+                    );
+                }
+                Some("M") => meta += 1,
+                Some(other) => panic!("unexpected phase {other:?} in {chrome}"),
+                None => break,
+            }
+            i += 1;
+        }
+        assert!(complete >= 2, "query + child spans expected: {chrome}");
+        assert!(meta >= 1, "thread_name metadata expected: {chrome}");
+
+        let jsonl = run("jsonl", None);
+        assert!(jsonl.lines().count() >= 1);
+        for line in jsonl.lines() {
+            let _: serde_json::Value =
+                serde_json::from_str(line).expect("each jsonl line is valid JSON");
+        }
+
+        let dir = std::env::temp_dir().join("csj_cli_export_test");
+        let path = dir.join("trace.json");
+        let msg = run("chrome", Some(path.clone()));
+        assert!(msg.contains("exported 1 traces (chrome)"), "{msg}");
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        let _: serde_json::Value =
+            serde_json::from_str(&on_disk).expect("exported file is valid JSON");
+        assert!(!dir.join("trace.json.tmp").exists(), "atomic write");
+    }
+
+    #[test]
+    fn slo_reports_burn_rates_for_budget_exhaustion() {
+        let (b, a) = generated_pair("csj_cli_slo_test", 10);
+        // max-joins 0 exhausts the top-k: 1 of 2 queries burns budget,
+        // blowing the 5% exhausted_fraction objective.
+        let text = execute(Command::Slo {
+            communities: vec![b.clone(), a.clone()],
+            eps: 1,
+            threshold: 0.0,
+            deadline_ms: None,
+            max_joins: Some(0),
+            json: false,
+            quarantine: false,
+        })
+        .unwrap();
+        assert!(text.contains("slo exhausted_fraction/5m: burn"), "{text}");
+        assert!(text.contains("slo join_latency/1h: burn"), "{text}");
+        assert!(text.contains("BREACHED"), "{text}");
+        assert!(text.contains("objectives=2 windows=2 breached="), "{text}");
+
+        let json = execute(Command::Slo {
+            communities: vec![b, a],
+            eps: 1,
+            threshold: 0.0,
+            deadline_ms: None,
+            max_joins: Some(0),
+            json: true,
+            quarantine: false,
+        })
+        .unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&json).expect("slo --json emits valid JSON");
+        assert_eq!(v[0]["objective"].as_str(), Some("join_latency"), "{json}");
+        assert!(
+            json.contains("\"objective\":\"exhausted_fraction\""),
+            "{json}"
+        );
+        assert!(json.contains("\"breached\":true"), "{json}");
+    }
+
+    #[test]
+    fn stats_exposes_slo_burn_rate_series() {
+        let (b, a) = generated_pair("csj_cli_stats_slo_test", 11);
+        let prom = execute(Command::Stats {
+            communities: vec![b.clone(), a.clone()],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Prometheus,
+            via_service: false,
+            quarantine: false,
+        })
+        .unwrap();
+        assert!(prom.contains("# TYPE csj_slo_target gauge"), "{prom}");
+        assert!(prom.contains("# TYPE csj_slo_burn_rate gauge"), "{prom}");
+        assert!(prom.contains("# TYPE csj_slo_bad_fraction gauge"), "{prom}");
+        assert!(prom.contains("# TYPE csj_slo_breached gauge"), "{prom}");
+        assert!(
+            prom.contains("csj_slo_target{objective=\"exhausted_fraction\"}"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("csj_slo_burn_rate{objective=\"join_latency\",window=\"5m\"}"),
+            "{prom}"
+        );
+
+        // --via-service adds the service objectives to the exposition.
+        let via = execute(Command::Stats {
+            communities: vec![b, a],
+            eps: 1,
+            threshold: 0.0,
+            format: StatsFormat::Prometheus,
+            via_service: true,
+            quarantine: false,
+        })
+        .unwrap();
+        assert!(
+            via.contains("csj_slo_burn_rate{objective=\"shed_fraction\",window=\"1h\"}"),
+            "{via}"
+        );
+        assert!(
+            via.contains("csj_slo_target{objective=\"request_latency\"}"),
+            "{via}"
+        );
+    }
+
+    #[test]
+    fn serve_sim_slo_self_check_passes() {
+        let metrics =
+            std::env::temp_dir().join(format!("csj_cli_serve_sim_slo_{}.prom", std::process::id()));
+        let out = execute(Command::ServeSim {
+            qps: 40,
+            duration_ms: 500,
+            workers: 2,
+            queue: 16,
+            communities: 3,
+            scale: 60,
+            eps: 1,
+            seed: 7,
+            deadline_ms: 250,
+            chaos: false,
+            metrics_out: Some(metrics.clone()),
+            durable: false,
+            durable_dir: None,
+            crash_after: None,
+            fsync: csj_durability::FsyncPolicy::Always,
+            slo: true,
+        })
+        .unwrap();
+        assert!(out.contains("slo request_latency/5m: burn"), "{out}");
+        assert!(out.contains("slo degraded_fraction/"), "{out}");
+        assert!(out.contains("slo shed_fraction/"), "{out}");
+        assert!(
+            out.contains("invariant slo burn rates reconcile with fate counters: ok"),
+            "{out}"
+        );
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            prom.contains("csj_slo_burn_rate{objective=\"request_latency\""),
+            "{prom}"
+        );
+        assert!(prom.contains("csj_service_submitted_total"), "{prom}");
+        std::fs::remove_file(&metrics).unwrap();
     }
 }

@@ -94,13 +94,20 @@ pub enum ExhaustReason {
     MaxJoins,
 }
 
-impl std::fmt::Display for ExhaustReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+impl ExhaustReason {
+    /// The stable label used by metrics, traces and forensic records.
+    pub fn label(self) -> &'static str {
+        match self {
             ExhaustReason::Cancelled => "cancelled",
             ExhaustReason::Deadline => "deadline",
             ExhaustReason::MaxJoins => "max-joins",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for ExhaustReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 

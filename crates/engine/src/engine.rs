@@ -19,7 +19,7 @@ use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity
 use csj_core::{
     run, Community, CsjError, CsjMethod, CsjOptions, JoinTelemetry, Similarity, UserId,
 };
-use csj_obs::{MetricsSnapshot, QueryTrace};
+use csj_obs::{ForensicRecord, MetricsSnapshot, QueryTrace};
 
 use crate::budget::{exhausted_marker, Budget, BudgetExhausted, Partial};
 use crate::error::EngineError;
@@ -418,7 +418,13 @@ impl CsjEngine {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .merge(&telemetry);
-        self.obs.on_join(method, &telemetry, &timings, cancelled);
+        self.obs.on_join(
+            method,
+            &telemetry,
+            &timings,
+            cancelled,
+            rec.map_or(0, |r| r.trace_id()),
+        );
         if let Some((plan, source)) = &planned {
             self.obs.on_plan(plan, *source, actual_us);
         }
@@ -572,7 +578,7 @@ impl CsjEngine {
     ) -> Result<Similarity, EngineError> {
         let qopts = self.config.options.clone();
         let joins = AtomicU64::new(0);
-        let rec = QueryRecorder::start("similarity", self.obs.enabled());
+        let rec = self.obs.start_recorder("similarity");
         self.obs.on_query("similarity");
         let result = self.refine_pair(x, y, &qopts, &joins, Some(&rec));
         let outcome = match &result {
@@ -604,7 +610,7 @@ impl CsjEngine {
             return self.similarity(x, y);
         }
         let qopts = self.config.options.clone();
-        let rec = QueryRecorder::start("similarity", self.obs.enabled());
+        let rec = self.obs.start_recorder("similarity");
         self.obs.on_query("similarity");
         let result = (|| {
             let (b, a) = self.oriented(x, y)?;
@@ -710,7 +716,7 @@ impl CsjEngine {
         budget: &Budget,
     ) -> Result<Partial<ScreenOutcome>, EngineError> {
         let joins = AtomicU64::new(0);
-        let rec = QueryRecorder::start("screen", self.obs.enabled());
+        let rec = self.obs.start_recorder("screen");
         self.obs.on_query("screen");
         let (outcome, done, skipped) =
             match self.screen_budgeted(x, candidates, budget, &joins, Some(&rec)) {
@@ -740,6 +746,11 @@ impl CsjEngine {
     fn finish_trace(&self, rec: QueryRecorder, exhausted: Option<BudgetExhausted>) {
         if let Some(marker) = exhausted {
             self.obs.on_budget_exhausted(marker.reason);
+            rec.note_budget(
+                marker.reason.label(),
+                marker.pairs_done,
+                marker.pairs_skipped,
+            );
         }
         if let Some(trace) = rec.finish(outcome_label(exhausted.map(|m| m.reason))) {
             self.obs.record_trace(trace);
@@ -912,7 +923,7 @@ impl CsjEngine {
         budget: &Budget,
     ) -> Result<Partial<Vec<PairScore>>, EngineError> {
         let joins = AtomicU64::new(0);
-        let rec = QueryRecorder::start(kind, self.obs.enabled());
+        let rec = self.obs.start_recorder(kind);
         self.obs.on_query(kind);
         let (screened, mut done, mut skipped) =
             match self.screen_budgeted(x, candidates, budget, &joins, Some(&rec)) {
@@ -1065,7 +1076,7 @@ impl CsjEngine {
     ) -> Result<Partial<PairsSweep>, EngineError> {
         let n = self.entries.len() as u32;
         let joins = AtomicU64::new(0);
-        let rec = QueryRecorder::start("pairs_above", self.obs.enabled());
+        let rec = self.obs.start_recorder("pairs_above");
         self.obs.on_query("pairs_above");
         let qopts = self
             .config
@@ -1252,6 +1263,20 @@ impl CsjEngine {
         primary: CsjMethod,
         pair: Option<(CommunityHandle, CommunityHandle)>,
     ) -> Vec<CsjMethod> {
+        self.degradation_ladder_with_source(primary, pair).0
+    }
+
+    /// [`degradation_ladder_for`](CsjEngine::degradation_ladder_for),
+    /// plus the ranking's provenance: whether latency feedback for
+    /// `primary` refined the cost model ([`PlanSource::Refined`]) or
+    /// the static table ranked alone. Degraded requests surface this in
+    /// their traces so an operator can tell a cold-start ladder from a
+    /// learned one.
+    pub fn degradation_ladder_with_source(
+        &self,
+        primary: CsjMethod,
+        pair: Option<(CommunityHandle, CommunityHandle)>,
+    ) -> (Vec<CsjMethod>, PlanSource) {
         let input = pair
             .and_then(|(x, y)| {
                 let (b, a) = self.oriented(x, y).ok()?;
@@ -1260,7 +1285,7 @@ impl CsjEngine {
                 Some(PlanInput::from_prepared(&pb, &pa, Exactness::Any))
             })
             .unwrap_or_else(|| self.average_plan_input());
-        self.planner.ladder(primary, &input)
+        self.planner.ladder_with_source(primary, &input)
     }
 
     /// A representative [`PlanInput`] when no concrete pair is in play:
@@ -1293,6 +1318,23 @@ impl CsjEngine {
     /// oldest first. Empty when observability is disabled.
     pub fn traces(&self, n: usize) -> Vec<QueryTrace> {
         self.obs.traces(n)
+    }
+
+    /// The `n` most recent forensic records from the slow-query log
+    /// (queries over [`ObsConfig::slow_capacity`]'s threshold or with a
+    /// non-`completed` outcome), oldest first. Each record carries the
+    /// full span tree — plan decision, per-join telemetry, budget
+    /// state — of one pathological query.
+    ///
+    /// [`ObsConfig::slow_capacity`]: crate::ObsConfig::slow_capacity
+    pub fn slow_queries(&self, n: usize) -> Vec<ForensicRecord> {
+        self.obs.slow_queries(n)
+    }
+
+    /// Slow-query log statistics: `(offered, captured, threshold_us)`.
+    pub fn slow_query_stats(&self) -> (u64, u64, u64) {
+        let log = self.obs.slow_log();
+        (log.offered(), log.captured(), log.threshold_us())
     }
 
     /// Engine statistics.

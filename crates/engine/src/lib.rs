@@ -43,7 +43,7 @@ mod tracked;
 
 pub use budget::{Budget, BudgetExhausted, CancelToken, ExhaustReason, Partial};
 pub use csj_core::plan::{CostTable, Exactness, PlanInput, QueryPlan};
-pub use csj_obs::{MetricsSnapshot, QueryTrace};
+pub use csj_obs::{CaptureCause, ForensicRecord, MetricsSnapshot, QueryTrace};
 pub use engine::{
     CommunityHandle, CsjEngine, EngineConfig, EngineStats, PairScore, PairsCursor, PairsSweep,
     ScreenOutcome,

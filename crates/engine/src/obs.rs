@@ -17,8 +17,8 @@ use std::time::Instant;
 
 use csj_core::{CsjMethod, JoinTelemetry, PhaseTimings};
 use csj_obs::{
-    Counter, FlightRecorder, Gauge, LatencyHistogram, LogHistogramCell, MetricsRegistry,
-    MetricsSnapshot, QueryTrace, Span,
+    Counter, FlightRecorder, ForensicRecord, Gauge, LatencyHistogram, LogHistogramCell,
+    MetricsRegistry, MetricsSnapshot, QueryTrace, SlowQueryLog, Span,
 };
 
 use csj_core::plan::QueryPlan;
@@ -35,6 +35,13 @@ pub struct ObsConfig {
     pub enabled: bool,
     /// How many completed query traces the flight recorder retains.
     pub flight_capacity: usize,
+    /// How many pathological traces the slow-query log retains
+    /// (independent of the flight recorder, so a bad query survives
+    /// eviction by healthy ones).
+    pub slow_capacity: usize,
+    /// Queries slower than this (or with a non-`completed` outcome)
+    /// are captured in the slow-query log. `0` captures everything.
+    pub slow_threshold_us: u64,
 }
 
 impl Default for ObsConfig {
@@ -42,6 +49,8 @@ impl Default for ObsConfig {
         Self {
             enabled: true,
             flight_capacity: 64,
+            slow_capacity: 32,
+            slow_threshold_us: 250_000,
         }
     }
 }
@@ -82,6 +91,7 @@ pub(crate) struct EngineObs {
     enabled: bool,
     registry: MetricsRegistry,
     flight: FlightRecorder,
+    slow: SlowQueryLog,
     joins: Vec<Arc<Counter>>,
     latency: Vec<Arc<LatencyHistogram>>,
     queries: Vec<Arc<Counter>>,
@@ -190,6 +200,7 @@ impl EngineObs {
         Self {
             enabled: config.enabled,
             flight: FlightRecorder::new(config.flight_capacity),
+            slow: SlowQueryLog::new(config.slow_capacity, config.slow_threshold_us),
             joins,
             latency,
             queries,
@@ -317,25 +328,25 @@ impl EngineObs {
         }
     }
 
-    pub(crate) fn enabled(&self) -> bool {
-        self.enabled
-    }
-
     /// Fold one completed join into the metrics: per-method count and
-    /// latency plus every kernel telemetry counter.
+    /// latency plus every kernel telemetry counter. A non-zero
+    /// `trace_id` becomes the latency bucket's exemplar, linking the
+    /// hot histogram cell back to a reconstructable trace.
     pub(crate) fn on_join(
         &self,
         method: CsjMethod,
         telemetry: &JoinTelemetry,
         timings: &PhaseTimings,
         cancelled: bool,
+        trace_id: u64,
     ) {
         if !self.enabled {
             return;
         }
         let idx = method_index(method);
         self.joins[idx].inc();
-        self.latency[idx].observe(timings.total());
+        let us = timings.total().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency[idx].observe_us_with_exemplar(us, trace_id);
         if cancelled {
             self.joins_cancelled.inc();
         }
@@ -433,16 +444,45 @@ impl EngineObs {
         self.registry.snapshot()
     }
 
-    /// Store a completed query trace in the flight recorder.
-    pub(crate) fn record_trace(&self, trace: QueryTrace) {
-        if self.enabled {
-            self.flight.record(trace);
+    /// Start recording a query of `kind`, reserving its flight-recorder
+    /// id up front so in-flight metric exemplars can reference the
+    /// trace before it is filed.
+    pub(crate) fn start_recorder(&self, kind: &'static str) -> QueryRecorder {
+        let id = if self.enabled {
+            self.flight.reserve_id()
+        } else {
+            0
+        };
+        QueryRecorder::start_with_id(kind, self.enabled, id)
+    }
+
+    /// Store a completed query trace in the flight recorder, offering
+    /// it to the slow-query log first (the log clones only pathological
+    /// traces; the healthy path is a threshold check).
+    pub(crate) fn record_trace(&self, mut trace: QueryTrace) {
+        if !self.enabled {
+            return;
         }
+        if trace.id == 0 {
+            trace.id = self.flight.reserve_id();
+        }
+        self.slow.offer(&trace);
+        self.flight.record_with_id(trace.id, trace);
     }
 
     /// The most recent `n` traces, oldest first.
     pub(crate) fn traces(&self, n: usize) -> Vec<QueryTrace> {
         self.flight.last(n)
+    }
+
+    /// The most recent `n` forensic records, oldest first.
+    pub(crate) fn slow_queries(&self, n: usize) -> Vec<ForensicRecord> {
+        self.slow.last(n)
+    }
+
+    /// The slow-query log itself (capture statistics, threshold).
+    pub(crate) fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow
     }
 }
 
@@ -453,23 +493,48 @@ impl EngineObs {
 pub(crate) struct QueryRecorder {
     on: bool,
     kind: &'static str,
+    trace_id: u64,
     t0: Instant,
     join_spans: Mutex<Vec<Span>>,
     phases: Mutex<Vec<Span>>,
     joins_dropped: AtomicU64,
+    joins_recorded: AtomicU64,
+    telemetry: Mutex<JoinTelemetry>,
+    budget: Mutex<Option<(&'static str, u64, u64)>>,
 }
 
 impl QueryRecorder {
-    /// Start recording a query of `kind`. With `on = false` every
-    /// method is a no-op and [`QueryRecorder::finish`] returns `None`.
+    /// Start recording a query of `kind` with no reserved id. With
+    /// `on = false` every method is a no-op and
+    /// [`QueryRecorder::finish`] returns `None`.
+    #[cfg(test)]
     pub(crate) fn start(kind: &'static str, on: bool) -> Self {
+        Self::start_with_id(kind, on, 0)
+    }
+
+    /// Start recording with a pre-reserved flight-recorder id, so the
+    /// trace id is known (for metric exemplars) while the query runs.
+    pub(crate) fn start_with_id(kind: &'static str, on: bool, trace_id: u64) -> Self {
         Self {
             on,
             kind,
+            trace_id,
             t0: Instant::now(),
             join_spans: Mutex::new(Vec::new()),
             phases: Mutex::new(Vec::new()),
             joins_dropped: AtomicU64::new(0),
+            joins_recorded: AtomicU64::new(0),
+            telemetry: Mutex::new(JoinTelemetry::default()),
+            budget: Mutex::new(None),
+        }
+    }
+
+    /// The reserved flight-recorder id (`0` when recording is off).
+    pub(crate) fn trace_id(&self) -> u64 {
+        if self.on {
+            self.trace_id
+        } else {
+            0
         }
     }
 
@@ -494,6 +559,14 @@ impl QueryRecorder {
         if !self.on {
             return;
         }
+        // The per-query telemetry roll-up survives the span cap: a
+        // forensic record still reports the whole query's work even
+        // when most join spans were dropped.
+        self.joins_recorded.fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(telemetry);
         let mut joins = self.join_spans.lock().unwrap_or_else(|e| e.into_inner());
         if joins.len() >= MAX_JOIN_SPANS {
             self.joins_dropped.fetch_add(1, Ordering::Relaxed);
@@ -577,14 +650,46 @@ impl QueryRecorder {
             .push(span);
     }
 
-    /// Finish the query and build its trace (the flight recorder
-    /// assigns the id). `None` when recording was off.
+    /// Note the budget exhaustion state, surfaced as root-span
+    /// attributes (`budget_reason`, `pairs_done`, `pairs_skipped`).
+    pub(crate) fn note_budget(&self, reason: &'static str, pairs_done: u64, pairs_skipped: u64) {
+        if !self.on {
+            return;
+        }
+        *self.budget.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some((reason, pairs_done, pairs_skipped));
+    }
+
+    /// Finish the query and build its trace, carrying the pre-reserved
+    /// id and a telemetry roll-up on the root span. `None` when
+    /// recording was off.
     pub(crate) fn finish(self, outcome: String) -> Option<QueryTrace> {
         if !self.on {
             return None;
         }
         let elapsed = self.now_us();
         let mut root = Span::new("query").at(0, elapsed);
+        let joins = self.joins_recorded.load(Ordering::Relaxed);
+        if joins > 0 {
+            let tel = self
+                .telemetry
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner());
+            root = root
+                .attr("joins", joins)
+                .attr("rows_driven", tel.rows_driven)
+                .attr("candidates_streamed", tel.candidates_streamed)
+                .attr("matcher_edges", tel.matcher_edges)
+                .attr("prune_events", tel.events.min_prune + tel.events.max_prune);
+        }
+        if let Some((reason, done, skipped)) =
+            *self.budget.lock().unwrap_or_else(|e| e.into_inner())
+        {
+            root = root
+                .attr("budget_reason", reason)
+                .attr("pairs_done", done)
+                .attr("pairs_skipped", skipped);
+        }
         let dropped = self.joins_dropped.load(Ordering::Relaxed);
         if dropped > 0 {
             root = root.attr("joins_dropped", dropped);
@@ -598,7 +703,7 @@ impl QueryRecorder {
             .unwrap_or_else(|e| e.into_inner());
         root.children.extend(loose);
         Some(QueryTrace {
-            id: 0,
+            id: self.trace_id,
             kind: self.kind,
             outcome,
             root,
@@ -695,6 +800,8 @@ mod tests {
         let obs = EngineObs::new(&ObsConfig {
             enabled: false,
             flight_capacity: 4,
+            slow_capacity: 4,
+            slow_threshold_us: 0,
         });
         obs.on_query("similarity");
         obs.on_join(
@@ -702,6 +809,7 @@ mod tests {
             &JoinTelemetry::default(),
             &PhaseTimings::default(),
             false,
+            0,
         );
         obs.on_join_panicked();
         obs.on_budget_exhausted(ExhaustReason::Deadline);
@@ -713,6 +821,79 @@ mod tests {
         assert_eq!(snap.counter_value("csj_join_panics_total", &[]), 0);
         // Gauges still reflect reality (they are set at snapshot time).
         assert_eq!(snap.counter_value("csj_communities", &[]), 2);
+    }
+
+    #[test]
+    fn pathological_traces_land_in_the_slow_log() {
+        let obs = EngineObs::new(&ObsConfig {
+            enabled: true,
+            flight_capacity: 4,
+            slow_capacity: 4,
+            slow_threshold_us: 60_000_000, // only bad outcomes capture
+        });
+        let rec = obs.start_recorder("similarity");
+        let id = rec.trace_id();
+        assert!(id > 0, "flight id reserved up front");
+        let trace = rec
+            .finish("exhausted:deadline".into())
+            .expect("recording on");
+        assert_eq!(trace.id, id);
+        obs.record_trace(trace);
+
+        let healthy = obs.start_recorder("similarity");
+        let healthy_id = healthy.trace_id();
+        obs.record_trace(healthy.finish("completed".into()).unwrap());
+
+        let slow = obs.slow_queries(8);
+        assert_eq!(slow.len(), 1, "healthy query not captured");
+        assert_eq!(slow[0].trace.id, id);
+        // Both traces are in the flight recorder, in id order.
+        let ids: Vec<u64> = obs.traces(8).iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![id, healthy_id]);
+        assert_eq!(obs.slow_log().offered(), 2);
+        assert_eq!(obs.slow_log().captured(), 1);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn finish_rolls_up_telemetry_and_budget() {
+        let rec = QueryRecorder::start("screen", true);
+        let mut tel = JoinTelemetry::default();
+        tel.rows_driven = 3;
+        tel.candidates_streamed = 9;
+        tel.matcher_edges = 5;
+        tel.events.min_prune = 2;
+        let timings = PhaseTimings::default();
+        rec.record_join(CsjMethod::ApMinMax, 4, 8, &tel, &timings, "ok", 0);
+        rec.record_join(CsjMethod::ApMinMax, 4, 6, &tel, &timings, "ok", 10);
+        rec.note_budget("deadline", 7, 2);
+        let trace = rec
+            .finish("exhausted:deadline".into())
+            .expect("recording on");
+        use csj_obs::AttrValue;
+        assert_eq!(trace.root.get_attr("joins"), Some(&AttrValue::U64(2)));
+        assert_eq!(trace.root.get_attr("rows_driven"), Some(&AttrValue::U64(6)));
+        assert_eq!(
+            trace.root.get_attr("candidates_streamed"),
+            Some(&AttrValue::U64(18))
+        );
+        assert_eq!(
+            trace.root.get_attr("matcher_edges"),
+            Some(&AttrValue::U64(10))
+        );
+        assert_eq!(
+            trace.root.get_attr("prune_events"),
+            Some(&AttrValue::U64(4))
+        );
+        assert_eq!(
+            trace.root.get_attr("budget_reason"),
+            Some(&AttrValue::Str("deadline".into()))
+        );
+        assert_eq!(trace.root.get_attr("pairs_done"), Some(&AttrValue::U64(7)));
+        assert_eq!(
+            trace.root.get_attr("pairs_skipped"),
+            Some(&AttrValue::U64(2))
+        );
     }
 
     #[test]

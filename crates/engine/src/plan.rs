@@ -154,8 +154,32 @@ impl Planner {
 
     /// The degradation ladder for `primary` on `input`, ranked by the
     /// corrected cost model (see [`CostTable::degradation_ladder`]).
+    #[cfg(test)]
     pub(crate) fn ladder(&self, primary: CsjMethod, input: &PlanInput) -> Vec<CsjMethod> {
-        self.corrected_table().degradation_ladder(primary, input)
+        self.ladder_with_source(primary, input).0
+    }
+
+    /// [`Planner::ladder`], plus whether latency feedback for `primary`
+    /// participated in the ranking ([`PlanSource::Refined`]) or the
+    /// static table decided alone (frozen mode / cold start). This is
+    /// the provenance the service threads into degraded-request traces.
+    pub(crate) fn ladder_with_source(
+        &self,
+        primary: CsjMethod,
+        input: &PlanInput,
+    ) -> (Vec<CsjMethod>, PlanSource) {
+        let ladder = self.corrected_table().degradation_ladder(primary, input);
+        let source = if self.config.mode == PlannerMode::Frozen {
+            PlanSource::Static
+        } else {
+            let corrections = self.corrections.lock().unwrap_or_else(|e| e.into_inner());
+            if corrections[method_index(primary)].samples > 0 {
+                PlanSource::Refined
+            } else {
+                PlanSource::Static
+            }
+        };
+        (ladder, source)
     }
 
     /// Fold one measured join into the feedback state. `estimated_us`

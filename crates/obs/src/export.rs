@@ -1,0 +1,201 @@
+//! Trace export: Chrome `trace_event` JSON and a compact JSON-lines
+//! stream.
+//!
+//! [`QueryTrace`] spans already carry microsecond offsets and
+//! durations, which is exactly the unit the Chrome tracing format
+//! (`about://tracing`, Perfetto) expects, so the mapping is direct:
+//! every span becomes one complete (`"ph":"X"`) event with `ts` =
+//! `start_us`, `dur` = `elapsed_us`, and its attributes as `args`.
+//! Each trace gets its own `tid` (the flight-recorder id) under a
+//! single `pid`, plus a `thread_name` metadata event labelling the row
+//! with kind and outcome — so a multi-trace export renders as one row
+//! per query with the span tree nested by time containment.
+//!
+//! The JSON-lines form emits one object per span (depth-first, with an
+//! explicit `depth`), one per line — greppable and streamable where
+//! the Chrome document is not.
+
+use crate::span::{escape_json, AttrValue, QueryTrace, Span};
+
+fn write_args(attrs: &[(&'static str, AttrValue)], out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":");
+        match v {
+            AttrValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            AttrValue::F64(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            AttrValue::F64(x) => {
+                let _ = write!(out, "\"{x}\"");
+            }
+            AttrValue::Str(s) => {
+                out.push('"');
+                escape_json(s, out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn write_complete_event(span: &Span, tid: u64, out: &mut String, first: &mut bool) {
+    use std::fmt::Write as _;
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"cat\":\"csj\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
+        span.name, tid, span.start_us, span.elapsed_us
+    );
+    if !span.attrs.is_empty() {
+        out.push_str(",\"args\":");
+        write_args(&span.attrs, out);
+    }
+    out.push('}');
+    for child in &span.children {
+        write_complete_event(child, tid, out, first);
+    }
+}
+
+/// Render `traces` as one Chrome `trace_event` JSON document
+/// (`{"traceEvents":[…]}`), loadable in `about://tracing` / Perfetto.
+pub fn traces_to_chrome(traces: &[QueryTrace]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for trace in traces {
+        // Row label: "trace #id kind (outcome)".
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut label = String::new();
+        escape_json(&trace.outcome, &mut label);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"trace #{} {} ({})\"}}}}",
+            trace.id, trace.id, trace.kind, label
+        );
+        write_complete_event(&trace.root, trace.id, &mut out, &mut first);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_jsonl_span(trace: &QueryTrace, span: &Span, depth: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"trace\":{},\"kind\":\"{}\",\"depth\":{},\"name\":\"{}\",\"start_us\":{},\"elapsed_us\":{}",
+        trace.id, trace.kind, depth, span.name, span.start_us, span.elapsed_us
+    );
+    if depth == 0 {
+        out.push_str(",\"outcome\":\"");
+        escape_json(&trace.outcome, out);
+        out.push('"');
+    }
+    if !span.attrs.is_empty() {
+        out.push_str(",\"attrs\":");
+        write_args(&span.attrs, out);
+    }
+    out.push_str("}\n");
+    for child in &span.children {
+        write_jsonl_span(trace, child, depth + 1, out);
+    }
+}
+
+/// Render `traces` as JSON lines: one object per span, depth-first,
+/// roots carrying the trace outcome.
+pub fn traces_to_jsonl(traces: &[QueryTrace]) -> String {
+    let mut out = String::with_capacity(1024);
+    for trace in traces {
+        write_jsonl_span(trace, &trace.root, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_traces() -> Vec<QueryTrace> {
+        let mut root = Span::new("query").at(0, 1000).attr("k", 3u64);
+        let mut screen = Span::new("screen").at(10, 600);
+        screen.push_child(
+            Span::new("join")
+                .at(20, 100)
+                .attr("method", "ap-minmax")
+                .attr("outcome", "ok"),
+        );
+        root.push_child(screen);
+        vec![
+            QueryTrace {
+                id: 4,
+                kind: "top_k",
+                outcome: "completed".into(),
+                root,
+            },
+            QueryTrace {
+                id: 5,
+                kind: "similarity",
+                outcome: "exhausted:deadline".into(),
+                root: Span::new("query").at(0, 50),
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_document_shape() {
+        let doc = traces_to_chrome(&sample_traces());
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.ends_with("]}"));
+        // One metadata event per trace, one X event per span (3 + 1).
+        assert_eq!(doc.matches("\"ph\":\"M\"").count(), 2, "{doc}");
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 4, "{doc}");
+        assert!(doc.contains("\"tid\":4,\"ts\":20,\"dur\":100"), "{doc}");
+        assert!(
+            doc.contains("\"args\":{\"name\":\"trace #5 similarity (exhausted:deadline)\"}"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"args\":{\"method\":\"ap-minmax\""), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_empty_input_is_still_a_document() {
+        let doc = traces_to_chrome(&[]);
+        assert_eq!(doc, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn jsonl_one_line_per_span_with_depth() {
+        let out = traces_to_jsonl(&sample_traces());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"depth\":0"));
+        assert!(lines[0].contains("\"outcome\":\"completed\""));
+        assert!(lines[1].contains("\"depth\":1") && lines[1].contains("\"name\":\"screen\""));
+        assert!(lines[2].contains("\"depth\":2") && lines[2].contains("\"name\":\"join\""));
+        assert!(lines[3].contains("\"trace\":5"));
+        assert!(lines[3].contains("\"outcome\":\"exhausted:deadline\""));
+        for line in lines {
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{line}"
+            );
+        }
+    }
+}

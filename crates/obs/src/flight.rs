@@ -69,6 +69,28 @@ impl FlightRecorder {
         id
     }
 
+    /// Pre-assign the next sequence id without storing anything, so the
+    /// id can be referenced while the query is still running (exemplar
+    /// links from histogram buckets). Pair with
+    /// [`FlightRecorder::record_with_id`].
+    pub fn reserve_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Store a completed trace under an id previously returned by
+    /// [`FlightRecorder::reserve_id`]. Queries finish in arbitrary
+    /// order, so the trace is inserted in id order to keep
+    /// [`FlightRecorder::last`] oldest-first.
+    pub fn record_with_id(&self, id: u64, mut trace: QueryTrace) {
+        trace.id = id;
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let pos = ring.partition_point(|t| t.id < id);
+        ring.insert(pos, trace);
+        if ring.len() > self.cap {
+            ring.pop_front();
+        }
+    }
+
     /// The most recent `n` traces, oldest first. `n` larger than the
     /// retained count returns everything.
     pub fn last(&self, n: usize) -> Vec<QueryTrace> {
@@ -126,6 +148,34 @@ mod tests {
         rec.record(trace("refine"));
         assert_eq!(rec.len(), 1);
         assert_eq!(rec.last(1)[0].id, 2);
+    }
+
+    #[test]
+    fn reserved_ids_insert_in_order() {
+        let rec = FlightRecorder::new(4);
+        let a = rec.reserve_id();
+        let b = rec.reserve_id();
+        assert_eq!((a, b), (1, 2));
+        // Finish out of order: the later-reserved id lands first.
+        rec.record_with_id(b, trace("top_k"));
+        rec.record_with_id(a, trace("similarity"));
+        let c = rec.record(trace("screen"));
+        assert_eq!(c, 3);
+        let ids: Vec<u64> = rec.last(10).iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![1, 2, 3], "retained traces stay in id order");
+        assert_eq!(rec.recorded(), 3);
+    }
+
+    #[test]
+    fn reserved_ids_respect_capacity() {
+        let rec = FlightRecorder::new(2);
+        for _ in 0..5 {
+            let id = rec.reserve_id();
+            rec.record_with_id(id, trace("screen"));
+        }
+        assert_eq!(rec.len(), 2);
+        let ids: Vec<u64> = rec.last(10).iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![4, 5]);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Query forensics: a bounded slow-query log.
+//!
+//! The flight recorder keeps the last N traces of *every* query, which
+//! under load means the interesting trace — the one that blew its
+//! deadline three minutes ago — has long been evicted by thousands of
+//! healthy ones. [`SlowQueryLog`] keeps a separate ring of only the
+//! pathological queries: anything whose root span exceeded a latency
+//! threshold, or whose outcome was not `completed`. Each capture
+//! retains the full [`QueryTrace`] — plan span with rejected
+//! alternatives, join telemetry summary, budget state, the whole span
+//! tree — so `csj slow` can reconstruct the query after the fact.
+//!
+//! Offering is cheap for healthy queries (one comparison and a string
+//! check); cloning happens only on capture.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::span::{escape_json, QueryTrace};
+
+/// Why a trace was captured into the slow-query log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaptureCause {
+    /// The root span exceeded the log's latency threshold.
+    SlowerThan {
+        /// The configured threshold, microseconds.
+        threshold_us: u64,
+        /// The query's actual duration, microseconds.
+        elapsed_us: u64,
+    },
+    /// The outcome was not `completed` (exhausted, failed, shed, …).
+    BadOutcome(String),
+}
+
+impl CaptureCause {
+    /// Compact label, e.g. `latency>250000us` or `outcome:exhausted:deadline`.
+    pub fn label(&self) -> String {
+        match self {
+            CaptureCause::SlowerThan { threshold_us, .. } => format!("latency>{threshold_us}us"),
+            CaptureCause::BadOutcome(outcome) => format!("outcome:{outcome}"),
+        }
+    }
+}
+
+impl std::fmt::Display for CaptureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One captured forensic record: the full trace plus why it was kept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicRecord {
+    /// Capture sequence number (1-based, monotone across evictions).
+    pub seq: u64,
+    /// Why the trace was captured.
+    pub cause: CaptureCause,
+    /// The complete query trace, id already assigned by the flight
+    /// recorder — exemplar links resolve against this id.
+    pub trace: QueryTrace,
+}
+
+impl ForensicRecord {
+    /// Render as one JSON object (`{"seq":…,"cause":"…","trace":{…}}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!("{{\"seq\":{},\"cause\":\"", self.seq));
+        escape_json(&self.cause.label(), &mut out);
+        out.push_str("\",\"trace\":");
+        out.push_str(&self.trace.to_json());
+        out.push('}');
+        out
+    }
+
+    /// Render as an indented text block (header line + span tree).
+    pub fn to_text(&self) -> String {
+        format!(
+            "slow #{} cause={} {}",
+            self.seq,
+            self.cause.label(),
+            self.trace.to_text()
+        )
+    }
+}
+
+/// Bounded ring of forensic records: traces slower than a threshold or
+/// with a non-`completed` outcome.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    cap: usize,
+    threshold_us: u64,
+    ring: Mutex<VecDeque<ForensicRecord>>,
+    offered: AtomicU64,
+    captured: AtomicU64,
+}
+
+impl SlowQueryLog {
+    /// A log keeping at most `cap` records (minimum 1), capturing any
+    /// trace whose root span runs longer than `threshold_us`.
+    pub fn new(cap: usize, threshold_us: u64) -> Self {
+        Self {
+            cap: cap.max(1),
+            threshold_us,
+            ring: Mutex::new(VecDeque::new()),
+            offered: AtomicU64::new(0),
+            captured: AtomicU64::new(0),
+        }
+    }
+
+    /// The capture latency threshold, microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us
+    }
+
+    /// Maximum retained records.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Traces offered so far (captured or not).
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+
+    /// Traces captured so far (monotone; evicted records still count).
+    pub fn captured(&self) -> u64 {
+        self.captured.load(Ordering::Relaxed)
+    }
+
+    /// Decide whether `trace` is pathological and, if so, capture it.
+    /// Returns the capture sequence number, or `None` when the trace
+    /// was healthy. The healthy path does not clone or lock.
+    pub fn offer(&self, trace: &QueryTrace) -> Option<u64> {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let cause = if trace.outcome != "completed" {
+            CaptureCause::BadOutcome(trace.outcome.clone())
+        } else if trace.root.elapsed_us > self.threshold_us {
+            CaptureCause::SlowerThan {
+                threshold_us: self.threshold_us,
+                elapsed_us: trace.root.elapsed_us,
+            }
+        } else {
+            return None;
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        // Sequence assignment under the ring lock keeps records ordered.
+        let seq = self.captured.fetch_add(1, Ordering::Relaxed) + 1;
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(ForensicRecord {
+            seq,
+            cause,
+            trace: trace.clone(),
+        });
+        Some(seq)
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn last(&self, n: usize) -> Vec<ForensicRecord> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn trace(outcome: &str, elapsed_us: u64) -> QueryTrace {
+        QueryTrace {
+            id: 9,
+            kind: "top_k",
+            outcome: outcome.into(),
+            root: Span::new("query").at(0, elapsed_us),
+        }
+    }
+
+    #[test]
+    fn healthy_queries_are_not_captured() {
+        let log = SlowQueryLog::new(4, 1000);
+        assert_eq!(log.offer(&trace("completed", 999)), None);
+        assert_eq!(log.offer(&trace("completed", 1000)), None, "boundary");
+        assert!(log.is_empty());
+        assert_eq!(log.offered(), 2);
+        assert_eq!(log.captured(), 0);
+    }
+
+    #[test]
+    fn slow_queries_are_captured_with_cause() {
+        let log = SlowQueryLog::new(4, 1000);
+        assert_eq!(log.offer(&trace("completed", 1001)), Some(1));
+        let records = log.last(10);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[0].cause.label(), "latency>1000us");
+        assert_eq!(records[0].trace.root.elapsed_us, 1001);
+    }
+
+    #[test]
+    fn bad_outcomes_are_captured_regardless_of_latency() {
+        let log = SlowQueryLog::new(4, 1000);
+        assert_eq!(log.offer(&trace("exhausted:deadline", 5)), Some(1));
+        assert_eq!(log.offer(&trace("failed:join panicked", 5)), Some(2));
+        let causes: Vec<String> = log.last(10).iter().map(|r| r.cause.label()).collect();
+        assert_eq!(
+            causes,
+            vec!["outcome:exhausted:deadline", "outcome:failed:join panicked"]
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_seq_is_monotone() {
+        let log = SlowQueryLog::new(2, 0);
+        for i in 0..5 {
+            assert_eq!(log.offer(&trace("completed", 10 + i)), Some(i + 1));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.captured(), 5);
+        let seqs: Vec<u64> = log.last(10).iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![4, 5]);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let log = SlowQueryLog::new(2, 0);
+        log.offer(&trace("failed:panic \"boom\"", 7));
+        let json = log.last(1)[0].to_json();
+        assert!(json.starts_with("{\"seq\":1,\"cause\":\""), "{json}");
+        assert!(json.contains("outcome:failed:panic \\\"boom\\\""), "{json}");
+        assert!(json.contains("\"trace\":{"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn text_rendering_includes_span_tree() {
+        let log = SlowQueryLog::new(2, 0);
+        log.offer(&trace("exhausted:deadline", 7));
+        let text = log.last(1)[0].to_text();
+        assert!(text.contains("slow #1 cause=outcome:exhausted:deadline"));
+        assert!(text.contains("trace #9 top_k"));
+        assert!(text.contains("query"));
+    }
+
+    #[test]
+    fn poisoned_ring_recovers() {
+        let log = std::sync::Arc::new(SlowQueryLog::new(4, 0));
+        log.offer(&trace("completed", 5));
+        let log2 = std::sync::Arc::clone(&log);
+        let _ = std::thread::spawn(move || {
+            let _ring = log2.ring.lock().unwrap();
+            panic!("poison the ring");
+        })
+        .join();
+        assert_eq!(log.offer(&trace("completed", 6)), Some(2));
+        assert_eq!(log.last(10).len(), 2);
+    }
+}

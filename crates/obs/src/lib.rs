@@ -20,19 +20,37 @@
 //!   the last N completed [`QueryTrace`]s (including partial, exhausted
 //!   and panicked queries) so a bad query can be reconstructed after the
 //!   fact.
+//! * **Forensics** ([`SlowQueryLog`]) — a second, smaller ring that
+//!   keeps only pathological traces (over-threshold or non-`completed`
+//!   outcome), so the interesting query survives eviction by thousands
+//!   of healthy ones.
+//! * **SLOs** ([`SloEngine`]) — declarative objectives over the
+//!   existing `csj_*` series, evaluated into multi-window burn rates
+//!   and exported as `csj_slo_*` gauges.
+//! * **Export** ([`traces_to_chrome`], [`traces_to_jsonl`]) — span
+//!   trees serialized to Chrome `trace_event` JSON (opens in
+//!   `about://tracing`) or a greppable JSON-lines stream.
 //!
 //! The hot-path types are lock-free ([`Counter`], [`Gauge`],
 //! [`LatencyHistogram`] are atomics); only trace assembly and
 //! `LogHistogram` merging take a mutex, at per-join (not per-candidate)
 //! granularity.
 
+mod export;
 mod flight;
+mod forensics;
 mod metrics;
+mod slo;
 mod span;
 
+pub use export::{traces_to_chrome, traces_to_jsonl};
 pub use flight::FlightRecorder;
+pub use forensics::{CaptureCause, ForensicRecord, SlowQueryLog};
 pub use metrics::{
-    Counter, Gauge, LatencyHistogram, LogHistogramCell, MetricSample, MetricsRegistry,
+    Counter, FloatGauge, Gauge, LatencyHistogram, LogHistogramCell, MetricSample, MetricsRegistry,
     MetricsSnapshot, SampleValue, LATENCY_BOUNDS_US,
+};
+pub use slo::{
+    default_windows, CounterSelector, Objective, SloEngine, SloSource, SloStatus, WindowSpec,
 };
 pub use span::{escape_json, AttrValue, QueryTrace, Span};

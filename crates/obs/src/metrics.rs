@@ -55,6 +55,24 @@ impl Gauge {
     }
 }
 
+/// Last-write-wins floating-point gauge (the f64 bits live in an
+/// `AtomicU64`), for fractional series like SLO burn rates where an
+/// integer gauge would round everything interesting away.
+#[derive(Debug, Default)]
+pub struct FloatGauge(AtomicU64);
+
+impl FloatGauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 /// Fixed upper bounds (microseconds) for join/query latency
 /// histograms: 50µs … 10s. Joins on paper-scale communities span five
 /// orders of magnitude depending on method and eps, hence the wide,
@@ -70,6 +88,10 @@ pub const LATENCY_BOUNDS_US: [u64; 12] = [
 pub struct LatencyHistogram {
     bounds: &'static [u64],
     buckets: Vec<AtomicU64>,
+    // Per-bucket exemplar slot: the trace id of the last observation
+    // that landed in the bucket (0 = none). Links a hot bucket back to
+    // a concrete flight-recorder / slow-query-log record.
+    exemplars: Vec<AtomicU64>,
     sum_us: AtomicU64,
     count: AtomicU64,
 }
@@ -86,6 +108,7 @@ impl LatencyHistogram {
         Self {
             bounds,
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum_us: AtomicU64::new(0),
             count: AtomicU64::new(0),
         }
@@ -95,6 +118,20 @@ impl LatencyHistogram {
     pub fn observe_us(&self, us: u64) {
         let idx = self.bounds.partition_point(|&b| b < us);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one observation and stamp the bucket's exemplar slot with
+    /// `trace_id` (last writer wins; 0 means "no exemplar" and is
+    /// ignored), so a hot bucket can be traced back to a concrete
+    /// query record.
+    pub fn observe_us_with_exemplar(&self, us: u64, trace_id: u64) {
+        let idx = self.bounds.partition_point(|&b| b < us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplars[idx].store(trace_id, Ordering::Relaxed);
+        }
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
@@ -121,6 +158,21 @@ impl LatencyHistogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Per-bucket exemplar trace ids (0 = no exemplar recorded), or an
+    /// empty vector when no exemplar was ever stamped.
+    fn bucket_exemplars(&self) -> Vec<u64> {
+        let ex: Vec<u64> = self
+            .exemplars
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed))
+            .collect();
+        if ex.iter().all(|&id| id == 0) {
+            Vec::new()
+        } else {
+            ex
+        }
     }
 }
 
@@ -167,6 +219,7 @@ impl LogHistogramCell {
 enum Instrument {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
+    GaugeF64(Arc<FloatGauge>),
     Latency(Arc<LatencyHistogram>),
     LogHist(Arc<LogHistogramCell>),
 }
@@ -234,6 +287,24 @@ impl MetricsRegistry {
         g
     }
 
+    /// Register a floating-point gauge time series (renders as a
+    /// Prometheus gauge).
+    pub fn float_gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<FloatGauge> {
+        let g = Arc::new(FloatGauge::default());
+        self.register(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::GaugeF64(Arc::clone(&g)),
+        });
+        g
+    }
+
     /// Register a fixed-boundary latency histogram time series.
     pub fn latency(
         &self,
@@ -285,9 +356,11 @@ impl MetricsRegistry {
                     value: match &e.instrument {
                         Instrument::Counter(c) => SampleValue::Counter(c.get()),
                         Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                        Instrument::GaugeF64(g) => SampleValue::GaugeF64(g.get()),
                         Instrument::Latency(h) => SampleValue::Histogram {
                             bounds_us: h.bounds.to_vec(),
                             buckets: h.bucket_counts(),
+                            exemplars: h.bucket_exemplars(),
                             sum_us: h.sum_us(),
                             count: h.count(),
                         },
@@ -296,6 +369,7 @@ impl MetricsRegistry {
                             SampleValue::Histogram {
                                 bounds_us: log_bucket_bounds(),
                                 buckets: (0..HISTOGRAM_BUCKETS).map(|i| hist.bucket(i)).collect(),
+                                exemplars: Vec::new(),
                                 sum_us: h.sum(),
                                 count: hist.count(),
                             }
@@ -337,6 +411,8 @@ pub enum SampleValue {
     Counter(u64),
     /// Gauge.
     Gauge(u64),
+    /// Floating-point gauge (SLO burn rates, fractions).
+    GaugeF64(f64),
     /// Histogram: non-cumulative `buckets` (one per bound plus a final
     /// `+Inf` bucket), plus sum/count. `bounds_us` are microseconds for
     /// latency series and raw values for depth series.
@@ -345,6 +421,10 @@ pub enum SampleValue {
         bounds_us: Vec<u64>,
         /// Per-bucket counts (not cumulative).
         buckets: Vec<u64>,
+        /// Per-bucket exemplar trace ids (0 = none); empty when the
+        /// instrument never recorded an exemplar. JSON-only — the
+        /// Prometheus 0.0.4 text format has no exemplar syntax.
+        exemplars: Vec<u64>,
         /// Sum of all observations.
         sum_us: u64,
         /// Total observations.
@@ -380,6 +460,16 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Convenience: floating-point gauge value of `find(name, labels)`,
+    /// or 0.0 when the series is absent (integer series are widened).
+    pub fn gauge_f64_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        match self.find(name, labels).map(|m| &m.value) {
+            Some(SampleValue::GaugeF64(v)) => *v,
+            Some(SampleValue::Counter(v)) | Some(SampleValue::Gauge(v)) => *v as f64,
+            _ => 0.0,
+        }
+    }
+
     /// Render the snapshot in Prometheus text exposition format
     /// (version 0.0.4). Histogram `le` bounds and `_sum` are emitted in
     /// seconds for `*_seconds` metrics and raw units otherwise.
@@ -391,7 +481,7 @@ impl MetricsSnapshot {
             if m.name != last_name {
                 let kind = match m.value {
                     SampleValue::Counter(_) => "counter",
-                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Gauge(_) | SampleValue::GaugeF64(_) => "gauge",
                     SampleValue::Histogram { .. } => "histogram",
                 };
                 let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
@@ -403,11 +493,16 @@ impl MetricsSnapshot {
                 SampleValue::Counter(v) | SampleValue::Gauge(v) => {
                     let _ = writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, &[]), v);
                 }
+                SampleValue::GaugeF64(v) => {
+                    // Prometheus accepts NaN/Inf sample values verbatim.
+                    let _ = writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, &[]), v);
+                }
                 SampleValue::Histogram {
                     bounds_us,
                     buckets,
                     sum_us,
                     count,
+                    ..
                 } => {
                     let mut cumulative = 0u64;
                     for (i, bound) in bounds_us.iter().enumerate() {
@@ -492,9 +587,17 @@ impl MetricsSnapshot {
                 SampleValue::Gauge(v) => {
                     let _ = write!(out, ",\"type\":\"gauge\",\"value\":{v}");
                 }
+                SampleValue::GaugeF64(v) if v.is_finite() => {
+                    let _ = write!(out, ",\"type\":\"gauge\",\"value\":{v}");
+                }
+                // JSON has no NaN/Inf; stringify like span attrs do.
+                SampleValue::GaugeF64(v) => {
+                    let _ = write!(out, ",\"type\":\"gauge\",\"value\":\"{v}\"");
+                }
                 SampleValue::Histogram {
                     bounds_us,
                     buckets,
+                    exemplars,
                     sum_us,
                     count,
                 } => {
@@ -512,7 +615,18 @@ impl MetricsSnapshot {
                         }
                         let _ = write!(out, "{b}");
                     }
-                    let _ = write!(out, "],\"sum\":{sum_us},\"count\":{count}");
+                    out.push(']');
+                    if !exemplars.is_empty() {
+                        out.push_str(",\"exemplars\":[");
+                        for (j, e) in exemplars.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{e}");
+                        }
+                        out.push(']');
+                    }
+                    let _ = write!(out, ",\"sum\":{sum_us},\"count\":{count}");
                 }
             }
             out.push('}');
@@ -753,6 +867,66 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter_value("csj_after_total", &[]), 1);
         assert!(snap.find("csj_depth", &[]).is_some());
+    }
+
+    #[test]
+    fn float_gauge_renders_as_prometheus_gauge() {
+        let reg = MetricsRegistry::new();
+        let g = reg.float_gauge(
+            "csj_slo_burn_rate",
+            "burn",
+            vec![("objective", "latency".into()), ("window", "5m".into())],
+        );
+        g.set(2.25);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.gauge_f64_value("csj_slo_burn_rate", &[("objective", "latency")]),
+            2.25
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE csj_slo_burn_rate gauge"), "{text}");
+        assert!(
+            text.contains("csj_slo_burn_rate{objective=\"latency\",window=\"5m\"} 2.25"),
+            "{text}"
+        );
+        let json = snap.to_json();
+        assert!(json.contains("\"type\":\"gauge\",\"value\":2.25"), "{json}");
+    }
+
+    #[test]
+    fn nonfinite_float_gauge_stays_valid_json() {
+        let reg = MetricsRegistry::new();
+        reg.float_gauge("csj_slo_burn_rate", "burn", vec![])
+            .set(f64::INFINITY);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"value\":\"inf\""), "{json}");
+    }
+
+    #[test]
+    fn exemplars_surface_in_json_but_not_prometheus() {
+        let reg = MetricsRegistry::new();
+        let h = reg.latency("csj_join_latency_seconds", "latency", vec![]);
+        h.observe_us(60);
+        // No exemplar stamped yet: the field is omitted entirely.
+        assert!(!reg.snapshot().to_json().contains("exemplars"));
+        h.observe_us_with_exemplar(200_000, 41);
+        h.observe_us_with_exemplar(210_000, 42); // same bucket: last wins
+        h.observe_us_with_exemplar(10, 0); // 0 = no exemplar, ignored
+        let snap = reg.snapshot();
+        match &snap.find("csj_join_latency_seconds", &[]).unwrap().value {
+            SampleValue::Histogram {
+                exemplars, buckets, ..
+            } => {
+                assert_eq!(exemplars.len(), buckets.len());
+                // 200ms lands in the le=1s bucket (index 10).
+                assert_eq!(exemplars[10], 42);
+                assert_eq!(exemplars[0], 0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert!(snap.to_json().contains("\"exemplars\":["));
+        // The 0.0.4 text format has no exemplar syntax — must stay clean.
+        assert!(!snap.to_prometheus().contains("exemplar"));
     }
 
     #[test]

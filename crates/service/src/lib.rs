@@ -37,7 +37,7 @@ mod service;
 
 pub use breaker::{Admission, BreakerState, CircuitBreaker, Transition};
 pub use config::{BreakerConfig, DegradeConfig, RetryPolicy, ServiceConfig};
-pub use obs::{DegradeTrigger, ServiceObs};
+pub use obs::{service_slos, DegradeTrigger, ServiceObs};
 pub use queue::{BoundedQueue, PushError};
 pub use request::{Fate, Request, Response, ResponseValue, ServiceError};
 pub use service::{CsjService, Ticket};

@@ -8,11 +8,60 @@ use std::time::Duration;
 
 use csj_core::CsjMethod;
 use csj_obs::{
-    Counter, FlightRecorder, Gauge, LatencyHistogram, MetricsRegistry, MetricsSnapshot, QueryTrace,
+    Counter, CounterSelector, FlightRecorder, Gauge, LatencyHistogram, MetricsRegistry,
+    MetricsSnapshot, Objective, QueryTrace, SloSource,
 };
 
 use crate::breaker::{BreakerState, Transition};
 use crate::request::Fate;
+
+/// The service's standard SLOs, declared over its own `csj_service_*`
+/// series so an [`csj_obs::SloEngine`] fed with
+/// [`CsjService::metrics_snapshot`](crate::CsjService::metrics_snapshot)
+/// can evaluate burn rates without any extra instrumentation:
+///
+/// * `request_latency` — ≤1% of requests slower than
+///   `latency_threshold_us` (p99 end-to-end latency objective);
+/// * `degraded_fraction` — ≤10% of completed requests served degraded;
+/// * `shed_fraction` — ≤5% of submitted requests shed at admission.
+///
+/// The fractions reconcile with the four-fates identities by
+/// construction: `degraded_fraction` draws from the same
+/// `csj_service_completed_total` family whose outcomes partition
+/// admitted-and-resolved requests, and `shed_fraction` is
+/// `shed / submitted` with `submitted == admitted + shed`.
+pub fn service_slos(latency_threshold_us: u64) -> Vec<Objective> {
+    vec![
+        Objective {
+            name: "request_latency".into(),
+            target: 0.01,
+            source: SloSource::LatencyAbove {
+                histogram: "csj_service_request_seconds".into(),
+                labels: vec![],
+                threshold_us: latency_threshold_us,
+            },
+        },
+        Objective {
+            name: "degraded_fraction".into(),
+            target: 0.10,
+            source: SloSource::CounterFraction {
+                bad: CounterSelector::new(
+                    "csj_service_completed_total",
+                    &[("outcome", "degraded")],
+                ),
+                total: CounterSelector::new("csj_service_completed_total", &[]),
+            },
+        },
+        Objective {
+            name: "shed_fraction".into(),
+            target: 0.05,
+            source: SloSource::CounterFraction {
+                bad: CounterSelector::new("csj_service_shed_total", &[]),
+                total: CounterSelector::new("csj_service_submitted_total", &[]),
+            },
+        },
+    ]
+}
 
 /// Degradation triggers (metrics label values).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

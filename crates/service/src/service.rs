@@ -361,6 +361,7 @@ fn execute(engine: &CsjEngine, shared: &Shared, job: &Job) -> Result<Response, S
                         degraded: false,
                         degrade_trigger: None,
                         degrade_note: None,
+                        plan_source: None,
                         retries,
                         exhausted: Some(reason),
                     });
@@ -371,6 +372,7 @@ fn execute(engine: &CsjEngine, shared: &Shared, job: &Job) -> Result<Response, S
                     degraded: false,
                     degrade_trigger: None,
                     degrade_note: None,
+                    plan_source: None,
                     retries,
                     exhausted: None,
                 });
@@ -449,7 +451,7 @@ fn degrade(
         Request::Similarity { x, y, .. } => Some((*x, *y)),
         _ => None,
     };
-    let mut ladder = engine.degradation_ladder_for(method, pair);
+    let (mut ladder, ladder_source) = engine.degradation_ladder_with_source(method, pair);
     if ladder.is_empty() {
         ladder.push(method.approximate_counterpart());
     }
@@ -479,6 +481,7 @@ fn degrade(
         degraded: true,
         degrade_trigger: Some(trigger.label()),
         degrade_note: Some(note_for(rung)),
+        plan_source: Some(ladder_source.label()),
         retries,
         exhausted,
     };
@@ -686,6 +689,9 @@ fn request_trace(
             }
             if let Some(note) = &r.degrade_note {
                 root = root.attr("degrade_note", note.clone());
+            }
+            if let Some(source) = r.plan_source {
+                root = root.attr("plan_source", source);
             }
             match (r.degraded, r.exhausted) {
                 (true, _) => "degraded".to_string(),

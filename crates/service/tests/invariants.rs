@@ -239,6 +239,136 @@ fn deadline_pressure_degrades_to_a_sound_lower_bound() {
     ));
 }
 
+/// SLO burn rates must *reconcile* with the four-fates accounting: the
+/// `(bad, total)` pair behind every `csj_slo_*` burn rate is a delta of
+/// the same counters that obey `admitted + shed == submitted` and
+/// "completed outcomes partition admitted", so a breached objective
+/// without matching fate counters would mean the SLO engine invented
+/// traffic. Chaos here is an overloaded 1-worker/1-slot service under
+/// zero-deadline pressure: sheds, degradeds and answereds all occur.
+#[test]
+fn slo_burn_rates_reconcile_with_the_four_fates() {
+    use csj_obs::{default_windows, SloEngine};
+    use csj_service::service_slos;
+
+    let (engine, x, y) = slow_engine();
+    let service = Arc::new(CsjService::start(
+        engine,
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            default_deadline: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        },
+    ));
+    // A 1µs latency threshold makes every completed request a bad
+    // latency event — the latency objective must breach, and its burn
+    // rate must still be explainable from the completion counters.
+    let slo = SloEngine::new(service_slos(1), default_windows());
+    slo.observe(0, &service.metrics_snapshot());
+
+    // Occupy the worker and the queue slot, then flood (sheds), then
+    // let the backlog drain and apply deadline pressure (degradeds).
+    let blocker = || Request::Similarity {
+        x,
+        y,
+        method: Some(CsjMethod::ApMinMax),
+    };
+    let b1 = service.submit(blocker()).expect("first blocker fits");
+    while service.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    let b2 = service.submit(blocker()).expect("second blocker fits");
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let service = Arc::clone(&service);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..10 {
+                let _ = service
+                    .submit(Request::Similarity {
+                        x,
+                        y,
+                        method: Some(CsjMethod::ApMinMax),
+                    })
+                    .map(|t| t.wait());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no panic escapes");
+    }
+    b1.wait().expect("blocker answered");
+    b2.wait().expect("blocker answered");
+    // One exact join feeds the planner's latency corrections, so the
+    // degraded requests below ride a *refined* ladder — and say so.
+    service
+        .engine()
+        .similarity(x, y)
+        .expect("exact warm-up join");
+    for _ in 0..3 {
+        let r = service
+            .call(Request::Similarity { x, y, method: None })
+            .expect("deadline pressure degrades, not fails");
+        assert!(r.degraded);
+        assert_eq!(r.plan_source, Some("refined"), "warm planner ladder");
+    }
+
+    // One evaluation window covering the whole soak.
+    let snap = service.metrics_snapshot();
+    slo.observe(300_000_000, &snap);
+    let statuses = slo.evaluate(300_000_000);
+
+    let submitted = snap.counter_value("csj_service_submitted_total", &[]);
+    let admitted = snap.counter_value("csj_service_admitted_total", &[]);
+    let shed = snap.counter_value("csj_service_shed_total", &[]);
+    let answered = snap.counter_value("csj_service_completed_total", &[("outcome", "answered")]);
+    let degraded = snap.counter_value("csj_service_completed_total", &[("outcome", "degraded")]);
+    let failed = snap.counter_value("csj_service_completed_total", &[("outcome", "failed")]);
+    assert_eq!(admitted + shed, submitted, "four-fates identity");
+    assert_eq!(answered + degraded + failed, admitted, "outcomes partition");
+    assert!(shed > 0, "flooding a 1-worker/1-slot service must shed");
+    assert!(degraded >= 3);
+
+    let five_min: Vec<_> = statuses.iter().filter(|s| s.window == "5m").collect();
+    assert_eq!(five_min.len(), 3, "one status per objective");
+    let mut breaches = 0;
+    for s in five_min {
+        match s.objective.as_str() {
+            "shed_fraction" => {
+                assert_eq!(s.bad as u64, shed, "SLO bad == shed counter delta");
+                assert_eq!(s.total as u64, submitted);
+            }
+            "degraded_fraction" => {
+                assert_eq!(s.bad as u64, degraded);
+                assert_eq!(s.total as u64, answered + degraded + failed);
+            }
+            "request_latency" => {
+                assert_eq!(
+                    s.total as u64,
+                    answered + degraded + failed,
+                    "latency histogram observes exactly the completed requests"
+                );
+            }
+            other => panic!("unexpected objective {other}"),
+        }
+        if s.breached {
+            breaches += 1;
+            assert!(
+                s.bad > 0.0,
+                "a breached objective must have matching bad-fate counters, got {s}"
+            );
+        }
+    }
+    assert!(breaches >= 1, "1µs latency budget must breach under load");
+
+    // The exported gauges agree with the evaluated statuses.
+    let slo_snap = slo.snapshot();
+    assert!(slo_snap
+        .metrics
+        .iter()
+        .any(|m| m.name == "csj_slo_burn_rate"));
+}
+
 #[test]
 fn shutdown_drains_admitted_requests_then_rejects() {
     let (engine, x, y) = slow_engine();

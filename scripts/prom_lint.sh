@@ -8,6 +8,10 @@
 #   * sample lines parse as  name{labels} value  with a numeric value;
 #   * every histogram family exposes `_bucket` samples including an
 #     `le="+Inf"` bucket, plus `_sum` and `_count`;
+#   * families with a contract-fixed type carry it: every `csj_slo_*`
+#     family must be a gauge (burn rates and fractions are
+#     instantaneous evaluations, never monotonic), and `*_total`
+#     families must be counters;
 #   * at least one metric family is present (an empty exposition is a
 #     wiring bug, not a clean bill of health).
 #
@@ -34,6 +38,10 @@ function base(n) { sub(/_(bucket|sum|count)$/, "", n); return n }
         fail("unknown type \"" kind "\" for " name)
     if (!(name in help))
         fail("# TYPE " name " without a preceding # HELP")
+    if (name ~ /^csj_slo_/ && kind != "gauge")
+        fail("SLO family " name " must be a gauge, got " kind)
+    if (name ~ /_total$/ && kind != "counter")
+        fail(name " ends in _total but is typed " kind)
     type[name] = kind
     families++
     next
