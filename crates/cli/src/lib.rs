@@ -122,6 +122,10 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Cap on joins executed by the query.
         max_joins: Option<u64>,
+        /// Route the query through the fault-isolated sharded execution
+        /// layer, over this many skew-aware shards; prints the shard
+        /// layout and the typed coverage report.
+        shards: Option<usize>,
     },
     /// Run a broadcast sweep over community files, then print the
     /// engine's `csj_*` metrics in the requested exposition format.
@@ -229,6 +233,11 @@ pub enum Command {
         /// Inject faults (a healing panic burst plus one pathologically
         /// slow community); needs the `chaos` cargo feature.
         chaos: bool,
+        /// Targeted chaos mode: `shard-kill`, `shard-stall` or
+        /// `shard-panic` route multi-pair requests through the sharded
+        /// execution layer and attack one shard; `None` is the classic
+        /// community-level fault mix. Implies `chaos`.
+        chaos_mode: Option<String>,
         /// Write the final merged Prometheus exposition here.
         metrics_out: Option<PathBuf>,
         /// Run the ingest phase through the crash-consistent registry
@@ -318,7 +327,7 @@ usage:
   csj explain --b FILE --a FILE --eps E [--method M|auto] [--matcher K] [--parts P] [--cost-table FILE]
   csj plan --show --nb N --na N [--d D] [--eps E] [--exact|--approx] [--cost-table FILE]
   csj plan --calibrate [--scale N] [--seed S] [--rounds R] [--out FILE]
-  csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N]
+  csj topk --anchor FILE --candidates F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N] [--shards N]
   csj stats --communities F1,F2,... --eps E [--threshold T] [--format prom|json|text] [--via-service] [--quarantine]
   csj trace --communities F1,F2,... --eps E [--k K] [--deadline-ms MS] [--max-joins N] [--last N] [--json] [--via-service] [--quarantine]
             [--export chrome|jsonl] [--out FILE]
@@ -326,7 +335,8 @@ usage:
   csj slo --communities F1,F2,... --eps E [--threshold T] [--deadline-ms MS] [--max-joins N] [--json] [--quarantine]
   csj truth --b FILE --a FILE --eps E
   csj serve-sim [--qps N] [--duration-ms MS] [--workers W] [--queue Q] [--communities M] [--scale U]
-                [--eps E] [--seed S] [--deadline-ms MS] [--chaos] [--metrics-out FILE] [--slo]
+                [--eps E] [--seed S] [--deadline-ms MS] [--chaos [shard-kill|shard-stall|shard-panic]]
+                [--metrics-out FILE] [--slo]
                 [--durable] [--durable-dir DIR] [--crash-after BYTES] [--fsync always|interval:N]
   csj snapshot --dir DIR
   csj recover --dir DIR [--verify]
@@ -520,6 +530,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 max_joins: get("--max-joins")
                     .map(|v| parse_num("--max-joins", v))
                     .transpose()?,
+                shards: match get("--shards")
+                    .map(|v| parse_num("--shards", v))
+                    .transpose()?
+                {
+                    Some(0) => {
+                        return Err(CliError::Usage("--shards must be >= 1".into()));
+                    }
+                    n => n.map(|n| n as usize),
+                },
             })
         }
         "stats" => {
@@ -615,6 +634,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             eps: parse_num("--eps", require("--eps")?)? as u32,
         }),
         "serve-sim" => {
+            // `--chaos` takes an optional mode value: the next token,
+            // unless it is another flag.
+            let chaos_mode = rest
+                .iter()
+                .position(|&a| a == "--chaos")
+                .and_then(|i| rest.get(i + 1).copied())
+                .filter(|v| !v.starts_with("--"))
+                .map(str::to_string);
+            if let Some(mode) = &chaos_mode {
+                if !matches!(mode.as_str(), "shard-kill" | "shard-stall" | "shard-panic") {
+                    return Err(CliError::Usage(format!(
+                        "--chaos takes no value or shard-kill|shard-stall|shard-panic, \
+                         got {mode:?}"
+                    )));
+                }
+            }
             let communities =
                 get("--communities").map_or(Ok(6), |v| parse_num("--communities", v))? as usize;
             if communities < 2 {
@@ -637,6 +672,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 deadline_ms: get("--deadline-ms")
                     .map_or(Ok(100), |v| parse_num("--deadline-ms", v))?,
                 chaos: has("--chaos"),
+                chaos_mode,
                 metrics_out: get("--metrics-out").map(PathBuf::from),
                 durable: has("--durable") || has("--durable-dir") || has("--crash-after"),
                 durable_dir: get("--durable-dir").map(PathBuf::from),
@@ -1233,6 +1269,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             k,
             deadline_ms,
             max_joins,
+            shards,
         } => {
             use csj_engine::{Budget, CsjEngine, EngineConfig};
             let anchor_c = match load_any(&anchor)? {
@@ -1240,7 +1277,12 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 Loaded::Prepared(p) => p.into_community(),
             };
             let d = anchor_c.d();
-            let mut engine = CsjEngine::new(d, EngineConfig::new(eps));
+            let mut config = EngineConfig::new(eps);
+            if let Some(n) = shards {
+                config.shard.enabled = true;
+                config.shard.shards = n;
+            }
+            let mut engine = CsjEngine::new(d, config);
             let anchor_h = engine
                 .register(anchor_c)
                 .map_err(|e| CliError::Io(e.to_string()))?;
@@ -1263,10 +1305,14 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             if let Some(max) = max_joins {
                 budget = budget.with_max_joins(max);
             }
-            let partial = engine
-                .screen_and_refine_with_budget(anchor_h, &handles, &budget)
-                .map_err(|e| CliError::Io(e.to_string()))?;
+            let partial = if shards.is_some() {
+                engine.screen_and_refine_sharded_with_budget(anchor_h, &handles, &budget)
+            } else {
+                engine.screen_and_refine_with_budget(anchor_h, &handles, &budget)
+            }
+            .map_err(|e| CliError::Io(e.to_string()))?;
             let exhausted = partial.exhausted;
+            let coverage = partial.coverage;
             let mut ranked = partial.value;
             ranked.truncate(k);
             use std::fmt::Write as _;
@@ -1276,6 +1322,28 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 candidates.len(),
                 engine.community(anchor_h).expect("registered").name()
             );
+            if shards.is_some() {
+                let layout = engine
+                    .shard_layout(&handles)
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "  shard layout: {} shards, masses {:?}, imbalance {:.2}",
+                    layout.shards.len(),
+                    layout.masses,
+                    layout.imbalance()
+                );
+            }
+            if let Some(cov) = coverage {
+                let _ = writeln!(out, "  shard coverage: {cov}");
+                if cov.is_partial() {
+                    let _ = writeln!(
+                        out,
+                        "  (coverage is partial — surviving results are exact, \
+                         but unscreened candidates may be missing)"
+                    );
+                }
+            }
             if let Some(marker) = exhausted {
                 let _ = writeln!(
                     out,
@@ -1563,6 +1631,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             seed,
             deadline_ms,
             chaos,
+            chaos_mode,
             metrics_out,
             durable,
             durable_dir,
@@ -1580,6 +1649,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             seed,
             deadline_ms,
             chaos,
+            chaos_mode,
             metrics_out,
             durable,
             durable_dir,
@@ -1715,6 +1785,7 @@ struct SimArgs {
     seed: u64,
     deadline_ms: u64,
     chaos: bool,
+    chaos_mode: Option<String>,
     metrics_out: Option<PathBuf>,
     durable: bool,
     durable_dir: Option<PathBuf>,
@@ -1971,6 +2042,15 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
             "--crash-after only makes sense with --durable".into(),
         ));
     }
+    // Shard chaos routes multi-pair requests through the sharded
+    // execution layer, which needs the shard knobs set at engine
+    // construction — the durable ingest path builds its own engine.
+    let shard_chaos = args.chaos_mode.is_some();
+    if shard_chaos && args.durable {
+        return Err(CliError::Usage(
+            "--chaos shard-* cannot be combined with --durable".into(),
+        ));
+    }
 
     // Synthetic communities: dense deterministic counter patterns so
     // exact joins do real matching work without any input files.
@@ -1998,7 +2078,22 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
         let outcome = durable_ingest(&args, &communities)?;
         (None, Some(outcome))
     } else {
-        let mut engine = CsjEngine::new(D, EngineConfig::new(args.eps));
+        let mut config = EngineConfig::new(args.eps);
+        if shard_chaos {
+            // Enough shards that the hedging quantile has samples even
+            // when the attacked shard never reports, and a low floor so
+            // hedges fire well inside the per-request deadline. The
+            // worker pool is forced wide enough that a stalled shard
+            // cannot serialize its healthy siblings on a small host —
+            // hedging needs peer completions to measure stragglers
+            // against.
+            config.shard.enabled = true;
+            config.shard.shards = 4;
+            config.shard.hedge_floor = Duration::from_millis(5);
+            config.shard.hedge_min_samples = 2;
+            config.threads = config.threads.max(4);
+        }
+        let mut engine = CsjEngine::new(D, config);
         for c in communities.drain(..) {
             engine
                 .register(c)
@@ -2028,16 +2123,44 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
     #[cfg(feature = "chaos")]
     if args.chaos {
         use csj_engine::fault::FaultPlan;
-        // One community panics three times then heals (exactly the
-        // breaker's failure threshold below, so the exact breaker trips
-        // and later recovers through half-open probes), and one is
-        // pathologically slow (capacity collapses, so admission control
-        // sheds and deadlines force degradation).
-        engine.inject_faults(
-            FaultPlan::new()
-                .panic_n_times(handles[0].0, 3)
-                .slow_on(handles[1].0, Duration::from_millis(25)),
-        );
+        use csj_engine::ShardFaultPlan;
+        match args.chaos_mode.as_deref() {
+            // Shard 0 of every sharded request is attacked; the other
+            // shards (and every non-sharded request) stay healthy, so
+            // the blast radius of the fault is exactly one shard.
+            Some("shard-kill") => {
+                // The worker dies before the closure runs, every time:
+                // the hedge dies too, the shard resolves failed, and the
+                // response degrades with partial coverage.
+                engine.inject_shard_faults(ShardFaultPlan::new().kill(0, u32::MAX));
+            }
+            Some("shard-stall") => {
+                // One straggling primary attempt: the hedge fires off
+                // the latency quantile, runs clean, and rescues the
+                // shard — coverage stays complete.
+                engine.inject_shard_faults(ShardFaultPlan::new().stall(
+                    0,
+                    Duration::from_millis(80),
+                    1,
+                ));
+            }
+            Some("shard-panic") => {
+                // Both attempts panic inside the isolation boundary:
+                // typed failure, no escape, partial coverage.
+                engine.inject_shard_faults(ShardFaultPlan::new().panic_on(0, u32::MAX));
+            }
+            // Classic mode: one community panics three times then heals
+            // (exactly the breaker's failure threshold below, so the
+            // exact breaker trips and later recovers through half-open
+            // probes), and one is pathologically slow (capacity
+            // collapses, so admission control sheds and deadlines force
+            // degradation).
+            _ => engine.inject_faults(
+                FaultPlan::new()
+                    .panic_n_times(handles[0].0, 3)
+                    .slow_on(handles[1].0, Duration::from_millis(25)),
+            ),
+        }
     }
 
     // Injected panics are caught by the engine's isolation boundary,
@@ -2192,6 +2315,7 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
     let retries = counter("csj_service_retries_total", &[]);
     let deg_breaker = counter("csj_service_degraded_total", &[("trigger", "breaker")]);
     let deg_deadline = counter("csj_service_degraded_total", &[("trigger", "deadline")]);
+    let deg_coverage = counter("csj_service_degraded_total", &[("trigger", "coverage")]);
     let breaker_to = |to: &str| {
         counter(
             "csj_service_breaker_transitions_total",
@@ -2233,7 +2357,11 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
         args.scale,
         args.eps,
         args.deadline_ms,
-        if args.chaos { "on" } else { "off" },
+        match &args.chaos_mode {
+            Some(mode) => mode.as_str(),
+            None if args.chaos => "on",
+            None => "off",
+        },
         args.seed
     );
     let _ = writeln!(out, "submitted={submitted} admitted={admitted} shed={shed}");
@@ -2243,7 +2371,8 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "degraded-by-trigger: breaker={deg_breaker} deadline={deg_deadline}"
+        "degraded-by-trigger: breaker={deg_breaker} deadline={deg_deadline} \
+         coverage={deg_coverage}"
     );
     let _ = writeln!(out, "retries={retries}");
     let _ = writeln!(
@@ -2256,6 +2385,33 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "latency: p50<={} p99<={}", fmt_ms(p50), fmt_ms(p99));
     let _ = writeln!(out, "panics-escaped={panics_escaped}");
+    // Shard chaos only: reconcile the shard-fate counters. The identity
+    // `dispatched == completed + failed + cancelled` is the sharded
+    // layer's analogue of the service's four fates; a drift means a
+    // shard was dropped or double-counted. (Printed only in shard modes
+    // so the classic soak's `: ok` line count stays stable.)
+    let mut shard_ok = true;
+    if shard_chaos {
+        let dispatched = counter("csj_shard_dispatched_total", &[]);
+        let completed = counter("csj_shard_outcomes_total", &[("fate", "completed")]);
+        let failed = counter("csj_shard_outcomes_total", &[("fate", "failed")]);
+        let cancelled = counter("csj_shard_outcomes_total", &[("fate", "cancelled")]);
+        let hedged = counter("csj_shard_hedged_total", &[]);
+        let screened = counter("csj_shard_units_total", &[("fate", "screened")]);
+        let skipped = counter("csj_shard_units_total", &[("fate", "skipped")]);
+        let _ = writeln!(
+            out,
+            "shard-coverage: dispatched={dispatched} completed={completed} failed={failed} \
+             cancelled={cancelled} hedged={hedged} units-screened={screened} \
+             units-skipped={skipped}"
+        );
+        shard_ok = dispatched > 0 && dispatched == completed + failed + cancelled;
+        let _ = writeln!(
+            out,
+            "invariant shard fates reconcile (dispatched == completed + failed + cancelled): {}",
+            verdict(shard_ok)
+        );
+    }
     out.push_str(&durable_lines);
     out.push_str(&slo_lines);
     let _ = writeln!(
@@ -2275,7 +2431,7 @@ fn serve_sim(args: SimArgs) -> Result<String, CliError> {
             verdict(slo_ok)
         );
     }
-    if !(identity_ok && resolution_ok && durable_ok && slo_ok) {
+    if !(identity_ok && resolution_ok && durable_ok && slo_ok && shard_ok) {
         return Err(CliError::Io(format!("serve-sim invariant violated\n{out}")));
     }
     Ok(out)
@@ -2516,6 +2672,7 @@ mod tests {
             k: 2,
             deadline_ms: None,
             max_joins: None,
+            shards: None,
         })
         .unwrap();
         assert!(topk.contains("#1"), "topk output was: {topk}");
@@ -2722,6 +2879,7 @@ mod tests {
             k: 1,
             deadline_ms: None,
             max_joins: None,
+            shards: None,
         })
         .unwrap();
         assert!(out.contains("#1"), "topk must accept .csjp inputs: {out}");
@@ -2805,6 +2963,114 @@ mod tests {
     }
 
     #[test]
+    fn parse_topk_shards_flag() {
+        match parse(&argv("topk --anchor x --candidates a,b --eps 1 --shards 4")).unwrap() {
+            Command::TopK { shards, .. } => assert_eq!(shards, Some(4)),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("topk --anchor x --candidates a,b --eps 1")).unwrap() {
+            Command::TopK { shards, .. } => assert_eq!(shards, None, "flat path by default"),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("topk --anchor x --candidates a,b --eps 1 --shards 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_chaos_mode() {
+        match parse(&argv("serve-sim --chaos shard-kill")).unwrap() {
+            Command::ServeSim {
+                chaos, chaos_mode, ..
+            } => {
+                assert!(chaos, "a mode still implies --chaos");
+                assert_eq!(chaos_mode.as_deref(), Some("shard-kill"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("serve-sim --chaos --slo")).unwrap() {
+            Command::ServeSim {
+                chaos, chaos_mode, ..
+            } => {
+                assert!(chaos);
+                assert_eq!(chaos_mode, None, "a following flag is not a mode");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("serve-sim --chaos shard-nuke")),
+            Err(CliError::Usage(_))
+        ));
+        // Shard chaos reconfigures the engine at construction; the
+        // durable ingest path builds its own, so the combination is
+        // rejected up front.
+        assert!(matches!(
+            execute(Command::ServeSim {
+                qps: 10,
+                duration_ms: 100,
+                workers: 1,
+                queue: 4,
+                communities: 2,
+                scale: 10,
+                eps: 1,
+                seed: 1,
+                deadline_ms: 0,
+                chaos: true,
+                chaos_mode: Some("shard-kill".into()),
+                metrics_out: None,
+                durable: true,
+                durable_dir: None,
+                crash_after: None,
+                fsync: csj_durability::FsyncPolicy::Always,
+                slo: false,
+            }),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    /// `--shards` must not change answers: the sharded pipeline merges
+    /// back to the flat ranking bit for bit, and a fault-free run
+    /// reports complete coverage.
+    #[test]
+    fn topk_sharded_matches_flat_and_reports_coverage() {
+        let (b1, a1) = generated_pair("csj_cli_topk_shards_1", 6);
+        let (b2, a2) = generated_pair("csj_cli_topk_shards_2", 7);
+        let run = |shards: Option<usize>| {
+            execute(Command::TopK {
+                anchor: b1.clone(),
+                candidates: vec![a1.clone(), b2.clone(), a2.clone()],
+                eps: 1,
+                k: 3,
+                deadline_ms: None,
+                max_joins: None,
+                shards,
+            })
+            .unwrap()
+        };
+        let flat = run(None);
+        let sharded = run(Some(2));
+        assert!(sharded.contains("shard layout: 2 shards"), "{sharded}");
+        assert!(sharded.contains("shard coverage:"), "{sharded}");
+        assert!(
+            !sharded.contains("coverage is partial"),
+            "fault-free runs must be complete: {sharded}"
+        );
+        let ranks = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.trim_start().starts_with('#'))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(
+            ranks(&flat),
+            ranks(&sharded),
+            "flat:\n{flat}\nsharded:\n{sharded}"
+        );
+        assert!(!ranks(&flat).is_empty(), "{flat}");
+    }
+
+    #[test]
     fn topk_reports_budget_exhaustion() {
         let dir = std::env::temp_dir().join("csj_cli_topk_budget");
         std::fs::create_dir_all(&dir).unwrap();
@@ -2826,6 +3092,7 @@ mod tests {
             k: 3,
             deadline_ms: None,
             max_joins: Some(0),
+            shards: None,
         })
         .unwrap();
         assert!(out.contains("budget exhausted"), "output was: {out}");
@@ -3050,6 +3317,7 @@ mod tests {
                 seed,
                 deadline_ms,
                 chaos,
+                chaos_mode,
                 metrics_out,
                 durable,
                 durable_dir,
@@ -3058,6 +3326,7 @@ mod tests {
                 slo,
             } => {
                 assert_eq!(qps, 300);
+                assert_eq!(chaos_mode, None, "bare --chaos has no mode");
                 assert!(!durable);
                 assert!(!slo, "--slo defaults off");
                 assert_eq!(durable_dir, None);
@@ -3137,6 +3406,7 @@ mod tests {
             seed: 7,
             deadline_ms: 250,
             chaos: false,
+            chaos_mode: None,
             metrics_out: None,
             durable: false,
             durable_dir: None,
@@ -3246,6 +3516,7 @@ mod tests {
             seed: 11,
             deadline_ms: 250,
             chaos: false,
+            chaos_mode: None,
             metrics_out: Some(dir.join("metrics.prom")),
             durable: true,
             durable_dir: Some(dir.join("reg")),
@@ -3313,6 +3584,7 @@ mod tests {
             seed: 13,
             deadline_ms: 250,
             chaos: false,
+            chaos_mode: None,
             metrics_out: None,
             durable: true,
             durable_dir: Some(dir.join("reg")),
@@ -3347,6 +3619,7 @@ mod tests {
             seed: 1,
             deadline_ms: 0,
             chaos: false,
+            chaos_mode: None,
             metrics_out: None,
             durable: true,
             durable_dir: None,
@@ -3492,6 +3765,7 @@ mod tests {
             seed: 11,
             deadline_ms: 100,
             chaos: true,
+            chaos_mode: None,
             metrics_out: Some(metrics.clone()),
             durable: false,
             durable_dir: None,
@@ -3521,6 +3795,100 @@ mod tests {
         assert!(
             prom.contains("csj_service_breaker_transitions_total"),
             "{prom}"
+        );
+    }
+
+    /// Shard-kill chaos: one shard of every sharded request dies, the
+    /// rest of the query survives. Correctness degrades to *coverage*,
+    /// never to wrong answers or escaped panics. Mirrors the CI shard
+    /// soak step.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn serve_sim_shard_kill_degrades_coverage_not_correctness() {
+        let metrics = std::env::temp_dir().join("csj_cli_serve_sim_shard_kill.prom");
+        let out = execute(Command::ServeSim {
+            qps: 100,
+            duration_ms: 1_000,
+            workers: 2,
+            queue: 32,
+            communities: 6,
+            scale: 60,
+            eps: 1,
+            seed: 23,
+            deadline_ms: 250,
+            chaos: true,
+            chaos_mode: Some("shard-kill".into()),
+            metrics_out: Some(metrics.clone()),
+            durable: false,
+            durable_dir: None,
+            crash_after: None,
+            fsync: csj_durability::FsyncPolicy::Always,
+            slo: false,
+        })
+        .unwrap();
+        assert_eq!(report_field(&out, "panics-escaped"), 0, "{out}");
+        assert!(report_field(&out, "dispatched") > 0, "{out}");
+        // The attacked shard fails every sharded request: completeness
+        // is lost (completed < dispatched) and the service surfaces it
+        // through the coverage degradation trigger.
+        assert!(
+            report_field(&out, "completed") < report_field(&out, "dispatched"),
+            "{out}"
+        );
+        assert!(report_field(&out, "coverage") > 0, "{out}");
+        assert!(
+            out.contains(
+                "invariant shard fates reconcile \
+                 (dispatched == completed + failed + cancelled): ok"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains("invariant every admitted request resolved exactly once: ok"),
+            "{out}"
+        );
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("csj_shard_dispatched_total"), "{prom}");
+        assert!(
+            prom.contains("csj_shard_outcomes_total{fate=\"failed\"}"),
+            "{prom}"
+        );
+    }
+
+    /// Shard-stall chaos: a straggling primary attempt is rescued by a
+    /// hedged re-dispatch — coverage stays complete and the hedge
+    /// counter proves the rescue happened.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn serve_sim_shard_stall_is_rescued_by_hedging() {
+        let out = execute(Command::ServeSim {
+            qps: 100,
+            duration_ms: 1_000,
+            workers: 2,
+            queue: 32,
+            communities: 6,
+            scale: 60,
+            eps: 1,
+            seed: 29,
+            deadline_ms: 250,
+            chaos: true,
+            chaos_mode: Some("shard-stall".into()),
+            metrics_out: None,
+            durable: false,
+            durable_dir: None,
+            crash_after: None,
+            fsync: csj_durability::FsyncPolicy::Always,
+            slo: false,
+        })
+        .unwrap();
+        assert_eq!(report_field(&out, "panics-escaped"), 0, "{out}");
+        assert!(report_field(&out, "hedged") >= 1, "hedge must fire: {out}");
+        assert!(
+            out.contains(
+                "invariant shard fates reconcile \
+                 (dispatched == completed + failed + cancelled): ok"
+            ),
+            "{out}"
         );
     }
 
@@ -3838,6 +4206,7 @@ mod tests {
             seed: 7,
             deadline_ms: 250,
             chaos: false,
+            chaos_mode: None,
             metrics_out: Some(metrics.clone()),
             durable: false,
             durable_dir: None,

@@ -60,6 +60,7 @@ pub mod events;
 pub mod plan;
 pub mod prepared;
 pub mod quant;
+pub mod shard;
 pub mod similarity;
 pub mod telemetry;
 pub mod verify;
@@ -73,6 +74,7 @@ pub use events::{Event, EventCounters};
 pub use plan::{CostSample, CostTable, Exactness, PlanInput, QueryPlan};
 pub use prepared::PreparedCommunity;
 pub use quant::{pair_lane, tile_geometry, LaneKind, QuantMode, QuantizedCommunity};
+pub use shard::{community_mass, plan_shards, Coverage, ShardLayout};
 pub use similarity::Similarity;
 pub use telemetry::{JoinTelemetry, LogHistogram};
 

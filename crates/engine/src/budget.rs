@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 pub use csj_core::CancelToken;
+use csj_core::Coverage;
 
 /// Work limits for one engine query. The default ([`Budget::unlimited`])
 /// imposes none.
@@ -127,12 +128,20 @@ pub struct BudgetExhausted {
 /// budget ran out, plus the [`BudgetExhausted`] marker when it did.
 /// Budget exhaustion is *graceful degradation*, not an error — the
 /// value is always well-formed, just possibly incomplete.
+///
+/// Sharded queries additionally attach a [`Coverage`] report: how many
+/// shards resolved each way and how many candidates were actually
+/// screened. Budget exhaustion and coverage loss are independent — a
+/// query can finish inside its budget yet still be incomplete because a
+/// shard failed (`exhausted: None`, `coverage.is_partial()`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Partial<T> {
     /// The (possibly truncated) result.
     pub value: T,
     /// `Some` when the budget ran out before the query finished.
     pub exhausted: Option<BudgetExhausted>,
+    /// Shard completeness of a sharded query; `None` on unsharded paths.
+    pub coverage: Option<Coverage>,
 }
 
 impl<T> Partial<T> {
@@ -141,12 +150,14 @@ impl<T> Partial<T> {
         Self {
             value,
             exhausted: None,
+            coverage: None,
         }
     }
 
-    /// Whether the query ran to completion.
+    /// Whether the query ran to completion — no budget truncation and
+    /// (for sharded queries) no coverage loss.
     pub fn is_complete(&self) -> bool {
-        self.exhausted.is_none()
+        self.exhausted.is_none() && !self.coverage.is_some_and(|c| c.is_partial())
     }
 
     /// Unwrap the value, discarding the exhaustion marker.
@@ -238,9 +249,35 @@ mod tests {
                 pairs_done: 2,
                 pairs_skipped: 5,
             }),
+            coverage: None,
         };
         assert!(!q.is_complete());
         assert_eq!(q.exhausted.unwrap().pairs_skipped, 5);
+        // A sharded query inside its budget but with a lost shard is
+        // partial through the coverage channel alone.
+        let r = Partial {
+            value: 0,
+            exhausted: None,
+            coverage: Some(Coverage {
+                dispatched: 2,
+                completed: 1,
+                failed: 1,
+                units_skipped: 3,
+                ..Coverage::default()
+            }),
+        };
+        assert!(!r.is_complete());
+        let full = Partial {
+            value: 0,
+            exhausted: None,
+            coverage: Some(Coverage {
+                dispatched: 2,
+                completed: 2,
+                units_screened: 6,
+                ..Coverage::default()
+            }),
+        };
+        assert!(full.is_complete());
     }
 
     #[test]

@@ -17,9 +17,11 @@ use std::sync::{Arc, Mutex};
 use csj_core::plan::{Exactness, PlanInput, QueryPlan};
 use csj_core::prepared::{ap_minmax_between, ex_minmax_between, PreparedCommunity};
 use csj_core::{
-    run, Community, CsjError, CsjMethod, CsjOptions, JoinTelemetry, Similarity, UserId,
+    community_mass, plan_shards, run, Community, Coverage, CsjError, CsjMethod, CsjOptions,
+    JoinTelemetry, ShardLayout, Similarity, UserId,
 };
 use csj_obs::{ForensicRecord, MetricsSnapshot, QueryTrace};
+use csj_shard::{ShardConfig, ShardCtx, ShardExecutor, ShardOutcome};
 
 use crate::budget::{exhausted_marker, Budget, BudgetExhausted, Partial};
 use crate::error::EngineError;
@@ -46,13 +48,25 @@ pub struct EngineConfig {
     /// refined (the paper's "similar-enough group" cut).
     pub screen_threshold: f64,
     /// Worker threads for multi-pair queries (screening fans out across
-    /// pairs; each join stays single-threaded).
+    /// pairs; each join stays single-threaded). The shard executor
+    /// shares this same knob — sharded and flat queries draw from one
+    /// parallelism budget, so enabling sharding never oversubscribes
+    /// the host. The default is the machine's full
+    /// `available_parallelism`: each worker is compute-bound with no
+    /// blocking I/O, so there is nothing to win from running more
+    /// threads than cores (they would only steal each other's cache)
+    /// and nothing to win from running fewer.
     pub threads: usize,
     /// Observability: span recording, metrics, flight-recorder depth.
     pub obs: ObsConfig,
     /// Cost-based planner: resolves [`CsjMethod::Auto`], ranks the
     /// degradation ladder, refines estimates from measured latencies.
     pub planner: PlannerConfig,
+    /// Sharded execution of multi-pair queries: skew-aware layout,
+    /// per-shard deadline slices, straggler hedging, typed coverage.
+    /// Disabled by default (the `*_sharded_*` entry points still work;
+    /// this knob routes the service's queries through them).
+    pub shard: ShardConfig,
 }
 
 impl EngineConfig {
@@ -65,9 +79,10 @@ impl EngineConfig {
             screen_method: CsjMethod::ApMinMax,
             refine_method: CsjMethod::ExMinMax,
             screen_threshold: 0.15,
-            threads: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
             obs: ObsConfig::default(),
             planner: PlannerConfig::default(),
+            shard: ShardConfig::default(),
         }
     }
 }
@@ -220,6 +235,8 @@ pub struct CsjEngine {
     planner: Planner,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
+    #[cfg(feature = "fault-injection")]
+    shard_faults: Option<Arc<csj_shard::ShardFaultPlan>>,
 }
 
 impl CsjEngine {
@@ -241,6 +258,8 @@ impl CsjEngine {
             telemetry: Mutex::new(JoinTelemetry::default()),
             #[cfg(feature = "fault-injection")]
             faults: None,
+            #[cfg(feature = "fault-injection")]
+            shard_faults: None,
         }
     }
 
@@ -729,6 +748,7 @@ impl CsjEngine {
         Ok(Partial {
             value: outcome,
             exhausted,
+            coverage: None,
         })
     }
 
@@ -974,6 +994,7 @@ impl CsjEngine {
         Ok(Partial {
             value: refined,
             exhausted,
+            coverage: None,
         })
     }
 
@@ -1147,6 +1168,7 @@ impl CsjEngine {
         Ok(Partial {
             value: sweep,
             exhausted,
+            coverage: None,
         })
     }
 
@@ -1351,17 +1373,25 @@ impl CsjEngine {
     /// Order-preserving parallel map over a slice (workers steal by
     /// index; results land in input order). Each item runs inside its
     /// own `catch_unwind` boundary: a panic in `f` is captured as
-    /// `Err(message)` in that item's slot while every other item
-    /// completes normally — one poisoned input never aborts the query.
+    /// `Err(message)` in that item's slot — prefixed with the item's
+    /// index, so the report names *which* input was poisoned — while
+    /// every other item completes normally.
     fn parallel_map<'s, T: Sync, R: Send>(
         &'s self,
         items: &'s [T],
         f: impl Fn(&T) -> R + Sync + 's,
     ) -> Vec<Result<R, String>> {
-        let run_one = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message);
+        let run_one = |i: usize, item: &T| {
+            catch_unwind(AssertUnwindSafe(|| f(item)))
+                .map_err(|payload| format!("item {i}: {}", panic_message(payload)))
+        };
         let threads = self.config.threads.max(1).min(items.len().max(1));
         if threads <= 1 {
-            return items.iter().map(run_one).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| run_one(i, item))
+                .collect();
         }
         let mut results: Vec<Option<Result<R, String>>> = Vec::with_capacity(items.len());
         results.resize_with(items.len(), || None);
@@ -1374,7 +1404,7 @@ impl CsjEngine {
                     if i >= items.len() {
                         break;
                     }
-                    let r = run_one(&items[i]);
+                    let r = run_one(i, &items[i]);
                     // Worker panics are caught above, so the mutex can't
                     // be poisoned by `f`; recover defensively anyway.
                     results_cell.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
@@ -1383,8 +1413,685 @@ impl CsjEngine {
         });
         results
             .into_iter()
-            .map(|r| r.expect("worker filled slot"))
+            .enumerate()
+            .map(|(i, r)| {
+                // A lost slot means a worker died between claiming the
+                // index and reporting — name the item instead of panicking
+                // the whole query.
+                r.unwrap_or_else(|| Err(format!("item {i}: worker lost before reporting a result")))
+            })
             .collect()
+    }
+}
+
+/// Per-candidate terminal state inside one shard of a ranked query.
+/// Shards report these per member; the merge folds them into the
+/// ranking, the budget marker and the [`Coverage`] report.
+enum ShardScored {
+    /// Never screened: the budget ran out, or the attempt was cancelled
+    /// (slice timeout / hedge race / global cancel) before its turn.
+    Skipped,
+    /// Screened: the pair violates the size constraint.
+    Inadmissible,
+    /// The screen join failed (panic, injected fault, or hard error).
+    ScreenFailed(EngineError),
+    /// Screened below the refine threshold.
+    Rejected,
+    /// Screened and refined: (screen score, exact score). The screen
+    /// score orders the merge exactly like the flat pipeline's
+    /// shortlist.
+    Refined(Similarity, Similarity),
+    /// Shortlisted, but the refine join panicked or faulted (dropped
+    /// from the ranking, as on the flat path).
+    RefineDropped,
+    /// Shortlisted, but the budget or the attempt's cancel token ran
+    /// out before its refine join.
+    RefineSkipped,
+}
+
+/// Per-pair terminal state inside one shard of a sharded broadcast
+/// sweep.
+enum SweptPair {
+    /// Exact similarity reached the threshold.
+    Hit(PairScore),
+    /// Processed, below the threshold (or inadmissible).
+    Miss,
+    /// Never processed: budget or attempt cancellation.
+    Skipped,
+    /// The pair's join panicked or faulted (or a hard error, surfaced
+    /// at merge).
+    Failed(EngineError),
+}
+
+/// Sharded execution of the multi-pair queries. Candidates are
+/// partitioned into mass-balanced shards ([`plan_shards`] over
+/// [`community_mass`], so one giant community cannot serialise the
+/// query behind it); each shard runs under its own deadline slice and
+/// panic boundary on the supervised [`ShardExecutor`] pool, stragglers
+/// are hedged, and the surviving per-unit states merge into a result
+/// that is bit-identical to the flat pipeline when every shard
+/// completes. Lost shards shrink the attached [`Coverage`] report
+/// instead of failing the query. See `DESIGN.md` §17.
+impl CsjEngine {
+    /// How many shards a query over `units` work units gets: the
+    /// configured count ([`ShardConfig::shards`]; 0 = auto, one per
+    /// engine thread), clamped to the unit count.
+    fn effective_shards(&self, units: usize) -> usize {
+        let want = if self.config.shard.shards > 0 {
+            self.config.shard.shards
+        } else {
+            self.config.threads
+        };
+        want.clamp(1, units.max(1))
+    }
+
+    /// The shard executor for one query. It shares
+    /// [`EngineConfig::threads`] with the flat path, so sharding never
+    /// oversubscribes the host.
+    fn shard_executor(&self) -> ShardExecutor {
+        let executor = ShardExecutor::new(self.config.shard.clone(), self.config.threads);
+        #[cfg(feature = "fault-injection")]
+        let executor = executor.with_faults(self.shard_faults.clone());
+        executor
+    }
+
+    /// The skew-aware layout a sharded ranked query over `candidates`
+    /// would use: members balanced by part-sum mass, not by count.
+    /// This is what `csj explain` surfaces.
+    pub fn shard_layout(&self, candidates: &[CommunityHandle]) -> Result<ShardLayout, EngineError> {
+        let masses = self.candidate_masses(candidates)?;
+        Ok(plan_shards(
+            &masses,
+            self.effective_shards(candidates.len()),
+        ))
+    }
+
+    /// Part-sum masses of `candidates` (validating every handle).
+    fn candidate_masses(&self, candidates: &[CommunityHandle]) -> Result<Vec<u64>, EngineError> {
+        candidates
+            .iter()
+            .map(|&c| Ok(community_mass(self.community(c)?)))
+            .collect()
+    }
+
+    /// Sharded [`top_k_similar`](CsjEngine::top_k_similar), unbudgeted.
+    pub fn top_k_similar_sharded(
+        &self,
+        x: CommunityHandle,
+        k: usize,
+    ) -> Result<Partial<Vec<PairScore>>, EngineError> {
+        self.top_k_similar_sharded_with_budget(x, k, &Budget::unlimited())
+    }
+
+    /// Sharded
+    /// [`top_k_similar_with_budget`](CsjEngine::top_k_similar_with_budget):
+    /// same ranking when every shard completes, a [`Coverage`] report
+    /// when one does not.
+    pub fn top_k_similar_sharded_with_budget(
+        &self,
+        x: CommunityHandle,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Partial<Vec<PairScore>>, EngineError> {
+        let candidates: Vec<CommunityHandle> = self.handles().filter(|&h| h != x).collect();
+        let mut ranked = self.ranked_query_sharded("top_k", x, &candidates, budget)?;
+        ranked.value.truncate(k);
+        Ok(ranked)
+    }
+
+    /// Sharded [`screen_and_refine`](CsjEngine::screen_and_refine),
+    /// unbudgeted.
+    pub fn screen_and_refine_sharded(
+        &self,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+    ) -> Result<Partial<Vec<PairScore>>, EngineError> {
+        self.screen_and_refine_sharded_with_budget(x, candidates, &Budget::unlimited())
+    }
+
+    /// Sharded
+    /// [`screen_and_refine_with_budget`](CsjEngine::screen_and_refine_with_budget).
+    pub fn screen_and_refine_sharded_with_budget(
+        &self,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+        budget: &Budget,
+    ) -> Result<Partial<Vec<PairScore>>, EngineError> {
+        self.ranked_query_sharded("screen_and_refine", x, candidates, budget)
+    }
+
+    /// The sharded screen → refine pipeline. Fault-free runs produce
+    /// bit-identical results to [`ranked_query`](CsjEngine::ranked_query)
+    /// (the parity suite pins this); budget exhaustion inside a shard
+    /// degrades exactly like the flat path, and lost shards degrade
+    /// through the coverage channel instead.
+    fn ranked_query_sharded(
+        &self,
+        kind: &'static str,
+        x: CommunityHandle,
+        candidates: &[CommunityHandle],
+        budget: &Budget,
+    ) -> Result<Partial<Vec<PairScore>>, EngineError> {
+        let joins = AtomicU64::new(0);
+        let rec = self.obs.start_recorder(kind);
+        self.obs.on_query(kind);
+        if let Err(e) = self.community(x) {
+            return Err(self.trace_failure(rec, e));
+        }
+        let masses = match self.candidate_masses(candidates) {
+            Ok(masses) => masses,
+            Err(e) => return Err(self.trace_failure(rec, e)),
+        };
+        let layout = plan_shards(&masses, self.effective_shards(candidates.len()));
+        let px = self.prepared(x.0);
+        let prepared: Vec<Arc<PreparedCommunity>> =
+            candidates.iter().map(|&c| self.prepared(c.0)).collect();
+        let shard_start = rec.now_us();
+        let reports =
+            self.shard_executor()
+                .run(layout.shards.len(), &budget.cancel_token(), |ctx| {
+                    self.ranked_shard_task(
+                        x,
+                        &px,
+                        candidates,
+                        &prepared,
+                        &layout.shards[ctx.shard],
+                        ctx,
+                        budget,
+                        &joins,
+                        Some(&rec),
+                    )
+                });
+        // Fold shard reports: coverage fates, per-shard spans, and the
+        // surviving per-candidate states (a lost shard leaves `None` for
+        // every member).
+        let mut coverage = Coverage::default();
+        let mut states: Vec<Option<ShardScored>> = Vec::with_capacity(candidates.len());
+        states.resize_with(candidates.len(), || None);
+        let mut elapsed_us = Vec::with_capacity(reports.len());
+        for report in reports {
+            coverage.dispatched += 1;
+            match (&report.value, report.outcome) {
+                (Some(_), outcome) => {
+                    coverage.completed += 1;
+                    if outcome == ShardOutcome::Hedged {
+                        coverage.hedged += 1;
+                    }
+                }
+                (None, ShardOutcome::Cancelled) => coverage.cancelled += 1,
+                (None, _) => coverage.failed += 1,
+            }
+            let us = u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX);
+            elapsed_us.push(us);
+            rec.record_shard(
+                report.shard,
+                report.outcome.label(),
+                layout.shards[report.shard].len(),
+                report.attempts,
+                us,
+                shard_start,
+            );
+            if let Some(values) = report.value {
+                for (idx, state) in values {
+                    states[idx] = Some(state);
+                }
+            }
+        }
+        rec.end_phase("shards", shard_start);
+        let mut refined: Vec<(usize, Similarity, Similarity)> = Vec::new();
+        let mut done = 0u64;
+        let mut budget_skips = 0u64;
+        let mut hard_error: Option<EngineError> = None;
+        for (idx, state) in states.iter().enumerate() {
+            match state {
+                None => coverage.units_skipped += 1,
+                Some(ShardScored::Skipped) => {
+                    coverage.units_skipped += 1;
+                    budget_skips += 1;
+                }
+                Some(ShardScored::Inadmissible) | Some(ShardScored::Rejected) => {
+                    coverage.units_screened += 1;
+                    done += 1;
+                }
+                Some(ShardScored::ScreenFailed(e)) => {
+                    coverage.units_screened += 1;
+                    done += 1;
+                    // Same rule as the flat path: faults and panics
+                    // degrade per candidate, anything else is a real
+                    // error and is surfaced (first in candidate order).
+                    if !matches!(
+                        e,
+                        EngineError::Faulted { .. } | EngineError::JoinPanicked { .. }
+                    ) && hard_error.is_none()
+                    {
+                        hard_error = Some(e.clone());
+                    }
+                }
+                Some(ShardScored::Refined(screen, exact)) => {
+                    coverage.units_screened += 1;
+                    done += 2;
+                    refined.push((idx, *screen, *exact));
+                }
+                Some(ShardScored::RefineDropped) => {
+                    coverage.units_screened += 1;
+                    done += 2;
+                }
+                Some(ShardScored::RefineSkipped) => {
+                    coverage.units_screened += 1;
+                    done += 1;
+                    budget_skips += 1;
+                }
+            }
+        }
+        if let Some(e) = hard_error {
+            return Err(self.trace_failure(rec, e));
+        }
+        debug_assert!(
+            coverage.identity_holds(),
+            "shard fate identity: {coverage:?}"
+        );
+        debug_assert_eq!(
+            coverage.units_screened + coverage.units_skipped,
+            candidates.len() as u64,
+            "every candidate is either screened or skipped"
+        );
+        // Deterministic merge, bit-identical to the flat pipeline:
+        // `refined` is in candidate order, so the stable sort by screen
+        // score reproduces the global shortlist order and the stable
+        // sort by exact score reproduces the final ranking (ties keep
+        // shortlist order, exactly as the flat path's sort does).
+        refined.sort_by(|p, q| q.1.ratio().total_cmp(&p.1.ratio()));
+        refined.sort_by(|p, q| q.2.ratio().total_cmp(&p.2.ratio()));
+        let value: Vec<PairScore> = refined
+            .into_iter()
+            .map(|(idx, _, exact)| PairScore {
+                x,
+                y: candidates[idx],
+                similarity: exact,
+            })
+            .collect();
+        // Skips caused by slice timeouts or lost shards are coverage
+        // loss, not budget exhaustion: the marker only fires when the
+        // budget itself stopped admitting work.
+        let marker_skips = if budget.exceeded(joins.load(Ordering::Relaxed)).is_some() {
+            budget_skips
+        } else {
+            0
+        };
+        let exhausted = exhausted_marker(budget, &joins, done, marker_skips);
+        self.obs.on_shards(&coverage, &elapsed_us);
+        rec.note_coverage(coverage);
+        self.finish_trace(rec, exhausted);
+        Ok(Partial {
+            value,
+            exhausted,
+            coverage: Some(coverage),
+        })
+    }
+
+    /// One shard's screen → refine pass over its member candidates.
+    /// Runs on a pool worker inside the shard's panic boundary; `ctx`
+    /// carries the attempt's cancel token, which the supervisor trips
+    /// on slice timeout, hedge races and global cancellation.
+    #[allow(clippy::too_many_arguments)]
+    fn ranked_shard_task(
+        &self,
+        x: CommunityHandle,
+        px: &Arc<PreparedCommunity>,
+        candidates: &[CommunityHandle],
+        prepared: &[Arc<PreparedCommunity>],
+        members: &[usize],
+        ctx: &ShardCtx,
+        budget: &Budget,
+        joins: &AtomicU64,
+        rec: Option<&QueryRecorder>,
+    ) -> Vec<(usize, ShardScored)> {
+        let qopts = self.config.options.clone().with_cancel(ctx.cancel.clone());
+        let mut out = Vec::with_capacity(members.len());
+        let mut shortlist: Vec<(usize, Similarity)> = Vec::new();
+        // Phase 1: screen the members (ascending candidate order).
+        for &idx in members {
+            let cand = candidates[idx];
+            if budget.exceeded(joins.load(Ordering::Relaxed)).is_some() {
+                budget.cancel();
+                out.push((idx, ShardScored::Skipped));
+                continue;
+            }
+            if ctx.cancel.is_cancelled() {
+                out.push((idx, ShardScored::Skipped));
+                continue;
+            }
+            let py = &prepared[idx];
+            let screened = catch_unwind(AssertUnwindSafe(|| {
+                self.fault_hook(cand.0)?;
+                let (b, a) = if px.len() <= py.len() {
+                    (px, py)
+                } else {
+                    (py, px)
+                };
+                self.join_prepared(
+                    self.config.screen_method,
+                    Exactness::Approximate,
+                    b,
+                    a,
+                    &qopts,
+                    rec,
+                )
+            }));
+            match screened {
+                Err(payload) => {
+                    self.obs.on_join_panicked();
+                    out.push((
+                        idx,
+                        ShardScored::ScreenFailed(EngineError::JoinPanicked {
+                            handle: cand.0,
+                            message: panic_message(payload),
+                        }),
+                    ));
+                }
+                Ok(Ok(similarity)) => {
+                    joins.fetch_add(1, Ordering::Relaxed);
+                    if similarity.ratio() >= self.config.screen_threshold {
+                        shortlist.push((idx, similarity));
+                    } else {
+                        out.push((idx, ShardScored::Rejected));
+                    }
+                }
+                Ok(Err(EngineError::Csj(CsjError::SizeConstraint { .. }))) => {
+                    out.push((idx, ShardScored::Inadmissible));
+                }
+                Ok(Err(EngineError::Cancelled)) => {
+                    joins.fetch_add(1, Ordering::Relaxed);
+                    out.push((idx, ShardScored::Skipped));
+                }
+                Ok(Err(other)) => out.push((idx, ShardScored::ScreenFailed(other))),
+            }
+        }
+        // Phase 2: refine the shard-local shortlist, best screen score
+        // first (stable, so ties keep candidate order — the global
+        // merge depends on this to reproduce the flat ordering).
+        shortlist.sort_by(|p, q| q.1.ratio().total_cmp(&p.1.ratio()));
+        let mut stop = false;
+        for (idx, screen_sim) in shortlist {
+            if !stop && budget.exceeded(joins.load(Ordering::Relaxed)).is_some() {
+                budget.cancel();
+                stop = true;
+            }
+            if !stop && ctx.cancel.is_cancelled() {
+                stop = true;
+            }
+            if stop {
+                out.push((idx, ShardScored::RefineSkipped));
+                continue;
+            }
+            match self.refine_pair(x, candidates[idx], &qopts, joins, rec) {
+                Ok(exact) => out.push((idx, ShardScored::Refined(screen_sim, exact))),
+                Err(EngineError::Cancelled) => {
+                    stop = true;
+                    out.push((idx, ShardScored::RefineSkipped));
+                }
+                Err(EngineError::JoinPanicked { .. }) | Err(EngineError::Faulted { .. }) => {
+                    out.push((idx, ShardScored::RefineDropped));
+                }
+                Err(other) => out.push((idx, ShardScored::ScreenFailed(other))),
+            }
+        }
+        out
+    }
+
+    /// Sharded [`pairs_above`](CsjEngine::pairs_above), unbudgeted.
+    pub fn pairs_above_sharded(&self, threshold: f64) -> Result<Partial<PairsSweep>, EngineError> {
+        self.pairs_above_sharded_with_budget(threshold, &Budget::unlimited())
+    }
+
+    /// Sharded broadcast sweep: the all-pairs workload is grouped into
+    /// mass-balanced community groups and each group-pair becomes one
+    /// shard task. Unlike
+    /// [`pairs_above_with_budget`](CsjEngine::pairs_above_with_budget)
+    /// there is no resume cursor ([`PairsSweep::cursor`] stays `None`):
+    /// lost work is reported through the [`Coverage`] channel instead
+    /// of a resumable position, because shards complete out of
+    /// canonical order.
+    pub fn pairs_above_sharded_with_budget(
+        &self,
+        threshold: f64,
+        budget: &Budget,
+    ) -> Result<Partial<PairsSweep>, EngineError> {
+        let joins = AtomicU64::new(0);
+        let rec = self.obs.start_recorder("pairs_above");
+        self.obs.on_query("pairs_above");
+        let n = self.entries.len();
+        let masses: Vec<u64> = self
+            .entries
+            .iter()
+            .map(|e| community_mass(&e.community))
+            .collect();
+        let tasks =
+            Self::plan_pair_tasks(&masses, self.effective_shards(n * n.saturating_sub(1) / 2));
+        if tasks.is_empty() {
+            let coverage = Coverage::default();
+            rec.note_coverage(coverage);
+            self.finish_trace(rec, None);
+            return Ok(Partial {
+                value: PairsSweep::default(),
+                exhausted: None,
+                coverage: Some(coverage),
+            });
+        }
+        let total_pairs: u64 = tasks.iter().map(|t| t.len() as u64).sum();
+        let shard_start = rec.now_us();
+        let reports = self
+            .shard_executor()
+            .run(tasks.len(), &budget.cancel_token(), |ctx| {
+                self.sweep_shard_task(
+                    &tasks[ctx.shard],
+                    threshold,
+                    ctx,
+                    budget,
+                    &joins,
+                    Some(&rec),
+                )
+            });
+        let mut coverage = Coverage::default();
+        let mut elapsed_us = Vec::with_capacity(reports.len());
+        let mut swept: Vec<((u32, u32), SweptPair)> = Vec::new();
+        for report in reports {
+            coverage.dispatched += 1;
+            match (&report.value, report.outcome) {
+                (Some(_), outcome) => {
+                    coverage.completed += 1;
+                    if outcome == ShardOutcome::Hedged {
+                        coverage.hedged += 1;
+                    }
+                }
+                (None, ShardOutcome::Cancelled) => coverage.cancelled += 1,
+                (None, _) => coverage.failed += 1,
+            }
+            let us = u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX);
+            elapsed_us.push(us);
+            rec.record_shard(
+                report.shard,
+                report.outcome.label(),
+                tasks[report.shard].len(),
+                report.attempts,
+                us,
+                shard_start,
+            );
+            if let Some(values) = report.value {
+                swept.extend(values);
+            } else {
+                coverage.units_skipped += tasks[report.shard].len() as u64;
+            }
+        }
+        rec.end_phase("shards", shard_start);
+        // Merge in canonical (lexicographic) pair order first, so the
+        // final ranking is independent of shard layout and completion
+        // order. Pair keys are unique, so the unstable sort is total.
+        swept.sort_unstable_by_key(|(pair, _)| *pair);
+        let mut sweep = PairsSweep::default();
+        let mut done = 0u64;
+        let mut budget_skips = 0u64;
+        let mut hard_error: Option<EngineError> = None;
+        for (pair, state) in swept {
+            match state {
+                SweptPair::Hit(score) => {
+                    coverage.units_screened += 1;
+                    done += 1;
+                    sweep.pairs.push(score);
+                }
+                SweptPair::Miss => {
+                    coverage.units_screened += 1;
+                    done += 1;
+                }
+                SweptPair::Skipped => {
+                    coverage.units_skipped += 1;
+                    budget_skips += 1;
+                }
+                SweptPair::Failed(e) => {
+                    coverage.units_screened += 1;
+                    done += 1;
+                    if !matches!(
+                        e,
+                        EngineError::Faulted { .. } | EngineError::JoinPanicked { .. }
+                    ) && hard_error.is_none()
+                    {
+                        hard_error = Some(e.clone());
+                    }
+                    sweep
+                        .failed
+                        .push((CommunityHandle(pair.0), CommunityHandle(pair.1), e));
+                }
+            }
+        }
+        if let Some(e) = hard_error {
+            return Err(self.trace_failure(rec, e));
+        }
+        debug_assert!(
+            coverage.identity_holds(),
+            "shard fate identity: {coverage:?}"
+        );
+        debug_assert_eq!(
+            coverage.units_screened + coverage.units_skipped,
+            total_pairs,
+            "every pair is either screened or skipped"
+        );
+        sweep
+            .pairs
+            .sort_by(|p, q| q.similarity.ratio().total_cmp(&p.similarity.ratio()));
+        let marker_skips = if budget.exceeded(joins.load(Ordering::Relaxed)).is_some() {
+            budget_skips
+        } else {
+            0
+        };
+        let exhausted = exhausted_marker(budget, &joins, done, marker_skips);
+        self.obs.on_shards(&coverage, &elapsed_us);
+        rec.note_coverage(coverage);
+        self.finish_trace(rec, exhausted);
+        Ok(Partial {
+            value: sweep,
+            exhausted,
+            coverage: Some(coverage),
+        })
+    }
+
+    /// Partition the all-pairs workload for sharding: communities are
+    /// grouped into `g` mass-balanced groups (the largest `g` with
+    /// `g*(g+1)/2 <= target` tasks) and every group pair — diagonal
+    /// included — becomes one task holding its canonical `(i < j)`
+    /// pairs in lexicographic order. Each unordered pair lands in
+    /// exactly one task.
+    fn plan_pair_tasks(masses: &[u64], target: usize) -> Vec<Vec<(u32, u32)>> {
+        let n = masses.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut g = 1usize;
+        while (g + 1) * (g + 2) / 2 <= target && g < n {
+            g += 1;
+        }
+        let groups = plan_shards(masses, g).shards;
+        let mut tasks = Vec::new();
+        for gi in 0..groups.len() {
+            for gj in gi..groups.len() {
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                if gi == gj {
+                    let members = &groups[gi];
+                    for (p, &u) in members.iter().enumerate() {
+                        for &v in &members[p + 1..] {
+                            pairs.push((u as u32, v as u32));
+                        }
+                    }
+                } else {
+                    for &u in &groups[gi] {
+                        for &v in &groups[gj] {
+                            let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+                            pairs.push((lo as u32, hi as u32));
+                        }
+                    }
+                }
+                pairs.sort_unstable();
+                if !pairs.is_empty() {
+                    tasks.push(pairs);
+                }
+            }
+        }
+        tasks
+    }
+
+    /// One shard task of the sharded broadcast sweep: its canonical
+    /// pairs in lexicographic order, each through the same
+    /// screen-then-refine logic as the flat sweep, inside the shard's
+    /// panic boundary.
+    fn sweep_shard_task(
+        &self,
+        pairs: &[(u32, u32)],
+        threshold: f64,
+        ctx: &ShardCtx,
+        budget: &Budget,
+        joins: &AtomicU64,
+        rec: Option<&QueryRecorder>,
+    ) -> Vec<((u32, u32), SweptPair)> {
+        let qopts = self.config.options.clone().with_cancel(ctx.cancel.clone());
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut stop = false;
+        for &(i, j) in pairs {
+            if !stop && budget.exceeded(joins.load(Ordering::Relaxed)).is_some() {
+                budget.cancel();
+                stop = true;
+            }
+            if !stop && ctx.cancel.is_cancelled() {
+                stop = true;
+            }
+            if stop {
+                out.push(((i, j), SweptPair::Skipped));
+                continue;
+            }
+            let x = CommunityHandle(i);
+            let y = CommunityHandle(j);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.sweep_pair(x, y, threshold, &qopts, joins, rec, false)
+            }));
+            match outcome {
+                Err(payload) => {
+                    self.obs.on_join_panicked();
+                    out.push((
+                        (i, j),
+                        SweptPair::Failed(EngineError::JoinPanicked {
+                            handle: j,
+                            message: panic_message(payload),
+                        }),
+                    ));
+                }
+                Ok(Ok(Some(score))) => out.push(((i, j), SweptPair::Hit(score))),
+                Ok(Ok(None)) => out.push(((i, j), SweptPair::Miss)),
+                Ok(Err(EngineError::Cancelled)) => {
+                    stop = true;
+                    out.push(((i, j), SweptPair::Skipped));
+                }
+                Ok(Err(e)) => out.push(((i, j), SweptPair::Failed(e))),
+            }
+        }
+        out
     }
 }
 
@@ -1400,6 +2107,18 @@ impl CsjEngine {
     /// Remove any installed chaos plan.
     pub fn clear_faults(&mut self) {
         self.faults = None;
+    }
+
+    /// Install a shard-boundary chaos plan; subsequent *sharded*
+    /// queries dispatch attempts through it (kills, stalls, injected
+    /// panics). Compiled only under the `fault-injection` feature.
+    pub fn inject_shard_faults(&mut self, plan: csj_shard::ShardFaultPlan) {
+        self.shard_faults = Some(Arc::new(plan));
+    }
+
+    /// Remove any installed shard chaos plan.
+    pub fn clear_shard_faults(&mut self) {
+        self.shard_faults = None;
     }
 }
 

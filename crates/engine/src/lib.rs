@@ -31,6 +31,13 @@
 //! erroring. Joins are panic-isolated per candidate, and the
 //! `fault-injection` cargo feature compiles in a chaos-testing harness
 //! ([`fault`]) that injects panics, errors, and slowdowns into joins.
+//!
+//! For fault *isolation* beyond the per-join boundary, the `*_sharded_*`
+//! query variants partition the work into mass-balanced shards executed
+//! under per-shard deadline slices with straggler hedging; a crashed or
+//! stalled shard shrinks the result's [`Coverage`] report instead of
+//! failing the query. Fault-free sharded runs are bit-identical to the
+//! flat pipeline.
 
 mod budget;
 mod engine;
@@ -43,7 +50,11 @@ mod tracked;
 
 pub use budget::{Budget, BudgetExhausted, CancelToken, ExhaustReason, Partial};
 pub use csj_core::plan::{CostTable, Exactness, PlanInput, QueryPlan};
+pub use csj_core::{Coverage, ShardLayout};
 pub use csj_obs::{CaptureCause, ForensicRecord, MetricsSnapshot, QueryTrace};
+#[cfg(feature = "fault-injection")]
+pub use csj_shard::ShardFaultPlan;
+pub use csj_shard::{ShardConfig, ShardOutcome, ShardReport};
 pub use engine::{
     CommunityHandle, CsjEngine, EngineConfig, EngineStats, PairScore, PairsCursor, PairsSweep,
     ScreenOutcome,

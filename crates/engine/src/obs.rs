@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use csj_core::{CsjMethod, JoinTelemetry, PhaseTimings};
+use csj_core::{Coverage, CsjMethod, JoinTelemetry, PhaseTimings};
 use csj_obs::{
     Counter, FlightRecorder, ForensicRecord, Gauge, LatencyHistogram, LogHistogramCell,
     MetricsRegistry, MetricsSnapshot, QueryTrace, SlowQueryLog, Span,
@@ -117,6 +117,11 @@ pub(crate) struct EngineObs {
     cancel_polls: Arc<Counter>,
     encode_lane: [Arc<Counter>; 4],
     encode_tiles: Arc<Counter>,
+    shard_dispatched: Arc<Counter>,
+    shard_outcomes: [Arc<Counter>; 3],
+    shard_hedged: Arc<Counter>,
+    shard_units: [Arc<Counter>; 2],
+    shard_latency: Arc<LatencyHistogram>,
     stream_depth: Arc<LogHistogramCell>,
     prune_depth: Arc<LogHistogramCell>,
     communities: Arc<Gauge>,
@@ -304,6 +309,38 @@ impl EngineObs {
                 "L1-sized A tiles walked by cache-blocked kernel scans.",
                 vec![],
             ),
+            shard_dispatched: registry.counter(
+                "csj_shard_dispatched_total",
+                "Shard tasks handed to the shard executor.",
+                vec![],
+            ),
+            // The three shard fates: dispatched == completed + failed +
+            // cancelled (the shard identity, lint-checked like the
+            // service's four fates).
+            shard_outcomes: ["completed", "failed", "cancelled"].map(|fate| {
+                registry.counter(
+                    "csj_shard_outcomes_total",
+                    "Shard tasks resolved, by fate (dispatched == completed + failed + cancelled).",
+                    vec![("fate", fate.to_string())],
+                )
+            }),
+            shard_hedged: registry.counter(
+                "csj_shard_hedged_total",
+                "Shards whose winning result came from a hedged re-dispatch (subset of completed).",
+                vec![],
+            ),
+            shard_units: ["screened", "skipped"].map(|fate| {
+                registry.counter(
+                    "csj_shard_units_total",
+                    "Work units (candidates or pairs) of sharded queries, by fate.",
+                    vec![("fate", fate.to_string())],
+                )
+            }),
+            shard_latency: registry.latency(
+                "csj_shard_latency_seconds",
+                "Per-shard wall-clock latency (winning attempt, or longest failed one).",
+                vec![],
+            ),
             stream_depth: registry.log_histogram(
                 "csj_candidate_stream_depth",
                 "Distribution of candidates streamed per driven B row (log2 buckets).",
@@ -436,6 +473,27 @@ impl EngineObs {
         }
     }
 
+    /// Fold one sharded query's coverage into the `csj_shard_*` family;
+    /// `shard_elapsed_us` carries the per-shard latencies. The counter
+    /// deltas preserve the coverage identity by construction, so
+    /// `csj_shard_dispatched_total` always equals the sum of the three
+    /// `csj_shard_outcomes_total` fates.
+    pub(crate) fn on_shards(&self, coverage: &Coverage, shard_elapsed_us: &[u64]) {
+        if !self.enabled {
+            return;
+        }
+        self.shard_dispatched.add(coverage.dispatched);
+        self.shard_outcomes[0].add(coverage.completed);
+        self.shard_outcomes[1].add(coverage.failed);
+        self.shard_outcomes[2].add(coverage.cancelled);
+        self.shard_hedged.add(coverage.hedged);
+        self.shard_units[0].add(coverage.units_screened);
+        self.shard_units[1].add(coverage.units_skipped);
+        for &us in shard_elapsed_us {
+            self.shard_latency.observe_us_with_exemplar(us, 0);
+        }
+    }
+
     /// Point-in-time snapshot, with the registry-size gauges refreshed
     /// from the caller's current counts.
     pub(crate) fn snapshot(&self, communities: usize, cached_pairs: usize) -> MetricsSnapshot {
@@ -501,6 +559,7 @@ pub(crate) struct QueryRecorder {
     joins_recorded: AtomicU64,
     telemetry: Mutex<JoinTelemetry>,
     budget: Mutex<Option<(&'static str, u64, u64)>>,
+    coverage: Mutex<Option<Coverage>>,
 }
 
 impl QueryRecorder {
@@ -526,6 +585,7 @@ impl QueryRecorder {
             joins_recorded: AtomicU64::new(0),
             telemetry: Mutex::new(JoinTelemetry::default()),
             budget: Mutex::new(None),
+            coverage: Mutex::new(None),
         }
     }
 
@@ -660,6 +720,44 @@ impl QueryRecorder {
             Some((reason, pairs_done, pairs_skipped));
     }
 
+    /// Record one resolved shard as a span (folded into the enclosing
+    /// `shards` phase by [`QueryRecorder::end_phase`]).
+    pub(crate) fn record_shard(
+        &self,
+        shard: usize,
+        outcome: &'static str,
+        members: usize,
+        attempts: u32,
+        elapsed_us: u64,
+        start_us: u64,
+    ) {
+        if !self.on {
+            return;
+        }
+        let mut joins = self.join_spans.lock().unwrap_or_else(|e| e.into_inner());
+        if joins.len() >= MAX_JOIN_SPANS {
+            self.joins_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        joins.push(
+            Span::new("shard")
+                .at(start_us, elapsed_us)
+                .attr("shard", shard)
+                .attr("outcome", outcome)
+                .attr("members", members)
+                .attr("attempts", u64::from(attempts)),
+        );
+    }
+
+    /// Note a sharded query's coverage, surfaced as root-span
+    /// attributes (`shards_dispatched`, `shards_completed`, ...).
+    pub(crate) fn note_coverage(&self, coverage: Coverage) {
+        if !self.on {
+            return;
+        }
+        *self.coverage.lock().unwrap_or_else(|e| e.into_inner()) = Some(coverage);
+    }
+
     /// Finish the query and build its trace, carrying the pre-reserved
     /// id and a telemetry roll-up on the root span. `None` when
     /// recording was off.
@@ -689,6 +787,16 @@ impl QueryRecorder {
                 .attr("budget_reason", reason)
                 .attr("pairs_done", done)
                 .attr("pairs_skipped", skipped);
+        }
+        if let Some(c) = *self.coverage.lock().unwrap_or_else(|e| e.into_inner()) {
+            root = root
+                .attr("shards_dispatched", c.dispatched)
+                .attr("shards_completed", c.completed)
+                .attr("shards_failed", c.failed)
+                .attr("shards_cancelled", c.cancelled)
+                .attr("shards_hedged", c.hedged)
+                .attr("units_screened", c.units_screened)
+                .attr("units_skipped", c.units_skipped);
         }
         let dropped = self.joins_dropped.load(Ordering::Relaxed);
         if dropped > 0 {

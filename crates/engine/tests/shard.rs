@@ -1,0 +1,294 @@
+//! Sharded-execution contract tests.
+//!
+//! The tentpole claim of the sharded layer is *bit-identical merges*:
+//! a fault-free sharded query returns exactly the flat path's result —
+//! same pairs, same scores, same order — for every shard count, thread
+//! count and (implicitly) steal order. Faults may only shrink
+//! *coverage*, never corrupt what survives. These tests pin both claims.
+
+use csj_core::Community;
+use csj_engine::{Budget, CsjEngine, EngineConfig};
+use proptest::prelude::*;
+
+/// Deterministic LCG so every run sees the same catalog.
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    }
+}
+
+/// A skewed catalog: community sizes spread over a 4× range so some
+/// pairs are admissible and some are not, and part-sum masses differ
+/// enough that the LPT layout actually separates the giants.
+fn skewed_engine(seed: u64, threads: usize, shards: usize) -> CsjEngine {
+    const D: usize = 3;
+    let mut rng = lcg(seed);
+    let mut config = EngineConfig::new(1);
+    config.threads = threads;
+    config.shard.enabled = true;
+    config.shard.shards = shards;
+    let mut engine = CsjEngine::new(D, config);
+    for (i, len) in [4usize, 5, 6, 8, 10, 16].into_iter().enumerate() {
+        let rows: Vec<(u64, Vec<u32>)> = (0..len as u64)
+            .map(|u| (u + 1, (0..D).map(|_| (rng() % 10) as u32).collect()))
+            .collect();
+        let c = Community::from_rows(format!("c{i}"), D, rows).expect("well-formed");
+        engine.register(c).expect("unique names");
+    }
+    engine
+}
+
+fn anchor(engine: &CsjEngine) -> csj_engine::CommunityHandle {
+    engine.find("c3").expect("registered")
+}
+
+#[test]
+fn sharded_ranked_queries_match_flat_bit_for_bit() {
+    // The flat reference comes from a single-threaded engine so any
+    // hidden dependence on the sharded engine's pool would show up.
+    let reference = skewed_engine(7, 1, 1);
+    let x = anchor(&reference);
+    let flat_topk = reference.top_k_similar(x, 4).expect("flat top-k");
+    let candidates: Vec<_> = reference.handles().filter(|&h| h != x).collect();
+    let flat_ranked = reference
+        .screen_and_refine(x, &candidates)
+        .expect("flat screen+refine");
+
+    for shards in [1usize, 2, 3, 5, 8] {
+        for threads in [1usize, 2, 4] {
+            let engine = skewed_engine(7, threads, shards);
+            let x = anchor(&engine);
+            let candidates: Vec<_> = engine.handles().filter(|&h| h != x).collect();
+
+            let topk = engine.top_k_similar_sharded(x, 4).expect("sharded top-k");
+            assert_eq!(
+                topk.value, flat_topk,
+                "top-k diverged at shards={shards} threads={threads}"
+            );
+            let cov = topk.coverage.expect("sharded queries report coverage");
+            assert!(cov.identity_holds(), "{cov}");
+            assert!(!cov.is_partial(), "fault-free must be complete: {cov}");
+            assert_eq!(cov.unit_fraction(), 1.0);
+
+            let ranked = engine
+                .screen_and_refine_sharded(x, &candidates)
+                .expect("sharded screen+refine");
+            assert_eq!(
+                ranked.value, flat_ranked,
+                "screen+refine diverged at shards={shards} threads={threads}"
+            );
+            assert!(ranked.exhausted.is_none());
+        }
+    }
+}
+
+#[test]
+fn sharded_pairs_above_matches_flat() {
+    let reference = skewed_engine(11, 1, 1);
+    let flat = reference.pairs_above(0.0).expect("flat sweep");
+    assert!(!flat.is_empty(), "catalog must produce matching pairs");
+
+    for shards in [1usize, 2, 3, 5, 8] {
+        for threads in [1usize, 2, 4] {
+            let engine = skewed_engine(11, threads, shards);
+            let swept = engine.pairs_above_sharded(0.0).expect("sharded sweep");
+            assert_eq!(
+                swept.value.pairs, flat,
+                "sweep diverged at shards={shards} threads={threads}"
+            );
+            assert!(
+                swept.value.cursor.is_none(),
+                "sharded sweeps report loss via coverage, not cursors"
+            );
+            let cov = swept.coverage.expect("coverage attached");
+            assert!(cov.identity_holds() && !cov.is_partial(), "{cov}");
+        }
+    }
+}
+
+#[test]
+fn exhausted_budget_is_coverage_accounted() {
+    let engine = skewed_engine(13, 2, 3);
+    let x = anchor(&engine);
+    let starved = Budget::unlimited().with_max_joins(0);
+    let partial = engine
+        .top_k_similar_sharded_with_budget(x, 4, &starved)
+        .expect("sharded top-k under a zero budget");
+    assert!(partial.value.is_empty(), "no joins were allowed");
+    assert!(partial.exhausted.is_some(), "the budget marker survives");
+    let cov = partial.coverage.expect("coverage attached");
+    assert!(cov.identity_holds(), "{cov}");
+    assert!(cov.is_partial(), "skipped units must show: {cov}");
+    assert!(cov.units_skipped > 0, "{cov}");
+}
+
+/// Random catalogs: shard count, thread count and dispatch order must
+/// never change a sharded result. Mirrors the budget property suite's
+/// catalog strategy.
+fn catalogs() -> impl Strategy<Value = (usize, Vec<Vec<Vec<u32>>>)> {
+    (1usize..=3).prop_flat_map(|d| {
+        let row = proptest::collection::vec(0u32..8, d);
+        let communities = proptest::collection::vec(proptest::collection::vec(row, 1..8), 2..6);
+        (Just(d), communities)
+    })
+}
+
+fn build_engine(
+    d: usize,
+    communities: &[Vec<Vec<u32>>],
+    shards: usize,
+    threads: usize,
+) -> CsjEngine {
+    let mut config = EngineConfig::new(1);
+    config.threads = threads;
+    config.shard.enabled = true;
+    config.shard.shards = shards;
+    let mut engine = CsjEngine::new(d, config);
+    for (i, rows) in communities.iter().enumerate() {
+        let name = format!("c{i}");
+        let community = Community::from_rows(
+            &name,
+            d,
+            rows.iter().enumerate().map(|(u, v)| (u as u64, v.clone())),
+        )
+        .expect("well-formed");
+        engine.register(community).expect("unique names");
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For arbitrary catalogs, every (shard count, thread count) pairing
+    /// merges back to the flat ranking and the flat sweep bit for bit,
+    /// with complete coverage.
+    #[test]
+    fn sharded_results_are_shard_count_independent(
+        (d, communities) in catalogs(),
+        shards in 1usize..9,
+        threads in 1usize..5,
+        threshold_tenths in 0u32..=10,
+    ) {
+        let threshold = f64::from(threshold_tenths) / 10.0;
+        let flat_engine = build_engine(d, &communities, 1, 1);
+        let x = flat_engine.find("c0").expect("registered");
+        let flat_topk = flat_engine.top_k_similar(x, 3).expect("flat top-k");
+        let flat_pairs = flat_engine.pairs_above(threshold).expect("flat sweep");
+
+        let engine = build_engine(d, &communities, shards, threads);
+        let x = engine.find("c0").expect("registered");
+        let topk = engine.top_k_similar_sharded(x, 3).expect("sharded top-k");
+        prop_assert_eq!(&topk.value, &flat_topk);
+        let cov = topk.coverage.expect("coverage attached");
+        prop_assert!(cov.identity_holds() && !cov.is_partial());
+
+        let swept = engine.pairs_above_sharded(threshold).expect("sharded sweep");
+        prop_assert_eq!(&swept.value.pairs, &flat_pairs);
+        let cov = swept.coverage.expect("coverage attached");
+        prop_assert!(cov.identity_holds() && !cov.is_partial());
+    }
+}
+
+/// Fault injection: losses shrink coverage, never corrupt survivors.
+#[cfg(feature = "fault-injection")]
+mod faults {
+    use super::*;
+    use csj_engine::{PairScore, ShardFaultPlan};
+
+    /// Survivors of a partial query must agree exactly with the flat
+    /// result restricted to the same communities.
+    fn assert_survivors_exact(survivors: &[PairScore], flat: &[PairScore]) {
+        for s in survivors {
+            let reference = flat
+                .iter()
+                .find(|p| p.x == s.x && p.y == s.y)
+                .unwrap_or_else(|| panic!("survivor {s:?} not in the flat result"));
+            assert_eq!(s.similarity, reference.similarity, "corrupted survivor");
+        }
+    }
+
+    #[test]
+    fn persistent_kill_shrinks_coverage_and_keeps_survivors_exact() {
+        let reference = skewed_engine(17, 1, 1);
+        let x = anchor(&reference);
+        let flat = reference.top_k_similar(x, 5).expect("flat top-k");
+
+        let mut engine = skewed_engine(17, 2, 3);
+        engine.inject_shard_faults(ShardFaultPlan::new().kill(0, u32::MAX));
+        let x = anchor(&engine);
+        let partial = engine.top_k_similar_sharded(x, 5).expect("typed, not Err");
+        let cov = partial.coverage.expect("coverage attached");
+        assert!(cov.identity_holds(), "{cov}");
+        assert!(cov.is_partial(), "a lost shard must show: {cov}");
+        assert_eq!(cov.failed, 1, "exactly the attacked shard fails: {cov}");
+        assert!(cov.units_skipped > 0, "its members went unscreened: {cov}");
+        assert_survivors_exact(&partial.value, &flat);
+    }
+
+    #[test]
+    fn single_kill_is_rescued_by_hedge_with_full_coverage() {
+        let reference = skewed_engine(19, 1, 1);
+        let x = anchor(&reference);
+        let flat = reference.top_k_similar(x, 5).expect("flat top-k");
+
+        let mut engine = skewed_engine(19, 2, 3);
+        engine.inject_shard_faults(ShardFaultPlan::new().kill(1, 1));
+        let x = anchor(&engine);
+        let partial = engine.top_k_similar_sharded(x, 5).expect("rescued");
+        let cov = partial.coverage.expect("coverage attached");
+        assert!(cov.identity_holds(), "{cov}");
+        assert!(!cov.is_partial(), "the hedge restores completeness: {cov}");
+        assert_eq!(cov.hedged, 1, "the rescue is visible: {cov}");
+        assert_eq!(partial.value, flat, "rescued result is bit-identical");
+    }
+
+    #[test]
+    fn injected_panics_resolve_typed_and_never_escape() {
+        let mut engine = skewed_engine(23, 2, 3);
+        engine.inject_shard_faults(ShardFaultPlan::new().panic_on(0, u32::MAX));
+        let swept = engine
+            .pairs_above_sharded(0.0)
+            .expect("panic contained at the shard boundary");
+        let cov = swept.coverage.expect("coverage attached");
+        assert!(cov.identity_holds(), "{cov}");
+        assert_eq!(cov.failed, 1, "{cov}");
+        // And the engine stays usable afterwards.
+        engine.clear_shard_faults();
+        let healthy = engine.pairs_above_sharded(0.0).expect("healthy again");
+        assert!(!healthy.coverage.expect("coverage").is_partial());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Property: correctness under a single persistent shard loss —
+        /// the sharded sweep's survivors are always a subset of the flat
+        /// sweep with identical scores, and the fate identity holds.
+        #[test]
+        fn lossy_sweep_is_an_exact_subset(
+            (d, communities) in catalogs(),
+            shards in 2usize..6,
+        ) {
+            let flat = build_engine(d, &communities, 1, 1)
+                .pairs_above(0.0)
+                .expect("flat sweep");
+            let mut engine = build_engine(d, &communities, shards, 2);
+            engine.inject_shard_faults(ShardFaultPlan::new().kill(0, u32::MAX));
+            let swept = engine.pairs_above_sharded(0.0).expect("typed");
+            let cov = swept.coverage.expect("coverage attached");
+            prop_assert!(cov.identity_holds());
+            for s in &swept.value.pairs {
+                let reference = flat
+                    .iter()
+                    .find(|p| p.x == s.x && p.y == s.y);
+                prop_assert!(reference.is_some(), "phantom pair {:?}", s);
+                prop_assert_eq!(reference.unwrap().similarity, s.similarity);
+            }
+        }
+    }
+}

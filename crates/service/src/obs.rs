@@ -71,6 +71,9 @@ pub enum DegradeTrigger {
     /// Not enough deadline left for an exact attempt (or the exact
     /// attempt exhausted its budget slice).
     Deadline,
+    /// A sharded query lost one or more shards: the answer is exact on
+    /// what survived but its candidate coverage is incomplete.
+    Coverage,
 }
 
 impl DegradeTrigger {
@@ -79,6 +82,7 @@ impl DegradeTrigger {
         match self {
             DegradeTrigger::Breaker => "breaker",
             DegradeTrigger::Deadline => "deadline",
+            DegradeTrigger::Coverage => "coverage",
         }
     }
 }
@@ -98,6 +102,7 @@ pub struct ServiceObs {
     retries: Arc<Counter>,
     degraded_breaker: Arc<Counter>,
     degraded_deadline: Arc<Counter>,
+    degraded_coverage: Arc<Counter>,
     transitions: HashMap<(&'static str, &'static str), Arc<Counter>>,
     queue_depth: Arc<Gauge>,
     inflight: Arc<Gauge>,
@@ -189,6 +194,7 @@ impl ServiceObs {
         let completed_failed = completed("failed");
         let degraded_breaker = degraded(DegradeTrigger::Breaker);
         let degraded_deadline = degraded(DegradeTrigger::Deadline);
+        let degraded_coverage = degraded(DegradeTrigger::Coverage);
         Self {
             registry,
             flight: FlightRecorder::new(flight_capacity),
@@ -201,6 +207,7 @@ impl ServiceObs {
             retries,
             degraded_breaker,
             degraded_deadline,
+            degraded_coverage,
             transitions,
             queue_depth,
             inflight,
@@ -239,6 +246,7 @@ impl ServiceObs {
         match trigger {
             DegradeTrigger::Breaker => self.degraded_breaker.inc(),
             DegradeTrigger::Deadline => self.degraded_deadline.inc(),
+            DegradeTrigger::Coverage => self.degraded_coverage.inc(),
         }
     }
 
@@ -287,6 +295,7 @@ mod tests {
         obs.on_retry();
         obs.on_degraded(DegradeTrigger::Breaker);
         obs.on_degraded(DegradeTrigger::Deadline);
+        obs.on_degraded(DegradeTrigger::Coverage);
         obs.on_transition(Transition {
             method: CsjMethod::ExMinMax,
             to: BreakerState::Open,
@@ -298,6 +307,10 @@ mod tests {
         assert_eq!(snap.counter_value("csj_service_shed_total", &[]), 1);
         assert_eq!(
             snap.counter_value("csj_service_degraded_total", &[("trigger", "breaker")]),
+            1
+        );
+        assert_eq!(
+            snap.counter_value("csj_service_degraded_total", &[("trigger", "coverage")]),
             1
         );
         assert_eq!(

@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use csj_core::{CsjMethod, Similarity};
-use csj_engine::{CommunityHandle, EngineError, ExhaustReason, PairScore};
+use csj_engine::{CommunityHandle, Coverage, EngineError, ExhaustReason, PairScore};
 
 /// One query against the engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +109,12 @@ pub struct Response {
     pub retries: u32,
     /// Budget exhaustion the answer absorbed (partial coverage), if any.
     pub exhausted: Option<ExhaustReason>,
+    /// Shard completeness report, when the request ran on the sharded
+    /// execution path (`None` on flat paths). A partial report
+    /// (`coverage.is_partial()`) means the answer is exact on what
+    /// survived but one or more shards were lost — such responses are
+    /// marked `degraded` with trigger `"coverage"`.
+    pub coverage: Option<Coverage>,
 }
 
 /// Typed request failures.

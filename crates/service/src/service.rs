@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use csj_core::CsjMethod;
 use csj_engine::{
-    Budget, CsjEngine, EngineError, ExhaustReason, MetricsSnapshot, PairScore, QueryTrace,
+    Budget, Coverage, CsjEngine, EngineError, ExhaustReason, MetricsSnapshot, PairScore, QueryTrace,
 };
 use csj_obs::Span;
 
@@ -331,7 +331,7 @@ fn execute(engine: &CsjEngine, shared: &Shared, job: &Job) -> Result<Response, S
     loop {
         let budget = primary_budget(shared, job.deadline);
         match run_primary(engine, &job.request, method, &budget) {
-            Ok((value, exhausted, had_panics)) => {
+            Ok((value, exhausted, had_panics, coverage)) => {
                 if let Some(reason) = exhausted {
                     // Budget exhaustion with slack remaining: retry (the
                     // exact pass resumes warm from the cache).
@@ -364,9 +364,29 @@ fn execute(engine: &CsjEngine, shared: &Shared, job: &Job) -> Result<Response, S
                         plan_source: None,
                         retries,
                         exhausted: Some(reason),
+                        coverage,
                     });
                 }
                 record_breaker(had_panics);
+                // Lost shards degrade through the coverage channel: the
+                // answer is exact on what survived, so there is nothing
+                // to retry or to walk the ladder for — the response is
+                // marked degraded and carries the typed report.
+                if let Some(cov) = coverage.filter(Coverage::is_partial) {
+                    shared.obs.on_degraded(DegradeTrigger::Coverage);
+                    return Ok(Response {
+                        value,
+                        degraded: true,
+                        degrade_trigger: Some(DegradeTrigger::Coverage.label()),
+                        degrade_note: Some(format!(
+                            "partial shard coverage: {cov}; surviving results are exact"
+                        )),
+                        plan_source: None,
+                        retries,
+                        exhausted: None,
+                        coverage,
+                    });
+                }
                 return Ok(Response {
                     value,
                     degraded: false,
@@ -375,6 +395,7 @@ fn execute(engine: &CsjEngine, shared: &Shared, job: &Job) -> Result<Response, S
                     plan_source: None,
                     retries,
                     exhausted: None,
+                    coverage,
                 });
             }
             Err(EngineError::Faulted { .. }) if can_retry(shared, job, retries) => {
@@ -393,8 +414,9 @@ fn execute(engine: &CsjEngine, shared: &Shared, job: &Job) -> Result<Response, S
     }
 }
 
-/// One primary (non-degraded) pass: `(value, exhaustion, had_panics)`.
-type Primary = (ResponseValue, Option<ExhaustReason>, bool);
+/// One primary (non-degraded) pass:
+/// `(value, exhaustion, had_panics, coverage)`.
+type Primary = (ResponseValue, Option<ExhaustReason>, bool, Option<Coverage>);
 
 fn run_primary(
     engine: &CsjEngine,
@@ -402,21 +424,35 @@ fn run_primary(
     method: CsjMethod,
     budget: &Budget,
 ) -> Result<Primary, EngineError> {
+    // Multi-pair kinds route through the fault-isolated sharded path
+    // when the engine enables it; fault-free sharded runs are
+    // bit-identical to the flat pipeline, so this is transparent to
+    // callers except for the attached coverage report.
+    let sharded = engine.config().shard.enabled;
     match request {
         Request::Similarity { x, y, .. } => {
             let s = engine.similarity_with(*x, *y, method)?;
-            Ok((ResponseValue::Similarity(s), None, false))
+            Ok((ResponseValue::Similarity(s), None, false, None))
         }
         Request::TopK { x, k } => {
-            let partial = engine.top_k_similar_with_budget(*x, *k, budget)?;
+            let partial = if sharded {
+                engine.top_k_similar_sharded_with_budget(*x, *k, budget)?
+            } else {
+                engine.top_k_similar_with_budget(*x, *k, budget)?
+            };
             Ok((
                 ResponseValue::Ranking(partial.value),
                 partial.exhausted.map(|m| m.reason),
                 false,
+                partial.coverage,
             ))
         }
         Request::PairsAbove { threshold } => {
-            let partial = engine.pairs_above_with_budget(*threshold, budget, None)?;
+            let partial = if sharded {
+                engine.pairs_above_sharded_with_budget(*threshold, budget)?
+            } else {
+                engine.pairs_above_with_budget(*threshold, budget, None)?
+            };
             let had_panics = partial
                 .value
                 .failed
@@ -426,6 +462,7 @@ fn run_primary(
                 ResponseValue::Pairs(partial.value.pairs),
                 partial.exhausted.map(|m| m.reason),
                 had_panics,
+                partial.coverage,
             ))
         }
     }
@@ -484,6 +521,7 @@ fn degrade(
         plan_source: Some(ladder_source.label()),
         retries,
         exhausted,
+        coverage: None,
     };
     match &job.request {
         Request::Similarity { x, y, .. } => {
@@ -692,6 +730,16 @@ fn request_trace(
             }
             if let Some(source) = r.plan_source {
                 root = root.attr("plan_source", source);
+            }
+            if let Some(cov) = r.coverage {
+                root = root
+                    .attr("shards_dispatched", cov.dispatched)
+                    .attr("shards_completed", cov.completed)
+                    .attr("shards_failed", cov.failed)
+                    .attr("shards_cancelled", cov.cancelled)
+                    .attr("shards_hedged", cov.hedged)
+                    .attr("units_screened", cov.units_screened)
+                    .attr("units_skipped", cov.units_skipped);
             }
             match (r.degraded, r.exhausted) {
                 (true, _) => "degraded".to_string(),

@@ -1,0 +1,167 @@
+//! Shard-boundary fault injector (cfg-gated, chaos testing only).
+//!
+//! Mirrors the engine's per-join `FaultPlan`, but targets the *shard*
+//! boundary: a kill makes the next attempt on a shard vanish before its
+//! closure runs (a crashed worker), a stall delays the next attempt
+//! (a straggler, to exercise hedging), a panic blows up inside the
+//! attempt's `catch_unwind` boundary. Counts are consumed per attempt,
+//! so `kill(s, 1)` fails only the primary attempt and lets the hedge
+//! rescue the shard, while `kill(s, u32::MAX)` fails the shard outright.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A recipe of shard-level faults. Build with the fluent methods, then
+/// hand to the engine (`CsjEngine::inject_shard_faults`) or directly to
+/// `ShardExecutor::with_faults`.
+#[derive(Debug, Default)]
+pub struct ShardFaultPlan {
+    kills: Mutex<HashMap<usize, u32>>,
+    stalls: Mutex<HashMap<usize, (Duration, u32)>>,
+    panics: Mutex<HashMap<usize, u32>>,
+}
+
+impl ShardFaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next `times` attempts on `shard` die before running.
+    pub fn kill(self, shard: usize, times: u32) -> Self {
+        self.kills
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(shard, times);
+        self
+    }
+
+    /// The next `times` attempts on `shard` stall for `delay` before
+    /// running (they still poll their cancel token while stalled).
+    pub fn stall(self, shard: usize, delay: Duration, times: u32) -> Self {
+        self.stalls
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(shard, (delay, times));
+        self
+    }
+
+    /// The next `times` attempts on `shard` panic inside the shard's
+    /// `catch_unwind` boundary.
+    pub fn panic_on(self, shard: usize, times: u32) -> Self {
+        self.panics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(shard, times);
+        self
+    }
+
+    /// Consume one kill charge for `shard`, if any remains.
+    pub(crate) fn take_kill(&self, shard: usize) -> bool {
+        take_count(&self.kills, shard)
+    }
+
+    /// Consume one stall charge for `shard`, if any remains.
+    pub(crate) fn take_stall(&self, shard: usize) -> Option<Duration> {
+        let mut stalls = self.stalls.lock().unwrap_or_else(|e| e.into_inner());
+        match stalls.get_mut(&shard) {
+            Some((delay, times)) if *times > 0 => {
+                *times -= 1;
+                Some(*delay)
+            }
+            _ => None,
+        }
+    }
+
+    /// Consume one panic charge for `shard`, if any remains.
+    pub(crate) fn take_panic(&self, shard: usize) -> bool {
+        take_count(&self.panics, shard)
+    }
+}
+
+fn take_count(map: &Mutex<HashMap<usize, u32>>, shard: usize) -> bool {
+    let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+    match map.get_mut(&shard) {
+        Some(times) if *times > 0 => {
+            *times -= 1;
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ShardConfig, ShardExecutor, ShardOutcome};
+    use csj_core::CancelToken;
+    use std::sync::Arc;
+
+    #[test]
+    fn charges_are_consumed_per_attempt() {
+        let plan = ShardFaultPlan::new()
+            .kill(0, 2)
+            .stall(1, Duration::from_millis(1), 1)
+            .panic_on(2, 1);
+        assert!(plan.take_kill(0));
+        assert!(plan.take_kill(0));
+        assert!(!plan.take_kill(0));
+        assert!(!plan.take_kill(5));
+        assert_eq!(plan.take_stall(1), Some(Duration::from_millis(1)));
+        assert_eq!(plan.take_stall(1), None);
+        assert!(plan.take_panic(2));
+        assert!(!plan.take_panic(2));
+    }
+
+    #[test]
+    fn killed_shard_is_rescued_by_hedge() {
+        let plan = Arc::new(ShardFaultPlan::new().kill(1, 1));
+        let ex = ShardExecutor::new(ShardConfig::default(), 2).with_faults(Some(plan));
+        let reports = ex.run(3, &CancelToken::new(), |ctx| ctx.shard * 2);
+        assert_eq!(reports[1].outcome, ShardOutcome::Hedged);
+        assert_eq!(reports[1].value, Some(2));
+        assert_eq!(reports[1].attempts, 2);
+    }
+
+    #[test]
+    fn persistent_kill_fails_the_shard_only() {
+        let plan = Arc::new(ShardFaultPlan::new().kill(0, u32::MAX));
+        let ex = ShardExecutor::new(ShardConfig::default(), 2).with_faults(Some(plan));
+        let reports = ex.run(2, &CancelToken::new(), |ctx| ctx.shard);
+        assert_eq!(reports[0].outcome, ShardOutcome::Panicked);
+        assert!(reports[0].value.is_none());
+        let msg = reports[0].panic_message.as_deref().unwrap();
+        assert!(msg.contains("killed by fault injector"), "got: {msg}");
+        assert_eq!(reports[1].outcome, ShardOutcome::Completed);
+        assert_eq!(reports[1].value, Some(1));
+    }
+
+    #[test]
+    fn injected_panic_is_contained() {
+        let plan = Arc::new(ShardFaultPlan::new().panic_on(0, u32::MAX));
+        let ex = ShardExecutor::new(ShardConfig::default(), 2).with_faults(Some(plan));
+        let reports = ex.run(2, &CancelToken::new(), |ctx| ctx.shard);
+        assert_eq!(reports[0].outcome, ShardOutcome::Panicked);
+        let msg = reports[0].panic_message.as_deref().unwrap();
+        assert!(msg.contains("injected shard panic"), "got: {msg}");
+    }
+
+    #[test]
+    fn stalled_shard_gets_hedged_and_recovers() {
+        // A long stall (the loser's token trips it early, so the test
+        // stays fast): on a loaded box the healthy-shard latency
+        // quantile must still land far below it, or the stalled primary
+        // would finish before the hedge fires and flake this test.
+        let plan = Arc::new(ShardFaultPlan::new().stall(0, Duration::from_secs(5), 1));
+        let cfg = ShardConfig {
+            hedge_floor: Duration::from_millis(2),
+            hedge_min_samples: 2,
+            hedge_factor: 1.0,
+            ..ShardConfig::default()
+        };
+        let ex = ShardExecutor::new(cfg, 4).with_faults(Some(plan));
+        let reports = ex.run(4, &CancelToken::new(), |ctx| ctx.shard + 100);
+        assert_eq!(reports[0].outcome, ShardOutcome::Hedged, "{reports:?}");
+        assert_eq!(reports[0].value, Some(100));
+    }
+}

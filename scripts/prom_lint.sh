@@ -10,8 +10,10 @@
 #     `le="+Inf"` bucket, plus `_sum` and `_count`;
 #   * families with a contract-fixed type carry it: every `csj_slo_*`
 #     family must be a gauge (burn rates and fractions are
-#     instantaneous evaluations, never monotonic), and `*_total`
-#     families must be counters;
+#     instantaneous evaluations, never monotonic), `*_total` families
+#     must be counters, and the `csj_shard_*` coverage families are
+#     pinned (fate counters end in `_total`; the only non-counter is
+#     the `csj_shard_latency_seconds` histogram);
 #   * at least one metric family is present (an empty exposition is a
 #     wiring bug, not a clean bill of health).
 #
@@ -42,6 +44,12 @@ function base(n) { sub(/_(bucket|sum|count)$/, "", n); return n }
         fail("SLO family " name " must be a gauge, got " kind)
     if (name ~ /_total$/ && kind != "counter")
         fail(name " ends in _total but is typed " kind)
+    if (name ~ /^csj_shard_/) {
+        if (name == "csj_shard_latency_seconds" && kind != "histogram")
+            fail("shard family " name " must be a histogram, got " kind)
+        else if (name != "csj_shard_latency_seconds" && !(name ~ /_total$/))
+            fail("shard family " name " must be a _total counter or the latency histogram")
+    }
     type[name] = kind
     families++
     next
